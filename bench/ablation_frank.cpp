@@ -1,0 +1,120 @@
+// Ablation: Frank's slow paths and pool dynamics (§4.5.6, §2).
+//
+// "Worker processes are created dynamically as needed"; "extra stacks
+// created during peak call activity can easily be reclaimed". This bench
+// quantifies: the cost of a Frank-redirected first call vs a warm call, the
+// pool growth forced by a burst of blocked (in-flight) calls, and the cost
+// of trimming after the burst.
+#include <cstdio>
+#include <vector>
+
+#include "kernel/machine.h"
+#include "ppc/facility.h"
+
+using namespace hppc;
+
+int main() {
+  std::printf("Ablation: Frank slow paths and pool dynamics\n");
+  std::printf("=============================================\n\n");
+
+  kernel::Machine machine(sim::hector_config(1));
+  ppc::PpcFacility ppc(machine);
+  auto& as = machine.create_address_space(700, 0);
+
+  // A service whose handler blocks until released: lets us hold many calls
+  // in flight on one CPU, forcing the worker pool to grow.
+  std::vector<ppc::Worker*> blocked;
+  const EntryPointId ep = ppc.bind(
+      {.name = "blocker"}, &as, 700,
+      [&](ppc::ServerCtx& ctx, ppc::RegSet&) {
+        blocked.push_back(&ctx.worker());
+        ctx.block_call([](ppc::ServerCtx&, ppc::RegSet& r) {
+          set_rc(r, Status::kOk);
+        });
+      });
+
+  auto& cas = machine.create_address_space(100, 0);
+  kernel::Cpu& cpu = machine.cpu(0);
+
+  // First call: pays the Frank redirect + worker creation.
+  kernel::Process& probe = machine.create_process(100, &cas, "probe", 0);
+  bool first = true;
+  Cycles first_cost = 0, warm_cost = 0;
+  probe.set_body([&](kernel::Cpu& cpu2, kernel::Process& self) {
+    if (!first) return;
+    first = false;
+    ppc::RegSet regs;
+    set_op(regs, 1);
+    const Cycles t0 = cpu2.now();
+    ppc.call_blocking(cpu2, self, ep, regs, [](Status, ppc::RegSet&) {});
+    first_cost = cpu2.now() - t0;
+  });
+  machine.ready(cpu, probe);
+  machine.run_until_idle();
+  ppc.resume_worker(cpu, *blocked.back());
+  blocked.clear();
+
+  // Warm call for comparison.
+  kernel::Process& probe2 = machine.create_process(100, &cas, "probe2", 0);
+  bool first2 = true;
+  probe2.set_body([&](kernel::Cpu& cpu2, kernel::Process& self) {
+    if (!first2) return;
+    first2 = false;
+    ppc::RegSet regs;
+    set_op(regs, 1);
+    const Cycles t0 = cpu2.now();
+    ppc.call_blocking(cpu2, self, ep, regs, [](Status, ppc::RegSet&) {});
+    warm_cost = cpu2.now() - t0;
+  });
+  machine.ready(cpu, probe2);
+  machine.run_until_idle();
+  ppc.resume_worker(cpu, *blocked.back());
+  blocked.clear();
+
+  std::printf("first call (Frank redirect + worker creation): %.1f us\n",
+              machine.config().us(first_cost));
+  std::printf("warm call (pooled worker):                     %.1f us\n",
+              machine.config().us(warm_cost));
+  std::printf("slow-path penalty:                             %.1f us\n\n",
+              machine.config().us(first_cost - warm_cost));
+
+  // Burst: N concurrent in-flight calls on one CPU -> N workers + N CDs.
+  constexpr int kBurst = 12;
+  std::vector<kernel::Process*> burst_clients;
+  for (int i = 0; i < kBurst; ++i) {
+    kernel::Process& c = machine.create_process(200 + i, &cas, "burst", 0);
+    burst_clients.push_back(&c);
+    bool sent = false;
+    c.set_body([&, sent](kernel::Cpu& cpu2, kernel::Process& self) mutable {
+      if (sent) return;
+      sent = true;
+      ppc::RegSet regs;
+      set_op(regs, 1);
+      ppc.call_blocking(cpu2, self, ep, regs, [](Status, ppc::RegSet&) {});
+    });
+    machine.ready(cpu, c);
+  }
+  machine.run_until_idle();
+  auto* e = ppc.entry_point(ep);
+  std::printf("burst of %d in-flight calls:\n", kBurst);
+  std::printf("  workers created on cpu 0: %u\n",
+              e->per_cpu(0).workers_created);
+  std::printf("  CDs created on cpu 0:     %u\n",
+              ppc.state(machine.cpu(0)).cds_created);
+  std::printf("  Frank worker refills:     %llu\n",
+              static_cast<unsigned long long>(
+                  ppc.state(machine.cpu(0)).frank_worker_refills));
+
+  // Drain the burst and trim back to the pool target.
+  for (ppc::Worker* w : blocked) ppc.resume_worker(cpu, *w);
+  machine.run_until_idle();
+  std::printf("  pooled workers after drain: %zu\n",
+              ppc.pooled_workers(0, ep));
+  const Cycles t0 = cpu.now();
+  ppc.trim_pools(cpu);
+  std::printf("  pooled workers after trim:  %zu (trim cost %.1f us)\n",
+              ppc.pooled_workers(0, ep), machine.config().us(cpu.now() - t0));
+  std::printf("\nExpected: pools grow exactly to the burst's concurrency and\n"
+              "trim back to the per-service target afterwards (§2, §4.5.6).\n");
+  return 0;
+}

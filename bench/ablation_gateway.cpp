@@ -1,0 +1,137 @@
+// Ablation: native PPC service vs a legacy single-threaded receive/reply
+// server behind the PPC gateway (§5: "Generally, not much effort is
+// required to modify servers to use this facility. Large changes are
+// necessary only when adapting a single threaded server to now be
+// multithreaded").
+//
+// The gateway preserves the old server untouched — and its old scalability:
+// every request funnels through one process on one processor. Converting
+// the server to a native PPC service (its handler body is identical!) buys
+// linear scaling.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "kernel/machine.h"
+#include "msg/gateway.h"
+#include "ppc/facility.h"
+
+using namespace hppc;
+
+namespace {
+
+constexpr Cycles kServiceWork = 150;  // the server's per-request work
+
+double native_throughput(std::uint32_t clients) {
+  kernel::Machine machine(sim::hector_config(16));
+  ppc::PpcFacility ppc(machine);
+  auto& as = machine.create_address_space(700, 0);
+  const EntryPointId ep = ppc.bind(
+      {.name = "native"}, &as, 700,
+      [](ppc::ServerCtx& ctx, ppc::RegSet& regs) {
+        ctx.work(kServiceWork);
+        regs[0] += 1;
+        set_rc(regs, Status::kOk);
+      });
+
+  const Cycles window = machine.config().cycles_from_us(4000.0);
+  std::vector<std::uint64_t> counts(clients, 0);
+  std::vector<Cycles> deadline(clients);
+  for (CpuId c = 0; c < clients; ++c) {
+    auto& cas = machine.create_address_space(100 + c,
+                                             machine.config().node_of_cpu(c));
+    kernel::Process& client = machine.create_process(
+        100 + c, &cas, "client", machine.config().node_of_cpu(c));
+    deadline[c] = machine.cpu(c).now() + window;
+    client.set_body([&, c, ep](kernel::Cpu& cpu, kernel::Process& self) {
+      if (cpu.now() >= deadline[c]) return;
+      ppc::RegSet regs;
+      set_op(regs, 1);
+      ppc.call(cpu, self, ep, regs);
+      ++counts[c];
+      machine.ready(cpu, self);
+    });
+    machine.ready(machine.cpu(c), client);
+  }
+  machine.run_until_idle();
+  std::uint64_t total = 0;
+  for (auto n : counts) total += n;
+  return static_cast<double>(total) / 0.004;
+}
+
+double gateway_throughput(std::uint32_t clients) {
+  kernel::Machine machine(sim::hector_config(16));
+  ppc::PpcFacility ppc(machine);
+  msg::MsgFacility msgs(machine);
+
+  // The untouched legacy server: one process, one CPU (the last one).
+  const CpuId server_cpu = 15;
+  auto& las = machine.create_address_space(800, machine.config().node_of_cpu(
+                                                    server_cpu));
+  kernel::Process& legacy = machine.create_process(
+      800, &las, "legacy", machine.config().node_of_cpu(server_cpu));
+  // The loop re-arms itself; it must outlive this scope's iterations, so
+  // declare-then-assign and capture by reference.
+  std::function<void(Pid, ppc::RegSet&)> loop;
+  loop = [&](Pid from, ppc::RegSet& m) {
+    kernel::Cpu& scpu = machine.cpu(server_cpu);
+    scpu.mem().charge(sim::CostCategory::kServerTime, kServiceWork);
+    ppc::RegSet reply = m;
+    reply[0] = m[0] + 1;
+    set_rc(reply, Status::kOk);
+    msgs.reply(scpu, legacy, from, reply);
+    msgs.receive(scpu, legacy, loop);
+  };
+  legacy.set_body([&](kernel::Cpu& cpu, kernel::Process& self) {
+    msgs.receive(cpu, self, loop);
+  });
+  machine.ready(machine.cpu(server_cpu), legacy);
+  machine.run_until_idle();
+
+  msg::PpcMsgGateway gateway(ppc, msgs, legacy.pid());
+
+  const Cycles window = machine.config().cycles_from_us(4000.0);
+  std::vector<std::uint64_t> counts(clients, 0);
+  std::vector<Cycles> deadline(clients);
+  for (CpuId c = 0; c < clients; ++c) {
+    auto& cas = machine.create_address_space(100 + c,
+                                             machine.config().node_of_cpu(c));
+    kernel::Process& client = machine.create_process(
+        100 + c, &cas, "client", machine.config().node_of_cpu(c));
+    deadline[c] = machine.cpu(c).now() + window;
+    client.set_body([&, c](kernel::Cpu& cpu, kernel::Process& self) {
+      if (cpu.now() >= deadline[c]) return;
+      ppc::RegSet regs;
+      set_op(regs, 1);
+      // The facility readies this process again when the call completes;
+      // the completion only counts.
+      ppc.call_blocking(cpu, self, gateway.ep(), regs,
+                        [&, c](Status, ppc::RegSet&) { ++counts[c]; });
+    });
+    machine.ready(machine.cpu(c), client);
+  }
+  machine.run_until_idle();
+  std::uint64_t total = 0;
+  for (auto n : counts) total += n;
+  return static_cast<double>(total) / 0.004;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: native PPC service vs gatewayed legacy server\n");
+  std::printf("========================================================\n");
+  std::printf("(identical per-request work; legacy = one receive/reply\n"
+              " process on one processor behind the PPC gateway)\n\n");
+  std::printf("%5s %16s %16s %10s\n", "cpus", "native PPC c/s",
+              "gateway c/s", "ratio");
+  for (std::uint32_t p : {1u, 2u, 4u, 8u, 15u}) {
+    const double native = native_throughput(p);
+    const double gw = gateway_throughput(p);
+    std::printf("%5u %16.0f %16.0f %9.1fx\n", p, native, gw, native / gw);
+  }
+  std::printf("\nExpected: the gateway works and preserves the old server\n"
+              "unmodified, but caps at the single process's service rate;\n"
+              "the natively adapted server scales with its clients (§5).\n");
+  return 0;
+}

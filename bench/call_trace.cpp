@@ -1,0 +1,70 @@
+// Anatomy of one warm PPC call: the ordered sequence of charges a single
+// user-to-user round trip makes, grouped into the paper's Figure-2
+// categories. This is the model-side equivalent of the paper's low-level
+// measurement methodology, and the ground truth behind the stacked bars.
+#include <cstdio>
+#include <vector>
+
+#include "kernel/machine.h"
+#include "ppc/facility.h"
+
+using namespace hppc;
+
+int main() {
+  kernel::Machine machine(sim::hector_config(1));
+  ppc::PpcFacility ppc(machine);
+  auto& as = machine.create_address_space(700, 0);
+  const EntryPointId ep = ppc.bind(
+      {.name = "null"}, &as, 700,
+      [](ppc::ServerCtx&, ppc::RegSet& regs) { set_rc(regs, Status::kOk); });
+  auto& cas = machine.create_address_space(100, 0);
+  kernel::Process& client = machine.create_process(100, &cas, "c", 0);
+  kernel::Cpu& cpu = machine.cpu(0);
+
+  ppc::RegSet regs;
+  for (int i = 0; i < 8; ++i) {  // warm everything
+    set_op(regs, 1);
+    ppc.call(cpu, client, ep, regs);
+  }
+
+  struct Step {
+    sim::CostCategory cat;
+    Cycles cycles;
+  };
+  std::vector<Step> steps;
+  cpu.mem().set_trace([&](sim::CostCategory c, Cycles cy, Cycles) {
+    // Coalesce consecutive charges of the same category into one step, the
+    // way the eye groups the call path.
+    if (!steps.empty() && steps.back().cat == c) {
+      steps.back().cycles += cy;
+    } else {
+      steps.push_back({c, cy});
+    }
+  });
+  set_op(regs, 1);
+  ppc.call(cpu, client, ep, regs);
+  cpu.mem().clear_trace();
+
+  std::printf("One warm user-to-user null PPC, step by step\n");
+  std::printf("============================================\n");
+  const double mhz = machine.config().clock_mhz;
+  Cycles total = 0;
+  for (const auto& s : steps) total += s.cycles;
+  Cycles acc = 0;
+  for (const auto& s : steps) {
+    acc += s.cycles;
+    std::printf("  %-20s %4llu cy  %5.2f us   |%s\n", to_string(s.cat),
+                static_cast<unsigned long long>(s.cycles),
+                static_cast<double>(s.cycles) / mhz,
+                std::string(static_cast<std::size_t>(40.0 * acc / total),
+                            '#')
+                    .c_str());
+  }
+  std::printf("  %-20s %4llu cy  %5.2f us\n", "TOTAL",
+              static_cast<unsigned long long>(total),
+              static_cast<double>(total) / mhz);
+  std::printf("\n%zu distinct steps; compare the category sums against the\n"
+              "bars of bench/fig2_breakdown.\n",
+              steps.size());
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 2: breakdown of the round-trip PPC time (microseconds) under
+// {user->user, user->kernel} x {cache primed, cache flushed} x
+// {no CD, hold CD}, plus the §3 scalar claims derived from the same runs.
+//
+// Paper totals (us): U2U primed 32.4 / 30.0, flushed 52.2 / 48.9;
+//                    U2K primed 22.2 / 19.2, flushed 42.0 / 39.6.
+#include <cstdio>
+#include <string_view>
+
+#include "experiments/experiments.h"
+
+using hppc::experiments::Fig2Config;
+using hppc::experiments::Fig2Result;
+using hppc::sim::CostCategory;
+
+namespace {
+
+constexpr CostCategory kRows[] = {
+    CostCategory::kTlbSetup,        CostCategory::kServerTime,
+    CostCategory::kKernelSaveRestore, CostCategory::kUserSaveRestore,
+    CostCategory::kCdManipulation,  CostCategory::kPpcKernel,
+    CostCategory::kTlbMiss,         CostCategory::kTrapOverhead,
+    CostCategory::kUnaccounted,
+};
+
+constexpr double kPaperTotals[] = {32.4, 30.0, 52.2, 48.9,
+                                   22.2, 19.2, 42.0, 39.6};
+
+void print_column_header() {
+  std::printf("%-22s", "category (us)");
+  for (const char* h :
+       {"U2U/prim/noCD", "U2U/prim/hold", "U2U/flsh/noCD", "U2U/flsh/hold",
+        "U2K/prim/noCD", "U2K/prim/hold", "U2K/flsh/noCD", "U2K/flsh/hold"}) {
+    std::printf(" %14s", h);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --csv: machine-readable output for plotting scripts.
+  const bool csv = argc > 1 && std::string_view(argv[1]) == "--csv";
+  auto results = hppc::experiments::run_fig2_all(/*measured_calls=*/512);
+  if (csv) {
+    std::printf("config,category,us\n");
+    for (const auto& r : results) {
+      for (CostCategory cat : kRows) {
+        std::printf("\"%s\",\"%s\",%.3f\n", r.label.c_str(),
+                    to_string(cat), r.us(cat));
+      }
+      std::printf("\"%s\",TOTAL,%.3f\n", r.label.c_str(), r.total_us);
+    }
+    return 0;
+  }
+  std::printf("Figure 2: PPC round-trip breakdown (microseconds)\n");
+  std::printf("=================================================\n\n");
+
+  print_column_header();
+  for (CostCategory cat : kRows) {
+    std::printf("%-22s", to_string(cat));
+    for (const auto& r : results) std::printf(" %14.2f", r.us(cat));
+    std::printf("\n");
+  }
+  std::printf("%-22s", "TOTAL");
+  for (const auto& r : results) std::printf(" %14.2f", r.total_us);
+  std::printf("\n%-22s", "paper");
+  for (double t : kPaperTotals) std::printf(" %14.2f", t);
+  std::printf("\n\n");
+
+  // §3 scalar claims derived from the same data.
+  const double u2u = results[0].total_us;
+  const double u2u_hold = results[1].total_us;
+  const double u2u_flushed = results[2].total_us;
+  const double u2k = results[4].total_us;
+  const double u2k_hold = results[5].total_us;
+
+  std::printf("Scalar claims (paper -> measured)\n");
+  std::printf("  warm user-to-user null PPC:   32.4 -> %.1f us\n", u2u);
+  std::printf("  hold-CD saving:              2-3  -> %.1f us\n",
+              u2u - u2u_hold);
+  std::printf("  user-to-kernel (no CD):       22.2 -> %.1f us\n", u2k);
+  std::printf("  user-to-kernel (hold CD):     19.2 -> %.1f us\n", u2k_hold);
+  std::printf("  D-cache flush penalty:       ~20   -> %.1f us\n",
+              u2u_flushed - u2u);
+
+  // "Dirtying the cache and flushing the instruction cache can increase the
+  //  times by another 20-30 usec."
+  Fig2Config dirty;
+  dirty.flush_dcache = true;
+  dirty.dirty_and_flush_icache = true;
+  dirty.measured_calls = 256;
+  Fig2Result rd = hppc::experiments::run_fig2(dirty);
+  std::printf("  dirty+I-flush extra:        20-30  -> %.1f us\n",
+              rd.total_us - u2u_flushed);
+
+  // "the categories for which we had no control accounted for between 52%%
+  //  and 60%% of the total execution time" (trap, TLB miss, save/restores,
+  //  server time).
+  double lo = 100.0, hi = 0.0;
+  for (const auto& r : results) {
+    const double uncontrolled =
+        r.us(CostCategory::kTrapOverhead) + r.us(CostCategory::kTlbMiss) +
+        r.us(CostCategory::kKernelSaveRestore) +
+        r.us(CostCategory::kUserSaveRestore) + r.us(CostCategory::kServerTime);
+    const double pct = 100.0 * uncontrolled / r.total_us;
+    lo = pct < lo ? pct : lo;
+    hi = pct > hi ? pct : hi;
+  }
+  std::printf("  uncontrollable share:       52-60%% -> %.0f-%.0f%%\n", lo, hi);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 3: throughput of a single file server handling GetLength requests
+// from 1..16 independent clients, one per processor.
+//
+// Paper: "different files" scales linearly (perfect speedup, each processor
+// contributing a constant increase); "single common file" saturates at four
+// processors because of the lock + a few shared accesses in the file
+// server's critical section. Sequential base time: 66 us per call.
+#include <cstdio>
+#include <string_view>
+
+#include "experiments/experiments.h"
+
+using hppc::experiments::Fig3Config;
+using hppc::experiments::Fig3Result;
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string_view(argv[1]) == "--csv";
+
+  // Baseline: one client, to anchor the perfect-speedup line.
+  Fig3Config base;
+  base.clients = 1;
+  Fig3Result r1 = hppc::experiments::run_fig3(base);
+  const double per_client = r1.calls_per_sec;
+
+  if (csv) {
+    std::printf("cpus,perfect,diff_files,single_file,mean_us,p99_us\n");
+    for (std::uint32_t p = 1; p <= 16; ++p) {
+      Fig3Config cfg;
+      cfg.clients = p;
+      cfg.single_file = false;
+      Fig3Result diff = hppc::experiments::run_fig3(cfg);
+      cfg.single_file = true;
+      Fig3Result single = hppc::experiments::run_fig3(cfg);
+      std::printf("%u,%.0f,%.0f,%.0f,%.1f,%.1f\n", p, per_client * p,
+                  diff.calls_per_sec, single.calls_per_sec,
+                  single.mean_call_us, single.p99_call_us);
+    }
+    return 0;
+  }
+
+  std::printf("Figure 3: file-server GetLength throughput (calls/second)\n");
+  std::printf("=========================================================\n\n");
+  std::printf("sequential GetLength: %.1f us/call (paper: 66 us)\n\n",
+              r1.sequential_us);
+
+  std::printf("%5s %13s %13s %13s %9s %12s %10s\n", "cpus", "perfect",
+              "diff-files", "single-file", "sat.", "1file mean", "1file p99");
+  for (std::uint32_t p = 1; p <= 16; ++p) {
+    Fig3Config cfg;
+    cfg.clients = p;
+
+    cfg.single_file = false;
+    Fig3Result diff = hppc::experiments::run_fig3(cfg);
+
+    cfg.single_file = true;
+    Fig3Result single = hppc::experiments::run_fig3(cfg);
+
+    std::printf("%5u %13.0f %13.0f %13.0f %8.2fx %10.0fus %8.0fus\n", p,
+                per_client * p, diff.calls_per_sec, single.calls_per_sec,
+                single.calls_per_sec / per_client, single.mean_call_us,
+                single.p99_call_us);
+  }
+
+  std::printf(
+      "\nExpected shape: diff-files tracks perfect speedup; single-file\n"
+      "saturates around 4 processors (paper: \"the throughput saturates at\n"
+      "four processors\").\n");
+  return 0;
+}

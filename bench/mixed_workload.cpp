@@ -1,0 +1,61 @@
+// System-level workload: 16 clients, file reads/writes with Zipf-skewed
+// popularity plus naming traffic. Shows the paper's architectural point at
+// system scale: the IPC layer contributes zero contention; all idle time
+// traces to application-level locks on hot files, and it grows exactly as
+// popularity concentrates.
+#include <cstdio>
+
+#include "experiments/workload.h"
+
+using hppc::experiments::WorkloadConfig;
+using hppc::experiments::WorkloadResult;
+using hppc::experiments::run_workload;
+
+int main() {
+  std::printf("Mixed workload: 16 clients, 64 files, 10%% writes, 2%% name "
+              "lookups\n");
+  std::printf("==============================================================="
+              "=\n\n");
+
+  std::printf("(a) popularity skew sweep\n");
+  std::printf("%8s %14s %12s %14s %10s\n", "zipf s", "calls/s", "idle %",
+              "lock moves", "lookups");
+  for (double s : {0.0, 0.5, 0.9, 1.2, 1.5}) {
+    WorkloadConfig cfg;
+    cfg.zipf_s = s;
+    WorkloadResult r = run_workload(cfg);
+    std::printf("%8.1f %14.0f %11.1f%% %14llu %10llu\n", s, r.calls_per_sec,
+                100.0 * r.idle_fraction,
+                static_cast<unsigned long long>(r.lock_migrations),
+                static_cast<unsigned long long>(r.name_lookups));
+  }
+
+  std::printf("\n(b) write-fraction sweep (zipf 0.9)\n");
+  std::printf("%8s %14s %12s\n", "writes", "calls/s", "idle %");
+  for (double w : {0.0, 0.1, 0.3, 0.6}) {
+    WorkloadConfig cfg;
+    cfg.zipf_s = 0.9;
+    cfg.write_fraction = w;
+    WorkloadResult r = run_workload(cfg);
+    std::printf("%7.0f%% %14.0f %11.1f%%\n", w * 100, r.calls_per_sec,
+                100.0 * r.idle_fraction);
+  }
+
+  std::printf("\n(c) cycle breakdown at zipf 0.9 (all processors)\n");
+  {
+    WorkloadConfig cfg;
+    cfg.zipf_s = 0.9;
+    WorkloadResult r = run_workload(cfg);
+    for (std::size_t c = 0; c < hppc::sim::kNumCostCategories; ++c) {
+      if (r.category_share[c] < 0.001) continue;
+      std::printf("  %-20s %5.1f%%\n",
+                  to_string(static_cast<hppc::sim::CostCategory>(c)),
+                  100.0 * r.category_share[c]);
+    }
+  }
+  std::printf("\nExpected: throughput falls and idle time rises with skew —\n"
+              "the contention is entirely in the file server's per-file\n"
+              "locks; the PPC layer itself has no shared data to contend "
+              "on.\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Host-library latency (google-benchmark): the PPC pattern's fast path
+// against a global locked pool and a message-queue server on this machine.
+//
+// NOTE: this container exposes a single CPU, so these are per-call latency
+// numbers, not scalability curves — the simulator benches cover scaling.
+#include <benchmark/benchmark.h>
+
+#include "rt/global_pool.h"
+#include "rt/msgq.h"
+#include "rt/runtime.h"
+
+using namespace hppc;
+
+namespace {
+
+void BM_RtPpcCall(benchmark::State& state) {
+  rt::Runtime rt_(1);
+  const rt::SlotId slot = rt_.register_thread();
+  const EntryPointId ep = rt_.bind(
+      {.name = "null"}, 700, [](rt::RtCtx&, ppc::RegSet& regs) {
+        ppc::set_rc(regs, Status::kOk);
+      });
+  ppc::RegSet regs;
+  for (auto _ : state) {
+    ppc::set_op(regs, 1);
+    benchmark::DoNotOptimize(rt_.call(slot, 1, ep, regs));
+  }
+}
+BENCHMARK(BM_RtPpcCall);
+
+void BM_RtPpcCallHoldCd(benchmark::State& state) {
+  rt::Runtime rt_(1);
+  const rt::SlotId slot = rt_.register_thread();
+  rt::RtServiceConfig cfg;
+  cfg.hold_cd = true;
+  const EntryPointId ep = rt_.bind(cfg, 700,
+                                   [](rt::RtCtx&, ppc::RegSet& regs) {
+                                     ppc::set_rc(regs, Status::kOk);
+                                   });
+  ppc::RegSet regs;
+  for (auto _ : state) {
+    ppc::set_op(regs, 1);
+    benchmark::DoNotOptimize(rt_.call(slot, 1, ep, regs));
+  }
+}
+BENCHMARK(BM_RtPpcCallHoldCd);
+
+void BM_RtPpcCallWithStackUse(benchmark::State& state) {
+  rt::Runtime rt_(1);
+  const rt::SlotId slot = rt_.register_thread();
+  const EntryPointId ep = rt_.bind(
+      {.name = "stack"}, 700, [](rt::RtCtx& ctx, ppc::RegSet& regs) {
+        auto stack = ctx.stack();
+        for (int i = 0; i < 256; i += 64) stack[i] = std::byte{1};
+        ppc::set_rc(regs, Status::kOk);
+      });
+  ppc::RegSet regs;
+  for (auto _ : state) {
+    ppc::set_op(regs, 1);
+    benchmark::DoNotOptimize(rt_.call(slot, 1, ep, regs));
+  }
+}
+BENCHMARK(BM_RtPpcCallWithStackUse);
+
+void BM_RtAsyncCallPlusPoll(benchmark::State& state) {
+  rt::Runtime rt_(1);
+  const rt::SlotId slot = rt_.register_thread();
+  const EntryPointId ep = rt_.bind(
+      {.name = "null"}, 700, [](rt::RtCtx&, ppc::RegSet& regs) {
+        ppc::set_rc(regs, Status::kOk);
+      });
+  ppc::RegSet regs;
+  for (auto _ : state) {
+    ppc::set_op(regs, 1);
+    rt_.call_async(slot, 1, ep, regs);
+    benchmark::DoNotOptimize(rt_.poll(slot));
+  }
+}
+BENCHMARK(BM_RtAsyncCallPlusPoll);
+
+void BM_GlobalPoolCall(benchmark::State& state) {
+  rt::GlobalPoolRuntime rt_;
+  const EntryPointId ep = rt_.bind([](ProgramId, ppc::RegSet& regs) {
+    ppc::set_rc(regs, Status::kOk);
+  });
+  ppc::RegSet regs;
+  for (auto _ : state) {
+    ppc::set_op(regs, 1);
+    benchmark::DoNotOptimize(rt_.call(1, ep, regs));
+  }
+}
+BENCHMARK(BM_GlobalPoolCall);
+
+void BM_MsgQueueCall(benchmark::State& state) {
+  rt::MsgQueueServer server(1, [](ppc::RegSet& regs) {
+    ppc::set_rc(regs, Status::kOk);
+  });
+  ppc::RegSet regs;
+  for (auto _ : state) {
+    ppc::set_op(regs, 1);
+    benchmark::DoNotOptimize(server.call(regs));
+  }
+}
+BENCHMARK(BM_MsgQueueCall);
+
+// Multi-threaded variants: on a multi-core host each thread gets its own
+// slot and the per-slot design shows flat per-call latency as threads are
+// added; the global pool contends. (This container has one CPU, so here
+// they merely demonstrate correctness under preemption.)
+void BM_RtPpcCallThreaded(benchmark::State& state) {
+  // Shared across all worker threads and all calibration trials: magic
+  // statics are thread-safe, and the slot capacity is sized for every
+  // thread google-benchmark may spawn across trials.
+  static rt::Runtime shared_rt(256);
+  static const EntryPointId ep = shared_rt.bind(
+      {.name = "null"}, 700,
+      [](rt::RtCtx&, ppc::RegSet& regs) { ppc::set_rc(regs, Status::kOk); });
+  const rt::SlotId slot = shared_rt.register_thread();
+  ppc::RegSet regs;
+  for (auto _ : state) {
+    ppc::set_op(regs, 1);
+    benchmark::DoNotOptimize(shared_rt.call(slot, 1, ep, regs));
+  }
+}
+BENCHMARK(BM_RtPpcCallThreaded)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_GlobalPoolCallThreaded(benchmark::State& state) {
+  static rt::GlobalPoolRuntime shared_rt;
+  static const EntryPointId ep = shared_rt.bind(
+      [](ProgramId, ppc::RegSet& regs) { ppc::set_rc(regs, Status::kOk); });
+  ppc::RegSet regs;
+  for (auto _ : state) {
+    ppc::set_op(regs, 1);
+    benchmark::DoNotOptimize(shared_rt.call(1, ep, regs));
+  }
+}
+BENCHMARK(BM_GlobalPoolCallThreaded)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_RtNestedCall(benchmark::State& state) {
+  rt::Runtime rt_(1);
+  const rt::SlotId slot = rt_.register_thread();
+  const EntryPointId inner = rt_.bind(
+      {.name = "inner"}, 700, [](rt::RtCtx&, ppc::RegSet& regs) {
+        ppc::set_rc(regs, Status::kOk);
+      });
+  const EntryPointId outer = rt_.bind(
+      {.name = "outer"}, 701, [inner](rt::RtCtx& ctx, ppc::RegSet& regs) {
+        ppc::RegSet nested;
+        ppc::set_op(nested, 1);
+        ppc::set_rc(regs, ctx.call(inner, nested));
+      });
+  ppc::RegSet regs;
+  for (auto _ : state) {
+    ppc::set_op(regs, 1);
+    benchmark::DoNotOptimize(rt_.call(slot, 1, outer, regs));
+  }
+}
+BENCHMARK(BM_RtNestedCall);
+
+}  // namespace
+
+BENCHMARK_MAIN();

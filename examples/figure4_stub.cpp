@@ -1,0 +1,85 @@
+// Figure 4, reproduced: "Example PPC library call, and compiler output."
+//
+// The paper shows a client stub (DoStuff) that loads an opcode into the
+// opflags word, passes its three real arguments plus dummies straight
+// through the eight registers, traps, and returns PPC_RC(opflags) — no
+// marshalling code at all. This example is our API's equivalent stub and a
+// demonstration that the arguments really do pass through untouched.
+//
+//   $ ./examples/figure4_stub
+#include <cstdio>
+
+#include "kernel/machine.h"
+#include "ppc/facility.h"
+
+using namespace hppc;
+
+namespace {
+
+constexpr Word kDoStuffOp = 0x7;
+constexpr EntryPointId kSomeEpSlot = 0;  // filled in at bind time
+EntryPointId g_some_ep = 0;
+ppc::PpcFacility* g_ppc = nullptr;
+kernel::Cpu* g_cpu = nullptr;
+kernel::Process* g_self = nullptr;
+
+// The paper's stub, transliterated:
+//
+//   int DoStuff(unsigned arg1, char *arg2, void *arg3) {
+//     register int t4,t5,t6,t7,opflags;
+//     opflags = PPC_OP_FLAGS(PPC_DO_STUFF, 0);
+//     PPC_CALL(SOME_EP, arg1, arg2, arg3, t4, t5, t6, t7, opflags);
+//     return PPC_RC(opflags);
+//   }
+//
+// Exactly eight words travel; unused positions are dummies; the return
+// code comes back in the last word. Our Word is 32-bit (M88100), so the
+// "pointer" arguments are word-sized tokens as they would be there.
+Status DoStuff(Word arg1, Word arg2, Word arg3) {
+  ppc::RegSet r;
+  r[0] = arg1;
+  r[1] = arg2;
+  r[2] = arg3;
+  // r[3..6] are the dummy registers t4..t7 of Figure 4.
+  set_op(r, kDoStuffOp, /*flags=*/0);          // PPC_OP_FLAGS(PPC_DO_STUFF,0)
+  g_ppc->call(*g_cpu, *g_self, g_some_ep, r);  // PPC_CALL(SOME_EP, ...)
+  return rc_of(r);                             // PPC_RC(opflags)
+}
+
+}  // namespace
+
+int main() {
+  kernel::Machine machine(sim::hector_config(1));
+  ppc::PpcFacility ppc(machine);
+  (void)kSomeEpSlot;
+
+  // The server sees the three arguments exactly as passed.
+  auto& server_as = machine.create_address_space(700, 0);
+  Word seen[3] = {0, 0, 0};
+  Word seen_opcode = 0;
+  g_some_ep = ppc.bind({.name = "stuff"}, &server_as, 700,
+                       [&](ppc::ServerCtx&, ppc::RegSet& regs) {
+                         seen[0] = regs[0];
+                         seen[1] = regs[1];
+                         seen[2] = regs[2];
+                         seen_opcode = opcode_of(regs);
+                         set_rc(regs, Status::kOk);
+                       });
+
+  auto& client_as = machine.create_address_space(100, 0);
+  kernel::Process& client = machine.create_process(100, &client_as, "c", 0);
+  g_ppc = &ppc;
+  g_cpu = &machine.cpu(0);
+  g_self = &client;
+
+  const Status rc = DoStuff(0xAAAA0001, 0xBBBB0002, 0xCCCC0003);
+
+  std::printf("DoStuff returned: %s\n", to_string(rc));
+  std::printf("server saw: arg1=%#x arg2=%#x arg3=%#x opcode=%#x\n", seen[0],
+              seen[1], seen[2], seen_opcode);
+  std::printf("\nProperties of the Figure-4 interface demonstrated:\n"
+              "  - all 8 words pass through registers, no marshalling\n"
+              "  - opcode+flags packed in the last word (PPC_OP_FLAGS)\n"
+              "  - the return code comes back in the same word (PPC_RC)\n");
+  return rc == Status::kOk && seen[0] == 0xAAAA0001 ? 0 : 1;
+}

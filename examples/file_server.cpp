@@ -1,0 +1,82 @@
+// The Figure-3 workload in miniature: Bob the file server, registered with
+// the name server, handling GetLength from several clients — first against
+// different files (scales), then against one common file (the per-file lock
+// saturates).
+//
+//   $ ./examples/file_server
+#include <cstdio>
+
+#include "kernel/machine.h"
+#include "naming/name_server.h"
+#include "ppc/facility.h"
+#include "servers/file_server.h"
+
+using namespace hppc;
+
+int main() {
+  kernel::Machine machine(sim::hector_config(8));
+  ppc::PpcFacility ppc(machine);
+  naming::NameServer names(ppc);
+  servers::FileServer bob(ppc, {});
+
+  // Bob registers himself under a well-known name...
+  kernel::AddressSpace& bob_as = machine.create_address_space(901, 0);
+  kernel::Process& bob_prog =
+      machine.create_process(bob.program(), &bob_as, "bob-main", 0);
+  naming::NameServer::register_name(ppc, machine.cpu(0), bob_prog, "bob",
+                                    bob.ep());
+
+  // ...and clients find him by name (§4.5.5).
+  const std::uint32_t shared = bob.create_file(0, 4096);
+  std::vector<std::uint32_t> own_files;
+  std::vector<kernel::Process*> clients;
+  for (CpuId c = 0; c < 8; ++c) {
+    auto& as = machine.create_address_space(100 + c,
+                                            machine.config().node_of_cpu(c));
+    clients.push_back(&machine.create_process(
+        100 + c, &as, "client", machine.config().node_of_cpu(c)));
+    own_files.push_back(
+        bob.create_file(machine.config().node_of_cpu(c), 1000 + c));
+  }
+  EntryPointId bob_ep = 0;
+  naming::NameServer::lookup(ppc, machine.cpu(0), *clients[0], "bob",
+                             &bob_ep);
+  std::printf("name server resolved \"bob\" -> entry point %u\n\n", bob_ep);
+
+  auto run = [&](bool single_file, const char* label) {
+    // Fresh measurement: count calls in a 2 ms simulated window per client.
+    std::vector<std::uint64_t> counts(8, 0);
+    std::vector<Cycles> deadline(8);
+    for (CpuId c = 0; c < 8; ++c) {
+      kernel::Cpu& cpu = machine.cpu(c);
+      deadline[c] =
+          cpu.now() + machine.config().cycles_from_us(2000.0);
+      const std::uint32_t fid = single_file ? shared : own_files[c];
+      clients[c]->set_body([&, c, fid, bob_ep](kernel::Cpu& cpu2,
+                                               kernel::Process& self) {
+        if (cpu2.now() >= deadline[c]) return;
+        std::uint64_t len = 0;
+        servers::FileServer::get_length(ppc, cpu2, self, bob_ep, fid, &len);
+        ++counts[c];
+        machine.ready(cpu2, self);
+      });
+      // Re-arm the process for this measurement round (it ended the
+      // previous round by running to completion).
+      clients[c]->set_state(kernel::ProcessState::kBlocked);
+      machine.ready(cpu, *clients[c]);
+    }
+    machine.run_until_idle();
+    std::uint64_t total = 0;
+    for (auto n : counts) total += n;
+    std::printf("%-16s %6llu calls in 2 ms/client  (%.0f calls/s)\n", label,
+                static_cast<unsigned long long>(total), total / 0.002 / 8);
+    return total;
+  };
+
+  const auto diff = run(false, "different files:");
+  const auto single = run(true, "single file:");
+  std::printf("\nshared-file throughput is %.1f%% of the independent case —\n"
+              "the per-file lock serializes the common file (Figure 3).\n",
+              100.0 * single / diff);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Legacy interoperation (§5): a single-threaded receive/reply server keeps
+// its old structure; PPC clients reach it through the gateway. Then the
+// same handler body is rebound as a native PPC service — "not much effort
+// is required" — and scales.
+//
+//   $ ./examples/legacy_interop
+#include <cstdio>
+#include <functional>
+
+#include "kernel/machine.h"
+#include "msg/gateway.h"
+#include "ppc/facility.h"
+
+using namespace hppc;
+
+int main() {
+  kernel::Machine machine(sim::hector_config(8));
+  ppc::PpcFacility ppc(machine);
+  msg::MsgFacility msgs(machine);
+
+  // --- the legacy server: one process, one CPU, receive/reply loop ---
+  auto& las = machine.create_address_space(800, 1);
+  kernel::Process& legacy = machine.create_process(800, &las, "legacy", 1);
+  const CpuId server_cpu = 7;
+  std::function<void(Pid, ppc::RegSet&)> loop;
+  loop = [&](Pid from, ppc::RegSet& m) {
+    kernel::Cpu& scpu = machine.cpu(server_cpu);
+    ppc::RegSet reply = m;
+    reply[1] = m[0] * m[0];  // the "service": squaring
+    set_rc(reply, Status::kOk);
+    msgs.reply(scpu, legacy, from, reply);
+    msgs.receive(scpu, legacy, loop);
+  };
+  legacy.set_body([&](kernel::Cpu& cpu, kernel::Process& self) {
+    msgs.receive(cpu, self, loop);
+  });
+  machine.ready(machine.cpu(server_cpu), legacy);
+  machine.run_until_idle();
+  std::printf("legacy server parked in receive() on cpu %u\n", server_cpu);
+
+  // --- the gateway makes it a PPC service without touching it ---
+  msg::PpcMsgGateway gateway(ppc, msgs, legacy.pid(), "square-legacy");
+
+  auto& cas = machine.create_address_space(100, 0);
+  kernel::Process& client = machine.create_process(100, &cas, "client", 0);
+  int remaining = 3;
+  std::function<void(kernel::Cpu&, kernel::Process&)> body =
+      [&](kernel::Cpu& cpu, kernel::Process& self) {
+        if (remaining == 0) return;
+        const Word x = static_cast<Word>(10 + remaining);
+        --remaining;
+        ppc::RegSet regs;
+        regs[0] = x;
+        set_op(regs, 1);
+        ppc.call_blocking(cpu, self, gateway.ep(), regs,
+                          [x](Status s, ppc::RegSet& out) {
+                            std::printf(
+                                "  via gateway: %u^2 = %u (status=%s)\n", x,
+                                out[1], to_string(s));
+                          });
+      };
+  client.set_body(body);
+  machine.ready(machine.cpu(0), client);
+  machine.run_until_idle();
+  std::printf("gateway forwarded %llu calls as messages\n\n",
+              static_cast<unsigned long long>(gateway.forwarded()));
+
+  // --- the adapted server: the same body as a native PPC handler ---
+  auto& nas = machine.create_address_space(801, 0);
+  const EntryPointId native = ppc.bind(
+      {.name = "square-native"}, &nas, 801,
+      [](ppc::ServerCtx&, ppc::RegSet& regs) {
+        regs[1] = regs[0] * regs[0];  // the very same service body
+        set_rc(regs, Status::kOk);
+      });
+  ppc::RegSet regs;
+  regs[0] = 9;
+  set_op(regs, 1);
+  ppc.call(machine.cpu(0), client, native, regs);
+  std::printf("natively adapted: 9^2 = %u — handled on the caller's own\n"
+              "cpu with the caller's own resources; no gateway, no queue,\n"
+              "no dedicated server processor.\n",
+              regs[1]);
+  return 0;
+}

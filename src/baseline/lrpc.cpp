@@ -1,0 +1,139 @@
+#include "baseline/lrpc.h"
+
+namespace hppc::baseline {
+
+using kernel::Cpu;
+using ppc::RegSet;
+using sim::CostCategory;
+using sim::TlbContext;
+
+namespace {
+constexpr std::uint32_t kPathInstructions = 180;  // comparable fast path
+constexpr std::uint32_t kUserRegBytes = 56;
+constexpr std::uint32_t kKernelCtxBytes = 32;
+constexpr std::uint32_t kCdBytes = 16;
+}  // namespace
+
+LrpcFacility::LrpcFacility(kernel::Machine& machine, LrpcConfig cfg)
+    : machine_(machine),
+      cfg_(cfg),
+      pool_lock_(machine.allocator().alloc(cfg.pool_home, 64, 64)),
+      pool_head_saddr_(machine.allocator().alloc(cfg.pool_home, 32, 32)) {
+  auto& alloc = machine_.allocator();
+  for (std::uint32_t i = 0; i < cfg_.initial_cds; ++i) {
+    auto d = std::make_unique<Descriptor>();
+    d->saddr = alloc.alloc(cfg_.pool_home, 32, 32);
+    d->stack_page = alloc.alloc_page(cfg_.pool_home);
+    cd_pool_.push(d.get());
+    cds_.push_back(std::move(d));
+  }
+  path_code_ = {alloc.alloc(cfg_.pool_home, kPathInstructions * 4, 16),
+                kPathInstructions, TlbContext::kSupervisor};
+}
+
+std::uint32_t LrpcFacility::bind(Handler handler, bool kernel_space) {
+  Service s;
+  s.handler = std::move(handler);
+  s.kernel_space = kernel_space;
+  s.code = {machine_.allocator().alloc(cfg_.pool_home,
+                                       cfg_.handler_instructions * 4, 16),
+            cfg_.handler_instructions,
+            kernel_space ? TlbContext::kSupervisor : TlbContext::kUser};
+  services_.push_back(std::move(s));
+  return static_cast<std::uint32_t>(services_.size() - 1);
+}
+
+Status LrpcFacility::call(Cpu& cpu, kernel::Process& caller,
+                          std::uint32_t id, RegSet& regs) {
+  if (id >= services_.size()) return Status::kNoSuchEntryPoint;
+  Service& svc = services_[id];
+  auto& mem = cpu.mem();
+
+  // User-side save + trap, as in any synchronous IPC.
+  const bool user_caller = !caller.address_space()->supervisor();
+  if (user_caller) {
+    mem.store(caller.user_stack(), kUserRegBytes, TlbContext::kUser,
+              CostCategory::kUserSaveRestore);
+    mem.charge(CostCategory::kUserSaveRestore, 20);
+  }
+  mem.trap_roundtrip();
+  mem.exec(path_code_, CostCategory::kPpcKernel);
+
+  // The difference: a *global* descriptor pool behind a lock. Every
+  // acquisition serializes against all processors, and the pool header and
+  // descriptors are remote for everyone off the pool's home station.
+  pool_lock_.acquire(mem, CostCategory::kPpcKernel);
+  mem.access_uncached(pool_head_saddr_, CostCategory::kCdManipulation);
+  Descriptor* cd = cd_pool_.pop();
+  if (cd == nullptr) {
+    // Grow the pool (still under the lock).
+    auto d = std::make_unique<Descriptor>();
+    d->saddr = machine_.allocator().alloc(cfg_.pool_home, 32, 32);
+    d->stack_page = machine_.allocator().alloc_page(cfg_.pool_home);
+    mem.charge(CostCategory::kCdManipulation, 350);
+    cd = d.get();
+    cds_.push_back(std::move(d));
+  }
+  pool_lock_.release(mem, CostCategory::kPpcKernel);
+
+  // Fill return info in the (remote) descriptor.
+  mem.store(cd->saddr, kCdBytes, TlbContext::kSupervisor,
+            CostCategory::kCdManipulation);
+  // Stacks are not per-processor: a descriptor last used elsewhere brings a
+  // cold (and, without hardware coherence, explicitly invalidated) stack.
+  if (cd->last_cpu != cpu.id() && cd->last_cpu != kInvalidCpu) {
+    for (int line = 0; line < 4; ++line) {
+      mem.dcache().invalidate(cd->stack_page + kPageSize - 64 +
+                              line * mem.config().dcache.line_bytes);
+    }
+    mem.charge(CostCategory::kCdManipulation,
+               2 * mem.config().dcache.costs.fill_cycles);
+  }
+  cd->last_cpu = cpu.id();
+
+  // Context switch into the server, as in the PPC path.
+  mem.exec(path_code_, CostCategory::kKernelSaveRestore);
+  mem.store(caller.context_save_area(), kKernelCtxBytes,
+            TlbContext::kSupervisor, CostCategory::kKernelSaveRestore);
+  if (!svc.kernel_space) mem.tlb_flush_user();
+
+  // Server executes on the borrowed stack.
+  mem.exec(svc.code, CostCategory::kServerTime);
+  mem.access_mapped(cd->stack_page + kPageSize - 64,
+                    (SimAddr{0xEE} << 40) + kPageSize - 64, 32,
+                    /*is_store=*/true,
+                    svc.kernel_space ? TlbContext::kSupervisor
+                                     : TlbContext::kUser,
+                    CostCategory::kServerTime);
+  LrpcCtx ctx(cpu, caller.program());
+  svc.handler(ctx, regs);
+
+  // Return path: free the descriptor back to the global pool.
+  mem.trap_roundtrip();
+  if (!svc.kernel_space) mem.tlb_flush_user();
+  pool_lock_.acquire(mem, CostCategory::kPpcKernel);
+  mem.access_uncached(pool_head_saddr_, CostCategory::kCdManipulation);
+  cd_pool_.push(cd);
+  pool_lock_.release(mem, CostCategory::kPpcKernel);
+
+  mem.load(caller.context_save_area(), kKernelCtxBytes,
+           TlbContext::kSupervisor, CostCategory::kKernelSaveRestore);
+  if (user_caller) {
+    mem.load(caller.user_stack(), kUserRegBytes, TlbContext::kUser,
+             CostCategory::kUserSaveRestore);
+    mem.charge(CostCategory::kUserSaveRestore, 18);
+  }
+  mem.charge(CostCategory::kUnaccounted,
+             mem.config().unaccounted_stall_cycles_per_call);
+  return ppc::rc_of(regs);
+}
+
+std::uint64_t LrpcFacility::lock_acquisitions() const {
+  return pool_lock_.acquisitions();
+}
+
+std::uint64_t LrpcFacility::lock_migrations() const {
+  return pool_lock_.migrations();
+}
+
+}  // namespace hppc::baseline

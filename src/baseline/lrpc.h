@@ -1,0 +1,99 @@
+// LRPC-style baseline: the design the paper contrasts itself with (§2).
+//
+// "The key difference is that not all resources required by an LRPC
+//  operation are exclusively accessed by a single processor. This has
+//  implications for the IPC facility itself as well as the servers. The IPC
+//  facility accesses shared data which must be locked and may cause
+//  additional bus traffic. From a server perspective, the stacks used to
+//  handle the calls are not reserved on a per-processor basis, and hence
+//  the server may implicitly access remote data."
+//
+// This facility has the same call semantics as the PPC fast path but draws
+// its call descriptors (A-stacks, in LRPC terms) and worker bindings from
+// *global* pools protected by spinlocks, homed on one node. Under
+// concurrency the locks serialize and every descriptor/stack acquisition is
+// remote for most processors — exactly the costs the PPC design eliminates.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/free_stack.h"
+#include "kernel/machine.h"
+#include "ppc/regs.h"
+#include "sim/spinlock.h"
+
+namespace hppc::baseline {
+
+class LrpcFacility;
+
+/// Minimal server-side context for baseline handlers.
+class LrpcCtx {
+ public:
+  LrpcCtx(kernel::Cpu& cpu, ProgramId caller) : cpu_(cpu), caller_(caller) {}
+  kernel::Cpu& cpu() { return cpu_; }
+  ProgramId caller_program() const { return caller_; }
+
+  void work(Cycles cycles) {
+    cpu_.mem().charge(sim::CostCategory::kServerTime, cycles);
+  }
+  void touch(SimAddr addr, std::size_t bytes, bool is_store) {
+    cpu_.mem().access(addr, bytes, is_store, sim::TlbContext::kUser,
+                      sim::CostCategory::kServerTime);
+  }
+
+ private:
+  kernel::Cpu& cpu_;
+  ProgramId caller_;
+};
+
+struct LrpcConfig {
+  NodeId pool_home = 0;  // where the shared pools live
+  std::uint32_t initial_cds = 4;
+  std::uint32_t handler_instructions = 20;
+};
+
+class LrpcFacility {
+ public:
+  using Handler = std::function<void(LrpcCtx&, ppc::RegSet&)>;
+  using Config = LrpcConfig;
+
+  explicit LrpcFacility(kernel::Machine& machine, LrpcConfig cfg = {});
+
+  /// Bind a service; returns its id.
+  std::uint32_t bind(Handler handler, bool kernel_space = false);
+
+  /// Synchronous round-trip call. Safe to drive from the multi-CPU engine
+  /// in global-time order (the pool locks are timeline locks).
+  Status call(kernel::Cpu& cpu, kernel::Process& caller, std::uint32_t id,
+              ppc::RegSet& regs);
+
+  std::uint64_t lock_acquisitions() const;
+  std::uint64_t lock_migrations() const;
+
+ private:
+  struct Descriptor {
+    SimAddr saddr;
+    SimAddr stack_page;
+    CpuId last_cpu = kInvalidCpu;
+    StackLink link;
+  };
+
+  struct Service {
+    Handler handler;
+    bool kernel_space;
+    sim::CodeRegion code;
+  };
+
+  kernel::Machine& machine_;
+  LrpcConfig cfg_;
+  sim::SimSpinLock pool_lock_;  // guards the global descriptor pool
+  SimAddr pool_head_saddr_;
+  FreeStack<Descriptor, &Descriptor::link> cd_pool_;
+  std::vector<std::unique_ptr<Descriptor>> cds_;
+  std::vector<Service> services_;
+  sim::CodeRegion path_code_;  // the (shared, node-0) IPC path text
+};
+
+}  // namespace hppc::baseline

@@ -1,0 +1,67 @@
+#include "baseline/msgq.h"
+
+#include <algorithm>
+
+namespace hppc::baseline {
+
+using kernel::Cpu;
+using ppc::RegSet;
+using sim::CostCategory;
+using sim::TlbContext;
+
+MsgQueueIpc::MsgQueueIpc(kernel::Machine& machine, Config cfg)
+    : machine_(machine),
+      cfg_(cfg),
+      qlock_(machine.allocator().alloc(cfg.home, 64, 64)),
+      queue_saddr_(machine.allocator().alloc(cfg.home, 512, 64)) {
+  HPPC_ASSERT_MSG(!cfg_.server_cpus.empty(), "need at least one server CPU");
+  for (CpuId c : cfg_.server_cpus) {
+    HPPC_ASSERT(c < machine.num_cpus());
+    slots_.push_back(ServerSlot{c, 0});
+  }
+}
+
+Status MsgQueueIpc::call(Cpu& cpu, RegSet& regs,
+                         const std::function<void(RegSet&)>& handler) {
+  auto& mem = cpu.mem();
+  const auto& mc = machine_.config();
+
+  // Client: trap, marshal the request into the (shared, remote) queue.
+  mem.trap_roundtrip();
+  mem.charge(CostCategory::kUserSaveRestore, 30);  // marshal into a message
+  qlock_.acquire(mem, CostCategory::kPpcKernel);
+  mem.access_uncached(queue_saddr_, CostCategory::kPpcKernel);
+  mem.store(queue_saddr_ + (requests_ % 8) * 64, 48, TlbContext::kSupervisor,
+            CostCategory::kPpcKernel);
+  qlock_.release(mem, CostCategory::kPpcKernel);
+  const Cycles enqueued_at = mem.now();
+
+  // Pick the server process that frees up first.
+  ServerSlot* slot = &slots_[0];
+  for (auto& s : slots_) {
+    if (s.free_at < slot->free_at) slot = &s;
+  }
+  const Cycles start = std::max(enqueued_at + mc.ipi_latency_cycles,
+                                slot->free_at);
+
+  // The server processor does the dequeue + work; charge its ledger so
+  // system-wide accounting stays honest.
+  auto& server_mem = machine_.cpu(slot->cpu).mem();
+  sim::MemContext* smem = &server_mem;
+  if (slot->cpu == cpu.id()) smem = &mem;  // degenerate colocated case
+  smem->charge(CostCategory::kPpcKernel, cfg_.dispatch_cycles);
+  smem->charge(CostCategory::kServerTime, cfg_.handler_cycles);
+  handler(regs);
+
+  const Cycles done = start + cfg_.dispatch_cycles + cfg_.handler_cycles;
+  slot->free_at = done;
+  ++requests_;
+
+  // Reply: IPI back to the client, which has been blocked the whole time.
+  mem.idle_until(done + mc.ipi_latency_cycles);
+  mem.trap_roundtrip();
+  mem.charge(CostCategory::kUserSaveRestore, 24);  // unmarshal the reply
+  return ppc::rc_of(regs);
+}
+
+}  // namespace hppc::baseline

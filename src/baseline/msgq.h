@@ -1,0 +1,62 @@
+// Message-queue IPC baseline: the traditional client/server alternative.
+//
+// A request is placed on the server's (locked) message queue; one of the
+// server's dedicated processes — pinned to fixed processors — dequeues,
+// services, and posts the reply, waking the client with a cross-processor
+// interrupt. Compared with PPC this loses both properties the paper is
+// after: requests are NOT serviced on the caller's processor (so the
+// server's state is remote and the reply needs an IPI), and the queue is
+// shared data behind a lock.
+//
+// The server side is modelled as per-server-process timelines rather than
+// fully executed processes: each server process has a `free_at` horizon and
+// charges its work to its own processor's ledger. This keeps the baseline
+// drivable from the same in-time-order harness as everything else while
+// preserving exactly the effects being compared: queue-lock serialization,
+// remote data, handoff latency, and limited server parallelism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/machine.h"
+#include "ppc/regs.h"
+#include "sim/spinlock.h"
+
+namespace hppc::baseline {
+
+class MsgQueueIpc {
+ public:
+  struct Config {
+    NodeId home = 0;                  // queue + server state home
+    std::vector<CpuId> server_cpus;   // where server processes run
+    Cycles handler_cycles = 120;      // per-request service work
+    Cycles dispatch_cycles = 90;      // dequeue + dispatch overhead
+  };
+
+  MsgQueueIpc(kernel::Machine& machine, Config cfg);
+
+  /// Synchronous request/response round trip, driven in global-time order.
+  /// The caller's clock advances across enqueue, waiting (idle), and reply
+  /// delivery; the servicing server processor's ledger gets the work.
+  Status call(kernel::Cpu& cpu, ppc::RegSet& regs,
+              const std::function<void(ppc::RegSet&)>& handler);
+
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t queue_lock_migrations() const { return qlock_.migrations(); }
+
+ private:
+  struct ServerSlot {
+    CpuId cpu;
+    Cycles free_at = 0;
+  };
+
+  kernel::Machine& machine_;
+  Config cfg_;
+  sim::SimSpinLock qlock_;
+  SimAddr queue_saddr_;
+  std::vector<ServerSlot> slots_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace hppc::baseline

@@ -1,0 +1,31 @@
+// Always-on assertion macro.
+//
+// The simulator's correctness is the foundation of every reproduced number,
+// so invariant checks stay enabled in release builds; the cost is noise next
+// to the cache/TLB bookkeeping they guard.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hppc::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "HPPC_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace hppc::detail
+
+#define HPPC_ASSERT(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) ::hppc::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HPPC_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::hppc::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));        \
+  } while (0)

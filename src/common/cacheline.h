@@ -1,0 +1,31 @@
+// Host cache-line utilities for the real-thread runtime (rt/).
+//
+// The paper's whole point is that per-processor state must not share cache
+// lines with other processors' state; on the host we enforce that with
+// alignment rather than with the NUMA placement the Hector kernel used.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace hppc {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kHostCacheLine =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kHostCacheLine = 64;
+#endif
+
+/// Wrap per-CPU-slot state so adjacent slots never false-share.
+template <typename T>
+struct alignas(kHostCacheLine) CacheAligned {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace hppc

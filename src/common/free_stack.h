@@ -1,0 +1,76 @@
+// Intrusive LIFO free list.
+//
+// Per-processor pools in the paper (call descriptors §2, workers §2) are
+// plain free lists accessed only by the owning processor; LIFO order is
+// deliberate — the most recently freed descriptor and stack page are the
+// ones still resident in the cache ("effectively recycled on each call").
+#pragma once
+
+#include <cstddef>
+
+#include "common/assert.h"
+
+namespace hppc {
+
+struct StackLink {
+  StackLink* next = nullptr;
+};
+
+template <typename T, StackLink T::* LinkField>
+class FreeStack {
+ public:
+  FreeStack() = default;
+  FreeStack(const FreeStack&) = delete;
+  FreeStack& operator=(const FreeStack&) = delete;
+
+  FreeStack(FreeStack&& o) noexcept : top_(o.top_), count_(o.count_) {
+    o.top_ = nullptr;
+    o.count_ = 0;
+  }
+  FreeStack& operator=(FreeStack&& o) noexcept {
+    top_ = o.top_;
+    count_ = o.count_;
+    o.top_ = nullptr;
+    o.count_ = 0;
+    return *this;
+  }
+
+  bool empty() const { return top_ == nullptr; }
+  std::size_t size() const { return count_; }
+
+  void push(T* obj) {
+    StackLink* link = &(obj->*LinkField);
+    link->next = top_;
+    top_ = link;
+    ++count_;
+  }
+
+  T* pop() {
+    if (top_ == nullptr) return nullptr;
+    StackLink* link = top_;
+    top_ = link->next;
+    link->next = nullptr;
+    --count_;
+    return owner(link);
+  }
+
+  T* peek() const { return top_ ? owner(top_) : nullptr; }
+
+ private:
+  static T* owner(StackLink* link) {
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(link) -
+                                offset_of_link());
+  }
+  static std::size_t offset_of_link() {
+    alignas(T) static char storage[sizeof(T)];
+    const T* obj = reinterpret_cast<const T*>(storage);
+    return static_cast<std::size_t>(
+        reinterpret_cast<const char*>(&(obj->*LinkField)) -
+        reinterpret_cast<const char*>(obj));
+  }
+
+  StackLink* top_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hppc

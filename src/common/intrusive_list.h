@@ -1,0 +1,146 @@
+// Intrusive doubly-linked list.
+//
+// The kernel substrate keeps processes on ready queues and pools on free
+// lists exactly the way the paper's kernel does: by linking nodes through
+// fields embedded in the objects themselves, so that queue manipulation is a
+// handful of stores with no allocation. The simulator charges those stores
+// to the cost ledger; an allocating container would distort the model.
+#pragma once
+
+#include <cstddef>
+
+#include "common/assert.h"
+
+namespace hppc {
+
+/// Embed one of these per list the object can be on.
+struct ListLink {
+  ListLink* prev = nullptr;
+  ListLink* next = nullptr;
+
+  bool linked() const { return next != nullptr; }
+
+  /// Unlink from whatever list this node is on. Safe on an unlinked node.
+  void unlink() {
+    if (!linked()) return;
+    prev->next = next;
+    next->prev = prev;
+    prev = next = nullptr;
+  }
+};
+
+/// Intrusive list of T, linked through the member `LinkField`.
+/// Does not own its elements; destroying the list leaves elements intact
+/// but unlinks nothing (the list must be empty or abandoned wholesale).
+template <typename T, ListLink T::* LinkField>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.next = &head_;
+    head_.prev = &head_;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next == &head_; }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const ListLink* p = head_.next; p != &head_; p = p->next) ++n;
+    return n;
+  }
+
+  void push_back(T* obj) {
+    ListLink* link = &(obj->*LinkField);
+    HPPC_ASSERT_MSG(!link->linked(), "node already on a list");
+    link->prev = head_.prev;
+    link->next = &head_;
+    head_.prev->next = link;
+    head_.prev = link;
+  }
+
+  void push_front(T* obj) {
+    ListLink* link = &(obj->*LinkField);
+    HPPC_ASSERT_MSG(!link->linked(), "node already on a list");
+    link->next = head_.next;
+    link->prev = &head_;
+    head_.next->prev = link;
+    head_.next = link;
+  }
+
+  T* front() { return empty() ? nullptr : owner(head_.next); }
+  T* back() { return empty() ? nullptr : owner(head_.prev); }
+
+  T* pop_front() {
+    if (empty()) return nullptr;
+    ListLink* link = head_.next;
+    T* obj = owner(link);
+    link->unlink();
+    return obj;
+  }
+
+  T* pop_back() {
+    if (empty()) return nullptr;
+    ListLink* link = head_.prev;
+    T* obj = owner(link);
+    link->unlink();
+    return obj;
+  }
+
+  /// Remove a specific element (must be on this list; not checked beyond
+  /// being linked somewhere).
+  void erase(T* obj) { (obj->*LinkField).unlink(); }
+
+  bool contains(const T* obj) const {
+    const ListLink* target = &(obj->*LinkField);
+    for (const ListLink* p = head_.next; p != &head_; p = p->next) {
+      if (p == target) return true;
+    }
+    return false;
+  }
+
+  /// Minimal forward iterator, enough for range-for in tests and draining
+  /// loops in the kernel (element removal invalidates only its iterator).
+  class iterator {
+   public:
+    iterator(ListLink* node, const ListLink* head) : node_(node), head_(head) {}
+    T& operator*() const { return *owner(node_); }
+    T* operator->() const { return owner(node_); }
+    iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return node_ == o.node_; }
+    bool operator!=(const iterator& o) const { return node_ != o.node_; }
+
+   private:
+    ListLink* node_;
+    const ListLink* head_;
+  };
+
+  iterator begin() { return iterator(head_.next, &head_); }
+  iterator end() { return iterator(&head_, &head_); }
+
+ private:
+  static T* owner(ListLink* link) {
+    // Standard container_of: the link is a member of T at a fixed offset.
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(link) -
+                                offset_of_link());
+  }
+  static const T* owner(const ListLink* link) {
+    return reinterpret_cast<const T*>(reinterpret_cast<const char*>(link) -
+                                      offset_of_link());
+  }
+  static std::size_t offset_of_link() {
+    alignas(T) static char storage[sizeof(T)];
+    const T* obj = reinterpret_cast<const T*>(storage);
+    return static_cast<std::size_t>(
+        reinterpret_cast<const char*>(&(obj->*LinkField)) -
+        reinterpret_cast<const char*>(obj));
+  }
+
+  ListLink head_;  // sentinel
+};
+
+}  // namespace hppc

@@ -1,0 +1,33 @@
+// Minimal leveled logging. Off by default: the fast path being measured must
+// not hide I/O in it. Enable per-binary with hppc::log_set_level().
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace hppc {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+namespace detail {
+inline LogLevel g_level = LogLevel::kError;
+}
+
+inline void log_set_level(LogLevel level) { detail::g_level = level; }
+inline LogLevel log_level() { return detail::g_level; }
+
+inline void logf(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(detail::g_level)) return;
+  std::fprintf(stderr, "[%s] ", tag);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace hppc
+
+#define HPPC_LOG_ERROR(...) ::hppc::logf(::hppc::LogLevel::kError, "error", __VA_ARGS__)
+#define HPPC_LOG_INFO(...) ::hppc::logf(::hppc::LogLevel::kInfo, "info", __VA_ARGS__)
+#define HPPC_LOG_DEBUG(...) ::hppc::logf(::hppc::LogLevel::kDebug, "debug", __VA_ARGS__)

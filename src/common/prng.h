@@ -1,0 +1,71 @@
+// Deterministic PRNG (xoshiro256**) for workload generation.
+//
+// All simulated experiments must be exactly reproducible from a seed; we do
+// not use std::mt19937 because its state size and iteration cost are
+// noticeable in tight workload-generation loops, and its streams are awkward
+// to split per simulated CPU.
+#pragma once
+
+#include <cstdint>
+
+namespace hppc {
+
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : s_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      std::uint64_t t = -bound % bound;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Derive an independent stream (e.g. one per simulated CPU).
+  Prng split(std::uint64_t stream) {
+    return Prng(next() ^ (stream * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace hppc

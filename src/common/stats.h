@@ -1,0 +1,92 @@
+// Streaming statistics and fixed-bucket histograms for benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace hppc {
+
+/// Welford streaming mean/variance; numerically stable, O(1) per sample.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * (static_cast<double>(n_) *
+                                    static_cast<double>(o.n_) / total);
+    mean_ += delta * static_cast<double>(o.n_) / total;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-percentile latency recorder: stores samples, sorts on demand.
+/// Intended for benchmark harnesses where sample counts are bounded.
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// q in [0,1]; nearest-rank.
+  double quantile(double q) {
+    HPPC_ASSERT(!samples_.empty());
+    HPPC_ASSERT(q >= 0.0 && q <= 1.0);
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  double median() { return quantile(0.5); }
+  double p99() { return quantile(0.99); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+}  // namespace hppc

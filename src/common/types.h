@@ -1,0 +1,61 @@
+// Fundamental identifier and quantity types shared by every subsystem.
+//
+// The simulated machine (sim/, kernel/, ppc/) measures time in cycles of the
+// modelled processor clock; the real-thread runtime (rt/) uses wall-clock
+// nanoseconds. Keeping both as strong-ish aliases here avoids accidental
+// mixing of host and simulated quantities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hppc {
+
+/// Identifier of a (simulated or host) processor. Dense, starting at 0.
+using CpuId = std::uint32_t;
+
+/// Identifier of a NUMA memory node (a Hector "station" in the paper).
+using NodeId = std::uint32_t;
+
+/// Simulated processor cycles (16.67 MHz M88100 in the default config).
+using Cycles = std::uint64_t;
+
+/// Simulated virtual/physical addresses. The machine model only needs
+/// addresses for cache/TLB indexing, never for host dereferencing.
+using SimAddr = std::uint64_t;
+
+/// Process identifier within the simulated OS.
+using Pid = std::uint32_t;
+
+/// Program identifier: the unit of authentication in the paper (§4.1).
+/// Several processes (e.g. all workers of one server) share a ProgramId.
+using ProgramId = std::uint32_t;
+
+/// Service entry-point identifier. Small integers usable as direct indexes
+/// into the per-processor service table (§4.5.5).
+using EntryPointId = std::uint32_t;
+
+/// Address-space identifier.
+using AsId = std::uint32_t;
+
+/// One machine word of the modelled architecture (M88100: 32 bits).
+/// PPC passes 8 words in each direction (§4.5.1).
+using Word = std::uint32_t;
+
+inline constexpr std::size_t kPpcWords = 8;
+
+/// Page size of the modelled machine; PPC stacks are one page (§4.5.4).
+inline constexpr std::size_t kPageSize = 4096;
+inline constexpr std::size_t kPageShift = 12;
+
+/// Maximum number of service entry points (§4.5.5: "currently 1024").
+inline constexpr std::size_t kMaxEntryPoints = 1024;
+
+/// An invalid/reserved value for each id domain.
+inline constexpr CpuId kInvalidCpu = ~CpuId{0};
+inline constexpr Pid kInvalidPid = ~Pid{0};
+inline constexpr EntryPointId kInvalidEntryPoint = ~EntryPointId{0};
+inline constexpr AsId kInvalidAs = ~AsId{0};
+inline constexpr SimAddr kInvalidAddr = ~SimAddr{0};
+
+}  // namespace hppc

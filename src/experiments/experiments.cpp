@@ -1,0 +1,207 @@
+#include "experiments/experiments.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "kernel/machine.h"
+#include "ppc/facility.h"
+#include "servers/file_server.h"
+
+namespace hppc::experiments {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+using ppc::EntryPointConfig;
+using ppc::PpcFacility;
+using ppc::RegSet;
+using ppc::ServerCtx;
+using sim::CostCategory;
+
+double Fig2Result::us(sim::CostCategory c) const {
+  return cycles[static_cast<std::size_t>(c)] / sim::hector_config().clock_mhz;
+}
+
+Fig2Result run_fig2(const Fig2Config& cfg) {
+  Machine m(cfg.machine);
+  PpcFacility ppc(m);
+
+  // The dummy server of Figure 2: "the time spent in the worker executing
+  // the dummy server code (saving and restoring a few registers)".
+  EntryPointConfig ec;
+  ec.name = "null-server";
+  ec.kernel_space = cfg.kernel_server;
+  ec.hold_cd = cfg.hold_cd;
+  kernel::AddressSpace* as =
+      cfg.kernel_server ? nullptr : &m.create_address_space(500, 0);
+  ppc::ServiceCode code;
+  code.handler_instructions = 16;
+  code.home_node = 0;
+  // Even a null server reads a little of its own state (its service
+  // descriptor); after a user->user crossing that is one more user-context
+  // TLB reload.
+  const SimAddr server_data = m.allocator().alloc(0, 64, kPageSize);
+  const EntryPointId id = ppc.bind(
+      ec, as, /*program=*/500,
+      [server_data](ServerCtx& ctx, RegSet& regs) {
+        ctx.touch(server_data, 16, /*is_store=*/false);
+        set_rc(regs, Status::kOk);
+      },
+      code);
+
+  kernel::AddressSpace& cas = m.create_address_space(600, 0);
+  Process& client = m.create_process(600, &cas, "fig2-client", 0);
+  Cpu& cpu = m.cpu(0);
+
+  // A junk region for the "dirty" cache condition.
+  const SimAddr junk =
+      m.allocator().alloc(0, cfg.machine.dcache.size_bytes * 2, kPageSize);
+
+  RegSet regs;
+  for (std::size_t i = 0; i + 1 < ppc::kOpWord; ++i) {
+    regs[i] = static_cast<Word>(0x1000 + i);  // "up to 8 arguments"
+  }
+
+  for (int i = 0; i < cfg.warmup_calls; ++i) {
+    set_op(regs, 1);
+    ppc.call(cpu, client, id, regs);
+  }
+
+  Fig2Result out;
+  sim::CostLedger before = cpu.mem().ledger();
+  for (int i = 0; i < cfg.measured_calls; ++i) {
+    if (cfg.flush_dcache) cpu.mem().dcache().flush_all();
+    if (cfg.dirty_and_flush_icache) {
+      cpu.mem().dcache().fill_with_junk(junk);
+      cpu.mem().icache().flush_all();
+    }
+    set_op(regs, 1);
+    ppc.call(cpu, client, id, regs);
+  }
+  // Exclude the cache-preparation work itself? flush_all/fill_with_junk on
+  // the harness side charges nothing (they manipulate the model directly),
+  // so the ledger delta is exactly the calls.
+  sim::CostLedger delta = cpu.mem().ledger().since(before);
+
+  const double n = cfg.measured_calls;
+  for (std::size_t c = 0; c < sim::kNumCostCategories; ++c) {
+    out.cycles[c] =
+        static_cast<double>(delta.get(static_cast<CostCategory>(c))) / n;
+  }
+  out.total_cycles = static_cast<double>(delta.total()) / n;
+  out.total_us = out.total_cycles / cfg.machine.clock_mhz;
+  return out;
+}
+
+std::vector<Fig2Result> run_fig2_all(int measured_calls) {
+  // Paper order (Figure 2, left to right): User->User primed {no CD, hold
+  // CD}, flushed {no CD, hold CD}; then User->Kernel the same.
+  std::vector<Fig2Result> out;
+  for (bool kernel : {false, true}) {
+    for (bool flushed : {false, true}) {
+      for (bool hold : {false, true}) {
+        Fig2Config cfg;
+        cfg.kernel_server = kernel;
+        cfg.hold_cd = hold;
+        cfg.flush_dcache = flushed;
+        cfg.measured_calls = measured_calls;
+        Fig2Result r = run_fig2(cfg);
+        r.label = std::string(kernel ? "user-to-kernel" : "user-to-user") +
+                  (flushed ? ", cache flushed" : ", cache primed") +
+                  (hold ? ", hold CD" : ", no CD");
+        out.push_back(std::move(r));
+      }
+    }
+  }
+  return out;
+}
+
+Fig3Result run_fig3(const Fig3Config& cfg) {
+  HPPC_ASSERT(cfg.clients >= 1 && cfg.clients <= cfg.total_cpus);
+  sim::MachineConfig mc = sim::hector_config(cfg.total_cpus);
+  Machine m(mc);
+  PpcFacility ppc(m);
+
+  servers::FileServer::Config fscfg;
+  fscfg.user_space = true;
+  fscfg.home_node = 0;
+  fscfg.critsec_scale = cfg.critsec_scale;
+  servers::FileServer bob(ppc, fscfg);
+
+  // Files: one common file, or one per client homed on the client's own
+  // station ("each client is requesting the length of different files").
+  std::vector<std::uint32_t> file_ids;
+  if (cfg.single_file) {
+    const std::uint32_t f = bob.create_file(/*home=*/0, 4096);
+    file_ids.assign(cfg.clients, f);
+  } else {
+    for (CpuId c = 0; c < cfg.clients; ++c) {
+      file_ids.push_back(bob.create_file(mc.node_of_cpu(c), 4096 + c));
+    }
+  }
+
+  // One client per processor.
+  std::vector<Process*> clients;
+  for (CpuId c = 0; c < cfg.clients; ++c) {
+    auto& as = m.create_address_space(100 + c, mc.node_of_cpu(c));
+    clients.push_back(
+        &m.create_process(100 + c, &as, "client" + std::to_string(c),
+                          mc.node_of_cpu(c)));
+  }
+
+  // Warm each processor's pools and caches.
+  for (CpuId c = 0; c < cfg.clients; ++c) {
+    for (int i = 0; i < 4; ++i) {
+      std::uint64_t len = 0;
+      servers::FileServer::get_length(ppc, m.cpu(c), *clients[c], bob.ep(),
+                                      file_ids[c], &len);
+    }
+  }
+
+  const Cycles window =
+      static_cast<Cycles>(cfg.measure_ms * 1000.0 * mc.clock_mhz);
+  std::vector<std::uint64_t> counts(cfg.clients, 0);
+  std::vector<Cycles> deadline(cfg.clients, 0);
+  RunningStats latency;
+  Percentiles tails;
+
+  for (CpuId c = 0; c < cfg.clients; ++c) {
+    Cpu& cpu = m.cpu(c);
+    deadline[c] = cpu.now() + window;
+    Process* self = clients[c];
+    const std::uint32_t fid = file_ids[c];
+    self->set_body([&ppc, &m, &bob, &counts, &deadline, &latency, &tails,
+                    &mc, fid, c](Cpu& cpu2, Process& p) {
+      if (cpu2.now() >= deadline[c]) return;  // window over: process ends
+      std::uint64_t len = 0;
+      const Cycles t0 = cpu2.now();
+      servers::FileServer::get_length(ppc, cpu2, p, bob.ep(), fid, &len);
+      const double us = mc.us(cpu2.now() - t0);
+      latency.add(us);
+      tails.add(us);
+      ++counts[c];
+      m.ready(cpu2, p);
+    });
+    m.ready(cpu, *self);
+  }
+  m.run_until_idle();
+
+  Fig3Result out;
+  out.clients = cfg.clients;
+  std::uint64_t total = 0;
+  for (auto n : counts) total += n;
+  out.total_calls = total;
+  const double window_s = cfg.measure_ms / 1000.0;
+  out.calls_per_sec = static_cast<double>(total) / window_s / 1.0;
+  if (cfg.clients == 1 && counts[0] > 0) {
+    out.sequential_us = cfg.measure_ms * 1000.0 / static_cast<double>(counts[0]);
+  }
+  out.lock_migrations = bob.lock_migrations(file_ids[0]);
+  if (latency.count() > 0) {
+    out.mean_call_us = latency.mean();
+    out.p99_call_us = tails.p99();
+  }
+  return out;
+}
+
+}  // namespace hppc::experiments

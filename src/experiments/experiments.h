@@ -1,0 +1,74 @@
+// Reusable experiment harnesses that reproduce the paper's evaluation.
+//
+// Both the benchmark binaries (bench/) and the regression tests (tests/)
+// drive these, so the numbers printed by a bench are exactly the numbers
+// the test suite guards.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/cost.h"
+
+namespace hppc::experiments {
+
+/// One bar of Figure 2.
+struct Fig2Config {
+  bool kernel_server = false;  // user->kernel instead of user->user
+  bool hold_cd = false;        // worker permanently holds CD+stack
+  bool flush_dcache = false;   // D-cache flushed before each call
+  bool dirty_and_flush_icache = false;  // §3's "another 20-30 usec" case
+  int warmup_calls = 32;
+  int measured_calls = 256;
+  sim::MachineConfig machine = sim::hector_config(1);
+};
+
+struct Fig2Result {
+  /// Mean cycles per round trip by category.
+  std::array<double, sim::kNumCostCategories> cycles{};
+  double total_cycles = 0;
+  double total_us = 0;
+
+  double us(sim::CostCategory c) const;
+  std::string label;
+};
+
+/// Run one Figure-2 configuration: a client process repeatedly making a
+/// null PPC (8 words each way) to a dummy server that saves and restores a
+/// few registers.
+Fig2Result run_fig2(const Fig2Config& cfg);
+
+/// All eight bars of Figure 2 in the paper's order:
+/// User->User {primed, flushed} x {no CD, hold CD},
+/// User->Kernel {primed, flushed} x {no CD, hold CD}.
+std::vector<Fig2Result> run_fig2_all(int measured_calls = 256);
+
+/// One point of Figure 3.
+struct Fig3Config {
+  std::uint32_t clients = 1;      // = processors in use
+  bool single_file = false;       // all clients hit one common file
+  double measure_ms = 30.0;       // simulated measurement window
+  std::uint32_t total_cpus = 16;  // machine size
+  /// Extra knob for the critical-section ablation: scales the file server's
+  /// per-call locked work (1.0 reproduces the paper's setup).
+  double critsec_scale = 1.0;
+};
+
+struct Fig3Result {
+  std::uint32_t clients = 0;
+  double calls_per_sec = 0;
+  double sequential_us = 0;  // single-client per-call latency
+  std::uint64_t total_calls = 0;
+  std::uint64_t lock_migrations = 0;  // lock handoffs between processors
+  double mean_call_us = 0;            // per-call latency across all clients
+  double p99_call_us = 0;             // tail latency (lock-wait victims)
+};
+
+/// Run one Figure-3 point: `clients` independent client processes, one per
+/// processor, each in a closed loop of GetLength PPC calls to the file
+/// server ("Bob").
+Fig3Result run_fig3(const Fig3Config& cfg);
+
+}  // namespace hppc::experiments

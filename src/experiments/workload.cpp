@@ -1,0 +1,157 @@
+#include "experiments/workload.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/prng.h"
+#include "kernel/machine.h"
+#include "naming/name_server.h"
+#include "ppc/facility.h"
+#include "servers/file_server.h"
+
+namespace hppc::experiments {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+using ppc::PpcFacility;
+
+namespace {
+
+/// Zipf sampler over [0, n): precomputed CDF, inverse-transform sampling.
+class Zipf {
+ public:
+  Zipf(std::uint32_t n, double s) : cdf_(n) {
+    double sum = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  std::uint32_t sample(Prng& rng) const {
+    const double u = rng.uniform();
+    // Binary search the CDF.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<std::uint32_t>(lo);
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+WorkloadResult run_workload(const WorkloadConfig& cfg) {
+  HPPC_ASSERT(cfg.clients >= 1 && cfg.clients <= cfg.total_cpus);
+  HPPC_ASSERT(cfg.num_files >= 1);
+
+  sim::MachineConfig mc = sim::hector_config(cfg.total_cpus);
+  Machine m(mc);
+  PpcFacility ppc(m);
+  naming::NameServer names(ppc);
+  servers::FileServer bob(ppc, {});
+
+  // Files spread round-robin across stations; each client owns its data.
+  std::vector<std::uint32_t> files;
+  for (std::uint32_t i = 0; i < cfg.num_files; ++i) {
+    files.push_back(bob.create_file(i % mc.num_nodes(), 1024 + i,
+                                    /*owner=*/0));
+  }
+
+  // Register the file server so the name-lookup mix has a real target.
+  auto& reg_as = m.create_address_space(900, 0);
+  Process& registrar = m.create_process(900, &reg_as, "registrar", 0);
+  naming::NameServer::register_name(ppc, m.cpu(0), registrar, "bob",
+                                    bob.ep());
+
+  std::vector<Process*> clients;
+  std::vector<Prng> rngs;
+  Prng root(cfg.seed);
+  for (CpuId c = 0; c < cfg.clients; ++c) {
+    auto& as = m.create_address_space(100 + c, mc.node_of_cpu(c));
+    clients.push_back(&m.create_process(100 + c, &as, "client",
+                                        mc.node_of_cpu(c)));
+    rngs.push_back(root.split(c));
+  }
+
+  const Zipf zipf(cfg.num_files, cfg.zipf_s);
+  WorkloadResult out;
+
+  // Warm pools on every client CPU.
+  for (CpuId c = 0; c < cfg.clients; ++c) {
+    std::uint64_t len = 0;
+    servers::FileServer::get_length(ppc, m.cpu(c), *clients[c], bob.ep(),
+                                    files[0], &len);
+  }
+
+  const Cycles window =
+      static_cast<Cycles>(cfg.measure_ms * 1000.0 * mc.clock_mhz);
+  std::vector<Cycles> deadline(cfg.clients);
+  std::vector<sim::CostLedger> before(cfg.clients);
+  for (CpuId c = 0; c < cfg.clients; ++c) {
+    Cpu& cpu = m.cpu(c);
+    deadline[c] = cpu.now() + window;
+    before[c] = cpu.mem().ledger();
+    clients[c]->set_body([&, c](Cpu& cpu2, Process& self) {
+      if (cpu2.now() >= deadline[c]) return;
+      Prng& rng = rngs[c];
+      const double dice = rng.uniform();
+      if (dice < cfg.name_lookup_fraction) {
+        EntryPointId found = 0;
+        naming::NameServer::lookup(ppc, cpu2, self, "bob", &found);
+        ++out.name_lookups;
+      } else {
+        const std::uint32_t fid = files[zipf.sample(rng)];
+        if (rng.uniform() < cfg.write_fraction) {
+          servers::FileServer::set_length(ppc, cpu2, self, bob.ep(), fid,
+                                          rng.below(1 << 20));
+          ++out.writes;
+        } else {
+          std::uint64_t len = 0;
+          servers::FileServer::get_length(ppc, cpu2, self, bob.ep(), fid,
+                                          &len);
+          ++out.reads;
+        }
+      }
+      ++out.total_calls;
+      m.ready(cpu2, self);
+    });
+    m.ready(cpu, *clients[c]);
+  }
+  m.run_until_idle();
+
+  out.calls_per_sec =
+      static_cast<double>(out.total_calls) / (cfg.measure_ms / 1000.0);
+  for (std::uint32_t i = 0; i < cfg.num_files; ++i) {
+    out.lock_migrations += bob.lock_migrations(files[i]);
+  }
+
+  sim::CostLedger total;
+  for (CpuId c = 0; c < cfg.clients; ++c) {
+    total += m.cpu(c).mem().ledger().since(before[c]);
+  }
+  if (total.total() > 0) {
+    out.idle_fraction =
+        static_cast<double>(total.get(sim::CostCategory::kIdle)) /
+        static_cast<double>(total.total());
+    for (std::size_t i = 0; i < sim::kNumCostCategories; ++i) {
+      out.category_share[i] =
+          static_cast<double>(
+              total.get(static_cast<sim::CostCategory>(i))) /
+          static_cast<double>(total.total());
+    }
+  }
+  return out;
+}
+
+}  // namespace hppc::experiments

@@ -1,0 +1,44 @@
+// Synthetic system workload: many clients, a real service mix (file reads
+// and writes with Zipf-distributed popularity, occasional name lookups),
+// driven on the simulated multiprocessor. This is the "large number of
+// different programs" scenario of §1, beyond the single-op microbenchmarks
+// of Figures 2 and 3: contention appears exactly where files get popular,
+// and nowhere in the IPC layer itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/cost.h"
+
+namespace hppc::experiments {
+
+struct WorkloadConfig {
+  std::uint32_t total_cpus = 16;
+  std::uint32_t clients = 16;  // one per processor, at most total_cpus
+  std::uint32_t num_files = 64;
+  /// Zipf skew of file popularity: 0 = uniform; ~1 = heavily skewed (a few
+  /// hot files absorb most requests and their locks become the bottleneck).
+  double zipf_s = 0.0;
+  double write_fraction = 0.1;        // SetLength instead of GetLength
+  double name_lookup_fraction = 0.02; // occasional name-server traffic
+  double measure_ms = 10.0;
+  std::uint64_t seed = 42;
+};
+
+struct WorkloadResult {
+  double calls_per_sec = 0;
+  std::uint64_t total_calls = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t name_lookups = 0;
+  std::uint64_t lock_migrations = 0;  // across all file locks
+  /// Fraction of total CPU cycles spent idle (spinning on file locks).
+  double idle_fraction = 0;
+  /// Machine-wide cycle shares by cost category.
+  std::array<double, sim::kNumCostCategories> category_share{};
+};
+
+WorkloadResult run_workload(const WorkloadConfig& cfg);
+
+}  // namespace hppc::experiments

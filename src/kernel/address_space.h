@@ -1,0 +1,85 @@
+// Simulated address spaces and page tables.
+//
+// A PPC server is "passive": an address space plus registered entry points
+// (§2). The page table here is functional — it records which physical page
+// backs each virtual page so that stack mapping/unmapping (the CD's stack
+// page mapped into the server's space for the duration of a call) is a real
+// state change the tests can observe, while the *cost* of the mapping is
+// charged separately through MemContext::tlb_map_one / tlb_flush_user.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "sim/tlb.h"
+
+namespace hppc::kernel {
+
+class AddressSpace {
+ public:
+  AddressSpace(AsId id, bool supervisor, ProgramId program,
+               NodeId home_node = 0)
+      : id_(id),
+        supervisor_(supervisor),
+        program_(program),
+        home_node_(home_node) {}
+
+  AsId id() const { return id_; }
+  bool supervisor() const { return supervisor_; }
+  ProgramId program() const { return program_; }
+
+  /// Station where the program's text and private data were placed.
+  NodeId home_node() const { return home_node_; }
+
+  sim::TlbContext tlb_context() const {
+    return supervisor_ ? sim::TlbContext::kSupervisor
+                       : sim::TlbContext::kUser;
+  }
+
+  /// Map the physical page `paddr` at virtual page `vaddr` (both
+  /// page-aligned). Remapping an already-mapped vaddr is a bug.
+  void map_page(SimAddr vaddr, SimAddr paddr) {
+    HPPC_ASSERT((vaddr & (kPageSize - 1)) == 0);
+    HPPC_ASSERT((paddr & (kPageSize - 1)) == 0);
+    auto [it, inserted] = pages_.emplace(vaddr, paddr);
+    HPPC_ASSERT_MSG(inserted, "vaddr already mapped");
+    (void)it;
+  }
+
+  /// Unmap; returns the physical page that was mapped there.
+  SimAddr unmap_page(SimAddr vaddr) {
+    auto it = pages_.find(vaddr);
+    HPPC_ASSERT_MSG(it != pages_.end(), "unmap of unmapped page");
+    const SimAddr paddr = it->second;
+    pages_.erase(it);
+    return paddr;
+  }
+
+  std::optional<SimAddr> translate_page(SimAddr vaddr) const {
+    auto it = pages_.find(vaddr & ~static_cast<SimAddr>(kPageSize - 1));
+    if (it == pages_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Translate an arbitrary virtual address to physical.
+  std::optional<SimAddr> translate(SimAddr vaddr) const {
+    auto page = translate_page(vaddr);
+    if (!page) return std::nullopt;
+    return *page + (vaddr & (kPageSize - 1));
+  }
+
+  bool mapped(SimAddr vaddr) const { return translate_page(vaddr).has_value(); }
+
+  std::size_t page_count() const { return pages_.size(); }
+
+ private:
+  AsId id_;
+  bool supervisor_;
+  ProgramId program_;
+  NodeId home_node_;
+  std::unordered_map<SimAddr, SimAddr> pages_;
+};
+
+}  // namespace hppc::kernel

@@ -1,0 +1,96 @@
+// One simulated processor: its memory context (caches/TLB/clock/ledger),
+// its ready queue, and its pending event (interrupt) queue.
+//
+// Everything a PPC call needs lives in per-CPU state reachable from here —
+// the paper's Figure 1 structure. The PPC facility attaches its own
+// per-processor block (service table copy, CD pool, worker pools) via
+// `ppc_state`, owned by the facility.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/intrusive_list.h"
+#include "common/types.h"
+#include "sim/memctx.h"
+#include "kernel/process.h"
+
+namespace hppc::kernel {
+
+class Machine;
+
+/// A deferred action on a CPU: delivery of a device interrupt, an IPI from
+/// another processor (hard-kill cleanup, §4.5.2), or a modelled device
+/// completion. Runs on the target CPU at >= `time`.
+struct Event {
+  Cycles time = 0;
+  std::uint64_t seq = 0;  // FIFO tie-break for equal times
+  std::function<void(Cpu&)> fn;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+class Cpu {
+ public:
+  Cpu(Machine& machine, const sim::MachineConfig& cfg, CpuId id)
+      : machine_(machine), id_(id), mem_(cfg, id) {}
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  CpuId id() const { return id_; }
+  NodeId node() const { return mem_.node(); }
+  Machine& machine() { return machine_; }
+
+  sim::MemContext& mem() { return mem_; }
+  const sim::MemContext& mem() const { return mem_; }
+  Cycles now() const { return mem_.now(); }
+
+  /// The process currently executing on this CPU (nullptr between
+  /// dispatches). PPC handoff switches this without a scheduler pass.
+  Process* current() const { return current_; }
+  void set_current(Process* p) { current_ = p; }
+
+  IntrusiveList<Process, &Process::rq_link>& ready_queue() {
+    return ready_queue_;
+  }
+
+  /// Simulated address of this CPU's ready-queue header (node-local), so
+  /// queue manipulation costs real, NUMA-correct memory traffic.
+  SimAddr rq_addr() const { return rq_addr_; }
+  void set_rq_addr(SimAddr a) { rq_addr_ = a; }
+
+  /// Per-CPU PPC state (ppc::CpuPpcState), owned by the PPC facility.
+  void* ppc_state() const { return ppc_state_; }
+  void set_ppc_state(void* s) { ppc_state_ = s; }
+
+  // --- pending events (interrupts / IPIs) ---
+
+  void push_event(Event e) { events_.push(std::move(e)); }
+  bool has_event() const { return !events_.empty(); }
+  Cycles next_event_time() const { return events_.top().time; }
+  Event pop_event() {
+    Event e = events_.top();
+    events_.pop();
+    return e;
+  }
+
+ private:
+  Machine& machine_;
+  CpuId id_;
+  sim::MemContext mem_;
+  Process* current_ = nullptr;
+  IntrusiveList<Process, &Process::rq_link> ready_queue_;
+  SimAddr rq_addr_ = kInvalidAddr;
+  void* ppc_state_ = nullptr;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+};
+
+}  // namespace hppc::kernel

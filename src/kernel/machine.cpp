@@ -1,0 +1,247 @@
+#include "kernel/machine.h"
+
+#include "sim/cost.h"
+
+namespace hppc::kernel {
+
+namespace {
+// Instruction counts for the generic kernel paths (not PPC-specific; the
+// PPC facility has its own, separately calibrated code layout).
+constexpr std::uint32_t kDispatchInstructions = 24;
+constexpr std::uint32_t kInterruptEntryInstructions = 18;
+}  // namespace
+
+Machine::Machine(sim::MachineConfig cfg)
+    : cfg_(cfg), alloc_(cfg.num_nodes()), frames_(alloc_, cfg.num_nodes()) {
+  kernel_as_ = std::make_unique<AddressSpace>(/*id=*/0, /*supervisor=*/true,
+                                              /*program=*/0);
+
+  // Replicated kernel text, one copy per station.
+  text_.reserve(cfg_.num_nodes());
+  for (NodeId n = 0; n < cfg_.num_nodes(); ++n) {
+    KernelText t;
+    t.dispatch = {alloc_.alloc(n, kDispatchInstructions * 4, 16),
+                  kDispatchInstructions, sim::TlbContext::kSupervisor};
+    t.interrupt_entry = {alloc_.alloc(n, kInterruptEntryInstructions * 4, 16),
+                         kInterruptEntryInstructions,
+                         sim::TlbContext::kSupervisor};
+    text_.push_back(t);
+  }
+
+  cpus_.reserve(cfg_.num_cpus);
+  for (CpuId id = 0; id < cfg_.num_cpus; ++id) {
+    auto c = std::make_unique<Cpu>(*this, cfg_, id);
+    // Ready-queue header in node-local kernel memory.
+    c->set_rq_addr(alloc_.alloc(c->node(), 32, 16));
+    cpus_.push_back(std::move(c));
+  }
+}
+
+Machine::~Machine() = default;
+
+AddressSpace& Machine::create_address_space(ProgramId program, NodeId home) {
+  HPPC_ASSERT(home < cfg_.num_nodes());
+  spaces_.push_back(std::make_unique<AddressSpace>(next_as_++,
+                                                   /*supervisor=*/false,
+                                                   program, home));
+  return *spaces_.back();
+}
+
+Process& Machine::create_process(ProgramId program, AddressSpace* as,
+                                 std::string name, NodeId home) {
+  HPPC_ASSERT(home < cfg_.num_nodes());
+  auto p = std::make_unique<Process>(next_pid_++, program, as,
+                                     std::move(name));
+  // 64-byte kernel context save area (the "minimum processor state required
+  // for a process switch", Figure 2 caption) and a one-page user stack.
+  p->set_context_save_area(alloc_.alloc(home, 64, 16));
+  p->set_user_stack(alloc_.alloc_page(home));
+  processes_.push_back(std::move(p));
+  return *processes_.back();
+}
+
+void Machine::ready(Cpu& cpu, Process& p) {
+  HPPC_ASSERT(p.state() != ProcessState::kReady);
+  HPPC_ASSERT(p.state() != ProcessState::kDead);
+  p.set_state(ProcessState::kReady);
+  cpu.ready_queue().push_back(&p);
+  // Queue-header update: a couple of stores to node-local kernel data.
+  cpu.mem().store(cpu.rq_addr(), 16, sim::TlbContext::kSupervisor,
+                  sim::CostCategory::kPpcKernel);
+}
+
+void Machine::block(Process& p) {
+  HPPC_ASSERT(p.state() != ProcessState::kDead);
+  if (p.rq_link.linked()) p.rq_link.unlink();
+  p.set_state(ProcessState::kBlocked);
+}
+
+void Machine::post_event(CpuId target, Cycles time,
+                         std::function<void(Cpu&)> fn) {
+  HPPC_ASSERT(target < cpus_.size());
+  Event e;
+  e.time = time;
+  e.seq = ++event_seq_;
+  e.fn = std::move(fn);
+  cpus_[target]->push_event(std::move(e));
+}
+
+void Machine::post_ipi(Cpu& sender, CpuId target,
+                       std::function<void(Cpu&)> fn) {
+  // The sender pays a store to the target's interrupt register.
+  sender.mem().access_uncached(sim::node_base(cfg_.node_of_cpu(target)),
+                               sim::CostCategory::kPpcKernel);
+  post_event(target, sender.now() + cfg_.ipi_latency_cycles, std::move(fn));
+}
+
+Machine::NextAction Machine::next_action() {
+  NextAction best;
+  bool found = false;
+  for (auto& cp : cpus_) {
+    Cpu& c = *cp;
+    const bool has_ready = !c.ready_queue().empty();
+    const bool has_event = c.has_event();
+    if (!has_ready && !has_event) continue;
+
+    Cycles t;
+    bool is_event;
+    if (has_event && (!has_ready || c.next_event_time() <= c.now())) {
+      // Due (or only) events preempt; a future event on an otherwise idle
+      // CPU fires after the idle gap.
+      t = has_ready ? c.now() : std::max(c.now(), c.next_event_time());
+      is_event = true;
+      if (has_ready && c.next_event_time() > c.now()) {
+        // Ready work exists and the event is in the future: run work first.
+        is_event = false;
+        t = c.now();
+      }
+    } else if (has_ready) {
+      t = c.now();
+      is_event = false;
+    } else {
+      t = std::max(c.now(), c.next_event_time());
+      is_event = true;
+    }
+
+    if (!found || t < best.time ||
+        (t == best.time && c.id() < best.cpu->id())) {
+      best = {&c, t, is_event};
+      found = true;
+    }
+  }
+  if (!found) best.cpu = nullptr;
+  return best;
+}
+
+void Machine::deliver_event(Cpu& cpu) {
+  Event e = cpu.pop_event();
+  cpu.mem().idle_until(e.time);
+  // Interrupt entry: trap + prologue (charged before the handler body).
+  cpu.mem().trap_roundtrip();
+  cpu.mem().exec(text_[cpu.node()].interrupt_entry,
+                 sim::CostCategory::kPpcKernel);
+  e.fn(cpu);
+}
+
+void Machine::dispatch_one(Cpu& cpu) {
+  Process* p = cpu.ready_queue().pop_front();
+  HPPC_ASSERT(p != nullptr);
+  p->set_state(ProcessState::kRunning);
+  cpu.set_current(p);
+
+  // Scheduler dispatch: pop the queue, reload the process context.
+  cpu.mem().exec(text_[cpu.node()].dispatch, sim::CostCategory::kPpcKernel);
+  cpu.mem().load(cpu.rq_addr(), 16, sim::TlbContext::kSupervisor,
+                 sim::CostCategory::kPpcKernel);
+  cpu.mem().load(p->context_save_area(), 64, sim::TlbContext::kSupervisor,
+                 sim::CostCategory::kKernelSaveRestore);
+
+  HPPC_ASSERT_MSG(static_cast<bool>(p->body()), "dispatch of bodyless process");
+  p->body()(cpu, *p);
+
+  // A body that neither re-readied, blocked, nor died is complete.
+  if (p->state() == ProcessState::kRunning) p->set_state(ProcessState::kDead);
+  cpu.set_current(nullptr);
+}
+
+bool Machine::step() {
+  NextAction a = next_action();
+  if (a.cpu == nullptr) return false;
+  if (a.is_event) {
+    deliver_event(*a.cpu);
+  } else {
+    dispatch_one(*a.cpu);
+  }
+  return true;
+}
+
+void Machine::run_until_idle() {
+  while (step()) {
+  }
+}
+
+void Machine::run_until(Cycles t) {
+  for (;;) {
+    NextAction a = next_action();
+    if (a.cpu == nullptr || a.time >= t) return;
+    if (a.is_event) {
+      deliver_event(*a.cpu);
+    } else {
+      dispatch_one(*a.cpu);
+    }
+  }
+}
+
+void Machine::write_data(SimAddr addr, const void* bytes, std::size_t len) {
+  const auto* src = static_cast<const std::uint8_t*>(bytes);
+  while (len > 0) {
+    const SimAddr page = addr & ~static_cast<SimAddr>(kPageSize - 1);
+    const std::size_t off = static_cast<std::size_t>(addr - page);
+    const std::size_t n = std::min(len, kPageSize - off);
+    auto& p = data_pages_[page];
+    if (!p) p = std::make_unique<std::array<std::uint8_t, kPageSize>>();
+    std::copy(src, src + n, p->data() + off);
+    addr += n;
+    src += n;
+    len -= n;
+  }
+}
+
+void Machine::read_data(SimAddr addr, void* bytes, std::size_t len) {
+  auto* dst = static_cast<std::uint8_t*>(bytes);
+  while (len > 0) {
+    const SimAddr page = addr & ~static_cast<SimAddr>(kPageSize - 1);
+    const std::size_t off = static_cast<std::size_t>(addr - page);
+    const std::size_t n = std::min(len, kPageSize - off);
+    auto it = data_pages_.find(page);
+    if (it == data_pages_.end()) {
+      std::fill(dst, dst + n, 0);  // untouched memory reads as zero
+    } else {
+      std::copy(it->second->data() + off, it->second->data() + off + n, dst);
+    }
+    addr += n;
+    dst += n;
+    len -= n;
+  }
+}
+
+std::uint8_t Machine::read_byte(SimAddr addr) {
+  std::uint8_t b = 0;
+  read_data(addr, &b, 1);
+  return b;
+}
+
+Cycles Machine::horizon() const {
+  Cycles h = ~Cycles{0};
+  for (const auto& cp : cpus_) {
+    const Cpu& c = *cp;
+    if (!const_cast<Cpu&>(c).ready_queue().empty()) {
+      h = std::min(h, c.now());
+    } else if (c.has_event()) {
+      h = std::min(h, std::max(c.now(), c.next_event_time()));
+    }
+  }
+  return h == ~Cycles{0} ? 0 : h;
+}
+
+}  // namespace hppc::kernel

@@ -1,0 +1,143 @@
+// The simulated multiprocessor plus the OS substrate state that is global:
+// address spaces, processes, per-node kernel text, and the run loop that
+// advances CPUs in global-time order.
+//
+// Determinism: all scheduling decisions depend only on simulated clocks and
+// FIFO sequence numbers, never on host time or iteration order of hash
+// containers, so a given program produces an identical trace on every run.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "kernel/address_space.h"
+#include "kernel/frame.h"
+#include "kernel/cpu.h"
+#include "kernel/process.h"
+#include "sim/addr.h"
+#include "sim/config.h"
+
+namespace hppc::kernel {
+
+/// Kernel code regions, replicated per NUMA node the way Hurricane
+/// replicates kernel text across stations (so that instruction fetch never
+/// crosses the ring, one of the locality properties §3 relies on).
+struct KernelText {
+  sim::CodeRegion dispatch;         // scheduler dispatch path
+  sim::CodeRegion interrupt_entry;  // interrupt prologue before PPC dispatch
+};
+
+class Machine {
+ public:
+  explicit Machine(sim::MachineConfig cfg);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const sim::MachineConfig& config() const { return cfg_; }
+  sim::SimAllocator& allocator() { return alloc_; }
+  FrameAllocator& frames() { return frames_; }
+
+  std::size_t num_cpus() const { return cpus_.size(); }
+  Cpu& cpu(CpuId id) {
+    HPPC_ASSERT(id < cpus_.size());
+    return *cpus_[id];
+  }
+
+  AddressSpace& kernel_as() { return *kernel_as_; }
+
+  const KernelText& text(NodeId node) const {
+    HPPC_ASSERT(node < text_.size());
+    return text_[node];
+  }
+
+  /// Create a user address space for a program, homed on `home` (where the
+  /// program's text was loaded; Hurricane places programs near their CPUs).
+  AddressSpace& create_address_space(ProgramId program, NodeId home = 0);
+
+  /// Hand out a process id (workers are created by the PPC facility, not
+  /// through create_process, but share the pid space).
+  Pid allocate_pid() { return next_pid_++; }
+
+  /// Create a process homed on `home` (its context save area and user stack
+  /// are allocated from that node's memory). The process starts blocked.
+  Process& create_process(ProgramId program, AddressSpace* as,
+                          std::string name, NodeId home);
+
+  // --- scheduling primitives (all charge onto the acting CPU) ---
+
+  /// Append `p` to `cpu`'s ready queue. Must be invoked from code running
+  /// on `cpu`; enqueueing on a remote CPU goes through post_event (an IPI),
+  /// like every cross-processor operation in the paper (§4.3, §4.5.2).
+  void ready(Cpu& cpu, Process& p);
+
+  /// Mark blocked; the process simply isn't on any queue afterwards.
+  void block(Process& p);
+
+  // --- events / interrupts ---
+
+  /// Schedule `fn` to run on CPU `target` at simulated time >= `time`.
+  void post_event(CpuId target, Cycles time, std::function<void(Cpu&)> fn);
+
+  /// Cross-processor interrupt: like post_event but the delivery time is
+  /// sender's now() + the configured IPI latency, and the interrupt entry
+  /// cost is charged at the receiver.
+  void post_ipi(Cpu& sender, CpuId target, std::function<void(Cpu&)> fn);
+
+  // --- run loop ---
+
+  /// Perform the single globally-earliest pending action (one event
+  /// delivery or one process dispatch). Returns false if no CPU has work.
+  bool step();
+
+  /// Run until no CPU has a ready process or pending event.
+  void run_until_idle();
+
+  /// Run while work exists and the earliest pending action is < `t`.
+  void run_until(Cycles t);
+
+  /// Earliest simulated time across CPUs that still have work; ~0 if idle.
+  Cycles horizon() const;
+
+  // --- functional data memory ---
+  //
+  // The machine model needs addresses only for costs, but servers that move
+  // data (CopyServer §4.2, the disk) need real bytes so tests can observe
+  // that the right data arrived. Backing store is page-granular and sparse.
+
+  void write_data(SimAddr addr, const void* bytes, std::size_t len);
+  void read_data(SimAddr addr, void* bytes, std::size_t len);
+  std::uint8_t read_byte(SimAddr addr);
+
+ private:
+  struct NextAction {
+    Cpu* cpu = nullptr;
+    Cycles time = 0;
+    bool is_event = false;
+  };
+  NextAction next_action();
+  void dispatch_one(Cpu& cpu);
+  void deliver_event(Cpu& cpu);
+
+  sim::MachineConfig cfg_;
+  sim::SimAllocator alloc_;
+  FrameAllocator frames_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  std::vector<KernelText> text_;
+  std::unique_ptr<AddressSpace> kernel_as_;
+  std::vector<std::unique_ptr<AddressSpace>> spaces_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::uint64_t event_seq_ = 0;
+  AsId next_as_ = 1;
+  Pid next_pid_ = 1;
+  std::unordered_map<SimAddr, std::unique_ptr<std::array<std::uint8_t,
+                                                         kPageSize>>>
+      data_pages_;
+};
+
+}  // namespace hppc::kernel

@@ -1,0 +1,79 @@
+// Processes of the simulated OS.
+//
+// The paper's facility lives in a traditional process-model kernel (§2:
+// "having a separate worker process to service PPC calls fits more
+// naturally with the traditional process model upon which our operating
+// system is based"). A process here carries identity (pid, program id for
+// the authentication scheme of §4.1), an address space, a kernel context
+// save area (whose saves/restores the cost model charges), and a behaviour:
+// a `body` callback invoked when the scheduler dispatches it.
+//
+// Multi-segment behaviour (block, then continue) is expressed by replacing
+// `body` before blocking — the same mechanism the PPC worker-initialization
+// protocol uses to swap its call-handling routine after the first call
+// (§4.5.3).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/intrusive_list.h"
+#include "common/types.h"
+
+namespace hppc::kernel {
+
+class AddressSpace;
+class Cpu;
+
+enum class ProcessState : std::uint8_t {
+  kReady,    // on some CPU's ready queue
+  kRunning,  // currently dispatched
+  kBlocked,  // waiting for an event (off all queues)
+  kDead,     // terminated
+};
+
+class Process {
+ public:
+  using Body = std::function<void(Cpu&, Process&)>;
+
+  Process(Pid pid, ProgramId program, AddressSpace* as, std::string name)
+      : pid_(pid), program_(program), as_(as), name_(std::move(name)) {}
+
+  virtual ~Process() = default;
+
+  Pid pid() const { return pid_; }
+  ProgramId program() const { return program_; }
+  AddressSpace* address_space() const { return as_; }
+  const std::string& name() const { return name_; }
+
+  ProcessState state() const { return state_; }
+  void set_state(ProcessState s) { state_ = s; }
+
+  /// Kernel save area for this process's context (registers, PSW). The
+  /// scheduler stores/loads here on every switch and the ledger books it as
+  /// kernel save/restore (Figure 2).
+  SimAddr context_save_area() const { return ctx_save_; }
+  void set_context_save_area(SimAddr a) { ctx_save_ = a; }
+
+  /// User-level stack (for the user-register save/restore of Figure 2).
+  SimAddr user_stack() const { return user_stack_; }
+  void set_user_stack(SimAddr a) { user_stack_ = a; }
+
+  const Body& body() const { return body_; }
+  void set_body(Body b) { body_ = std::move(b); }
+
+  /// Ready-queue linkage (exactly one queue at a time).
+  ListLink rq_link;
+
+ private:
+  Pid pid_;
+  ProgramId program_;
+  AddressSpace* as_;
+  std::string name_;
+  ProcessState state_ = ProcessState::kBlocked;
+  SimAddr ctx_save_ = kInvalidAddr;
+  SimAddr user_stack_ = kInvalidAddr;
+  Body body_;
+};
+
+}  // namespace hppc::kernel

@@ -1,0 +1,47 @@
+#include "msg/gateway.h"
+
+namespace hppc::msg {
+
+using ppc::RegSet;
+using ppc::ServerCtx;
+
+PpcMsgGateway::PpcMsgGateway(ppc::PpcFacility& ppc, MsgFacility& msgs,
+                             Pid server_pid, std::string name)
+    : ppc_(ppc), msgs_(msgs), server_pid_(server_pid) {
+  ppc::EntryPointConfig cfg;
+  cfg.name = std::move(name);
+  cfg.kernel_space = true;  // the gateway shim lives in the kernel
+  ppc::ServiceCode code;
+  code.handler_instructions = 24;
+  ep_ = ppc.bind(cfg, /*as=*/nullptr, /*program=*/0,
+                 [this](ServerCtx& ctx, RegSet& regs) { handler(ctx, regs); },
+                 code);
+}
+
+void PpcMsgGateway::handler(ServerCtx& ctx, RegSet& regs) {
+  ++forwarded_;
+  // Forward the registers as a message from the worker (a real process, so
+  // the legacy facility's sender bookkeeping just works), then block the
+  // call until the legacy server replies.
+  ppc::Worker* worker = &ctx.worker();
+  const Status s = msgs_.send(
+      ctx.cpu(), *worker, server_pid_, regs,
+      [this, worker](Status, RegSet& reply) {
+        // Runs on the worker's home CPU when the reply lands: stash the
+        // reply into the in-flight call's registers and resume the worker;
+        // its resume function completes the PPC call with them.
+        worker->active_cd()->regs() = reply;
+        ppc_.resume_worker(ppc_.machine().cpu(worker->home_cpu()), *worker);
+      });
+  if (s != Status::kOk) {
+    set_rc(regs, s);
+    return;
+  }
+  ctx.block_call([](ServerCtx&, RegSet& r) {
+    // The reply was already copied into the CD's register set by the
+    // on_reply hook; rc travels inside it.
+    (void)r;
+  });
+}
+
+}  // namespace hppc::msg

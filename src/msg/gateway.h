@@ -1,0 +1,35 @@
+// PPC <-> message-passing gateway: the integration layer of §5.
+//
+// A legacy single-threaded server keeps its receive/reply loop untouched;
+// the gateway binds a PPC entry point whose workers forward each call as a
+// message and block until the reply. Clients see a normal PPC service;
+// the server sees normal messages. (And the measured cost of keeping the
+// old structure — every request funnels through one process on one
+// processor — is exactly what bench/ablation_gateway quantifies.)
+#pragma once
+
+#include "msg/msg_facility.h"
+#include "ppc/facility.h"
+
+namespace hppc::msg {
+
+class PpcMsgGateway {
+ public:
+  /// Bind a PPC entry point that forwards to legacy process `server_pid`.
+  PpcMsgGateway(ppc::PpcFacility& ppc, MsgFacility& msgs, Pid server_pid,
+                std::string name = "gateway");
+
+  EntryPointId ep() const { return ep_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  void handler(ppc::ServerCtx& ctx, RegSet& regs);
+
+  ppc::PpcFacility& ppc_;
+  MsgFacility& msgs_;
+  Pid server_pid_;
+  EntryPointId ep_ = kInvalidEntryPoint;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace hppc::msg

@@ -1,0 +1,174 @@
+#include "msg/msg_facility.h"
+
+namespace hppc::msg {
+
+using kernel::Cpu;
+using kernel::Process;
+using kernel::ProcessState;
+using sim::CostCategory;
+using sim::TlbContext;
+
+namespace {
+// Message costs: a trap each way, a 32-byte message copy through the
+// (shared) queue, and queue locking. The paper's predecessor facility was a
+// conventional one; these are conventional costs.
+constexpr std::size_t kMessageBytes = 32;
+constexpr Cycles kMarshalCycles = 30;
+}  // namespace
+
+MsgFacility::Endpoint& MsgFacility::endpoint(Pid dest) {
+  auto it = endpoints_.find(dest);
+  if (it == endpoints_.end()) {
+    // Endpoint state is homed on node 0 (the kernel's message tables were
+    // not replicated — part of why this facility doesn't scale).
+    auto ep = std::make_unique<Endpoint>(
+        machine_.allocator().alloc(0, 64, 64));
+    ep->saddr = machine_.allocator().alloc(0, 256, 64);
+    it = endpoints_.emplace(dest, std::move(ep)).first;
+  }
+  return *it->second;
+}
+
+Status MsgFacility::send(Cpu& cpu, Process& sender, Pid dest, RegSet regs,
+                         std::function<void(Status, RegSet&)> on_reply) {
+  auto& mem = cpu.mem();
+  Endpoint& ep = endpoint(dest);
+
+  mem.trap_roundtrip();
+  mem.charge(CostCategory::kUserSaveRestore, kMarshalCycles);
+
+  // The queue is shared data: lock it, copy the message in.
+  ep.lock.acquire(mem, CostCategory::kPpcKernel);
+  mem.store(ep.saddr + (messages_ % 4) * kMessageBytes, kMessageBytes,
+            TlbContext::kSupervisor, CostCategory::kPpcKernel);
+  Pending p;
+  p.from = sender.pid();
+  p.from_cpu = cpu.id();
+  p.sender = &sender;
+  p.regs = regs;
+  p.on_reply = std::move(on_reply);
+  ep.queue.push_back(std::move(p));
+  const bool receiver_waiting = ep.receiving;
+  ep.lock.release(mem, CostCategory::kPpcKernel);
+  ++messages_;
+
+  machine_.block(sender);
+
+  if (receiver_waiting) {
+    // Wake the receiver on its own processor.
+    Endpoint* epp = &ep;
+    machine_.post_ipi(cpu, ep.receiver_cpu, [this, epp](Cpu& rcpu) {
+      deliver(rcpu, *epp);
+    });
+  }
+  return Status::kOk;
+}
+
+void MsgFacility::deliver(Cpu& cpu, Endpoint& ep) {
+  auto& mem = cpu.mem();
+  ep.lock.acquire(mem, CostCategory::kPpcKernel);
+  if (ep.queue.empty() || !ep.receiving) {
+    ep.lock.release(mem, CostCategory::kPpcKernel);
+    return;
+  }
+  Pending p = std::move(ep.queue.front());
+  ep.queue.pop_front();
+  ep.receiving = false;
+  auto on_msg = std::move(ep.on_msg);
+  ep.on_msg = nullptr;
+  ep.lock.release(mem, CostCategory::kPpcKernel);
+
+  // Copy the message out and run the receiver.
+  mem.load(ep.saddr, kMessageBytes, TlbContext::kSupervisor,
+           CostCategory::kPpcKernel);
+  mem.load(ep.receiver->context_save_area(), 32, TlbContext::kSupervisor,
+           CostCategory::kKernelSaveRestore);
+  ep.receiver->set_state(ProcessState::kRunning);
+  Process* prev = cpu.current();
+  cpu.set_current(ep.receiver);
+
+  const Pid from = p.from;
+  RegSet regs = p.regs;
+  ep.awaiting_reply.emplace(from, std::move(p));
+  on_msg(from, regs);
+
+  cpu.set_current(prev);
+  if (ep.receiver->state() == ProcessState::kRunning) {
+    ep.receiver->set_state(ProcessState::kBlocked);
+  }
+}
+
+bool MsgFacility::receive(Cpu& cpu, Process& receiver,
+                          std::function<void(Pid, RegSet&)> on_msg) {
+  auto& mem = cpu.mem();
+  Endpoint& ep = endpoint(receiver.pid());
+  HPPC_ASSERT_MSG(ep.receiver == nullptr || ep.receiver == &receiver,
+                  "one receiver per pid");
+  ep.receiver = &receiver;
+  ep.receiver_cpu = cpu.id();
+
+  mem.trap_roundtrip();
+  ep.lock.acquire(mem, CostCategory::kPpcKernel);
+  if (!ep.queue.empty()) {
+    Pending p = std::move(ep.queue.front());
+    ep.queue.pop_front();
+    ep.lock.release(mem, CostCategory::kPpcKernel);
+    mem.load(ep.saddr, kMessageBytes, TlbContext::kSupervisor,
+             CostCategory::kPpcKernel);
+    const Pid from = p.from;
+    RegSet regs = p.regs;
+    ep.awaiting_reply.emplace(from, std::move(p));
+    on_msg(from, regs);
+    return true;
+  }
+  ep.receiving = true;
+  ep.on_msg = std::move(on_msg);
+  ep.lock.release(mem, CostCategory::kPpcKernel);
+  machine_.block(receiver);
+  return false;
+}
+
+Status MsgFacility::reply(Cpu& cpu, Process& replier, Pid sender,
+                          RegSet regs) {
+  auto& mem = cpu.mem();
+  Endpoint& ep = endpoint(replier.pid());
+  auto it = ep.awaiting_reply.find(sender);
+  if (it == ep.awaiting_reply.end()) return Status::kInvalidArgument;
+  Pending p = std::move(it->second);
+  ep.awaiting_reply.erase(it);
+
+  mem.trap_roundtrip();
+  mem.charge(CostCategory::kUserSaveRestore, kMarshalCycles);
+
+  // Route the reply to the sender's processor and resume it there. When an
+  // on_reply continuation was supplied it owns the resumption (the PPC
+  // gateway resumes its blocked worker this way); otherwise the sender is
+  // an ordinary process and is simply readied.
+  Process* sender_proc = p.sender;
+  auto on_reply = std::move(p.on_reply);
+  auto wake = [this, sender_proc, on_reply = std::move(on_reply),
+               regs](Cpu& scpu) mutable {
+    scpu.mem().load(sender_proc->context_save_area(), 32,
+                    TlbContext::kSupervisor,
+                    CostCategory::kKernelSaveRestore);
+    if (on_reply) {
+      on_reply(ppc::rc_of(regs), regs);
+    } else {
+      machine_.ready(scpu, *sender_proc);
+    }
+  };
+  if (p.from_cpu == cpu.id()) {
+    wake(cpu);
+  } else {
+    machine_.post_ipi(cpu, p.from_cpu, std::move(wake));
+  }
+  return Status::kOk;
+}
+
+std::uint64_t MsgFacility::queue_lock_migrations() const {
+  std::uint64_t n = 0;
+  for (const auto& [pid, ep] : endpoints_) n += ep->lock.migrations();
+  return n;
+}
+
+}  // namespace hppc::msg

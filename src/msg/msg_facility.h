@@ -1,0 +1,88 @@
+// Hurricane's pre-existing message-passing IPC (V-style synchronous
+// send / receive / reply between processes).
+//
+// The paper's facility did not arrive in a vacuum: "the vast majority of
+// the code is needed to handle exceptions and to integrate the new facility
+// with the pre-existing message passing facility" (§5). This module is that
+// pre-existing facility: a per-receiver message queue (genuinely shared —
+// senders on any processor lock it), a blocked-receiver rendezvous, and
+// reply routing back to the sender's processor.
+//
+// Its performance characteristics are the paper's foil: a single-threaded
+// server built on receive/reply serializes all its clients on one
+// processor, and every request crosses processors twice. "Large changes
+// are necessary only when adapting a single threaded server to now be
+// multithreaded" — or the server keeps this model behind a PPC gateway
+// (gateway.h) and keeps its old structure at its old speed.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "kernel/machine.h"
+#include "ppc/regs.h"
+#include "sim/spinlock.h"
+
+namespace hppc::msg {
+
+using ppc::RegSet;
+
+class MsgFacility {
+ public:
+  explicit MsgFacility(kernel::Machine& machine) : machine_(machine) {}
+
+  MsgFacility(const MsgFacility&) = delete;
+  MsgFacility& operator=(const MsgFacility&) = delete;
+
+  /// Synchronous send: `regs` goes to process `dest`; the sender blocks
+  /// until the receiver replies, then `on_reply` runs on the sender's CPU.
+  Status send(kernel::Cpu& cpu, kernel::Process& sender, Pid dest,
+              RegSet regs, std::function<void(Status, RegSet&)> on_reply);
+
+  /// Receive the next message addressed to `receiver`. If one is queued it
+  /// is delivered immediately (`on_msg` runs before this returns, and the
+  /// return value is true); otherwise the receiver blocks and the next
+  /// send wakes it on its own processor. Typical servers loop by calling
+  /// receive again from inside `on_msg`.
+  bool receive(kernel::Cpu& cpu, kernel::Process& receiver,
+               std::function<void(Pid, RegSet&)> on_msg);
+
+  /// Reply to a sender previously delivered through receive.
+  Status reply(kernel::Cpu& cpu, kernel::Process& replier, Pid sender,
+               RegSet regs);
+
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t queue_lock_migrations() const;
+
+ private:
+  struct Pending {
+    Pid from = kInvalidPid;
+    CpuId from_cpu = kInvalidCpu;
+    kernel::Process* sender = nullptr;
+    RegSet regs;
+    std::function<void(Status, RegSet&)> on_reply;
+  };
+
+  struct Endpoint {
+    explicit Endpoint(SimAddr lock_home) : lock(lock_home) {}
+    std::deque<Pending> queue;
+    sim::SimSpinLock lock;  // senders from any CPU serialize here
+    SimAddr saddr = kInvalidAddr;
+    bool receiving = false;
+    std::function<void(Pid, RegSet&)> on_msg;
+    kernel::Process* receiver = nullptr;
+    CpuId receiver_cpu = kInvalidCpu;
+    std::unordered_map<Pid, Pending> awaiting_reply;
+  };
+
+  Endpoint& endpoint(Pid dest);
+  void deliver(kernel::Cpu& cpu, Endpoint& ep);
+
+  kernel::Machine& machine_;
+  std::unordered_map<Pid, std::unique_ptr<Endpoint>> endpoints_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace hppc::msg

@@ -1,0 +1,153 @@
+#include "naming/name_server.h"
+
+#include <cstring>
+
+namespace hppc::naming {
+
+using ppc::RegSet;
+using ppc::ServerCtx;
+
+void pack_name(std::string_view name, ppc::RegSet& regs) {
+  HPPC_ASSERT(name.size() <= kMaxNameBytes);
+  std::array<char, kMaxNameBytes> buf{};
+  std::memcpy(buf.data(), name.data(), name.size());
+  for (std::size_t i = 0; i < 6; ++i) {
+    Word w;
+    std::memcpy(&w, buf.data() + i * 4, 4);
+    regs[i] = w;
+  }
+}
+
+std::string unpack_name(const ppc::RegSet& regs) {
+  std::array<char, kMaxNameBytes + 1> buf{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::memcpy(buf.data() + i * 4, &regs[i], 4);
+  }
+  return std::string(buf.data());  // up to the first NUL
+}
+
+NameServer::NameServer(ppc::PpcFacility& ppc, NodeId home_node) {
+  table_saddr_ =
+      ppc.machine().allocator().alloc(home_node, kBuckets * kBucketBytes, 64);
+
+  ppc::EntryPointConfig cfg;
+  cfg.name = "name-server";
+  cfg.kernel_space = true;
+  ppc::ServiceCode code;
+  code.handler_instructions = 40;
+  code.home_node = home_node;
+  ppc.bind_well_known(
+      ppc::kNameServerEp, cfg, /*as=*/nullptr, /*program=*/0,
+      [this](ServerCtx& ctx, RegSet& regs) { handler(ctx, regs); }, code);
+}
+
+void NameServer::touch_bucket(ServerCtx& ctx, const std::string& name,
+                              bool is_store) {
+  const std::size_t bucket = std::hash<std::string>{}(name) % kBuckets;
+  ctx.touch(table_saddr_ + bucket * kBucketBytes, kBucketBytes, is_store);
+}
+
+void NameServer::handler(ServerCtx& ctx, RegSet& regs) {
+  const std::string name = unpack_name(regs);
+  if (name.empty()) {
+    set_rc(regs, Status::kInvalidArgument);
+    return;
+  }
+  switch (opcode_of(regs)) {
+    case kNameRegister: {
+      const EntryPointId ep = regs[6];
+      touch_bucket(ctx, name, /*is_store=*/true);
+      ctx.work(30);
+      auto [it, inserted] =
+          table_.emplace(name, Entry{ep, ctx.caller_program()});
+      (void)it;
+      set_rc(regs, inserted ? Status::kOk : Status::kInvalidArgument);
+      return;
+    }
+    case kNameLookup: {
+      touch_bucket(ctx, name, /*is_store=*/false);
+      ctx.work(24);
+      auto it = table_.find(name);
+      if (it == table_.end()) {
+        set_rc(regs, Status::kNoSuchEntryPoint);
+        return;
+      }
+      regs[6] = it->second.ep;
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kNameUnregister: {
+      touch_bucket(ctx, name, /*is_store=*/true);
+      ctx.work(26);
+      auto it = table_.find(name);
+      if (it == table_.end()) {
+        set_rc(regs, Status::kNoSuchEntryPoint);
+        return;
+      }
+      // Owner check: naming is not authentication, but the binding itself
+      // belongs to whoever created it (§4.1).
+      if (it->second.owner != ctx.caller_program() &&
+          ctx.caller_program() != 0) {
+        set_rc(regs, Status::kPermissionDenied);
+        return;
+      }
+      table_.erase(it);
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    default:
+      set_rc(regs, Status::kInvalidArgument);
+  }
+}
+
+std::optional<ppc::ClientStub> resolve(ppc::PpcFacility& ppc,
+                                       kernel::Cpu& cpu,
+                                       kernel::Process& caller,
+                                       std::string_view name) {
+  EntryPointId ep = 0;
+  if (NameServer::lookup(ppc, cpu, caller, name, &ep) != Status::kOk) {
+    return std::nullopt;
+  }
+  return ppc::ClientStub(ppc, cpu, caller, ep);
+}
+
+Status NameServer::register_name(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                                 kernel::Process& caller,
+                                 std::string_view name, EntryPointId ep) {
+  if (name.empty() || name.size() > kMaxNameBytes) {
+    return Status::kInvalidArgument;
+  }
+  RegSet regs;
+  pack_name(name, regs);
+  regs[6] = ep;
+  set_op(regs, kNameRegister);
+  return ppc.call(cpu, caller, ppc::kNameServerEp, regs);
+}
+
+Status NameServer::lookup(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                          kernel::Process& caller, std::string_view name,
+                          EntryPointId* out_ep) {
+  if (name.empty() || name.size() > kMaxNameBytes) {
+    return Status::kInvalidArgument;
+  }
+  RegSet regs;
+  pack_name(name, regs);
+  set_op(regs, kNameLookup);
+  const Status s = ppc.call(cpu, caller, ppc::kNameServerEp, regs);
+  if (ok(s)) *out_ep = regs[6];
+  return s;
+}
+
+Status NameServer::unregister_name(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                                   kernel::Process& caller,
+                                   std::string_view name) {
+  if (name.empty() || name.size() > kMaxNameBytes) {
+    return Status::kInvalidArgument;
+  }
+  RegSet regs;
+  pack_name(name, regs);
+  set_op(regs, kNameUnregister);
+  return ppc.call(cpu, caller, ppc::kNameServerEp, regs);
+}
+
+}  // namespace hppc::naming

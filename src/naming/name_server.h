@@ -1,0 +1,92 @@
+// The Name Server (§4.5.5).
+//
+// "In order for a program to become a PPC server, it must first obtain an
+//  unused entry point ID and call a special server [Frank] to bind this ID
+//  to its call handling routine. The ID can then be registered with the
+//  Name Server (which has a well-known entry point ID). A client that
+//  wants to call the server obtains the server's entry point ID from the
+//  Name Server, and uses the ID as an argument on subsequent PPC
+//  operations."
+//
+// Naming is deliberately separated from authentication (§4.1): the name
+// server maps strings to small-integer entry-point ids and nothing more;
+// each server checks its callers' program ids itself.
+//
+// Names travel *in the registers*: up to 24 bytes packed into words 0..5 of
+// the register set, the same way every PPC argument travels (§4.5.1) — no
+// shared buffers, no marshalling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "ppc/facility.h"
+#include "ppc/stub.h"
+
+namespace hppc::naming {
+
+/// Opcodes of the name service.
+enum NameOp : Word {
+  kNameRegister = 1,    // w[0..5]=name, w[6]=entry point id
+  kNameLookup = 2,      // w[0..5]=name              -> w[6]=entry point id
+  kNameUnregister = 3,  // w[0..5]=name (owner only)
+};
+
+inline constexpr std::size_t kMaxNameBytes = 24;  // 6 words
+
+/// Resolve-and-bind in one step: look `name` up and return a stub bound to
+/// the resolved entry point. Returns std::nullopt when the name is unknown.
+std::optional<ppc::ClientStub> resolve(ppc::PpcFacility& ppc,
+                                       kernel::Cpu& cpu,
+                                       kernel::Process& caller,
+                                       std::string_view name);
+
+/// Pack a name into words 0..5 (zero padded). Longer names are rejected by
+/// the helpers below before any call is made.
+void pack_name(std::string_view name, ppc::RegSet& regs);
+std::string unpack_name(const ppc::RegSet& regs);
+
+/// The server itself. Constructing it binds entry point kNameServerEp as a
+/// kernel-space service.
+class NameServer {
+ public:
+  explicit NameServer(ppc::PpcFacility& ppc, NodeId home_node = 0);
+
+  NameServer(const NameServer&) = delete;
+  NameServer& operator=(const NameServer&) = delete;
+
+  std::size_t size() const { return table_.size(); }
+
+  // ----- client-side stubs (each is one full PPC call) -----
+
+  static Status register_name(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                              kernel::Process& caller, std::string_view name,
+                              EntryPointId ep);
+
+  static Status lookup(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                       kernel::Process& caller, std::string_view name,
+                       EntryPointId* out_ep);
+
+  static Status unregister_name(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                                kernel::Process& caller,
+                                std::string_view name);
+
+ private:
+  struct Entry {
+    EntryPointId ep;
+    ProgramId owner;  // only the registering program may unregister (§4.1)
+  };
+
+  void handler(ppc::ServerCtx& ctx, ppc::RegSet& regs);
+  void touch_bucket(ppc::ServerCtx& ctx, const std::string& name,
+                    bool is_store);
+
+  std::unordered_map<std::string, Entry> table_;
+  SimAddr table_saddr_ = kInvalidAddr;
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr std::size_t kBucketBytes = 32;
+};
+
+}  // namespace hppc::naming

@@ -1,0 +1,84 @@
+// Call descriptors (§2).
+//
+// "The call descriptors serve two purposes: they store return information
+//  during a call, and they point to physical memory used for the stack of a
+//  worker process during a call."
+//
+// CDs live in per-processor pools shared among all the servers on that
+// processor, which is why successive calls to *different* servers reuse the
+// same descriptor and — more importantly — the same physical stack page,
+// shrinking the combined cache footprint (§2, "serial sharing of stacks").
+#pragma once
+
+#include <functional>
+
+#include "common/free_stack.h"
+#include "common/types.h"
+#include "ppc/regs.h"
+
+namespace hppc::kernel {
+class Process;
+}
+
+namespace hppc::ppc {
+
+class CallDescriptor {
+ public:
+  CallDescriptor(SimAddr saddr, SimAddr stack_page, CpuId home_cpu)
+      : saddr_(saddr), stack_page_(stack_page), home_cpu_(home_cpu) {}
+
+  /// Simulated address of the descriptor itself (node-local kernel data).
+  SimAddr saddr() const { return saddr_; }
+
+  /// Physical page used as the worker's stack while this CD is in use.
+  SimAddr stack_page() const { return stack_page_; }
+
+  /// The processor whose pool owns this CD. CDs never migrate (§2: pools
+  /// are "accessed exclusively by the local processor").
+  CpuId home_cpu() const { return home_cpu_; }
+
+  // --- return information, valid while in_use ---
+
+  /// Synchronous caller to return to; nullptr for async/interrupt/upcall
+  /// variants ("the fact that there is no caller waiting is discovered",
+  /// §4.4).
+  kernel::Process* caller() const { return caller_; }
+  void set_caller(kernel::Process* p) { caller_ = p; }
+
+  /// Caller identity snapshot (survives blocking; §4.1 authentication).
+  ProgramId caller_program() const { return caller_program_; }
+  Pid caller_pid() const { return caller_pid_; }
+  void set_caller_identity(ProgramId prog, Pid pid) {
+    caller_program_ = prog;
+    caller_pid_ = pid;
+  }
+
+  /// Continuation to run at completion when the call was made through
+  /// call_blocking (the caller's "return address" when the return cannot be
+  /// a host-stack return).
+  std::function<void(Status, RegSet&)>& completion() { return completion_; }
+
+  /// Register set stashed while the call is in flight (needed only when the
+  /// worker blocks; synchronous calls keep the registers on the host stack
+  /// the way the hardware keeps them in the register file).
+  RegSet& regs() { return regs_; }
+
+  bool in_use() const { return in_use_; }
+  void set_in_use(bool b) { in_use_ = b; }
+
+  /// Free-list linkage within the per-CPU pool.
+  StackLink pool_link;
+
+ private:
+  SimAddr saddr_;
+  SimAddr stack_page_;
+  CpuId home_cpu_;
+  kernel::Process* caller_ = nullptr;
+  ProgramId caller_program_ = 0;
+  Pid caller_pid_ = kInvalidPid;
+  std::function<void(Status, RegSet&)> completion_;
+  RegSet regs_;
+  bool in_use_ = false;
+};
+
+}  // namespace hppc::ppc

@@ -1,0 +1,75 @@
+// Per-processor PPC state (Figure 1).
+//
+// "each processor independently maintains a local collection of all the
+//  resources required to complete a PPC call ... a pool of worker processes
+//  for each server, and a pool of call descriptors (CDs) shared among all
+//  the servers for use on that processor. These pools are accessed
+//  exclusively by the local processor."
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/free_stack.h"
+#include "common/types.h"
+#include "ppc/call_descriptor.h"
+
+namespace hppc::ppc {
+
+class EntryPoint;
+
+/// One CD pool. The default configuration has a single pool (group 0)
+/// shared by every service on the processor; §2's trust-group compromise
+/// ("collect servers that trust each other into groups and only share
+/// stacks between servers in the same group") gives each group its own.
+struct CdPool {
+  std::uint32_t group = 0;
+  FreeStack<CallDescriptor, &CallDescriptor::pool_link> pool;
+  SimAddr saddr = kInvalidAddr;  // pool header, node-local
+};
+
+struct CpuPpcState {
+  /// This processor's copy of the service table: a simple array indexed by
+  /// entry-point id (§4.5.5: "a simple array with direct indexing can be
+  /// used with each processor having its own copy").
+  std::array<EntryPoint*, kMaxEntryPoints> service_table{};
+
+  /// Simulated address of the table copy (node-local; one pointer per
+  /// entry, so lookups are a single local load).
+  SimAddr table_saddr = kInvalidAddr;
+
+  /// Overflow services beyond the fixed table (§4.5.5's extension: "a more
+  /// complex data structure (e.g. hash table with overflow buckets) to
+  /// locate service entry points for the rest"). Lookups through here pay
+  /// extra loads per probed bucket.
+  std::unordered_map<EntryPointId, EntryPoint*> hashed_table;
+  SimAddr hashed_table_saddr = kInvalidAddr;
+
+  /// CD pools, one per trust group that has been used on this processor
+  /// (group 0 first; linear scan is fine, groups are few).
+  std::vector<CdPool> cd_pools;
+
+  CdPool& cd_pool_for(std::uint32_t group) {
+    for (auto& p : cd_pools) {
+      if (p.group == group) return p;
+    }
+    HPPC_ASSERT_MSG(false, "cd pool for group not initialized");
+    __builtin_unreachable();
+  }
+
+  // --- statistics (host-side only; not charged) ---
+  std::uint64_t calls = 0;
+  std::uint64_t async_calls = 0;
+  std::uint64_t remote_calls = 0;           // cross-processor variant
+  std::uint64_t interrupt_dispatches = 0;
+  std::uint64_t upcalls = 0;
+  std::uint64_t hashed_lookups = 0;         // overflow-table lookups
+  std::uint64_t frank_worker_refills = 0;   // slow path: empty worker pool
+  std::uint64_t frank_cd_refills = 0;       // slow path: empty CD pool
+  std::uint32_t cds_created = 0;
+};
+
+}  // namespace hppc::ppc

@@ -1,0 +1,135 @@
+// Service entry points (§4.5.5) and their per-processor resources (Figure 1).
+//
+// An entry point binds a small-integer id to a server address space and a
+// call-handling routine. Every processor holds its own pool of workers for
+// the entry point; the pools "most commonly contain only a single worker,
+// but can grow and shrink dynamically as needed" (§2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/free_stack.h"
+#include "common/types.h"
+#include "ppc/worker.h"
+
+namespace hppc::kernel {
+class AddressSpace;
+}
+
+namespace hppc::ppc {
+
+/// §4.5.2: soft-kill drains, hard-kill aborts.
+enum class EpState : std::uint8_t {
+  kActive = 0,
+  kDraining,  // soft-killed: in-progress calls complete, new calls rejected
+  kDead,      // fully deallocated (slot may be reused)
+};
+
+/// §4.5.4 stack strategies.
+enum class StackStrategy : std::uint8_t {
+  kSinglePage = 0,   // default: the CD's one page
+  kFixedMultiple,    // N pages mapped up front, per service (exceptional path)
+  kLazyFault,        // 1 page mapped; growth through page faults
+};
+
+struct EntryPointConfig {
+  std::string name = "service";
+  /// Kernel-space service: the worker runs in the supervisor address space,
+  /// so no TLB flush is needed on the way in or out (Figure 2's
+  /// "User to Kernel" bars).
+  bool kernel_space = false;
+  /// Hold-CD mode (§2): workers permanently keep a CD+stack. Faster per
+  /// call by 2-3 us, but defeats the serial stack sharing.
+  bool hold_cd = false;
+  StackStrategy stack_strategy = StackStrategy::kSinglePage;
+  /// Pages for kFixedMultiple; max pages reachable for kLazyFault.
+  std::uint32_t stack_pages = 1;
+  /// Pool trim level: extra workers beyond this may be reclaimed.
+  std::uint32_t pool_target = 1;
+  /// Trust group for stack sharing (§2's compromise): CDs/stacks are only
+  /// serially shared among services in the same group. Group 0 is the
+  /// default shared pool.
+  std::uint32_t trust_group = 0;
+  /// Request a direct-indexed id (fast lookup). Services that opt out — or
+  /// that arrive after the fixed table is full — live in the per-processor
+  /// overflow hash table and pay extra loads on lookup (§4.5.5).
+  bool fast_lookup = true;
+};
+
+class EntryPoint {
+ public:
+  EntryPoint(EntryPointId id, EntryPointConfig cfg,
+             kernel::AddressSpace* as, ProgramId program,
+             Worker::CallHandler initial_handler, std::size_t num_cpus)
+      : id_(id),
+        cfg_(std::move(cfg)),
+        as_(as),
+        program_(program),
+        initial_handler_(std::move(initial_handler)),
+        per_cpu_(num_cpus) {}
+
+  EntryPointId id() const { return id_; }
+  const EntryPointConfig& config() const { return cfg_; }
+  kernel::AddressSpace* address_space() const { return as_; }
+  ProgramId program() const { return program_; }
+
+  EpState state() const { return state_; }
+  void set_state(EpState s) { state_ = s; }
+
+  /// The routine installed into each newly created worker — for services
+  /// with one-time setup this is the *initialization* routine (§4.5.3).
+  const Worker::CallHandler& initial_handler() const {
+    return initial_handler_;
+  }
+  void set_initial_handler(Worker::CallHandler h) {
+    initial_handler_ = std::move(h);
+  }
+
+  struct PerCpu {
+    FreeStack<Worker, &Worker::pool_link> pool;
+    /// Extra stack pages for the kFixedMultiple / kLazyFault strategies,
+    /// kept on an independent per-CPU list as §4.5.4 prescribes.
+    std::vector<SimAddr> extra_stack_pages;
+    /// Workers currently servicing a call on this CPU (needed by hard-kill
+    /// to abort in-flight calls, §4.5.2).
+    std::vector<Worker*> active_workers;
+    std::uint32_t in_progress = 0;    // calls being serviced on this CPU
+    std::uint32_t workers_created = 0;
+    SimAddr saddr = kInvalidAddr;     // pool header, node-local
+  };
+
+  PerCpu& per_cpu(CpuId cpu) {
+    HPPC_ASSERT(cpu < per_cpu_.size());
+    return per_cpu_[cpu];
+  }
+
+  std::size_t num_cpus() const { return per_cpu_.size(); }
+
+  /// Total calls in progress across processors (drain detection, §4.5.2).
+  std::uint32_t total_in_progress() const {
+    std::uint32_t n = 0;
+    for (const auto& pc : per_cpu_) n += pc.in_progress;
+    return n;
+  }
+
+  std::uint32_t total_workers_created() const {
+    std::uint32_t n = 0;
+    for (const auto& pc : per_cpu_) n += pc.workers_created;
+    return n;
+  }
+
+ private:
+  EntryPointId id_;
+  EntryPointConfig cfg_;
+  kernel::AddressSpace* as_;
+  ProgramId program_;
+  Worker::CallHandler initial_handler_;
+  std::vector<PerCpu> per_cpu_;
+  EpState state_ = EpState::kActive;
+};
+
+}  // namespace hppc::ppc

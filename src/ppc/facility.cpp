@@ -1,0 +1,1243 @@
+#include "ppc/facility.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "kernel/address_space.h"
+#include "kernel/cpu.h"
+
+namespace hppc::ppc {
+
+using kernel::AddressSpace;
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+using kernel::ProcessState;
+using sim::CostCategory;
+using sim::TlbContext;
+
+namespace {
+
+/// Virtual region where worker stacks are mapped in server spaces. Chosen
+/// outside any node's physical identity range so virtual stack pages never
+/// alias server text/data translations.
+constexpr SimAddr kStackVaBase = SimAddr{0xF0} << 40;
+constexpr SimAddr kStackVaStride = kPageSize * 64;  // room for 64-page stacks
+
+TlbContext user_ctx_of(const AddressSpace& as) { return as.tlb_context(); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ServerCtx out-of-line methods (need the facility/kernel definitions).
+// ---------------------------------------------------------------------------
+
+kernel::Machine& ServerCtx::machine() { return cpu_.machine(); }
+
+EntryPoint& ServerCtx::entry_point() { return *worker_.entry_point(); }
+
+void ServerCtx::work(Cycles cycles) {
+  cpu_.mem().charge(CostCategory::kServerTime, cycles);
+}
+
+void ServerCtx::touch(SimAddr addr, std::size_t bytes, bool is_store) {
+  cpu_.mem().access(addr, bytes, is_store,
+                    entry_point().address_space()->tlb_context(),
+                    CostCategory::kServerTime);
+}
+
+void ServerCtx::touch_stack(std::size_t off, std::size_t bytes,
+                            bool is_store) {
+  EntryPoint& ep = entry_point();
+  CallDescriptor* cd = worker_.active_cd();
+  HPPC_ASSERT_MSG(cd != nullptr, "touch_stack outside a call");
+  const std::uint32_t page_idx = static_cast<std::uint32_t>(off / kPageSize);
+  HPPC_ASSERT_MSG(off % kPageSize + bytes <= kPageSize,
+                  "stack access may not straddle a page");
+
+  if (page_idx >= worker_.mapped_stack_pages()) {
+    HPPC_ASSERT_MSG(ep.config().stack_strategy == StackStrategy::kLazyFault,
+                    "stack overflow: access beyond mapped stack pages");
+    HPPC_ASSERT_MSG(page_idx < ep.config().stack_pages,
+                    "stack overflow: beyond the service's virtual stack");
+    // Page fault path (§4.5.4): trap, grab a page, map it. "This would keep
+    // the common case fast and only penalize those servers that require the
+    // extra space."
+    auto& mem = cpu_.mem();
+    auto& epcpu = ep.per_cpu(cpu_.id());
+    while (worker_.mapped_stack_pages() <= page_idx) {
+      mem.trap_roundtrip();
+      SimAddr page;
+      if (!epcpu.extra_stack_pages.empty()) {
+        page = epcpu.extra_stack_pages.back();
+        epcpu.extra_stack_pages.pop_back();
+        mem.charge(CostCategory::kCdManipulation, 12);  // list pop
+      } else {
+        page = machine().frames().alloc(cpu_.node());
+        mem.charge(CostCategory::kCdManipulation,
+                   ppc_.calibration().cd_create_cycles);
+      }
+      const SimAddr va = worker_.stack_vaddr() +
+                         SimAddr{worker_.mapped_stack_pages()} * kPageSize;
+      ep.address_space()->map_page(va, page);
+      mem.tlb_map_one(va, ep.address_space()->tlb_context());
+      worker_.active_extra_pages.push_back(page);
+      worker_.set_mapped_stack_pages(worker_.mapped_stack_pages() + 1);
+    }
+  }
+
+  const SimAddr paddr = page_idx == 0
+                            ? cd->stack_page()
+                            : worker_.active_extra_pages[page_idx - 1];
+  const SimAddr va = worker_.stack_vaddr() + off;
+  cpu_.mem().access_mapped(paddr + off % kPageSize, va, bytes, is_store,
+                           ep.address_space()->tlb_context(),
+                           CostCategory::kServerTime);
+}
+
+void ServerCtx::set_worker_handler(
+    std::function<void(ServerCtx&, RegSet&)> h) {
+  // One store to the worker's descriptor (§4.5.3).
+  cpu_.mem().store(worker_.context_save_area(), 4, TlbContext::kSupervisor,
+                   CostCategory::kServerTime);
+  worker_.set_call_handler(std::move(h));
+}
+
+Status ServerCtx::call(EntryPointId ep, RegSet& regs) {
+  return ppc_.call(cpu_, worker_, ep, regs);
+}
+
+void ServerCtx::block_call(std::function<void(ServerCtx&, RegSet&)> resume) {
+  HPPC_ASSERT_MSG(!worker_.blocked_in_call(), "already blocked");
+  worker_.resume_fn() = std::move(resume);
+}
+
+// ---------------------------------------------------------------------------
+// Construction / binding
+// ---------------------------------------------------------------------------
+
+PpcFacility::PpcFacility(Machine& machine, PpcCalibration cal)
+    : machine_(machine), cal_(cal) {
+  auto& alloc = machine_.allocator();
+  const auto& cfg = machine_.config();
+
+  text_.reserve(cfg.num_nodes());
+  for (NodeId n = 0; n < cfg.num_nodes(); ++n) {
+    text_.push_back(PpcKernelText::layout(alloc, n, cal_));
+  }
+
+  cpu_state_.reserve(machine_.num_cpus());
+  for (CpuId c = 0; c < machine_.num_cpus(); ++c) {
+    auto st = std::make_unique<CpuPpcState>();
+    const NodeId node = cfg.node_of_cpu(c);
+    st->table_saddr = alloc.alloc(node, kMaxEntryPoints * 4, kPageSize);
+    st->cd_pools.push_back(CdPool{0, {}, alloc.alloc(node, 32, 16)});
+    st->hashed_table_saddr = alloc.alloc(node, 1024, 64);
+    machine_.cpu(c).set_ppc_state(st.get());
+    cpu_state_.push_back(std::move(st));
+  }
+
+  eps_.resize(kMaxEntryPoints);
+
+  // Bootstrap Frank (§4.5.6): a kernel-space server at a well-known id,
+  // with all resources preallocated, that may not block or be preempted.
+  frank_as_ = &machine_.kernel_as();
+  EntryPointConfig frank_cfg;
+  frank_cfg.name = "frank";
+  frank_cfg.kernel_space = true;
+  frank_cfg.hold_cd = true;  // preallocated resources: never on a pool miss
+  do_bind(kFrankEp, frank_cfg, frank_as_, /*program=*/0,
+          [this](ServerCtx& ctx, RegSet& regs) { frank_handler(ctx, regs); },
+          ServiceCode{.handler_instructions = 60, .home_node = 0});
+}
+
+PpcFacility::~PpcFacility() {
+  for (CpuId c = 0; c < machine_.num_cpus(); ++c) {
+    machine_.cpu(c).set_ppc_state(nullptr);
+  }
+}
+
+CpuPpcState& PpcFacility::state(Cpu& cpu) {
+  return *static_cast<CpuPpcState*>(cpu.ppc_state());
+}
+
+const UserStubText& PpcFacility::user_stub(AddressSpace& as) {
+  auto it = user_stubs_.find(as.id());
+  if (it != user_stubs_.end()) return it->second;
+  auto& alloc = machine_.allocator();
+  const NodeId n = as.home_node();
+  // Save and restore stubs live on separate text pages (library layout):
+  // after a user->user crossing flushes the user TLB context, each costs
+  // its own reload — part of Figure 2's TLB-miss bar.
+  UserStubText t;
+  t.save = {alloc.alloc(n, std::size_t{cal_.user_save_instr} * 4, kPageSize),
+            cal_.user_save_instr, user_ctx_of(as)};
+  t.restore = {alloc.alloc(n, std::size_t{cal_.user_restore_instr} * 4,
+                           kPageSize),
+               cal_.user_restore_instr, user_ctx_of(as)};
+  return user_stubs_.emplace(as.id(), t).first->second;
+}
+
+EntryPointId PpcFacility::do_bind(EntryPointId id, EntryPointConfig cfg,
+                                  AddressSpace* as, ProgramId program,
+                                  Worker::CallHandler initial_handler,
+                                  ServiceCode code) {
+  const bool hashed = id >= kMaxEntryPoints;
+  if (hashed) {
+    auto it = hashed_eps_.find(id);
+    HPPC_ASSERT_MSG(it == hashed_eps_.end() ||
+                        it->second->state() == EpState::kDead,
+                    "entry point id in use");
+  } else {
+    HPPC_ASSERT_MSG(!eps_[id] || eps_[id]->state() == EpState::kDead,
+                    "entry point id in use");
+  }
+  if (as == nullptr) as = &machine_.kernel_as();
+  if (as->supervisor()) cfg.kernel_space = true;
+  HPPC_ASSERT_MSG(as->supervisor() == cfg.kernel_space,
+                  "kernel_space flag must match the address space");
+  if (cfg.stack_strategy == StackStrategy::kSinglePage) cfg.stack_pages = 1;
+  HPPC_ASSERT(cfg.stack_pages >= 1 && cfg.stack_pages <= 64);
+
+  auto ep = std::make_unique<EntryPoint>(id, cfg, as, program,
+                                         std::move(initial_handler),
+                                         machine_.num_cpus());
+
+  auto& alloc = machine_.allocator();
+  for (CpuId c = 0; c < machine_.num_cpus(); ++c) {
+    ep->per_cpu(c).saddr = alloc.alloc(machine_.config().node_of_cpu(c), 32, 16);
+  }
+
+  ServiceText stext;
+  stext.handler_code = {
+      alloc.alloc(code.home_node, std::size_t{code.handler_instructions} * 4, 16),
+      code.handler_instructions, as->tlb_context()};
+  service_text_[id] = stext;
+
+  EntryPoint* raw = ep.get();
+  // Replicate into every processor's table copy (functional part; the
+  // traffic is charged when binding goes through Frank's handler).
+  if (hashed) {
+    hashed_eps_[id] = std::move(ep);
+    for (CpuId c = 0; c < machine_.num_cpus(); ++c) {
+      state(machine_.cpu(c)).hashed_table[id] = raw;
+    }
+  } else {
+    eps_[id] = std::move(ep);
+    for (CpuId c = 0; c < machine_.num_cpus(); ++c) {
+      state(machine_.cpu(c)).service_table[id] = raw;
+    }
+  }
+  return id;
+}
+
+EntryPointId PpcFacility::bind(EntryPointConfig cfg, AddressSpace* as,
+                               ProgramId program,
+                               Worker::CallHandler initial_handler,
+                               ServiceCode code) {
+  while (next_ep_ < kMaxEntryPoints && eps_[next_ep_] &&
+         eps_[next_ep_]->state() != EpState::kDead) {
+    ++next_ep_;
+  }
+  // Services that opt out of fast lookup — or arrive once the fixed table
+  // is full — get ids in the hashed overflow space (§4.5.5).
+  if (!cfg.fast_lookup || next_ep_ >= kMaxEntryPoints) {
+    return do_bind(next_hashed_ep_++, std::move(cfg), as, program,
+                   std::move(initial_handler), code);
+  }
+  return do_bind(next_ep_++, std::move(cfg), as, program,
+                 std::move(initial_handler), code);
+}
+
+EntryPointId PpcFacility::bind_well_known(EntryPointId id,
+                                          EntryPointConfig cfg,
+                                          AddressSpace* as, ProgramId program,
+                                          Worker::CallHandler initial_handler,
+                                          ServiceCode code) {
+  HPPC_ASSERT(id > 0 && id < kFirstDynamicEp);
+  return do_bind(id, std::move(cfg), as, program, std::move(initial_handler),
+                 code);
+}
+
+std::uint32_t PpcFacility::prepare_bind(EntryPointConfig cfg,
+                                        AddressSpace* as, ProgramId program,
+                                        Worker::CallHandler initial_handler,
+                                        ServiceCode code) {
+  const std::uint32_t token = next_bind_token_++;
+  staged_binds_.emplace(
+      token, StagedBind{std::move(cfg), as, program, std::move(initial_handler),
+                        code});
+  return token;
+}
+
+EntryPoint* PpcFacility::entry_point(EntryPointId id) {
+  if (id < kMaxEntryPoints) return eps_[id].get();
+  auto it = hashed_eps_.find(id);
+  return it == hashed_eps_.end() ? nullptr : it->second.get();
+}
+
+std::size_t PpcFacility::pooled_workers(CpuId cpu, EntryPointId id) {
+  EntryPoint* ep = entry_point(id);
+  if (!ep) return 0;
+  return ep->per_cpu(cpu).pool.size();
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path pieces
+// ---------------------------------------------------------------------------
+
+EntryPoint* PpcFacility::lookup(Cpu& cpu, EntryPointId id,
+                                Status* out_status) {
+  auto& mem = cpu.mem();
+  auto& st = state(cpu);
+  const auto& text = text_[cpu.node()];
+
+  mem.exec(text.entry, CostCategory::kPpcKernel);
+  EntryPoint* ep = nullptr;
+  if (id < kMaxEntryPoints) {
+    // One local load from this CPU's table copy (§4.5.5).
+    mem.load(st.table_saddr + SimAddr{id} * 4, 4, TlbContext::kSupervisor,
+             CostCategory::kPpcKernel);
+    ep = st.service_table[id];
+  } else {
+    // Overflow services: hash-table lookup with chained buckets — more
+    // loads and instructions than the direct index (§4.5.5's extension).
+    st.hashed_lookups++;
+    mem.charge(CostCategory::kPpcKernel, 10);  // hash + compare chain
+    mem.load(st.hashed_table_saddr + (id % 32) * 32, 16,
+             TlbContext::kSupervisor, CostCategory::kPpcKernel);
+    auto it = st.hashed_table.find(id);
+    ep = it == st.hashed_table.end() ? nullptr : it->second;
+  }
+  if (ep == nullptr || ep->state() == EpState::kDead) {
+    *out_status = Status::kNoSuchEntryPoint;
+    return nullptr;
+  }
+  if (ep->state() == EpState::kDraining) {
+    *out_status = Status::kEntryPointDraining;
+    return nullptr;
+  }
+  *out_status = Status::kOk;
+  return ep;
+}
+
+Worker* PpcFacility::acquire_worker(Cpu& cpu, EntryPoint& ep) {
+  auto& mem = cpu.mem();
+  const auto& text = text_[cpu.node()];
+  auto& epcpu = ep.per_cpu(cpu.id());
+
+  mem.exec(text.worker_alloc, CostCategory::kPpcKernel);
+  mem.access(epcpu.saddr, 8, /*is_store=*/true, TlbContext::kSupervisor,
+             CostCategory::kPpcKernel);
+  Worker* w = epcpu.pool.pop();
+  if (w == nullptr) {
+    // Redirect to Frank (§4.5.6): create a worker, then continue the call.
+    state(cpu).frank_worker_refills++;
+    w = frank_create_worker(cpu, ep);
+  }
+  return w;
+}
+
+CdPool& PpcFacility::cd_pool_of(Cpu& cpu, std::uint32_t group) {
+  auto& st = state(cpu);
+  for (auto& p : st.cd_pools) {
+    if (p.group == group) return p;
+  }
+  // First use of this trust group on this processor: set up its pool
+  // (a slow path, like any resource creation).
+  cpu.mem().charge(CostCategory::kCdManipulation, 40);
+  st.cd_pools.push_back(
+      CdPool{group, {}, machine_.allocator().alloc(cpu.node(), 32, 16)});
+  return st.cd_pools.back();
+}
+
+CallDescriptor* PpcFacility::acquire_cd(Cpu& cpu, Worker& w) {
+  auto& mem = cpu.mem();
+  auto& st = state(cpu);
+  const auto& text = text_[cpu.node()];
+
+  CallDescriptor* cd;
+  if (w.held_cd() != nullptr) {
+    // Hold-CD mode: no free-list traffic; still record return info.
+    cd = w.held_cd();
+    mem.charge(CostCategory::kCdManipulation, cal_.cd_fill_instr);
+  } else {
+    // Stacks are shared only within the service's trust group (§2).
+    CdPool& pool = cd_pool_of(cpu, w.entry_point()->config().trust_group);
+    mem.exec(text.cd_alloc, CostCategory::kCdManipulation);
+    mem.access(pool.saddr, 8, /*is_store=*/true, TlbContext::kSupervisor,
+               CostCategory::kCdManipulation);
+    cd = pool.pool.pop();
+    if (cd == nullptr) {
+      st.frank_cd_refills++;
+      cd = frank_create_cd(cpu);
+    }
+  }
+  mem.store(cd->saddr(), cal_.cd_bytes, TlbContext::kSupervisor,
+            CostCategory::kCdManipulation);
+  cd->set_in_use(true);
+  w.set_active_cd(cd);
+  // The worker's "user stack" for nested calls is the CD's stack page.
+  w.set_user_stack(cd->stack_page() + kPageSize - 256);
+  return cd;
+}
+
+void PpcFacility::release_cd(Cpu& cpu, Worker& w, CallDescriptor* cd) {
+  auto& mem = cpu.mem();
+  auto& st = state(cpu);
+  const auto& text = text_[cpu.node()];
+
+  cd->set_caller(nullptr);
+  cd->completion() = nullptr;
+  cd->set_in_use(false);
+  if (w.held_cd() == cd) return;  // stays with the worker
+  (void)st;
+  CdPool& pool = cd_pool_of(cpu, w.entry_point()->config().trust_group);
+  mem.exec(text.cd_free, CostCategory::kCdManipulation);
+  mem.access(pool.saddr, 8, /*is_store=*/true, TlbContext::kSupervisor,
+             CostCategory::kCdManipulation);
+  pool.pool.push(cd);
+}
+
+void PpcFacility::map_worker_stack(Cpu& cpu, EntryPoint& ep, Worker& w,
+                                   CallDescriptor* cd) {
+  auto& mem = cpu.mem();
+  const auto& text = text_[cpu.node()];
+  AddressSpace* sas = ep.address_space();
+
+  if (w.held_cd() == cd && w.mapped_stack_pages() > 0) {
+    return;  // permanently mapped
+  }
+
+  mem.exec(text.map_stack, CostCategory::kTlbSetup);
+  sas->map_page(w.stack_vaddr(), cd->stack_page());
+  mem.tlb_map_one(w.stack_vaddr(), sas->tlb_context());
+  std::uint32_t pages = 1;
+
+  if (ep.config().stack_strategy == StackStrategy::kFixedMultiple) {
+    // "It simply requires keeping an independent list of stack pages ...
+    //  and mapping as many as required. For speed, this would be treated as
+    //  an exceptional case." (§4.5.4)
+    auto& epcpu = ep.per_cpu(cpu.id());
+    for (std::uint32_t i = 1; i < ep.config().stack_pages; ++i) {
+      SimAddr page;
+      if (!epcpu.extra_stack_pages.empty()) {
+        page = epcpu.extra_stack_pages.back();
+        epcpu.extra_stack_pages.pop_back();
+        mem.charge(CostCategory::kCdManipulation, 10);
+      } else {
+        page = machine_.frames().alloc(cpu.node());
+        mem.charge(CostCategory::kCdManipulation, cal_.cd_create_cycles);
+      }
+      const SimAddr va = w.stack_vaddr() + SimAddr{i} * kPageSize;
+      sas->map_page(va, page);
+      mem.tlb_map_one(va, sas->tlb_context());
+      w.active_extra_pages.push_back(page);
+      ++pages;
+    }
+  }
+  w.set_mapped_stack_pages(pages);
+}
+
+void PpcFacility::unmap_worker_stack(Cpu& cpu, EntryPoint& ep, Worker& w,
+                                     CallDescriptor* cd) {
+  auto& mem = cpu.mem();
+  const auto& text = text_[cpu.node()];
+  AddressSpace* sas = ep.address_space();
+
+  if (w.held_cd() == cd) {
+    // Held stacks stay mapped; lazily faulted extra pages still come off.
+    while (w.mapped_stack_pages() > 1) {
+      const SimAddr va =
+          w.stack_vaddr() + SimAddr{w.mapped_stack_pages() - 1} * kPageSize;
+      sas->unmap_page(va);
+      mem.tlb_unmap_one(va, sas->tlb_context());
+      ep.per_cpu(cpu.id()).extra_stack_pages.push_back(
+          w.active_extra_pages.back());
+      w.active_extra_pages.pop_back();
+      w.set_mapped_stack_pages(w.mapped_stack_pages() - 1);
+    }
+    return;
+  }
+
+  mem.exec(text.unmap_stack, CostCategory::kTlbSetup);
+  while (w.mapped_stack_pages() > 1) {
+    const SimAddr va =
+        w.stack_vaddr() + SimAddr{w.mapped_stack_pages() - 1} * kPageSize;
+    sas->unmap_page(va);
+    mem.tlb_unmap_one(va, sas->tlb_context());
+    ep.per_cpu(cpu.id()).extra_stack_pages.push_back(
+        w.active_extra_pages.back());
+    w.active_extra_pages.pop_back();
+    w.set_mapped_stack_pages(w.mapped_stack_pages() - 1);
+  }
+  sas->unmap_page(w.stack_vaddr());
+  mem.tlb_unmap_one(w.stack_vaddr(), sas->tlb_context());
+  w.set_mapped_stack_pages(0);
+}
+
+void PpcFacility::enter_server_space(Cpu& cpu, Process& from, EntryPoint& ep) {
+  AddressSpace* sas = ep.address_space();
+  if (!sas->supervisor() && sas != from.address_space()) {
+    // User->user crossing: the user TLB context must be flushed (Figure 2:
+    // "A call to a service in the supervisor address space does not require
+    // a TLB flush and thus incurs fewer TLB misses").
+    cpu.mem().tlb_flush_user();
+  }
+}
+
+void PpcFacility::leave_server_space(Cpu& cpu, Process& to, EntryPoint& ep) {
+  AddressSpace* sas = ep.address_space();
+  if (!sas->supervisor() && sas != to.address_space()) {
+    cpu.mem().tlb_flush_user();
+  }
+}
+
+void PpcFacility::run_handler(Cpu& cpu, EntryPoint& ep, Worker& w,
+                              ProgramId caller_prog, Pid caller_pid,
+                              RegSet& regs) {
+  auto& mem = cpu.mem();
+  const auto& text = text_[cpu.node()];
+  CallDescriptor* cd = w.active_cd();
+
+  // Upcall into the server: identity switch + worker (re)initialization to
+  // the service's call-handling code (§2).
+  mem.exec(text.upcall, CostCategory::kPpcKernel);
+  mem.load(w.context_save_area(), cal_.worker_ctx_bytes,
+           TlbContext::kSupervisor, CostCategory::kKernelSaveRestore);
+
+  Process* prev = cpu.current();
+  w.set_state(ProcessState::kRunning);
+  cpu.set_current(&w);
+
+  // Server prologue: frame setup on the (freshly mapped) stack.
+  mem.access_mapped(cd->stack_page() + kPageSize - 64,
+                    w.stack_vaddr() + kPageSize - 64,
+                    cal_.server_prologue_bytes, /*is_store=*/true,
+                    ep.address_space()->tlb_context(),
+                    CostCategory::kServerTime);
+  mem.exec(service_text_[ep.id()].handler_code, CostCategory::kServerTime);
+
+  ServerCtx ctx(*this, cpu, w, caller_prog, caller_pid);
+  // Invoke through a copy: the handler may replace itself mid-call via
+  // set_worker_handler (the worker-initialization protocol, §4.5.3).
+  Worker::CallHandler handler = w.call_handler();
+  handler(ctx, regs);
+
+  if (!w.blocked_in_call()) {
+    // Server epilogue: restore saved registers from the stack frame.
+    mem.access_mapped(cd->stack_page() + kPageSize - 64,
+                      w.stack_vaddr() + kPageSize - 64,
+                      cal_.server_prologue_bytes, /*is_store=*/false,
+                      ep.address_space()->tlb_context(),
+                      CostCategory::kServerTime);
+  }
+  cpu.set_current(prev);
+}
+
+void PpcFacility::finish_drain_if_idle(EntryPoint& ep) {
+  if (ep.state() != EpState::kDraining) return;
+  if (ep.total_in_progress() != 0) return;
+  ep.set_state(EpState::kDead);
+  for (CpuId c = 0; c < machine_.num_cpus(); ++c) {
+    auto& st = state(machine_.cpu(c));
+    if (ep.id() < kMaxEntryPoints) {
+      st.service_table[ep.id()] = nullptr;
+    } else {
+      st.hashed_table.erase(ep.id());
+    }
+  }
+}
+
+void PpcFacility::complete_call(Cpu& cpu, EntryPoint& ep, Worker& w,
+                                RegSet& regs) {
+  auto& mem = cpu.mem();
+  const auto& text = text_[cpu.node()];
+  CallDescriptor* cd = w.active_cd();
+  Process* caller = cd->caller();
+
+  // Return trap out of the server and the PPC return path.
+  mem.trap_roundtrip();
+  mem.exec(text.ret_entry, CostCategory::kPpcKernel);
+
+  unmap_worker_stack(cpu, ep, w, cd);
+  if (caller != nullptr) {
+    leave_server_space(cpu, *caller, ep);
+  } else if (!ep.address_space()->supervisor()) {
+    // No caller to return to: leaving a user-space server still flushes.
+    mem.tlb_flush_user();
+  }
+
+  auto completion = std::move(cd->completion());
+  release_cd(cpu, w, cd);
+  w.set_active_cd(nullptr);
+
+  // Return the worker to its per-CPU pool.
+  auto& epcpu = ep.per_cpu(cpu.id());
+  mem.exec(text.worker_free, CostCategory::kPpcKernel);
+  mem.access(epcpu.saddr, 8, /*is_store=*/true, TlbContext::kSupervisor,
+             CostCategory::kPpcKernel);
+  w.set_state(ProcessState::kBlocked);
+  epcpu.pool.push(&w);
+  auto& actives = epcpu.active_workers;
+  actives.erase(std::remove(actives.begin(), actives.end(), &w),
+                actives.end());
+  HPPC_ASSERT(epcpu.in_progress > 0);
+  --epcpu.in_progress;
+
+  if (caller != nullptr) {
+    // Hand control straight back to the caller (handoff, no scheduler).
+    mem.exec(text.kernel_restore, CostCategory::kKernelSaveRestore);
+    mem.load(caller->context_save_area(), cal_.kernel_ctx_bytes,
+             TlbContext::kSupervisor, CostCategory::kKernelSaveRestore);
+    caller->set_state(ProcessState::kRunning);
+    cpu.set_current(caller);
+  } else {
+    // Async/interrupt/upcall: "the fact that there is no caller waiting is
+    // discovered, and another process is selected for execution" (§4.4).
+    // The engine's dispatcher performs that selection; here we only pay
+    // the discovery branch.
+    mem.charge(CostCategory::kPpcKernel, 4);
+    cpu.set_current(nullptr);
+  }
+
+  mem.charge(CostCategory::kUnaccounted,
+             machine_.config().unaccounted_stall_cycles_per_call);
+  finish_drain_if_idle(ep);
+
+  if (completion) completion(rc_of(regs), regs);
+}
+
+// ---------------------------------------------------------------------------
+// Call variants
+// ---------------------------------------------------------------------------
+
+Status PpcFacility::call(Cpu& cpu, Process& caller, EntryPointId id,
+                         RegSet& regs) {
+  auto& mem = cpu.mem();
+  const bool user_caller = !caller.address_space()->supervisor();
+  const UserStubText* stub = nullptr;
+
+  if (user_caller) {
+    stub = &user_stub(*caller.address_space());
+    mem.exec(stub->save, CostCategory::kUserSaveRestore);
+    mem.store(caller.user_stack(), cal_.user_reg_bytes,
+              user_ctx_of(*caller.address_space()),
+              CostCategory::kUserSaveRestore);
+  }
+  mem.trap_roundtrip();
+
+  Status s;
+  EntryPoint* ep = lookup(cpu, id, &s);
+  if (ep == nullptr) {
+    set_rc(regs, s);
+    if (user_caller) {
+      mem.exec(stub->restore, CostCategory::kUserSaveRestore);
+      mem.load(caller.user_stack(), cal_.user_reg_bytes,
+               user_ctx_of(*caller.address_space()),
+               CostCategory::kUserSaveRestore);
+    }
+    return s;
+  }
+
+  auto& st = state(cpu);
+  auto& epcpu = ep->per_cpu(cpu.id());
+  st.calls++;
+  Worker* w = acquire_worker(cpu, *ep);
+  CallDescriptor* cd = acquire_cd(cpu, *w);
+  cd->set_caller(&caller);
+  cd->set_caller_identity(caller.program(), caller.pid());
+
+  // Save the minimum caller state for the switch into the worker.
+  const auto& text = text_[cpu.node()];
+  mem.exec(text.kernel_save, CostCategory::kKernelSaveRestore);
+  mem.store(caller.context_save_area(), cal_.kernel_ctx_bytes,
+            TlbContext::kSupervisor, CostCategory::kKernelSaveRestore);
+  const ProcessState caller_prev_state = caller.state();
+  caller.set_state(ProcessState::kBlocked);
+
+  epcpu.in_progress++;
+  epcpu.active_workers.push_back(w);
+
+  map_worker_stack(cpu, *ep, *w, cd);
+  enter_server_space(cpu, caller, *ep);
+  run_handler(cpu, *ep, *w, caller.program(), caller.pid(), regs);
+
+  HPPC_ASSERT_MSG(!w->blocked_in_call(),
+                  "handler blocked inside synchronous call(); the service "
+                  "needs call_blocking");
+
+  complete_call(cpu, *ep, *w, regs);
+  caller.set_state(caller_prev_state);
+
+  if (user_caller) {
+    mem.exec(stub->restore, CostCategory::kUserSaveRestore);
+    mem.load(caller.user_stack(), cal_.user_reg_bytes,
+             user_ctx_of(*caller.address_space()),
+             CostCategory::kUserSaveRestore);
+  }
+  return rc_of(regs);
+}
+
+Status PpcFacility::call_blocking(
+    Cpu& cpu, Process& caller, EntryPointId id, RegSet regs,
+    std::function<void(Status, RegSet&)> on_complete) {
+  auto& mem = cpu.mem();
+  const bool user_caller = !caller.address_space()->supervisor();
+  if (user_caller) {
+    const UserStubText& stub = user_stub(*caller.address_space());
+    mem.exec(stub.save, CostCategory::kUserSaveRestore);
+    mem.store(caller.user_stack(), cal_.user_reg_bytes,
+              user_ctx_of(*caller.address_space()),
+              CostCategory::kUserSaveRestore);
+  }
+  mem.trap_roundtrip();
+
+  Status s;
+  EntryPoint* ep = lookup(cpu, id, &s);
+  if (ep == nullptr) {
+    set_rc(regs, s);
+    on_complete(s, regs);
+    return s;
+  }
+
+  auto& st = state(cpu);
+  auto& epcpu = ep->per_cpu(cpu.id());
+  st.calls++;
+  Worker* w = acquire_worker(cpu, *ep);
+  CallDescriptor* cd = acquire_cd(cpu, *w);
+  cd->set_caller(&caller);
+  cd->set_caller_identity(caller.program(), caller.pid());
+  cd->completion() = std::move(on_complete);
+
+  const auto& text = text_[cpu.node()];
+  mem.exec(text.kernel_save, CostCategory::kKernelSaveRestore);
+  mem.store(caller.context_save_area(), cal_.kernel_ctx_bytes,
+            TlbContext::kSupervisor, CostCategory::kKernelSaveRestore);
+  machine_.block(caller);
+
+  epcpu.in_progress++;
+  epcpu.active_workers.push_back(w);
+
+  map_worker_stack(cpu, *ep, *w, cd);
+  enter_server_space(cpu, caller, *ep);
+  run_handler(cpu, *ep, *w, caller.program(), caller.pid(), regs);
+
+  if (w->blocked_in_call()) {
+    // Stash the registers in the CD; the call completes on resume_worker.
+    cd->regs() = regs;
+    return Status::kOk;
+  }
+  complete_call(cpu, *ep, *w, regs);
+  return rc_of(regs);
+}
+
+Status PpcFacility::call_async(Cpu& cpu, Process& caller, EntryPointId id,
+                               RegSet regs) {
+  auto& mem = cpu.mem();
+  const bool user_caller = !caller.address_space()->supervisor();
+  if (user_caller) {
+    const UserStubText& stub = user_stub(*caller.address_space());
+    mem.exec(stub.save, CostCategory::kUserSaveRestore);
+    mem.store(caller.user_stack(), cal_.user_reg_bytes,
+              user_ctx_of(*caller.address_space()),
+              CostCategory::kUserSaveRestore);
+  }
+  mem.trap_roundtrip();
+
+  Status s;
+  EntryPoint* ep = lookup(cpu, id, &s);
+  if (ep == nullptr) return s;
+
+  auto& st = state(cpu);
+  st.async_calls++;
+
+  // "Asynchronous requests are implemented ... by putting the calling
+  //  process onto the processor ready-queue rather than linking it into the
+  //  call descriptor of the worker." (§4.4)
+  const auto& text = text_[cpu.node()];
+  mem.exec(text.async_enqueue, CostCategory::kPpcKernel);
+  mem.exec(text.kernel_save, CostCategory::kKernelSaveRestore);
+  mem.store(caller.context_save_area(), cal_.kernel_ctx_bytes,
+            TlbContext::kSupervisor, CostCategory::kKernelSaveRestore);
+  machine_.ready(cpu, caller);
+
+  auto& epcpu = ep->per_cpu(cpu.id());
+  Worker* w = acquire_worker(cpu, *ep);
+  CallDescriptor* cd = acquire_cd(cpu, *w);
+  cd->set_caller(nullptr);
+  cd->set_caller_identity(caller.program(), caller.pid());
+
+  epcpu.in_progress++;
+  epcpu.active_workers.push_back(w);
+
+  map_worker_stack(cpu, *ep, *w, cd);
+  enter_server_space(cpu, caller, *ep);
+  run_handler(cpu, *ep, *w, caller.program(), caller.pid(), regs);
+
+  if (w->blocked_in_call()) {
+    cd->regs() = regs;
+    return Status::kOk;
+  }
+  complete_call(cpu, *ep, *w, regs);
+  return Status::kOk;
+}
+
+Status PpcFacility::dispatch_no_caller(Cpu& cpu, EntryPointId id, RegSet regs,
+                                       bool charge_trap,
+                                       kernel::Process* caller_to_ready) {
+  auto& mem = cpu.mem();
+  if (charge_trap) mem.trap_roundtrip();
+  if (caller_to_ready != nullptr) machine_.ready(cpu, *caller_to_ready);
+
+  Status s;
+  EntryPoint* ep = lookup(cpu, id, &s);
+  if (ep == nullptr) return s;
+
+  auto& epcpu = ep->per_cpu(cpu.id());
+  Worker* w = acquire_worker(cpu, *ep);
+  CallDescriptor* cd = acquire_cd(cpu, *w);
+  cd->set_caller(nullptr);
+  cd->set_caller_identity(/*kernel*/ 0, kInvalidPid);
+
+  epcpu.in_progress++;
+  epcpu.active_workers.push_back(w);
+
+  map_worker_stack(cpu, *ep, *w, cd);
+  if (!ep->address_space()->supervisor()) mem.tlb_flush_user();
+  run_handler(cpu, *ep, *w, /*caller_prog=*/0, kInvalidPid, regs);
+
+  if (w->blocked_in_call()) {
+    cd->regs() = regs;
+    return Status::kOk;
+  }
+  complete_call(cpu, *ep, *w, regs);
+  return Status::kOk;
+}
+
+Status PpcFacility::upcall(Cpu& cpu, EntryPointId id, RegSet regs) {
+  state(cpu).upcalls++;
+  return dispatch_no_caller(cpu, id, std::move(regs), /*charge_trap=*/true,
+                            nullptr);
+}
+
+void PpcFacility::raise_interrupt(CpuId target, Cycles time, EntryPointId id,
+                                  RegSet regs) {
+  // "An asynchronous request from the kernel to the device server is
+  //  manufactured by the interrupt handler and dispatched as for a normal
+  //  call." (§4.4) The trap cost is charged by the machine's interrupt
+  //  delivery; the dispatch path is the normal no-caller PPC path.
+  machine_.post_event(target, time, [this, id, regs](Cpu& cpu) mutable {
+    state(cpu).interrupt_dispatches++;
+    dispatch_no_caller(cpu, id, regs, /*charge_trap=*/false, nullptr);
+  });
+}
+
+void PpcFacility::resume_worker(Cpu& cpu, Worker& worker) {
+  HPPC_ASSERT_MSG(worker.blocked_in_call(), "worker is not blocked");
+  HPPC_ASSERT_MSG(worker.home_cpu() == cpu.id(),
+                  "workers never migrate; resume via an event on their CPU");
+  auto& mem = cpu.mem();
+  EntryPoint& ep = *worker.entry_point();
+  CallDescriptor* cd = worker.active_cd();
+
+  // Re-dispatch the worker: reload its context.
+  mem.exec(machine_.text(cpu.node()).dispatch, CostCategory::kPpcKernel);
+  mem.load(worker.context_save_area(), cal_.worker_ctx_bytes,
+           TlbContext::kSupervisor, CostCategory::kKernelSaveRestore);
+
+  Process* prev = cpu.current();
+  worker.set_state(ProcessState::kRunning);
+  cpu.set_current(&worker);
+
+  auto resume = std::move(worker.resume_fn());
+  worker.resume_fn() = nullptr;
+  ServerCtx ctx(*this, cpu, worker, cd->caller_program(), cd->caller_pid());
+  resume(ctx, cd->regs());
+
+  cpu.set_current(prev);
+  if (worker.blocked_in_call()) return;  // blocked again
+
+  // Epilogue that run_handler skipped when the call first blocked.
+  mem.access_mapped(cd->stack_page() + kPageSize - 64,
+                    worker.stack_vaddr() + kPageSize - 64,
+                    cal_.server_prologue_bytes, /*is_store=*/false,
+                    ep.address_space()->tlb_context(),
+                    CostCategory::kServerTime);
+
+  RegSet regs = cd->regs();
+  Process* caller = cd->caller();
+  complete_call(cpu, ep, worker, regs);
+  if (caller != nullptr) {
+    // The synchronous-style caller becomes runnable again.
+    machine_.ready(cpu, *caller);
+    caller->set_state(ProcessState::kReady);
+  }
+}
+
+Status PpcFacility::call_remote(
+    Cpu& cpu, Process& caller, CpuId target, EntryPointId id, RegSet regs,
+    std::function<void(Status, RegSet&)> on_complete) {
+  if (target == cpu.id()) {
+    return call_blocking(cpu, caller, id, std::move(regs),
+                         std::move(on_complete));
+  }
+  HPPC_ASSERT(target < machine_.num_cpus());
+  auto& mem = cpu.mem();
+  auto& st = state(cpu);
+  st.remote_calls++;
+
+  // Origin side: save state, block the caller, ship the request as an
+  // interrupt to the target processor (§4.3: cross-processor operations
+  // travel as remote interrupts).
+  const bool user_caller = !caller.address_space()->supervisor();
+  if (user_caller) {
+    const UserStubText& stub = user_stub(*caller.address_space());
+    mem.exec(stub.save, CostCategory::kUserSaveRestore);
+    mem.store(caller.user_stack(), cal_.user_reg_bytes,
+              user_ctx_of(*caller.address_space()),
+              CostCategory::kUserSaveRestore);
+  }
+  mem.trap_roundtrip();
+  const auto& text = text_[cpu.node()];
+  mem.exec(text.kernel_save, CostCategory::kKernelSaveRestore);
+  mem.store(caller.context_save_area(), cal_.kernel_ctx_bytes,
+            TlbContext::kSupervisor, CostCategory::kKernelSaveRestore);
+  machine_.block(caller);
+
+  const CpuId origin = cpu.id();
+  Process* caller_ptr = &caller;
+
+  // The target executes the call with *its own* resources; the completion
+  // posts an IPI back to the origin, which restores and readies the caller.
+  machine_.post_ipi(
+      cpu, target,
+      [this, id, regs, origin, caller_ptr, target,
+       done = std::move(on_complete)](Cpu& tcpu) mutable {
+        dispatch_no_caller_with_completion(
+            tcpu, id, std::move(regs),
+            [this, origin, caller_ptr, target,
+             done = std::move(done)](Status s, RegSet& out) mutable {
+              RegSet result = out;
+              machine_.post_ipi(
+                  machine_.cpu(target), origin,
+                  [this, caller_ptr, done = std::move(done), result,
+                   s](Cpu& ocpu) mutable {
+                    auto& omem = ocpu.mem();
+                    omem.exec(text_[ocpu.node()].kernel_restore,
+                              CostCategory::kKernelSaveRestore);
+                    omem.load(caller_ptr->context_save_area(),
+                              cal_.kernel_ctx_bytes, TlbContext::kSupervisor,
+                              CostCategory::kKernelSaveRestore);
+                    machine_.ready(ocpu, *caller_ptr);
+                    if (done) done(s, result);
+                  });
+            });
+      });
+  return Status::kOk;
+}
+
+Status PpcFacility::dispatch_no_caller_with_completion(
+    Cpu& cpu, EntryPointId id, RegSet regs,
+    std::function<void(Status, RegSet&)> completion) {
+  Status s;
+  EntryPoint* ep = lookup(cpu, id, &s);
+  if (ep == nullptr) {
+    set_rc(regs, s);
+    if (completion) completion(s, regs);
+    return s;
+  }
+  auto& epcpu = ep->per_cpu(cpu.id());
+  Worker* w = acquire_worker(cpu, *ep);
+  CallDescriptor* cd = acquire_cd(cpu, *w);
+  cd->set_caller(nullptr);
+  cd->set_caller_identity(/*kernel*/ 0, kInvalidPid);
+  cd->completion() = std::move(completion);
+
+  epcpu.in_progress++;
+  epcpu.active_workers.push_back(w);
+
+  map_worker_stack(cpu, *ep, *w, cd);
+  if (!ep->address_space()->supervisor()) cpu.mem().tlb_flush_user();
+  run_handler(cpu, *ep, *w, /*caller_prog=*/0, kInvalidPid, regs);
+
+  if (w->blocked_in_call()) {
+    cd->regs() = regs;
+    return Status::kOk;
+  }
+  complete_call(cpu, *ep, *w, regs);
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Frank: resource creation slow paths and the PPC-visible interface
+// ---------------------------------------------------------------------------
+
+Worker* PpcFacility::frank_create_worker(Cpu& cpu, EntryPoint& ep) {
+  auto& mem = cpu.mem();
+  const auto& text = text_[cpu.node()];
+
+  // Redirect cost + creation/initialization of the worker process (§4.5.6:
+  // "the call is redirected to Frank, who creates a new worker process,
+  // initializes it for the particular target entry point, and forwards the
+  // call to the original target entry point").
+  mem.exec(text.frank_redirect, CostCategory::kPpcKernel);
+  mem.charge(CostCategory::kPpcKernel, cal_.worker_create_cycles);
+
+  auto& alloc = machine_.allocator();
+  auto w = std::make_unique<Worker>(
+      machine_.allocate_pid(), ep.program(), ep.address_space(),
+      ep.config().name + "-worker", &ep, cpu.id());
+  w->set_context_save_area(alloc.alloc(cpu.node(), 64, 16));
+  // Each worker owns a disjoint stack window in the server's space so that
+  // concurrent calls never collide on the mapping.
+  w->set_stack_vaddr(kStackVaBase +
+                     SimAddr{++worker_slot_counter_} * kStackVaStride);
+  w->set_call_handler(ep.initial_handler());
+
+  if (ep.config().hold_cd) {
+    // The worker permanently acquires a CD and stack (§2's security
+    // compromise); it is charged as part of worker creation.
+    CdPool& pool = cd_pool_of(cpu, ep.config().trust_group);
+    CallDescriptor* cd = pool.pool.pop();
+    if (cd == nullptr) cd = frank_create_cd(cpu);
+    w->set_held_cd(cd);
+    // Map the held stack permanently.
+    ep.address_space()->map_page(w->stack_vaddr(), cd->stack_page());
+    mem.tlb_map_one(w->stack_vaddr(), ep.address_space()->tlb_context());
+    w->set_mapped_stack_pages(1);
+  }
+
+  ep.per_cpu(cpu.id()).workers_created++;
+  Worker* raw = w.get();
+  workers_.push_back(std::move(w));
+  return raw;
+}
+
+CallDescriptor* PpcFacility::frank_create_cd(Cpu& cpu) {
+  auto& mem = cpu.mem();
+  const auto& text = text_[cpu.node()];
+  mem.exec(text.frank_redirect, CostCategory::kCdManipulation);
+  mem.charge(CostCategory::kCdManipulation, cal_.cd_create_cycles);
+
+  auto& alloc = machine_.allocator();
+  const NodeId n = cpu.node();
+  auto cd = std::make_unique<CallDescriptor>(
+      alloc.alloc(n, 32, 32), machine_.frames().alloc(n), cpu.id());
+  state(cpu).cds_created++;
+  CallDescriptor* raw = cd.get();
+  cds_.push_back(std::move(cd));
+  return raw;
+}
+
+void PpcFacility::frank_handler(ServerCtx& ctx, RegSet& regs) {
+  switch (opcode_of(regs)) {
+    case kFrankAllocEp: {
+      auto it = staged_binds_.find(regs[0]);
+      if (it == staged_binds_.end()) {
+        set_rc(regs, Status::kInvalidArgument);
+        return;
+      }
+      StagedBind sb = std::move(it->second);
+      staged_binds_.erase(it);
+      // Only the program that staged the request may complete it (§4.1:
+      // servers authenticate callers by program id themselves).
+      if (sb.program != ctx.caller_program() && ctx.caller_program() != 0) {
+        set_rc(regs, Status::kPermissionDenied);
+        return;
+      }
+      ctx.work(220);  // table updates on every processor
+      const EntryPointId id = bind(std::move(sb.cfg), sb.as, sb.program,
+                                   std::move(sb.handler), sb.code);
+      regs[0] = id;
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kFrankSoftKill: {
+      ctx.work(80);
+      set_rc(regs, soft_kill(ctx.cpu(), regs[0]));
+      return;
+    }
+    case kFrankHardKill: {
+      ctx.work(120);
+      set_rc(regs, hard_kill(ctx.cpu(), regs[0]));
+      return;
+    }
+    case kFrankTrimPools: {
+      trim_pools(ctx.cpu());
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kFrankStats: {
+      EntryPoint* ep = entry_point(regs[0]);
+      if (ep == nullptr) {
+        set_rc(regs, Status::kNoSuchEntryPoint);
+        return;
+      }
+      ctx.work(40);
+      regs[0] = ep->total_workers_created();
+      regs[1] = ep->total_in_progress();
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    default:
+      set_rc(regs, Status::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Death and destruction (§4.5.2)
+// ---------------------------------------------------------------------------
+
+Status PpcFacility::soft_kill(Cpu& from, EntryPointId id) {
+  (void)from;
+  EntryPoint* ep = entry_point(id);
+  if (ep == nullptr || ep->state() == EpState::kDead) {
+    return Status::kNoSuchEntryPoint;
+  }
+  if (ep->state() == EpState::kDraining) return Status::kOk;
+  // "a soft-kill removes the entry point and all associated data structures
+  //  immediately, but allows calls in progress to complete"
+  ep->set_state(EpState::kDraining);
+  finish_drain_if_idle(*ep);
+  return Status::kOk;
+}
+
+void PpcFacility::hard_kill_on_cpu(Cpu& cpu, EntryPoint& ep) {
+  auto& mem = cpu.mem();
+  auto& epcpu = ep.per_cpu(cpu.id());
+
+  // Abort calls in progress on this CPU (only blocked workers can be
+  // mid-call when the IPI arrives; a running call occupies the CPU).
+  std::vector<Worker*> actives = epcpu.active_workers;
+  for (Worker* w : actives) {
+    HPPC_ASSERT(w->blocked_in_call());
+    w->resume_fn() = nullptr;
+    CallDescriptor* cd = w->active_cd();
+    set_rc(cd->regs(), Status::kCallAborted);
+    RegSet regs = cd->regs();
+    Process* caller = cd->caller();
+    auto completion = std::move(cd->completion());
+    cd->completion() = nullptr;
+
+    unmap_worker_stack(cpu, ep, *w, cd);
+    release_cd(cpu, *w, cd);
+    w->set_active_cd(nullptr);
+    w->set_state(ProcessState::kDead);
+    --epcpu.in_progress;
+
+    if (caller != nullptr) {
+      mem.load(caller->context_save_area(), cal_.kernel_ctx_bytes,
+               TlbContext::kSupervisor, CostCategory::kKernelSaveRestore);
+      machine_.ready(cpu, *caller);
+    }
+    if (completion) completion(Status::kCallAborted, regs);
+  }
+  epcpu.active_workers.clear();
+
+  // Destroy pooled workers and return held resources.
+  while (Worker* w = epcpu.pool.pop()) {
+    reclaim_worker(cpu, w);
+  }
+  // Clear this CPU's table entry.
+  auto& st = state(cpu);
+  if (ep.id() < kMaxEntryPoints) {
+    mem.store(st.table_saddr + SimAddr{ep.id()} * 4, 4,
+              TlbContext::kSupervisor, CostCategory::kPpcKernel);
+    st.service_table[ep.id()] = nullptr;
+  } else {
+    mem.store(st.hashed_table_saddr + (ep.id() % 32) * 32, 16,
+              TlbContext::kSupervisor, CostCategory::kPpcKernel);
+    st.hashed_table.erase(ep.id());
+  }
+}
+
+void PpcFacility::reclaim_worker(Cpu& cpu, Worker* w) {
+  auto& mem = cpu.mem();
+  mem.charge(CostCategory::kPpcKernel, 60);  // teardown
+  if (CallDescriptor* cd = w->held_cd()) {
+    EntryPoint& ep = *w->entry_point();
+    if (w->mapped_stack_pages() > 0) {
+      ep.address_space()->unmap_page(w->stack_vaddr());
+      mem.tlb_unmap_one(w->stack_vaddr(), ep.address_space()->tlb_context());
+      w->set_mapped_stack_pages(0);
+    }
+    w->set_held_cd(nullptr);
+    cd->set_in_use(false);
+    cd_pool_of(machine_.cpu(cd->home_cpu()),
+               w->entry_point()->config().trust_group)
+        .pool.push(cd);
+  }
+  w->set_state(ProcessState::kDead);
+}
+
+Status PpcFacility::hard_kill(Cpu& from, EntryPointId id) {
+  EntryPoint* ep = entry_point(id);
+  if (ep == nullptr || ep->state() == EpState::kDead) {
+    return Status::kNoSuchEntryPoint;
+  }
+  // "The hard-kill frees all resources and aborts any calls in progress."
+  // Per-processor resources may only be touched by their owner (§4.5.2:
+  // "some cleanup operations [are] performed by interrupting the
+  // appropriate processor", like TLB shootdown).
+  ep->set_state(EpState::kDead);
+  for (CpuId c = 0; c < machine_.num_cpus(); ++c) {
+    if (c == from.id()) {
+      hard_kill_on_cpu(from, *ep);
+    } else {
+      EntryPoint* raw = ep;
+      machine_.post_ipi(from, c, [this, raw](Cpu& target) {
+        hard_kill_on_cpu(target, *raw);
+      });
+    }
+  }
+  return Status::kOk;
+}
+
+Status PpcFacility::exchange(Cpu& from, EntryPointId id,
+                             Worker::CallHandler new_handler) {
+  (void)from;
+  EntryPoint* ep = entry_point(id);
+  if (ep == nullptr || ep->state() != EpState::kActive) {
+    return Status::kNoSuchEntryPoint;
+  }
+  // On-line replacement (§4.5.2): new workers get the new handler; workers
+  // already initialized keep the old code until reclaimed. Drain pooled
+  // workers so subsequent calls pick up the replacement immediately.
+  ep->set_initial_handler(std::move(new_handler));
+  for (CpuId c = 0; c < machine_.num_cpus(); ++c) {
+    auto& pool = ep->per_cpu(c).pool;
+    while (Worker* w = pool.pop()) {
+      reclaim_worker(machine_.cpu(c), w);
+    }
+  }
+  return Status::kOk;
+}
+
+void PpcFacility::trim_pools(Cpu& cpu) {
+  // "extra stacks created during peak call activity can easily be
+  //  reclaimed" (§2).
+  auto& st = state(cpu);
+  constexpr std::size_t kCdTarget = 2;
+  for (auto& pool : st.cd_pools) {
+    while (pool.pool.size() > kCdTarget) {
+      CallDescriptor* cd = pool.pool.pop();
+      cpu.mem().charge(CostCategory::kCdManipulation, 24);
+      // The descriptor's stack page goes back to the frame allocator for
+      // reuse; the CD object itself is retired.
+      machine_.frames().free(cd->stack_page());
+    }
+  }
+  auto trim_ep = [&](EntryPoint* ep) {
+    if (ep == nullptr || ep->state() != EpState::kActive) return;
+    auto& epcpu = ep->per_cpu(cpu.id());
+    while (epcpu.pool.size() > ep->config().pool_target) {
+      Worker* w = epcpu.pool.pop();
+      reclaim_worker(cpu, w);
+    }
+  };
+  for (auto& ep : eps_) trim_ep(ep.get());
+  for (auto& [id, ep] : hashed_eps_) trim_ep(ep.get());
+}
+
+}  // namespace hppc::ppc

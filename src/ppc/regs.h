@@ -1,0 +1,73 @@
+// The PPC call interface: 8 words in, the same 8 words out (§4.5.1).
+//
+// "We therefore use a C macro ... that allows us to pass the values of
+//  eight variables in a PPC call, and use those same variables to return
+//  eight values. ... The return value is placed in the last parameter (by
+//  convention)."  — §4.5.1, Figure 4.
+//
+// The last word carries opcode+flags on entry and opcode+flags+return-code
+// on exit, mirroring PPC_OP_FLAGS / PPC_RC of Figure 4. The first seven
+// words are entirely the application's.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hppc::ppc {
+
+/// The register file exchanged across the call. regs[7] is the opflags
+/// word by convention; regs[0..6] are free-form arguments/results.
+struct RegSet {
+  std::array<Word, kPpcWords> w{};
+
+  Word& operator[](std::size_t i) { return w[i]; }
+  const Word& operator[](std::size_t i) const { return w[i]; }
+
+  bool operator==(const RegSet&) const = default;
+};
+
+/// Index of the opflags/return-code word.
+inline constexpr std::size_t kOpWord = kPpcWords - 1;
+
+// Layout of the opflags word:
+//   [31:16] opcode   — service-defined operation number
+//   [15: 8] flags    — service-defined modifier bits
+//   [ 7: 0] rc       — return code (Status), written by the facility/server
+constexpr Word op_flags(Word opcode, Word flags = 0) {
+  return ((opcode & 0xFFFFu) << 16) | ((flags & 0xFFu) << 8);
+}
+
+constexpr Word opcode_of(Word opflags) { return (opflags >> 16) & 0xFFFFu; }
+constexpr Word flags_of(Word opflags) { return (opflags >> 8) & 0xFFu; }
+constexpr Status rc_of(Word opflags) {
+  return static_cast<Status>(opflags & 0xFFu);
+}
+constexpr Word with_rc(Word opflags, Status rc) {
+  return (opflags & ~Word{0xFFu}) | static_cast<Word>(rc);
+}
+
+/// Convenience accessors on a RegSet.
+inline void set_op(RegSet& r, Word opcode, Word flags = 0) {
+  r[kOpWord] = op_flags(opcode, flags);
+}
+inline Word opcode_of(const RegSet& r) { return opcode_of(r[kOpWord]); }
+inline Word flags_of(const RegSet& r) { return flags_of(r[kOpWord]); }
+inline Status rc_of(const RegSet& r) { return rc_of(r[kOpWord]); }
+inline void set_rc(RegSet& r, Status rc) {
+  r[kOpWord] = with_rc(r[kOpWord], rc);
+}
+
+/// Pack/unpack a 64-bit value across two words (e.g. file lengths).
+inline void set_u64(RegSet& r, std::size_t lo_index, std::uint64_t v) {
+  r[lo_index] = static_cast<Word>(v);
+  r[lo_index + 1] = static_cast<Word>(v >> 32);
+}
+inline std::uint64_t get_u64(const RegSet& r, std::size_t lo_index) {
+  return static_cast<std::uint64_t>(r[lo_index]) |
+         (static_cast<std::uint64_t>(r[lo_index + 1]) << 32);
+}
+
+}  // namespace hppc::ppc

@@ -1,0 +1,94 @@
+// The environment a server's call-handling routine runs in.
+//
+// The handler executes on the caller's processor inside a worker process
+// (§2). Through this context it can: identify the caller (program id — the
+// separated authentication of §4.1), charge its own computation and memory
+// traffic to the "server time" category, use its stack, swap its worker's
+// call-handling routine (§4.5.3), make nested PPC calls, and block
+// mid-call awaiting an event (device servers).
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+#include "ppc/regs.h"
+#include "sim/cost.h"
+#include "sim/memctx.h"
+
+namespace hppc::kernel {
+class Cpu;
+class Machine;
+}
+
+namespace hppc::ppc {
+
+class PpcFacility;
+class Worker;
+class EntryPoint;
+
+class ServerCtx {
+ public:
+  ServerCtx(PpcFacility& ppc, kernel::Cpu& cpu, Worker& worker,
+            ProgramId caller_program, Pid caller_pid)
+      : ppc_(ppc),
+        cpu_(cpu),
+        worker_(worker),
+        caller_program_(caller_program),
+        caller_pid_(caller_pid) {}
+
+  kernel::Cpu& cpu() { return cpu_; }
+  kernel::Machine& machine();
+  PpcFacility& ppc() { return ppc_; }
+  Worker& worker() { return worker_; }
+  EntryPoint& entry_point();
+
+  /// Identity of the caller, for server-side authentication (§4.1:
+  /// "Callers are identified to servers by their program ID").
+  ProgramId caller_program() const { return caller_program_; }
+  Pid caller_pid() const { return caller_pid_; }
+
+  // --- cost charging (all booked to kServerTime) ---
+
+  /// Pure computation.
+  void work(Cycles cycles);
+
+  /// Server data access (its own structures, in its own address space).
+  void touch(SimAddr addr, std::size_t bytes, bool is_store);
+
+  /// Stack access at byte offset `off` from the top of the worker's stack.
+  /// Offsets beyond the mapped pages fault under the kLazyFault strategy
+  /// (§4.5.4) — the fault cost is charged and the page mapped for the rest
+  /// of the call.
+  void touch_stack(std::size_t off, std::size_t bytes, bool is_store);
+
+  // --- worker-initialization protocol (§4.5.3) ---
+
+  /// Replace this worker's call-handling routine; typically called by an
+  /// init routine on the first call so later calls skip the one-time setup.
+  void set_worker_handler(std::function<void(ServerCtx&, RegSet&)> h);
+
+  // --- nested calls ---
+
+  /// Make a synchronous PPC call from inside the handler (servers are
+  /// clients of other servers, e.g. CopyTo/CopyFrom are "normal PPC
+  /// requests made to the CopyServer", §4.2).
+  Status call(EntryPointId ep, RegSet& regs);
+
+  // --- blocking (engine mode) ---
+
+  /// Block the call: the handler returns after this, the worker stays bound
+  /// to the call, and `resume` runs when PpcFacility::resume_worker is
+  /// invoked (e.g. from a device-interrupt PPC). Only valid for calls made
+  /// through call_blocking / async / interrupt variants.
+  void block_call(std::function<void(ServerCtx&, RegSet&)> resume);
+
+ private:
+  friend class PpcFacility;
+  PpcFacility& ppc_;
+  kernel::Cpu& cpu_;
+  Worker& worker_;
+  ProgramId caller_program_;
+  Pid caller_pid_;
+};
+
+}  // namespace hppc::ppc

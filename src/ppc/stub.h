@@ -1,0 +1,60 @@
+// Client-stub helpers: the library-level equivalent of Figure 4's PPC_CALL
+// macro.
+//
+// "Ideally we would like to preserve the procedure call interface as much
+//  as possible ... To the user of the macro, it appears like a normal
+//  procedure call that happens to modify the arguments for the caller."
+//  (§4.5.1)
+//
+// ClientStub binds a (facility, cpu, caller, entry point) once; thereafter
+// a call looks like a procedure call: up to seven in/out words by
+// reference, the opcode supplied per call, the return code as the result.
+// Like the macro, the stub adds nothing beyond loading the opflags word —
+// no marshalling, no allocation.
+#pragma once
+
+#include <type_traits>
+
+#include "ppc/facility.h"
+
+namespace hppc::ppc {
+
+class ClientStub {
+ public:
+  ClientStub(PpcFacility& ppc, kernel::Cpu& cpu, kernel::Process& self,
+             EntryPointId ep)
+      : ppc_(ppc), cpu_(cpu), self_(self), ep_(ep) {}
+
+  EntryPointId entry_point() const { return ep_; }
+  void retarget(EntryPointId ep) { ep_ = ep; }
+
+  /// Procedure-call style: each argument is a Word lvalue that both passes
+  /// a value in and receives a value out (the "same variables return eight
+  /// values" convention). Unused positions are implicit dummies.
+  template <typename... Args>
+  Status operator()(Word opcode, Args&... args) {
+    static_assert(sizeof...(Args) <= kPpcWords - 1,
+                  "at most 7 argument words plus the opflags word");
+    static_assert((std::is_same_v<Args, Word> && ...),
+                  "PPC arguments are machine words");
+    RegSet regs;
+    std::size_t i = 0;
+    ((regs[i++] = args), ...);
+    set_op(regs, opcode);
+    const Status s = ppc_.call(cpu_, self_, ep_, regs);
+    i = 0;
+    ((args = regs[i++]), ...);
+    return s;
+  }
+
+  /// Raw variant when the caller wants the whole register set.
+  Status call(RegSet& regs) { return ppc_.call(cpu_, self_, ep_, regs); }
+
+ private:
+  PpcFacility& ppc_;
+  kernel::Cpu& cpu_;
+  kernel::Process& self_;
+  EntryPointId ep_;
+};
+
+}  // namespace hppc::ppc

@@ -1,0 +1,89 @@
+// Worker processes (§2).
+//
+// "Our implementation uses separate worker processes in the server to
+//  service client calls. Worker processes are created dynamically as needed
+//  and (re)initialized to the server's call handling code on each call."
+//
+// A worker belongs to one entry point's per-processor pool and never leaves
+// its processor. Its call-handling routine is per-worker state so the
+// worker-initialization protocol of §4.5.3 works: a fresh worker's routine
+// is the service's *init* routine, which replaces itself on first call.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/free_stack.h"
+#include "kernel/process.h"
+#include "ppc/call_descriptor.h"
+#include "ppc/regs.h"
+
+namespace hppc::ppc {
+
+class EntryPoint;
+class ServerCtx;
+
+class Worker : public kernel::Process {
+ public:
+  using CallHandler = std::function<void(ServerCtx&, RegSet&)>;
+
+  Worker(Pid pid, ProgramId program, kernel::AddressSpace* as,
+         std::string name, EntryPoint* ep, CpuId home_cpu)
+      : Process(pid, program, as, std::move(name)),
+        ep_(ep),
+        home_cpu_(home_cpu) {}
+
+  EntryPoint* entry_point() const { return ep_; }
+  CpuId home_cpu() const { return home_cpu_; }
+
+  /// The worker's current call-handling routine. Entry at creation is the
+  /// service's initial routine; §4.5.3 lets the worker swap it at any time.
+  const CallHandler& call_handler() const { return handler_; }
+  void set_call_handler(CallHandler h) { handler_ = std::move(h); }
+
+  /// Virtual address where this worker's stack is mapped in the server's
+  /// space. Per-worker: concurrent calls (several workers active in one
+  /// server, §2's "as many threads of control in the server as client
+  /// requests") need disjoint stack windows.
+  SimAddr stack_vaddr() const { return stack_vaddr_; }
+  void set_stack_vaddr(SimAddr a) { stack_vaddr_ = a; }
+
+  /// Hold-CD mode (§2): the worker permanently owns a CD (and so a stack).
+  CallDescriptor* held_cd() const { return held_cd_; }
+  void set_held_cd(CallDescriptor* cd) { held_cd_ = cd; }
+
+  /// The CD of the call currently being serviced (the held CD, or one
+  /// borrowed from the per-CPU pool for the duration of the call).
+  CallDescriptor* active_cd() const { return active_cd_; }
+  void set_active_cd(CallDescriptor* cd) { active_cd_ = cd; }
+
+  /// Set while the handler has blocked mid-call awaiting an event; the
+  /// facility resumes through this (see ServerCtx::block_call). Same
+  /// signature as a call handler: it gets the stashed register set back.
+  CallHandler& resume_fn() { return resume_; }
+  bool blocked_in_call() const { return static_cast<bool>(resume_); }
+
+  /// Number of stack pages currently mapped for the active call (1 for the
+  /// CD page; more under the kFixedMultiple / kLazyFault strategies).
+  std::uint32_t mapped_stack_pages() const { return mapped_stack_pages_; }
+  void set_mapped_stack_pages(std::uint32_t n) { mapped_stack_pages_ = n; }
+
+  /// Pool linkage within EntryPoint's per-CPU worker pool.
+  StackLink pool_link;
+
+  /// Physical pages mapped beyond the CD's page for the active call
+  /// (kFixedMultiple / kLazyFault stack strategies, §4.5.4).
+  std::vector<SimAddr> active_extra_pages;
+
+ private:
+  EntryPoint* ep_;
+  CpuId home_cpu_;
+  SimAddr stack_vaddr_ = kInvalidAddr;
+  CallHandler handler_;
+  CallDescriptor* held_cd_ = nullptr;
+  CallDescriptor* active_cd_ = nullptr;
+  CallHandler resume_;
+  std::uint32_t mapped_stack_pages_ = 0;
+};
+
+}  // namespace hppc::ppc

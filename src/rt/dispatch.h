@@ -1,0 +1,49 @@
+// Opcode dispatch helper for rt services.
+//
+// Every server in the PPC world demultiplexes on the opcode packed into the
+// opflags word (§4.5.1). This helper turns a set of per-opcode functions
+// into a single handler, with unknown opcodes answered by
+// Status::kInvalidArgument — the convention all the simulated servers
+// follow, packaged for the host library.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "ppc/regs.h"
+#include "rt/runtime.h"
+
+namespace hppc::rt {
+
+class OpDispatcher {
+ public:
+  using OpHandler = std::function<void(RtCtx&, ppc::RegSet&)>;
+
+  /// Register a handler for one opcode (1..kMaxOps-1). Returns *this for
+  /// chaining: OpDispatcher().on(kRead, ...).on(kWrite, ...).handler().
+  OpDispatcher& on(Word opcode, OpHandler h) {
+    HPPC_ASSERT(opcode > 0 && opcode < kMaxOps);
+    HPPC_ASSERT_MSG(!ops_[opcode], "opcode already registered");
+    ops_[opcode] = std::move(h);
+    return *this;
+  }
+
+  /// Produce the RtHandler to bind. The dispatcher is copied into the
+  /// closure, so it may be a temporary.
+  RtHandler handler() const {
+    return [ops = ops_](RtCtx& ctx, ppc::RegSet& regs) {
+      const Word op = ppc::opcode_of(regs);
+      if (op >= kMaxOps || !ops[op]) {
+        ppc::set_rc(regs, Status::kInvalidArgument);
+        return;
+      }
+      ops[op](ctx, regs);
+    };
+  }
+
+ private:
+  static constexpr Word kMaxOps = 64;
+  std::array<OpHandler, kMaxOps> ops_{};
+};
+
+}  // namespace hppc::rt

@@ -1,0 +1,76 @@
+// Host baseline 1: same call semantics as rt::Runtime but with a single
+// mutex-protected global descriptor/worker pool — the LRPC-ish structure
+// whose lock and shared lines the paper's design eliminates. Used by the
+// rt benches to show what the per-slot pools buy on modern hardware.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ppc/regs.h"
+#include "rt/runtime.h"
+
+namespace hppc::rt {
+
+class GlobalPoolRuntime {
+ public:
+  using Handler = std::function<void(ProgramId caller, RegSet&)>;
+
+  GlobalPoolRuntime() = default;
+  GlobalPoolRuntime(const GlobalPoolRuntime&) = delete;
+  GlobalPoolRuntime& operator=(const GlobalPoolRuntime&) = delete;
+
+  EntryPointId bind(Handler handler) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    services_.push_back(std::move(handler));
+    return static_cast<EntryPointId>(services_.size() - 1);
+  }
+
+  Status call(ProgramId caller, EntryPointId id, RegSet& regs) {
+    Handler* handler = nullptr;
+    Cd* cd = nullptr;
+    {
+      // The global pool: every call from every thread serializes here.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (id >= services_.size()) {
+        ppc::set_rc(regs, Status::kNoSuchEntryPoint);
+        return Status::kNoSuchEntryPoint;
+      }
+      handler = &services_[id];
+      if (free_ != nullptr) {
+        cd = free_;
+        free_ = cd->next;
+      } else {
+        auto owned = std::make_unique<Cd>();
+        owned->stack = std::make_unique<std::byte[]>(kPageSize);
+        cd = owned.get();
+        cds_.push_back(std::move(owned));
+      }
+    }
+    // Touch the (possibly remote-thread-dirtied) stack like a real worker.
+    cd->stack[0] = std::byte{1};
+    (*handler)(caller, regs);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cd->next = free_;
+      free_ = cd;
+    }
+    return ppc::rc_of(regs);
+  }
+
+ private:
+  struct Cd {
+    std::unique_ptr<std::byte[]> stack;
+    Cd* next = nullptr;
+  };
+
+  std::mutex mutex_;
+  std::vector<Handler> services_;
+  std::vector<std::unique_ptr<Cd>> cds_;
+  Cd* free_ = nullptr;
+};
+
+}  // namespace hppc::rt

@@ -1,0 +1,217 @@
+// A sample domain service on the host runtime: a fixed-capacity key/value
+// store exposed through the PPC-style register interface. Demonstrates how
+// a real service composes the runtime's pieces — opcode dispatch, the
+// worker-initialization protocol (per-worker scratch buffers), caller
+// authentication by program token (§4.1), and per-slot sharding so the
+// fast path stays shared-nothing.
+//
+// Keys and values are single words (the register-passing discipline: bulk
+// data would go through a copy interface, §4.2). Each slot owns an
+// independent shard; cross-slot reads go through the owner via post(),
+// mirroring the cross-processor rule of the simulated kernel.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rt/dispatch.h"
+#include "rt/runtime.h"
+
+namespace hppc::rt {
+
+enum KvOp : Word {
+  kKvPut = 1,     // w[0]=key, w[1]=value
+  kKvGet = 2,     // w[0]=key            -> w[1]=value
+  kKvErase = 3,   // w[0]=key (owner of the key's entry only)
+  kKvSize = 4,    // -> w[0]=entries in this slot's shard
+  kKvOwnerOf = 5, // w[0]=key            -> w[1]=owning program
+};
+
+struct KvServiceConfig {
+  std::string name = "kv";
+  std::size_t shard_capacity = 1024;
+  /// When set, only the creating program may erase an entry.
+  bool enforce_ownership = true;
+};
+
+class KvService {
+ public:
+  using Config = KvServiceConfig;
+
+  KvService(Runtime& rt, KvServiceConfig cfg = {})
+      : rt_(rt), cfg_(std::move(cfg)), shards_(rt.slots()) {
+    for (auto& shard : shards_) {
+      shard->entries.resize(cfg_.shard_capacity);
+    }
+    ep_ = rt_.bind({.name = cfg_.name}, /*program=*/0,
+                   [this](RtCtx& ctx, RegSet& regs) { init(ctx, regs); });
+  }
+
+  EntryPointId ep() const { return ep_; }
+
+  /// Workers initialized so far (the §4.5.3 protocol at work).
+  std::uint32_t initialized_workers() const {
+    std::uint32_t n = 0;
+    for (const auto& s : shards_) n += s->inits;
+    return n;
+  }
+
+  // Convenience client stubs (run on the calling thread's slot).
+  Status put(SlotId slot, ProgramId caller, Word key, Word value) {
+    RegSet r;
+    r[0] = key;
+    r[1] = value;
+    ppc::set_op(r, kKvPut);
+    return rt_.call(slot, caller, ep_, r);
+  }
+
+  std::optional<Word> get(SlotId slot, ProgramId caller, Word key) {
+    RegSet r;
+    r[0] = key;
+    ppc::set_op(r, kKvGet);
+    if (rt_.call(slot, caller, ep_, r) != Status::kOk) return std::nullopt;
+    return r[1];
+  }
+
+  Status erase(SlotId slot, ProgramId caller, Word key) {
+    RegSet r;
+    r[0] = key;
+    ppc::set_op(r, kKvErase);
+    return rt_.call(slot, caller, ep_, r);
+  }
+
+ private:
+  struct Entry {
+    Word key = 0;
+    Word value = 0;
+    ProgramId owner = 0;
+    bool used = false;
+  };
+
+  /// One slot's shard: touched only by that slot's thread on the fast path.
+  struct Shard {
+    std::vector<Entry> entries;
+    std::size_t size = 0;
+    std::uint32_t inits = 0;
+  };
+
+  Entry* find(Shard& shard, Word key) {
+    const std::size_t start = key % shard.entries.size();
+    for (std::size_t probe = 0; probe < shard.entries.size(); ++probe) {
+      Entry& e = shard.entries[(start + probe) % shard.entries.size()];
+      if (!e.used) return nullptr;
+      if (e.key == key) return &e;
+    }
+    return nullptr;
+  }
+
+  Entry* find_free(Shard& shard, Word key) {
+    const std::size_t start = key % shard.entries.size();
+    for (std::size_t probe = 0; probe < shard.entries.size(); ++probe) {
+      Entry& e = shard.entries[(start + probe) % shard.entries.size()];
+      if (!e.used || e.key == key) return &e;
+    }
+    return nullptr;
+  }
+
+  void init(RtCtx& ctx, RegSet& regs) {
+    // One-time worker setup (§4.5.3): count it, swap in the real handler.
+    ++shards_[ctx.slot()]->inits;
+    auto main = OpDispatcher()
+                    .on(kKvPut,
+                        [this](RtCtx& c, RegSet& r) { do_put(c, r); })
+                    .on(kKvGet,
+                        [this](RtCtx& c, RegSet& r) { do_get(c, r); })
+                    .on(kKvErase,
+                        [this](RtCtx& c, RegSet& r) { do_erase(c, r); })
+                    .on(kKvSize,
+                        [this](RtCtx& c, RegSet& r) {
+                          r[0] = static_cast<Word>(
+                              shards_[c.slot()]->size);
+                          ppc::set_rc(r, Status::kOk);
+                        })
+                    .on(kKvOwnerOf,
+                        [this](RtCtx& c, RegSet& r) {
+                          Entry* e = find(*shards_[c.slot()], r[0]);
+                          if (!e) {
+                            ppc::set_rc(r, Status::kInvalidArgument);
+                            return;
+                          }
+                          r[1] = e->owner;
+                          ppc::set_rc(r, Status::kOk);
+                        })
+                    .handler();
+    ctx.set_worker_handler(main);
+    main(ctx, regs);
+  }
+
+  void do_put(RtCtx& ctx, RegSet& regs) {
+    Shard& shard = *shards_[ctx.slot()];
+    Entry* e = find_free(shard, regs[0]);
+    if (e == nullptr) {
+      ppc::set_rc(regs, Status::kOutOfResources);
+      return;
+    }
+    if (!e->used) {
+      e->used = true;
+      e->key = regs[0];
+      e->owner = ctx.caller_program();
+      ++shard.size;
+    }
+    e->value = regs[1];
+    ppc::set_rc(regs, Status::kOk);
+  }
+
+  void do_get(RtCtx& ctx, RegSet& regs) {
+    Entry* e = find(*shards_[ctx.slot()], regs[0]);
+    if (e == nullptr) {
+      ppc::set_rc(regs, Status::kInvalidArgument);
+      return;
+    }
+    regs[1] = e->value;
+    ppc::set_rc(regs, Status::kOk);
+  }
+
+  void do_erase(RtCtx& ctx, RegSet& regs) {
+    Shard& shard = *shards_[ctx.slot()];
+    Entry* e = find(shard, regs[0]);
+    if (e == nullptr) {
+      ppc::set_rc(regs, Status::kInvalidArgument);
+      return;
+    }
+    if (cfg_.enforce_ownership && e->owner != ctx.caller_program()) {
+      ppc::set_rc(regs, Status::kPermissionDenied);
+      return;
+    }
+    // Tombstone-free removal: backward-shift the probe chain so that later
+    // entries whose home slot precedes the hole stay reachable.
+    const std::size_t cap = shard.entries.size();
+    std::size_t hole = static_cast<std::size_t>(e - shard.entries.data());
+    shard.entries[hole].used = false;
+    --shard.size;
+    std::size_t j = hole;
+    for (;;) {
+      j = (j + 1) % cap;
+      Entry& ej = shard.entries[j];
+      if (!ej.used) break;
+      const std::size_t home = ej.key % cap;
+      // ej may move into the hole unless its home lies strictly within
+      // (hole, j] on the probe circle.
+      const std::size_t dist_home = (j - home + cap) % cap;
+      const std::size_t dist_hole = (j - hole + cap) % cap;
+      if (dist_home >= dist_hole) {
+        shard.entries[hole] = ej;
+        ej.used = false;
+        hole = j;
+      }
+    }
+    ppc::set_rc(regs, Status::kOk);
+  }
+
+  Runtime& rt_;
+  KvServiceConfig cfg_;
+  std::vector<CacheAligned<Shard>> shards_;
+  EntryPointId ep_ = kInvalidEntryPoint;
+};
+
+}  // namespace hppc::rt

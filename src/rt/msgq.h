@@ -1,0 +1,101 @@
+// Host baseline 2: classic message-queue IPC — a locked MPMC request queue
+// serviced by dedicated server threads, replies through per-request
+// condition variables. Every request crosses threads twice; compare with
+// the PPC pattern where the handler runs on the caller's own thread.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ppc/regs.h"
+
+namespace hppc::rt {
+
+class MsgQueueServer {
+ public:
+  using Handler = std::function<void(ppc::RegSet&)>;
+
+  MsgQueueServer(std::uint32_t server_threads, Handler handler)
+      : handler_(std::move(handler)) {
+    for (std::uint32_t i = 0; i < server_threads; ++i) {
+      threads_.emplace_back([this] { serve(); });
+    }
+  }
+
+  ~MsgQueueServer() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  MsgQueueServer(const MsgQueueServer&) = delete;
+  MsgQueueServer& operator=(const MsgQueueServer&) = delete;
+
+  /// Synchronous request/response round trip across threads.
+  Status call(ppc::RegSet& regs) {
+    Request req;
+    req.regs = &regs;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return Status::kShutdown;
+      queue_.push_back(&req);
+    }
+    cv_.notify_one();
+    std::unique_lock<std::mutex> lock(req.m);
+    req.cv.wait(lock, [&] { return req.done; });
+    return ppc::rc_of(regs);
+  }
+
+  std::uint64_t served() const { return served_.load(); }
+
+ private:
+  struct Request {
+    ppc::RegSet* regs = nullptr;
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  void serve() {
+    for (;;) {
+      Request* req = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        req = queue_.front();
+        queue_.pop_front();
+      }
+      handler_(*req->regs);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      {
+        // Notify while holding the request mutex: the Request lives on the
+        // caller's stack and is destroyed the moment the caller observes
+        // done==true, so the signal must complete before the caller can
+        // reacquire the lock and return.
+        std::lock_guard<std::mutex> lock(req->m);
+        req->done = true;
+        req->cv.notify_one();
+      }
+    }
+  }
+
+  Handler handler_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request*> queue_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> served_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hppc::rt

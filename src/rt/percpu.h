@@ -1,0 +1,133 @@
+// Per-CPU slots for the host runtime.
+//
+// The paper's design needs "this processor's" resources; on the host we
+// approximate processors with slots: each participating thread registers
+// once, is assigned a slot, and (where the platform allows) is pinned to
+// the matching CPU. All slot-owned state is cache-line aligned so slots
+// never false-share — the host analogue of node-local memory.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/assert.h"
+#include "common/cacheline.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace hppc::rt {
+
+using SlotId = std::uint32_t;
+inline constexpr SlotId kInvalidSlot = ~SlotId{0};
+
+/// Assigns slot ids to threads; at most `capacity` threads may register.
+class SlotRegistry {
+ public:
+  explicit SlotRegistry(std::uint32_t capacity)
+      : capacity_(capacity ? capacity
+                           : std::max(1u, std::thread::hardware_concurrency())) {}
+
+  std::uint32_t capacity() const { return capacity_; }
+
+  /// Register the calling thread; idempotent per thread per registry.
+  /// Optionally pins the thread to CPU (slot % hardware cpus).
+  SlotId register_thread(bool pin = false) {
+    thread_local struct TlsSlot {
+      const SlotRegistry* owner = nullptr;
+      SlotId slot = kInvalidSlot;
+    } tls;
+    if (tls.owner == this && tls.slot != kInvalidSlot) return tls.slot;
+    const SlotId slot = next_.fetch_add(1, std::memory_order_relaxed);
+    HPPC_ASSERT_MSG(slot < capacity_, "too many threads for this registry");
+    tls.owner = this;
+    tls.slot = slot;
+    if (pin) pin_to_cpu(slot);
+    return slot;
+  }
+
+  static void pin_to_cpu(SlotId slot) {
+#if defined(__linux__)
+    const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(slot % n, &set);
+    // Best effort: pinning may be forbidden in constrained environments.
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)slot;
+#endif
+  }
+
+ private:
+  std::uint32_t capacity_;
+  std::atomic<SlotId> next_{0};
+};
+
+/// Lock-free MPSC mailbox: any thread pushes, only the owning slot pops.
+/// This is the host analogue of the cross-processor interrupt (§4.5.2):
+/// remote slots never touch a slot's pools directly, they post work.
+template <typename T>
+class Mailbox {
+ public:
+  struct Node {
+    T value;
+    Node* next = nullptr;
+  };
+
+  ~Mailbox() {
+    Node* n = head_.exchange(nullptr, std::memory_order_acquire);
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Any thread. Lock-free (Treiber push).
+  void post(T value) {
+    Node* node = new Node{std::move(value), nullptr};
+    Node* old = head_.load(std::memory_order_relaxed);
+    do {
+      node->next = old;
+    } while (!head_.compare_exchange_weak(old, node,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  /// Owner only: drain everything, invoking `fn` in FIFO order.
+  template <typename Fn>
+  std::size_t drain(Fn&& fn) {
+    Node* n = head_.exchange(nullptr, std::memory_order_acquire);
+    // Reverse the LIFO chain for FIFO delivery.
+    Node* rev = nullptr;
+    while (n != nullptr) {
+      Node* next = n->next;
+      n->next = rev;
+      rev = n;
+      n = next;
+    }
+    std::size_t count = 0;
+    while (rev != nullptr) {
+      Node* next = rev->next;
+      fn(std::move(rev->value));
+      delete rev;
+      rev = next;
+      ++count;
+    }
+    return count;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  std::atomic<Node*> head_{nullptr};
+};
+
+}  // namespace hppc::rt

@@ -1,0 +1,226 @@
+#include "rt/runtime.h"
+
+namespace hppc::rt {
+
+using ppc::rc_of;
+using ppc::set_rc;
+
+// ---------------------------------------------------------------------------
+// RtCtx
+// ---------------------------------------------------------------------------
+
+std::span<std::byte> RtCtx::stack() {
+  RtCd* cd = worker_.active_cd;
+  HPPC_ASSERT_MSG(cd != nullptr, "stack() outside a call");
+  return {cd->stack.get(), kPageSize};
+}
+
+void RtCtx::set_worker_handler(std::function<void(RtCtx&, RegSet&)> h) {
+  worker_.set_handler(std::move(h));
+}
+
+Status RtCtx::call(EntryPointId id, RegSet& regs) {
+  return rt_.call(slot_, caller_, id, regs);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(std::uint32_t slots, bool pin_threads)
+    : registry_(slots), pin_threads_(pin_threads), slots_(registry_.capacity()) {}
+
+Runtime::~Runtime() = default;
+
+EntryPointId Runtime::bind(RtServiceConfig cfg, ProgramId program,
+                           RtHandler initial_handler) {
+  std::lock_guard<std::mutex> lock(bind_mutex_);
+  while (next_ep_ < kMaxEntryPoints &&
+         services_[next_ep_].load(std::memory_order_relaxed) != nullptr) {
+    ++next_ep_;
+  }
+  HPPC_ASSERT_MSG(next_ep_ < kMaxEntryPoints, "out of entry points");
+  auto svc = std::make_unique<Service>();
+  svc->cfg = std::move(cfg);
+  svc->program = program;
+  svc->initial_handler = std::move(initial_handler);
+  svc->id = next_ep_;
+  Service* raw = svc.get();
+  owned_services_.push_back(std::move(svc));
+  services_[next_ep_].store(raw, std::memory_order_release);
+  return next_ep_++;
+}
+
+Status Runtime::kill(EntryPointId id, bool hard) {
+  Service* svc = lookup(id);
+  if (svc == nullptr || svc->state.load() == SvcState::kDead) {
+    return Status::kNoSuchEntryPoint;
+  }
+  svc->state.store(hard ? SvcState::kDead : SvcState::kDraining,
+                   std::memory_order_release);
+  if (hard) {
+    services_[id].store(nullptr, std::memory_order_release);
+    // Per-slot resources may only be touched by their owner: post the
+    // reclamation to every slot (the mailbox stands in for the IPI of
+    // §4.5.2).
+    for (SlotId s = 0; s < slots_.size(); ++s) {
+      post(s, [this, s, id] { reclaim_service_on_slot(*slots_[s], id); });
+    }
+  }
+  return Status::kOk;
+}
+
+Status Runtime::soft_kill(EntryPointId id) { return kill(id, /*hard=*/false); }
+Status Runtime::hard_kill(EntryPointId id) { return kill(id, /*hard=*/true); }
+
+void Runtime::reclaim_service_on_slot(Slot& slot, EntryPointId id) {
+  RtWorker* w = slot.worker_pool[id];
+  slot.worker_pool[id] = nullptr;
+  while (w != nullptr) {
+    RtWorker* next = w->next;
+    if (w->held_cd != nullptr) {
+      // Return the held CD (and its stack) to the slot's shared pool.
+      w->held_cd->next = slot.cd_pool;
+      slot.cd_pool = w->held_cd;
+      w->held_cd = nullptr;
+    }
+    w = next;  // the owned_workers vector keeps the storage alive
+  }
+}
+
+RtWorker* Runtime::acquire_worker(Slot& slot, Service& svc) {
+  RtWorker* w = slot.worker_pool[svc.id];
+  if (w != nullptr) {
+    slot.worker_pool[svc.id] = w->next;
+    w->next = nullptr;
+    return w;
+  }
+  // Slow path: create a worker initialized to the service's initial
+  // (possibly one-time-init, §4.5.3) routine.
+  ++slot.stats.worker_creations;
+  auto owned = std::make_unique<RtWorker>(svc.initial_handler);
+  w = owned.get();
+  slot.owned_workers.push_back(std::move(owned));
+  if (svc.cfg.hold_cd) {
+    w->held_cd = acquire_cd(slot, *w);
+  }
+  return w;
+}
+
+RtCd* Runtime::acquire_cd(Slot& slot, RtWorker& w) {
+  if (w.held_cd != nullptr) return w.held_cd;
+  RtCd* cd = slot.cd_pool;
+  if (cd != nullptr) {
+    slot.cd_pool = cd->next;
+    cd->next = nullptr;
+    return cd;
+  }
+  ++slot.stats.cd_creations;
+  auto owned = std::make_unique<RtCd>();
+  owned->stack = std::make_unique<std::byte[]>(kPageSize);
+  cd = owned.get();
+  slot.owned_cds.push_back(std::move(owned));
+  return cd;
+}
+
+void Runtime::release(Slot& slot, Service& svc, RtWorker* w, RtCd* cd) {
+  w->active_cd = nullptr;
+  if (w->held_cd != cd) {
+    cd->next = slot.cd_pool;
+    slot.cd_pool = cd;
+  }
+  if (svc.state.load(std::memory_order_acquire) == SvcState::kActive) {
+    w->next = slot.worker_pool[svc.id];
+    slot.worker_pool[svc.id] = w;
+  } else if (w->held_cd != nullptr) {
+    // Draining/dead: the worker is not re-pooled; free its held CD.
+    w->held_cd->next = slot.cd_pool;
+    slot.cd_pool = w->held_cd;
+    w->held_cd = nullptr;
+  }
+}
+
+Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
+                     RegSet& regs) {
+  HPPC_ASSERT(slot_id < slots_.size());
+  Slot& slot = *slots_[slot_id];
+
+  Service* svc = lookup(id);
+  if (svc == nullptr) {
+    set_rc(regs, Status::kNoSuchEntryPoint);
+    return Status::kNoSuchEntryPoint;
+  }
+  const SvcState st = svc->state.load(std::memory_order_acquire);
+  if (st != SvcState::kActive) {
+    const Status s = st == SvcState::kDraining ? Status::kEntryPointDraining
+                                               : Status::kNoSuchEntryPoint;
+    set_rc(regs, s);
+    return s;
+  }
+
+  // Fast path: everything below is slot-local, no atomics, no locks.
+  ++slot.stats.calls;
+  RtWorker* w = acquire_worker(slot, *svc);
+  RtCd* cd = acquire_cd(slot, *w);
+  w->active_cd = cd;
+
+  RtCtx ctx(*this, slot_id, *w, caller);
+  RtHandler handler = w->handler();  // copy: may self-replace (§4.5.3)
+  handler(ctx, regs);
+
+  release(slot, *svc, w, cd);
+  return rc_of(regs);
+}
+
+Status Runtime::call_async(SlotId slot_id, ProgramId caller, EntryPointId id,
+                           RegSet regs) {
+  HPPC_ASSERT(slot_id < slots_.size());
+  Slot& slot = *slots_[slot_id];
+  Service* svc = lookup(id);
+  if (svc == nullptr) return Status::kNoSuchEntryPoint;
+  if (svc->state.load(std::memory_order_acquire) != SvcState::kActive) {
+    return Status::kEntryPointDraining;
+  }
+  ++slot.stats.async_calls;
+  slot.deferred.push_back(DeferredCall{caller, id, regs});
+  return Status::kOk;
+}
+
+std::size_t Runtime::poll(SlotId slot_id) {
+  HPPC_ASSERT(slot_id < slots_.size());
+  Slot& slot = *slots_[slot_id];
+  std::size_t done = slot.mailbox.drain([](std::function<void()>&& fn) {
+    fn();
+  });
+  std::vector<DeferredCall> pending;
+  pending.swap(slot.deferred);
+  for (auto& d : pending) {
+    RegSet regs = d.regs;
+    call(slot_id, d.caller, d.id, regs);  // results discarded (§4.4 async)
+    ++done;
+  }
+  return done;
+}
+
+void Runtime::post(SlotId target, std::function<void()> fn) {
+  HPPC_ASSERT(target < slots_.size());
+  slots_[target]->mailbox.post(std::move(fn));
+}
+
+Runtime::SlotStats Runtime::stats(SlotId slot) const {
+  HPPC_ASSERT(slot < slots_.size());
+  return slots_[slot]->stats;
+}
+
+std::size_t Runtime::pooled_workers(SlotId slot, EntryPointId id) const {
+  HPPC_ASSERT(slot < slots_.size());
+  HPPC_ASSERT(id < kMaxEntryPoints);
+  std::size_t n = 0;
+  for (RtWorker* w = slots_[slot]->worker_pool[id]; w != nullptr;
+       w = w->next) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace hppc::rt

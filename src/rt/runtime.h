@@ -1,0 +1,205 @@
+// The PPC pattern as a host library: per-slot worker and call-descriptor
+// pools, a replicated-by-construction service table, and a fast path that
+// executes the service handler on the calling thread with NO locks and NO
+// shared mutable data — one relaxed atomic load to resolve the entry point
+// is the only synchronization a warm call performs.
+//
+// Semantics mirror the simulated facility: 8 words in/out through a RegSet,
+// opcode+flags+rc packed in the last word, caller identified by a program
+// token (§4.1), workers created on demand with a one-time init routine
+// (§4.5.3), hold-CD mode, soft/hard kill (§4.5.2; cross-slot resource
+// reclamation travels through MPSC mailboxes, the host analogue of the
+// cross-processor interrupt), and async calls deferred to the owning slot.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "ppc/regs.h"
+#include "rt/percpu.h"
+
+namespace hppc::rt {
+
+using ppc::RegSet;
+
+class Runtime;
+class RtWorker;
+
+/// What a handler sees while servicing a call.
+class RtCtx {
+ public:
+  RtCtx(Runtime& rt, SlotId slot, RtWorker& worker, ProgramId caller)
+      : rt_(rt), slot_(slot), worker_(worker), caller_(caller) {}
+
+  Runtime& runtime() { return rt_; }
+  SlotId slot() const { return slot_; }
+  ProgramId caller_program() const { return caller_; }
+
+  /// The worker's stack buffer for this call (one page, recycled LIFO
+  /// across services on this slot, exactly like the paper's stacks).
+  std::span<std::byte> stack();
+
+  /// Worker-initialization protocol (§4.5.3).
+  void set_worker_handler(std::function<void(RtCtx&, RegSet&)> h);
+
+  /// Nested call to another service from inside a handler.
+  Status call(EntryPointId id, RegSet& regs);
+
+ private:
+  Runtime& rt_;
+  SlotId slot_;
+  RtWorker& worker_;
+  ProgramId caller_;
+};
+
+using RtHandler = std::function<void(RtCtx&, RegSet&)>;
+
+struct RtServiceConfig {
+  std::string name = "service";
+  bool hold_cd = false;
+  std::uint32_t pool_target = 1;
+};
+
+/// A call descriptor: return info slot + the stack buffer (§2).
+struct RtCd {
+  std::unique_ptr<std::byte[]> stack;  // one page
+  RtCd* next = nullptr;                // slot-local free list
+};
+
+class RtWorker {
+ public:
+  explicit RtWorker(RtHandler handler) : handler_(std::move(handler)) {}
+
+  RtHandler& handler() { return handler_; }
+  void set_handler(RtHandler h) { handler_ = std::move(h); }
+
+  RtCd* held_cd = nullptr;   // hold-CD mode
+  RtCd* active_cd = nullptr;
+  RtWorker* next = nullptr;  // slot-local pool link
+
+ private:
+  RtHandler handler_;
+};
+
+class Runtime {
+ public:
+  /// `slots` = maximum participating threads (0 = hardware concurrency).
+  explicit Runtime(std::uint32_t slots = 0, bool pin_threads = false);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Register the calling thread; must be called before it makes calls.
+  SlotId register_thread() {
+    return registry_.register_thread(pin_threads_);
+  }
+
+  std::uint32_t slots() const { return registry_.capacity(); }
+
+  // ----- binding (slow path; internally locked) -----
+
+  EntryPointId bind(RtServiceConfig cfg, ProgramId program,
+                    RtHandler initial_handler);
+
+  /// Soft kill: new calls fail with kEntryPointDraining/kNoSuchEntryPoint;
+  /// pooled resources are reclaimed lazily by each slot.
+  Status soft_kill(EntryPointId id);
+
+  /// Hard kill: like soft kill, plus reclamation requests are posted to
+  /// every slot's mailbox immediately.
+  Status hard_kill(EntryPointId id);
+
+  // ----- the fast path -----
+
+  /// Synchronous call on the calling thread's slot. regs[kOpWord] carries
+  /// opcode+flags in and rc out. `caller` is the caller's program token.
+  Status call(SlotId slot, ProgramId caller, EntryPointId id, RegSet& regs);
+
+  /// Asynchronous call: queued on this slot, executed at the next poll().
+  Status call_async(SlotId slot, ProgramId caller, EntryPointId id,
+                    RegSet regs);
+
+  /// Drain this slot's deferred/async queue and mailbox. Returns the
+  /// number of actions performed.
+  std::size_t poll(SlotId slot);
+
+  /// Post a cross-slot action (host analogue of an IPI); it runs when the
+  /// owning thread next polls.
+  void post(SlotId target, std::function<void()> fn);
+
+  // ----- introspection -----
+
+  struct SlotStats {
+    std::uint64_t calls = 0;
+    std::uint64_t async_calls = 0;
+    std::uint64_t worker_creations = 0;
+    std::uint64_t cd_creations = 0;
+  };
+  SlotStats stats(SlotId slot) const;
+
+  std::size_t pooled_workers(SlotId slot, EntryPointId id) const;
+
+ private:
+  friend class RtCtx;
+
+  enum class SvcState : std::uint8_t { kActive, kDraining, kDead };
+
+  struct Service {
+    RtServiceConfig cfg;
+    ProgramId program;
+    RtHandler initial_handler;
+    std::atomic<SvcState> state{SvcState::kActive};
+    EntryPointId id = kInvalidEntryPoint;
+  };
+
+  struct DeferredCall {
+    ProgramId caller;
+    EntryPointId id;
+    RegSet regs;
+  };
+
+  /// Everything one slot owns. Only the registered thread touches the
+  /// non-atomic members; remote threads go through the mailbox.
+  struct Slot {
+    // Per-service worker pools, indexed by entry-point id (sparse).
+    std::array<RtWorker*, kMaxEntryPoints> worker_pool{};
+    RtCd* cd_pool = nullptr;
+    SlotStats stats;
+    std::vector<std::unique_ptr<RtWorker>> owned_workers;
+    std::vector<std::unique_ptr<RtCd>> owned_cds;
+    std::vector<DeferredCall> deferred;
+    Mailbox<std::function<void()>> mailbox;
+  };
+
+  Service* lookup(EntryPointId id) const {
+    if (id >= kMaxEntryPoints) return nullptr;
+    return services_[id].load(std::memory_order_acquire);
+  }
+
+  RtWorker* acquire_worker(Slot& slot, Service& svc);
+  RtCd* acquire_cd(Slot& slot, RtWorker& w);
+  void release(Slot& slot, Service& svc, RtWorker* w, RtCd* cd);
+  void reclaim_service_on_slot(Slot& slot, EntryPointId id);
+  Status kill(EntryPointId id, bool hard);
+
+  SlotRegistry registry_;
+  bool pin_threads_;
+  std::vector<CacheAligned<Slot>> slots_;
+  std::array<std::atomic<Service*>, kMaxEntryPoints> services_{};
+  std::vector<std::unique_ptr<Service>> owned_services_;
+  std::mutex bind_mutex_;  // slow path only
+  EntryPointId next_ep_ = 8;
+};
+
+}  // namespace hppc::rt

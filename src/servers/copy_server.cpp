@@ -1,0 +1,174 @@
+#include "servers/copy_server.h"
+
+#include <algorithm>
+
+namespace hppc::servers {
+
+using ppc::RegSet;
+using ppc::ServerCtx;
+using sim::CostCategory;
+
+namespace {
+constexpr Cycles kGrantWork = 60;
+constexpr Cycles kValidateWork = 45;
+
+SimAddr addr_from(const RegSet& regs, std::size_t lo) {
+  return ppc::get_u64(regs, lo);
+}
+}  // namespace
+
+CopyServer::CopyServer(ppc::PpcFacility& ppc, NodeId home_node) : ppc_(ppc) {
+  table_saddr_ = ppc.machine().allocator().alloc(home_node, 1024, 64);
+  ppc::EntryPointConfig cfg;
+  cfg.name = "copy-server";
+  cfg.kernel_space = true;  // it moves bytes between address spaces
+  ppc::ServiceCode code;
+  code.handler_instructions = 48;
+  code.home_node = home_node;
+  ppc.bind_well_known(
+      ppc::kCopyServerEp, cfg, /*as=*/nullptr, /*program=*/0,
+      [this](ServerCtx& ctx, RegSet& regs) { handler(ctx, regs); }, code);
+}
+
+const CopyServer::Grant* CopyServer::find_grant(ProgramId granter,
+                                                ProgramId grantee,
+                                                SimAddr addr,
+                                                std::uint32_t len,
+                                                Word need) const {
+  for (const Grant& g : grants_) {
+    if (g.granter == granter && g.grantee == grantee &&
+        (g.rights & need) == need && addr >= g.base &&
+        addr + len <= g.base + g.len) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+void CopyServer::do_copy(ServerCtx& ctx, SimAddr src, SimAddr dst,
+                         std::uint32_t len) {
+  auto& m = ctx.machine();
+  // Move the actual bytes through the functional data memory.
+  std::vector<std::uint8_t> buf(len);
+  m.read_data(src, buf.data(), len);
+  m.write_data(dst, buf.data(), len);
+  // Charge the streaming traffic: loads of the source, stores of the
+  // destination, in cache-line units, against the server-time category of
+  // the CopyServer worker on the caller's processor.
+  ctx.touch(src, len, /*is_store=*/false);
+  ctx.touch(dst, len, /*is_store=*/true);
+}
+
+void CopyServer::handler(ServerCtx& ctx, RegSet& regs) {
+  switch (opcode_of(regs)) {
+    case kCopyGrant: {
+      const ProgramId grantee = regs[0];
+      const SimAddr base = addr_from(regs, 1);
+      const std::uint32_t len = regs[3];
+      const Word rights = regs[4] & (kCopyRightRead | kCopyRightWrite);
+      if (len == 0 || rights == 0) {
+        set_rc(regs, Status::kInvalidArgument);
+        return;
+      }
+      ctx.work(kGrantWork);
+      ctx.touch(table_saddr_ + (grants_.size() % 32) * 32, 32, true);
+      grants_.push_back(
+          Grant{ctx.caller_program(), grantee, base, len, rights});
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kCopyRevoke: {
+      const ProgramId grantee = regs[0];
+      const ProgramId granter = ctx.caller_program();
+      ctx.work(kGrantWork);
+      grants_.erase(std::remove_if(grants_.begin(), grants_.end(),
+                                   [&](const Grant& g) {
+                                     return g.granter == granter &&
+                                            g.grantee == grantee;
+                                   }),
+                    grants_.end());
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kCopyFrom: {
+      const ProgramId granter = regs[0];
+      const SimAddr src = addr_from(regs, 1);
+      const SimAddr dst = addr_from(regs, 3);
+      const std::uint32_t len = regs[5];
+      ctx.work(kValidateWork);
+      if (find_grant(granter, ctx.caller_program(), src, len,
+                     kCopyRightRead) == nullptr) {
+        set_rc(regs, Status::kBadRegion);
+        return;
+      }
+      do_copy(ctx, src, dst, len);
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kCopyTo: {
+      const ProgramId granter = regs[0];
+      const SimAddr src = addr_from(regs, 1);
+      const SimAddr dst = addr_from(regs, 3);
+      const std::uint32_t len = regs[5];
+      ctx.work(kValidateWork);
+      if (find_grant(granter, ctx.caller_program(), dst, len,
+                     kCopyRightWrite) == nullptr) {
+        set_rc(regs, Status::kBadRegion);
+        return;
+      }
+      do_copy(ctx, src, dst, len);
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    default:
+      set_rc(regs, Status::kInvalidArgument);
+  }
+}
+
+// ----- client-side stubs -----
+
+Status CopyServer::grant(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                         kernel::Process& caller, ProgramId grantee,
+                         SimAddr base, std::uint32_t len, Word rights) {
+  RegSet regs;
+  regs[0] = grantee;
+  ppc::set_u64(regs, 1, base);
+  regs[3] = len;
+  regs[4] = rights;
+  set_op(regs, kCopyGrant);
+  return ppc.call(cpu, caller, ppc::kCopyServerEp, regs);
+}
+
+Status CopyServer::revoke(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                          kernel::Process& caller, ProgramId grantee) {
+  RegSet regs;
+  regs[0] = grantee;
+  set_op(regs, kCopyRevoke);
+  return ppc.call(cpu, caller, ppc::kCopyServerEp, regs);
+}
+
+Status CopyServer::copy_from(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                             kernel::Process& caller, ProgramId granter,
+                             SimAddr src, SimAddr dst, std::uint32_t len) {
+  RegSet regs;
+  regs[0] = granter;
+  ppc::set_u64(regs, 1, src);
+  ppc::set_u64(regs, 3, dst);
+  regs[5] = len;
+  set_op(regs, kCopyFrom);
+  return ppc.call(cpu, caller, ppc::kCopyServerEp, regs);
+}
+
+Status CopyServer::copy_to(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                           kernel::Process& caller, ProgramId granter,
+                           SimAddr src, SimAddr dst, std::uint32_t len) {
+  RegSet regs;
+  regs[0] = granter;
+  ppc::set_u64(regs, 1, src);
+  ppc::set_u64(regs, 3, dst);
+  regs[5] = len;
+  set_op(regs, kCopyTo);
+  return ppc.call(cpu, caller, ppc::kCopyServerEp, regs);
+}
+
+}  // namespace hppc::servers

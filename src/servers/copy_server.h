@@ -1,0 +1,91 @@
+// The CopyServer (§4.2): bulk data transfer for PPC.
+//
+// "Our PPC model provides explicit transfer of 8 words in both directions,
+//  but does not directly address how to transfer larger amounts of data. We
+//  provide a mechanism borrowed from the V system where a caller may give
+//  permission to the server to read and write selected portions of its
+//  address space. The actual transfer of data is done by a separate CopyTo
+//  or CopyFrom request. (CopyTo and CopyFrom are normal PPC requests made
+//  to the CopyServer.)"
+//
+// Flow: a client grants a server program read and/or write rights over a
+// region of its memory; the server, while handling the client's request,
+// PPC-calls the CopyServer to move bytes between that region and its own
+// memory. The CopyServer validates the grant (by program id, §4.1), moves
+// the bytes through the machine's functional data memory, and charges the
+// streaming cache traffic on both sides.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppc/facility.h"
+
+namespace hppc::servers {
+
+enum CopyOp : Word {
+  /// Caller grants `grantee` rights over [base, base+len) of its memory.
+  /// w[0]=grantee program, w[1]=base lo, w[2]=base hi, w[3]=len,
+  /// w[4]=rights (bit0 read, bit1 write).
+  kCopyGrant = 1,
+  /// Caller revokes all grants it made to w[0]=grantee program.
+  kCopyRevoke = 2,
+  /// Caller (the grantee) copies from the granter's region into its own
+  /// memory. w[0]=granter program, w[1]=src lo, w[2]=src hi, w[3]=dst lo,
+  /// w[4]=dst hi, w[5]=len. Requires a read grant covering the source.
+  kCopyFrom = 3,
+  /// Caller (the grantee) copies into the granter's region. Same register
+  /// layout with src/dst meanings swapped. Requires a write grant.
+  kCopyTo = 4,
+};
+
+inline constexpr Word kCopyRightRead = 1;
+inline constexpr Word kCopyRightWrite = 2;
+
+class CopyServer {
+ public:
+  explicit CopyServer(ppc::PpcFacility& ppc, NodeId home_node = 0);
+
+  CopyServer(const CopyServer&) = delete;
+  CopyServer& operator=(const CopyServer&) = delete;
+
+  std::size_t grant_count() const { return grants_.size(); }
+
+  // ----- client-side stubs -----
+
+  static Status grant(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                      kernel::Process& caller, ProgramId grantee,
+                      SimAddr base, std::uint32_t len, Word rights);
+
+  static Status revoke(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                       kernel::Process& caller, ProgramId grantee);
+
+  static Status copy_from(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                          kernel::Process& caller, ProgramId granter,
+                          SimAddr src, SimAddr dst, std::uint32_t len);
+
+  static Status copy_to(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                        kernel::Process& caller, ProgramId granter,
+                        SimAddr src, SimAddr dst, std::uint32_t len);
+
+ private:
+  struct Grant {
+    ProgramId granter;
+    ProgramId grantee;
+    SimAddr base;
+    std::uint32_t len;
+    Word rights;
+  };
+
+  void handler(ppc::ServerCtx& ctx, ppc::RegSet& regs);
+  const Grant* find_grant(ProgramId granter, ProgramId grantee, SimAddr addr,
+                          std::uint32_t len, Word need) const;
+  void do_copy(ppc::ServerCtx& ctx, SimAddr src, SimAddr dst,
+               std::uint32_t len);
+
+  ppc::PpcFacility& ppc_;
+  std::vector<Grant> grants_;
+  SimAddr table_saddr_ = kInvalidAddr;
+};
+
+}  // namespace hppc::servers

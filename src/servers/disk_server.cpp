@@ -1,0 +1,145 @@
+#include "servers/disk_server.h"
+
+#include <algorithm>
+
+namespace hppc::servers {
+
+using kernel::Cpu;
+using ppc::RegSet;
+using ppc::ServerCtx;
+using sim::CostCategory;
+
+DiskServer::DiskServer(ppc::PpcFacility& ppc, Config cfg)
+    : ppc_(ppc),
+      cfg_(cfg),
+      qlock_(ppc.machine().allocator().alloc(cfg.home_node, 64, 64)) {
+  auto& alloc = ppc.machine().allocator();
+  queue_saddr_ = alloc.alloc(cfg_.home_node, 256, 64);
+  data_base_ = alloc.alloc(cfg_.home_node,
+                           std::size_t{cfg_.num_blocks} * cfg_.block_bytes,
+                           kPageSize);
+
+  ppc::EntryPointConfig ep_cfg;
+  ep_cfg.name = "disk";
+  ep_cfg.kernel_space = true;  // device driver lives in the kernel space
+  ppc::ServiceCode code;
+  code.handler_instructions = 40;
+  code.home_node = cfg_.home_node;
+  ep_ = ppc.bind(ep_cfg, /*as=*/nullptr, /*program=*/0,
+                 [this](ServerCtx& ctx, RegSet& regs) { handler(ctx, regs); },
+                 code);
+}
+
+SimAddr DiskServer::block_addr(std::uint32_t block) const {
+  HPPC_ASSERT(block < cfg_.num_blocks);
+  return data_base_ + SimAddr{block} * cfg_.block_bytes;
+}
+
+void DiskServer::load_block(std::uint32_t block, const void* bytes,
+                            std::size_t len) {
+  HPPC_ASSERT(len <= cfg_.block_bytes);
+  ppc_.machine().write_data(block_addr(block), bytes, len);
+}
+
+void DiskServer::start_transfer(Cpu& cpu) {
+  // Program the controller; the transfer completes as a device interrupt
+  // which is dispatched as a PPC to this same entry point (§4.4).
+  RegSet regs;
+  set_op(regs, kDiskComplete);
+  ppc_.raise_interrupt(cfg_.interrupt_cpu, cpu.now() + cfg_.service_cycles,
+                       ep_, regs);
+}
+
+void DiskServer::complete_one(ServerCtx& ctx) {
+  Cpu& cpu = ctx.cpu();
+  auto& mem = cpu.mem();
+
+  qlock_.acquire(mem, CostCategory::kServerTime);
+  mem.access_uncached(queue_saddr_, CostCategory::kServerTime);
+  HPPC_ASSERT_MSG(!queue_.empty(), "completion with empty disk queue");
+  Request req = queue_.front();
+  queue_.pop_front();
+  busy_ = !queue_.empty();
+  if (busy_) start_transfer(cpu);
+  qlock_.release(mem, CostCategory::kServerTime);
+
+  // The DMA placed the block into the client's buffer; mirror the bytes in
+  // functional memory and charge the completion bookkeeping.
+  std::vector<std::uint8_t> buf(cfg_.block_bytes);
+  ctx.machine().read_data(block_addr(req.block), buf.data(), buf.size());
+  ctx.machine().write_data(req.dst, buf.data(), buf.size());
+  ctx.work(80);
+  ++completed_;
+
+  // Wake the blocked worker on its own processor. Cross-processor wakeups
+  // travel as interrupts, like every cross-processor operation (§4.3).
+  ppc::Worker* w = req.worker;
+  if (req.worker_cpu == cpu.id()) {
+    ppc_.resume_worker(cpu, *w);
+  } else {
+    ppc_.machine().post_ipi(cpu, req.worker_cpu, [this, w](Cpu& target) {
+      ppc_.resume_worker(target, *w);
+    });
+  }
+}
+
+void DiskServer::handler(ServerCtx& ctx, RegSet& regs) {
+  switch (opcode_of(regs)) {
+    case kDiskRead: {
+      const std::uint32_t block = regs[0];
+      const SimAddr dst = ppc::get_u64(regs, 1);
+      if (block >= cfg_.num_blocks) {
+        set_rc(regs, Status::kInvalidArgument);
+        return;
+      }
+      Cpu& cpu = ctx.cpu();
+      auto& mem = cpu.mem();
+
+      // §4.3: the only shared state is the disk queue.
+      qlock_.acquire(mem, CostCategory::kServerTime);
+      mem.access_uncached(queue_saddr_, CostCategory::kServerTime);
+      queue_.push_back(Request{block, dst, &ctx.worker(), cpu.id()});
+      peak_depth_ = std::max(peak_depth_, queue_.size());
+      const bool was_idle = !busy_;
+      if (was_idle) {
+        busy_ = true;
+        start_transfer(cpu);
+      }
+      qlock_.release(mem, CostCategory::kServerTime);
+
+      // Block until the interrupt-driven completion resumes us.
+      const std::uint32_t bytes = cfg_.block_bytes;
+      ctx.block_call([bytes](ServerCtx&, RegSet& r) {
+        r[3] = bytes;
+        set_rc(r, Status::kOk);
+      });
+      return;
+    }
+    case kDiskComplete: {
+      complete_one(ctx);
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kDiskStats: {
+      regs[0] = static_cast<Word>(completed_);
+      regs[1] = static_cast<Word>(peak_depth_);
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    default:
+      set_rc(regs, Status::kInvalidArgument);
+  }
+}
+
+Status DiskServer::read_block(ppc::PpcFacility& ppc, Cpu& cpu,
+                              kernel::Process& caller, EntryPointId ep,
+                              std::uint32_t block, SimAddr dst,
+                              std::function<void(Status, RegSet&)> done) {
+  RegSet regs;
+  regs[0] = block;
+  ppc::set_u64(regs, 1, dst);
+  set_op(regs, kDiskRead);
+  return ppc.call_blocking(cpu, caller, ep, regs, std::move(done));
+}
+
+}  // namespace hppc::servers

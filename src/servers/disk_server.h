@@ -1,0 +1,92 @@
+// The disk device server: the paper's example of the two cross-processor
+// mechanisms that complement PPC.
+//
+// §4.3: "interactions with a disk only involve accesses to shared queues:
+//  in the case of a busy disk, appending the request to the end of the disk
+//  queue; in the case of an idle disk, additionally adding the disk device
+//  driver process to the ready queue."
+// §4.4: "An asynchronous request from the kernel to the device server is
+//  manufactured by the interrupt handler and dispatched as for a normal
+//  call. From the device server's point of view, it appears as a normal PPC
+//  request."
+//
+// Flow here: a client's read is a blocking PPC handled on the client's own
+// processor; the handler appends to the (spinlock-protected, genuinely
+// shared) disk queue and blocks the worker. When the transfer completes the
+// "hardware" raises an interrupt on the disk's interrupt processor, which
+// is dispatched as an interrupt-manufactured PPC to this same entry point;
+// that handler performs completion bookkeeping and resumes the blocked
+// worker over on its home processor (via an event — cross-processor
+// operations always travel as interrupts).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "ppc/facility.h"
+#include "sim/spinlock.h"
+
+namespace hppc::servers {
+
+enum DiskOp : Word {
+  kDiskRead = 1,      // w[0]=block, w[1..2]=dst addr -> w[3]=bytes read
+  kDiskComplete = 2,  // interrupt-manufactured completion (internal)
+  kDiskStats = 3,     // -> w[0]=completed, w[1]=queued peak
+};
+
+class DiskServer {
+ public:
+  struct Config {
+    NodeId home_node = 0;
+    CpuId interrupt_cpu = 0;   // where the disk's interrupts are delivered
+    Cycles service_cycles = 4000;  // transfer time per block (~240 us)
+    std::uint32_t block_bytes = 512;
+    std::uint32_t num_blocks = 256;
+  };
+
+  DiskServer(ppc::PpcFacility& ppc, Config cfg);
+
+  DiskServer(const DiskServer&) = delete;
+  DiskServer& operator=(const DiskServer&) = delete;
+
+  EntryPointId ep() const { return ep_; }
+
+  /// Host-side: place content into a disk block.
+  void load_block(std::uint32_t block, const void* bytes, std::size_t len);
+  SimAddr block_addr(std::uint32_t block) const;
+
+  std::uint64_t completed() const { return completed_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Client-side stub: a blocking PPC read of one block into `dst`.
+  /// `on_complete` runs on the caller's CPU when the data has arrived.
+  static Status read_block(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                           kernel::Process& caller, EntryPointId ep,
+                           std::uint32_t block, SimAddr dst,
+                           std::function<void(Status, ppc::RegSet&)> done);
+
+ private:
+  struct Request {
+    std::uint32_t block;
+    SimAddr dst;
+    ppc::Worker* worker;  // blocked worker awaiting this transfer
+    CpuId worker_cpu;
+  };
+
+  void handler(ppc::ServerCtx& ctx, ppc::RegSet& regs);
+  void start_transfer(kernel::Cpu& cpu);
+  void complete_one(ppc::ServerCtx& ctx);
+
+  ppc::PpcFacility& ppc_;
+  Config cfg_;
+  EntryPointId ep_ = kInvalidEntryPoint;
+  SimAddr data_base_ = kInvalidAddr;
+  SimAddr queue_saddr_ = kInvalidAddr;
+  sim::SimSpinLock qlock_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  std::uint64_t completed_ = 0;
+  std::size_t peak_depth_ = 0;
+};
+
+}  // namespace hppc::servers

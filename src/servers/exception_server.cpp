@@ -1,0 +1,77 @@
+#include "servers/exception_server.h"
+
+namespace hppc::servers {
+
+using ppc::RegSet;
+using ppc::ServerCtx;
+
+ExceptionServer::ExceptionServer(ppc::PpcFacility& ppc, NodeId home_node)
+    : ppc_(ppc), home_node_(home_node) {
+  registry_saddr_ = ppc.machine().allocator().alloc(home_node, 512, 64);
+
+  ppc::EntryPointConfig cfg;
+  cfg.name = "exceptions";
+  cfg.kernel_space = true;
+  ppc::ServiceCode code;
+  code.handler_instructions = 36;
+  code.home_node = home_node;
+  // The handler installed into fresh workers is the *init* routine (§4.5.3);
+  // it swaps itself out on the worker's first call.
+  ep_ = ppc.bind(cfg, /*as=*/nullptr, /*program=*/0,
+                 [this](ServerCtx& ctx, RegSet& regs) {
+                   init_routine(ctx, regs);
+                 },
+                 code);
+}
+
+void ExceptionServer::init_routine(ServerCtx& ctx, RegSet& regs) {
+  // One-time setup: allocate a per-worker scratch buffer on this worker's
+  // processor's node and register with the registry. Charged once, not on
+  // every subsequent call — that is the whole point of the protocol.
+  const SimAddr scratch =
+      ctx.machine().allocator().alloc(ctx.cpu().node(), 256, 64);
+  ctx.touch(scratch, 64, /*is_store=*/true);
+  ctx.touch(registry_saddr_ + (registered_ % 16) * 32, 32, /*is_store=*/true);
+  ctx.work(150);  // registration bookkeeping
+  ++registered_;
+
+  ctx.set_worker_handler([this](ServerCtx& c, RegSet& r) {
+    main_routine(c, r);
+  });
+  main_routine(ctx, regs);  // and handle this first call
+}
+
+void ExceptionServer::main_routine(ServerCtx& ctx, RegSet& regs) {
+  switch (opcode_of(regs)) {
+    case kExceptionRaise: {
+      const ProgramId victim = regs[0];
+      ctx.work(40);
+      ctx.touch(registry_saddr_, 32, /*is_store=*/true);
+      ++counts_[victim];
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kExceptionQuery: {
+      const ProgramId victim = regs[0];
+      ctx.work(20);
+      auto it = counts_.find(victim);
+      regs[1] = it == counts_.end() ? 0 : static_cast<Word>(it->second);
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    default:
+      set_rc(regs, Status::kInvalidArgument);
+  }
+}
+
+Status ExceptionServer::deliver(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                                EntryPointId ep, ProgramId victim,
+                                Word code) {
+  RegSet regs;
+  regs[0] = victim;
+  regs[1] = code;
+  set_op(regs, kExceptionRaise);
+  return ppc.upcall(cpu, ep, regs);
+}
+
+}  // namespace hppc::servers

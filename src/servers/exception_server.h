@@ -1,0 +1,63 @@
+// The exception server: upcall target (§4.4) and the worked example of the
+// worker-initialization protocol (§4.5.3).
+//
+// §4.4: "Upcalls are essentially software-based interrupts. ... They have
+//  wide application, and are currently used for debugging and exception
+//  handling."
+// §4.5.3: "in some servers the workers need to execute initialization code
+//  once when they are first created (e.g. registering themselves with an
+//  exception server, or allocating a buffer)".
+//
+// Each worker's first call runs the init routine: it allocates a per-worker
+// scratch buffer and registers the worker here, then swaps in the main
+// routine. Exceptions are delivered as upcalls carrying (program, code).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ppc/facility.h"
+
+namespace hppc::servers {
+
+enum ExceptionOp : Word {
+  kExceptionRaise = 1,  // w[0]=victim program, w[1]=exception code
+  kExceptionQuery = 2,  // w[0]=victim program -> w[1]=count
+  kWorkerRegister = 3,  // internal: worker init registration
+};
+
+class ExceptionServer {
+ public:
+  explicit ExceptionServer(ppc::PpcFacility& ppc, NodeId home_node = 0);
+
+  ExceptionServer(const ExceptionServer&) = delete;
+  ExceptionServer& operator=(const ExceptionServer&) = delete;
+
+  EntryPointId ep() const { return ep_; }
+
+  /// Number of workers that ran their one-time init (== workers created).
+  std::uint32_t registered_workers() const { return registered_; }
+
+  std::uint64_t exceptions_for(ProgramId program) const {
+    auto it = counts_.find(program);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Deliver an exception as an upcall on `cpu` (§4.4).
+  static Status deliver(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                        EntryPointId ep, ProgramId victim, Word code);
+
+ private:
+  void init_routine(ppc::ServerCtx& ctx, ppc::RegSet& regs);
+  void main_routine(ppc::ServerCtx& ctx, ppc::RegSet& regs);
+
+  ppc::PpcFacility& ppc_;
+  NodeId home_node_;
+  EntryPointId ep_ = kInvalidEntryPoint;
+  SimAddr registry_saddr_ = kInvalidAddr;
+  std::uint32_t registered_ = 0;
+  std::unordered_map<ProgramId, std::uint64_t> counts_;
+};
+
+}  // namespace hppc::servers

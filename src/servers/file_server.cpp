@@ -1,0 +1,276 @@
+#include "servers/file_server.h"
+
+#include <algorithm>
+
+#include "servers/copy_server.h"
+
+namespace hppc::servers {
+
+using ppc::RegSet;
+using ppc::ServerCtx;
+using sim::CostCategory;
+
+namespace {
+// Calibration of the file-system half of the 66 us GetLength call (§3):
+// lookup + result work outside the lock, and a small number of uncached
+// shared-record accesses inside it.
+constexpr Cycles kLookupWork = 130;       // descriptor/directory resolution
+constexpr Cycles kResultWork = 60;        // result assembly, accounting
+// The critical section (§3): the descriptor update/validation work done
+// while the per-file lock is held, plus "a very small number of memory
+// accesses" to the shared record (uncached: no hardware coherence).
+// Together they serialize ~16.5 us of each 66 us call, which is what makes
+// the single-file curve saturate at four processors.
+constexpr Cycles kLockedWork = 200;
+constexpr int kRecordAccesses = 2;        // "a very small number"
+constexpr std::size_t kRecordBytes = 64;  // metadata record
+constexpr std::size_t kOpenTableEntry = 32;
+}  // namespace
+
+FileServer::FileServer(ppc::PpcFacility& ppc, Config cfg)
+    : ppc_(ppc), cfg_(cfg) {
+  auto& m = ppc.machine();
+  open_table_ = m.allocator().alloc(cfg_.home_node, 256 * kOpenTableEntry, 64);
+
+  ppc::EntryPointConfig ep_cfg;
+  ep_cfg.name = "bob";
+  if (cfg_.user_space) {
+    as_ = &m.create_address_space(cfg_.program, cfg_.home_node);
+  } else {
+    as_ = nullptr;  // kernel-space file service
+    ep_cfg.kernel_space = true;
+  }
+  ppc::ServiceCode code;
+  code.handler_instructions = 80;  // the file server is a real service
+  code.home_node = cfg_.home_node;
+  ep_ = ppc.bind(ep_cfg, as_, cfg_.program,
+                 [this](ServerCtx& ctx, RegSet& regs) { handler(ctx, regs); },
+                 code);
+}
+
+std::uint32_t FileServer::create_file(NodeId home, std::uint64_t length,
+                                      ProgramId owner) {
+  auto& alloc = ppc_.machine().allocator();
+  const SimAddr record = alloc.alloc(home, kRecordBytes, 64);
+  const SimAddr data = alloc.alloc(home, kPageSize, kPageSize);
+  files_.push_back(std::make_unique<File>(length, record, data, home, owner));
+  return static_cast<std::uint32_t>(files_.size() - 1);
+}
+
+SimAddr FileServer::data_addr(std::uint32_t file_id) const {
+  HPPC_ASSERT(file_id < files_.size());
+  return files_[file_id]->data;
+}
+
+std::uint64_t FileServer::length_of(std::uint32_t file_id) const {
+  HPPC_ASSERT(file_id < files_.size());
+  return files_[file_id]->length;
+}
+
+std::uint64_t FileServer::lock_migrations(std::uint32_t file_id) const {
+  HPPC_ASSERT(file_id < files_.size());
+  return files_[file_id]->lock.migrations();
+}
+
+FileServer::File* FileServer::file_for(RegSet& regs) {
+  const std::uint32_t id = regs[0];
+  if (id >= files_.size()) {
+    set_rc(regs, Status::kInvalidArgument);
+    return nullptr;
+  }
+  return files_[id].get();
+}
+
+void FileServer::locked_record_access(ServerCtx& ctx, File& f,
+                                      bool is_store) {
+  // The critical section (§3): a per-file lock around a handful of accesses
+  // to the shared metadata record. Without hardware coherence the record is
+  // accessed uncached, so each access pays the NUMA distance to the
+  // record's home.
+  auto& mem = ctx.cpu().mem();
+  f.lock.acquire(mem, CostCategory::kServerTime);
+  mem.charge(CostCategory::kServerTime,
+             static_cast<Cycles>(kLockedWork * cfg_.critsec_scale + 0.5));
+  const int accesses = std::max(
+      1, static_cast<int>(kRecordAccesses * cfg_.critsec_scale + 0.5));
+  for (int i = 0; i < accesses; ++i) {
+    mem.access_uncached(f.record + (i % 4) * 16, CostCategory::kServerTime);
+  }
+  if (is_store) {
+    mem.access_uncached(f.record, CostCategory::kServerTime);
+  }
+  f.lock.release(mem, CostCategory::kServerTime);
+}
+
+void FileServer::handler(ServerCtx& ctx, RegSet& regs) {
+  switch (opcode_of(regs)) {
+    case kFileGetLength: {
+      File* f = file_for(regs);
+      if (!f) return;
+      ctx.work(kLookupWork);
+      ctx.touch(open_table_ + (regs[0] % 256) * kOpenTableEntry,
+                kOpenTableEntry, /*is_store=*/false);
+      locked_record_access(ctx, *f, /*is_store=*/false);
+      ctx.work(kResultWork);
+      set_u64(regs, 1, f->length);
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kFileSetLength: {
+      File* f = file_for(regs);
+      if (!f) return;
+      // §4.1: the server authenticates the caller by program id itself.
+      if (f->owner != 0 && f->owner != ctx.caller_program()) {
+        set_rc(regs, Status::kPermissionDenied);
+        return;
+      }
+      ctx.work(kLookupWork);
+      ctx.touch(open_table_ + (regs[0] % 256) * kOpenTableEntry,
+                kOpenTableEntry, /*is_store=*/true);
+      const std::uint64_t len = get_u64(regs, 1);
+      locked_record_access(ctx, *f, /*is_store=*/true);
+      f->length = len;
+      ctx.work(kResultWork);
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kFileRead: {
+      File* f = file_for(regs);
+      if (!f) return;
+      ctx.work(kLookupWork);
+      const std::uint32_t offset = regs[1];
+      std::uint32_t bytes = regs[2];
+      locked_record_access(ctx, *f, /*is_store=*/false);
+      if (offset >= f->length) {
+        regs[3] = 0;
+        set_rc(regs, Status::kOk);
+        return;
+      }
+      bytes = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(bytes, f->length - offset));
+      bytes = std::min<std::uint32_t>(bytes, kPageSize);
+      // Stream the data through the cache (file cache pages at the file's
+      // home node).
+      ctx.touch(f->data + offset % kPageSize, std::max<std::uint32_t>(bytes, 1),
+                /*is_store=*/false);
+      regs[3] = bytes;
+      ctx.work(kResultWork);
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kFileWrite: {
+      File* f = file_for(regs);
+      if (!f) return;
+      if (f->owner != 0 && f->owner != ctx.caller_program()) {
+        set_rc(regs, Status::kPermissionDenied);
+        return;
+      }
+      ctx.work(kLookupWork);
+      const std::uint32_t offset = regs[1];
+      std::uint32_t bytes = std::min<std::uint32_t>(regs[2], kPageSize);
+      locked_record_access(ctx, *f, /*is_store=*/true);
+      ctx.touch(f->data + offset % kPageSize, std::max<std::uint32_t>(bytes, 1),
+                /*is_store=*/true);
+      if (offset + bytes > f->length) f->length = offset + bytes;
+      ctx.work(kResultWork);
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kFileWriteBulk: {
+      File* f = file_for(regs);
+      if (!f) return;
+      if (f->owner != 0 && f->owner != ctx.caller_program()) {
+        set_rc(regs, Status::kPermissionDenied);
+        return;
+      }
+      const std::uint32_t offset = regs[1];
+      const std::uint32_t len = std::min<std::uint32_t>(regs[2], kPageSize);
+      const SimAddr src = ppc::get_u64(regs, 3);
+      if (len == 0 || offset >= kPageSize) {
+        set_rc(regs, Status::kInvalidArgument);
+        return;
+      }
+      ctx.work(kLookupWork);
+      // Pull the caller's bytes with a nested PPC to the CopyServer (§4.2:
+      // "The actual transfer of data is done by a separate CopyTo or
+      // CopyFrom request"). The grant must name Bob's program.
+      ppc::RegSet c;
+      c[0] = ctx.caller_program();  // the granter
+      ppc::set_u64(c, 1, src);
+      ppc::set_u64(c, 3, f->data + offset % kPageSize);
+      c[5] = len;
+      set_op(c, kCopyFrom);
+      const Status s = ctx.call(ppc::kCopyServerEp, c);
+      if (!ok(s)) {
+        set_rc(regs, s);
+        return;
+      }
+      locked_record_access(ctx, *f, /*is_store=*/true);
+      if (offset + len > f->length) f->length = offset + len;
+      ctx.work(kResultWork);
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    case kFileCreate: {
+      const NodeId home = regs[0] % ppc_.machine().config().num_nodes();
+      const std::uint64_t len = get_u64(regs, 1);
+      ctx.work(kLookupWork + kResultWork);
+      regs[0] = create_file(home, len, ctx.caller_program());
+      set_rc(regs, Status::kOk);
+      return;
+    }
+    default:
+      set_rc(regs, Status::kInvalidArgument);
+  }
+}
+
+Status FileServer::get_length(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                              kernel::Process& caller, EntryPointId ep,
+                              std::uint32_t file_id, std::uint64_t* out_len) {
+  RegSet regs;
+  regs[0] = file_id;
+  set_op(regs, kFileGetLength);
+  const Status s = ppc.call(cpu, caller, ep, regs);
+  if (ok(s) && out_len != nullptr) *out_len = get_u64(regs, 1);
+  return s;
+}
+
+Status FileServer::set_length(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                              kernel::Process& caller, EntryPointId ep,
+                              std::uint32_t file_id, std::uint64_t len) {
+  RegSet regs;
+  regs[0] = file_id;
+  set_u64(regs, 1, len);
+  set_op(regs, kFileSetLength);
+  return ppc.call(cpu, caller, ep, regs);
+}
+
+Status FileServer::read(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                        kernel::Process& caller, EntryPointId ep,
+                        std::uint32_t file_id, std::uint32_t offset,
+                        std::uint32_t bytes, std::uint32_t* out_bytes) {
+  RegSet regs;
+  regs[0] = file_id;
+  regs[1] = offset;
+  regs[2] = bytes;
+  set_op(regs, kFileRead);
+  const Status s = ppc.call(cpu, caller, ep, regs);
+  if (ok(s) && out_bytes != nullptr) *out_bytes = regs[3];
+  return s;
+}
+
+Status FileServer::write_bulk(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                              kernel::Process& caller,
+                              EntryPointId ep, std::uint32_t file_id,
+                              std::uint32_t offset, SimAddr src,
+                              std::uint32_t len) {
+  RegSet regs;
+  regs[0] = file_id;
+  regs[1] = offset;
+  regs[2] = len;
+  ppc::set_u64(regs, 3, src);
+  set_op(regs, kFileWriteBulk);
+  return ppc.call(cpu, caller, ep, regs);
+}
+
+}  // namespace hppc::servers

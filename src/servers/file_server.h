@@ -1,0 +1,121 @@
+// "Bob", the file server (§3, §4.5.6 footnote 7).
+//
+// The Figure-3 workload: independent clients repeatedly request the length
+// of an open file. "The base time for the sequential case is 66 usec, with
+// half of the time attributable to the IPC facility and half to the file
+// system server."
+//
+// The file system's per-file state is genuinely shared data. On a machine
+// without hardware cache coherence it is accessed uncached under a per-file
+// spinlock, so when every client hits the *same* file the lock plus "a very
+// small number of memory accesses in the critical section" serialize ~16 us
+// of every 66 us call and throughput saturates at ~4 processors — the
+// paper's demonstration of "the dramatic impact any locks in the IPC path
+// might have".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ppc/facility.h"
+#include "sim/spinlock.h"
+
+namespace hppc::servers {
+
+enum FileOp : Word {
+  kFileGetLength = 1,  // w[0]=file id          -> w[1],w[2]=length (lo,hi)
+  kFileSetLength = 2,  // w[0]=file id, w[1],w[2]=length (owner only)
+  kFileRead = 3,       // w[0]=file id, w[1]=offset, w[2]=bytes -> w[3]=bytes
+  kFileWrite = 4,      // w[0]=file id, w[1]=offset, w[2]=bytes (owner only)
+  kFileCreate = 5,     // w[0]=home node, w[1],w[2]=length -> w[0]=file id
+  /// Bulk write via the CopyServer (§4.2): the caller must first grant
+  /// Bob's program read access over [src, src+len); Bob pulls the bytes
+  /// with a nested CopyFrom and writes them at `offset`.
+  /// w[0]=file id, w[1]=offset, w[2]=len, w[3],w[4]=src address.
+  kFileWriteBulk = 6,
+};
+
+class FileServer {
+ public:
+  struct Config {
+    NodeId home_node = 0;
+    /// Bind as a user-space server (the paper's servers are user level).
+    bool user_space = true;
+    ProgramId program = 900;
+    /// Scales the locked (serialized) portion of each call; 1.0 reproduces
+    /// the paper's saturation at ~4 processors. The critical-section
+    /// ablation bench sweeps this.
+    double critsec_scale = 1.0;
+  };
+
+  FileServer(ppc::PpcFacility& ppc, Config cfg);
+
+  FileServer(const FileServer&) = delete;
+  FileServer& operator=(const FileServer&) = delete;
+
+  EntryPointId ep() const { return ep_; }
+  ProgramId program() const { return cfg_.program; }
+
+  /// Host-side file creation for harnesses (no PPC cost); files may also be
+  /// created through the kFileCreate operation.
+  std::uint32_t create_file(NodeId home, std::uint64_t length,
+                            ProgramId owner = 0);
+
+  std::uint64_t length_of(std::uint32_t file_id) const;
+  std::size_t file_count() const { return files_.size(); }
+
+  /// Lock-ownership migrations observed on a file's lock (Figure-3
+  /// instrumentation: how often the serialized section changed processors).
+  std::uint64_t lock_migrations(std::uint32_t file_id) const;
+
+  // ----- client-side stubs (each is one full PPC call) -----
+
+  static Status get_length(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                           kernel::Process& caller, EntryPointId ep,
+                           std::uint32_t file_id, std::uint64_t* out_len);
+
+  static Status set_length(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                           kernel::Process& caller, EntryPointId ep,
+                           std::uint32_t file_id, std::uint64_t len);
+
+  static Status read(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                     kernel::Process& caller, EntryPointId ep,
+                     std::uint32_t file_id, std::uint32_t offset,
+                     std::uint32_t bytes, std::uint32_t* out_bytes);
+
+  /// Bulk write: the caller must have granted Bob's program read access
+  /// over [src, src+len) through the CopyServer beforehand.
+  static Status write_bulk(ppc::PpcFacility& ppc, kernel::Cpu& cpu,
+                           kernel::Process& caller, EntryPointId ep,
+                           std::uint32_t file_id, std::uint32_t offset,
+                           SimAddr src, std::uint32_t len);
+
+  /// Where a file's cached data lives (functional bytes live here too).
+  SimAddr data_addr(std::uint32_t file_id) const;
+
+ private:
+  struct File {
+    std::uint64_t length;
+    SimAddr record;  // shared on-disk-cache metadata (accessed uncached)
+    SimAddr data;    // cached file data pages
+    NodeId home;
+    ProgramId owner;
+    sim::SimSpinLock lock;
+
+    File(std::uint64_t len, SimAddr rec, SimAddr dat, NodeId h, ProgramId o)
+        : length(len), record(rec), data(dat), home(h), owner(o), lock(rec) {}
+  };
+
+  void handler(ppc::ServerCtx& ctx, ppc::RegSet& regs);
+  File* file_for(ppc::RegSet& regs);  // sets rc on failure
+  void locked_record_access(ppc::ServerCtx& ctx, File& f, bool is_store);
+
+  ppc::PpcFacility& ppc_;
+  Config cfg_;
+  EntryPointId ep_ = kInvalidEntryPoint;
+  kernel::AddressSpace* as_ = nullptr;
+  SimAddr open_table_ = kInvalidAddr;  // per-server open-file table
+  std::vector<std::unique_ptr<File>> files_;
+};
+
+}  // namespace hppc::servers

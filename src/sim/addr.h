@@ -1,0 +1,63 @@
+// Simulated physical address space.
+//
+// The machine model never dereferences simulated addresses; it only needs
+// them for cache indexing, TLB page numbers, and NUMA home-node lookup.
+// Each NUMA node (Hector station) owns a 4 GiB region; allocations are
+// bump-allocated within their node so that "memory local to processor P"
+// (the paper's per-processor pools, stacks and service tables) really is
+// homed on P's station in the model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace hppc::sim {
+
+inline constexpr unsigned kNodeShift = 32;
+
+constexpr NodeId node_of_addr(SimAddr a) {
+  return static_cast<NodeId>(a >> kNodeShift);
+}
+
+constexpr SimAddr node_base(NodeId n) {
+  return static_cast<SimAddr>(n) << kNodeShift;
+}
+
+/// Bump allocator over the simulated physical memory of every node.
+class SimAllocator {
+ public:
+  explicit SimAllocator(std::size_t num_nodes) : next_(num_nodes) {
+    HPPC_ASSERT(num_nodes > 0 && num_nodes <= kMaxNodes);
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      // Skip the first page so that address 0 stays invalid-looking.
+      next_[n] = node_base(n) + kPageSize;
+    }
+  }
+
+  /// Allocate `bytes` from node `n`, aligned to `align` (power of two).
+  SimAddr alloc(NodeId n, std::size_t bytes, std::size_t align = 16) {
+    HPPC_ASSERT(n < next_.size());
+    HPPC_ASSERT((align & (align - 1)) == 0);
+    SimAddr a = (next_[n] + align - 1) & ~static_cast<SimAddr>(align - 1);
+    next_[n] = a + bytes;
+    HPPC_ASSERT_MSG(node_of_addr(next_[n] - 1) == n, "node region exhausted");
+    return a;
+  }
+
+  /// Allocate one whole page (the unit of PPC stack management, §4.5.4).
+  SimAddr alloc_page(NodeId n) { return alloc(n, kPageSize, kPageSize); }
+
+  std::size_t bytes_used(NodeId n) const {
+    HPPC_ASSERT(n < next_.size());
+    return static_cast<std::size_t>(next_[n] - node_base(n)) - kPageSize;
+  }
+
+ private:
+  static constexpr std::size_t kMaxNodes = 64;
+  std::vector<SimAddr> next_;
+};
+
+}  // namespace hppc::sim

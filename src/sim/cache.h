@@ -1,0 +1,176 @@
+// Set-associative write-back cache model (one per CPU for data, one for
+// instructions), with the 88200's cost structure:
+//   - hit: cache_hit_cycles,
+//   - miss: cache_fill_cycles (+ writeback cycles if the victim is dirty),
+//   - first store to a clean resident line: first_store_clean_cycles extra.
+// NUMA transfer surcharges are added by the caller (MemContext), which knows
+// the requesting CPU's station and the line's home node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "sim/config.h"
+
+namespace hppc::sim {
+
+/// Outcome of one cache access, in cycles plus event flags for statistics.
+struct CacheAccessResult {
+  Cycles cycles = 0;
+  bool miss = false;
+  bool writeback = false;     // a dirty victim was written back
+  SimAddr victim_line = 0;    // line address of the written-back victim
+};
+
+class CacheSim {
+ public:
+  explicit CacheSim(const CacheConfig& cfg)
+      : cfg_(cfg), sets_(cfg.num_sets()) {
+    HPPC_ASSERT(cfg.associativity >= 1);
+    HPPC_ASSERT((cfg.num_sets() & (cfg.num_sets() - 1)) == 0);
+    for (auto& set : sets_) set.ways.resize(cfg.associativity);
+  }
+
+  /// Access one line; `addr` may be anywhere within the line.
+  CacheAccessResult access(SimAddr addr, bool is_store) {
+    CacheAccessResult r;
+    const SimAddr line = line_addr(addr);
+    Set& set = set_of(line);
+    ++tick_;
+
+    for (auto& way : set.ways) {
+      if (way.valid && way.line == line) {
+        r.cycles = cfg_.costs.hit_cycles;
+        if (is_store && !way.dirty) {
+          r.cycles += cfg_.costs.first_store_clean_cycles;
+          way.dirty = true;
+        }
+        way.lru = tick_;
+        ++hits_;
+        return r;
+      }
+    }
+
+    // Miss: fill, evicting the LRU way.
+    r.miss = true;
+    ++misses_;
+    Line* victim = &set.ways[0];
+    for (auto& way : set.ways) {
+      if (!way.valid) {
+        victim = &way;
+        break;
+      }
+      if (way.lru < victim->lru) victim = &way;
+    }
+    r.cycles = cfg_.costs.fill_cycles;
+    if (victim->valid && victim->dirty) {
+      r.cycles += cfg_.costs.writeback_cycles;
+      r.writeback = true;
+      r.victim_line = victim->line;
+      ++writebacks_;
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->dirty = false;
+    victim->lru = tick_;
+    if (is_store) {
+      r.cycles += cfg_.costs.first_store_clean_cycles;
+      victim->dirty = true;
+    }
+    return r;
+  }
+
+  /// True if the line containing `addr` is resident.
+  bool resident(SimAddr addr) const {
+    const SimAddr line = line_addr(addr);
+    const Set& set = sets_[set_index(line)];
+    for (const auto& way : set.ways) {
+      if (way.valid && way.line == line) return true;
+    }
+    return false;
+  }
+
+  /// Invalidate one line if present (cross-processor data invalidation on a
+  /// machine without hardware coherence is done in software; hard-kill and
+  /// the baseline facilities use this). Returns true if the line was dirty.
+  bool invalidate(SimAddr addr) {
+    const SimAddr line = line_addr(addr);
+    Set& set = set_of(line);
+    for (auto& way : set.ways) {
+      if (way.valid && way.line == line) {
+        const bool was_dirty = way.dirty;
+        way.valid = false;
+        way.dirty = false;
+        return was_dirty;
+      }
+    }
+    return false;
+  }
+
+  /// Invalidate everything without writing back (the "cache flushed"
+  /// experiment condition of Figure 2 discards, it does not clean).
+  void flush_all() {
+    for (auto& set : sets_) {
+      for (auto& way : set.ways) {
+        way.valid = false;
+        way.dirty = false;
+      }
+    }
+  }
+
+  /// Mark every resident line dirty ("dirtying the cache" condition, §3:
+  /// subsequent misses pay writebacks on top of fills).
+  void dirty_all() {
+    for (auto& set : sets_) {
+      for (auto& way : set.ways) {
+        if (way.valid) way.dirty = true;
+      }
+    }
+  }
+
+  /// Fill the whole cache with unrelated lines (conflict traffic), all dirty.
+  /// `junk_base` should point at otherwise-unused simulated memory.
+  void fill_with_junk(SimAddr junk_base) {
+    for (std::size_t i = 0; i < cfg_.num_lines(); ++i) {
+      access(junk_base + i * cfg_.line_bytes, /*is_store=*/true);
+    }
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+
+  const CacheConfig& config() const { return cfg_; }
+
+  SimAddr line_addr(SimAddr a) const {
+    return a & ~static_cast<SimAddr>(cfg_.line_bytes - 1);
+  }
+
+ private:
+  struct Line {
+    SimAddr line = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+  struct Set {
+    std::vector<Line> ways;
+  };
+
+  std::size_t set_index(SimAddr line) const {
+    return static_cast<std::size_t>((line / cfg_.line_bytes) &
+                                    (cfg_.num_sets() - 1));
+  }
+  Set& set_of(SimAddr line) { return sets_[set_index(line)]; }
+
+  CacheConfig cfg_;
+  std::vector<Set> sets_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace hppc::sim

@@ -1,0 +1,93 @@
+// Cost accounting: the categories of Figure 2.
+//
+// Every cycle charged on a simulated CPU lands in exactly one category of
+// the ledger, so the stacked-bar breakdown of Figure 2 can be regenerated
+// and the "sum of parts == total" invariant is testable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace hppc::sim {
+
+/// The categories of Figure 2, plus kIdle for time a CPU spends spinning or
+/// waiting (used only by the multi-processor experiments).
+enum class CostCategory : std::uint8_t {
+  kTlbSetup = 0,      // modifying virtual->physical mappings
+  kServerTime,        // worker executing server code
+  kKernelSaveRestore, // minimum processor state for a process switch
+  kUserSaveRestore,   // user-level registers that the call may clobber
+  kCdManipulation,    // call descriptors, free lists, stack management
+  kPpcKernel,         // everything else the PPC call model requires
+  kTlbMiss,           // TLB reload penalties
+  kTrapOverhead,      // two traps + two returns-from-interrupt
+  kUnaccounted,       // pipeline stalls, interference; modelled as residue
+  kIdle,              // spinning on locks / waiting (multi-CPU runs only)
+  kNumCategories,
+};
+
+inline constexpr std::size_t kNumCostCategories =
+    static_cast<std::size_t>(CostCategory::kNumCategories);
+
+constexpr const char* to_string(CostCategory c) {
+  switch (c) {
+    case CostCategory::kTlbSetup: return "TLB setup";
+    case CostCategory::kServerTime: return "server time";
+    case CostCategory::kKernelSaveRestore: return "kernel save/restore";
+    case CostCategory::kUserSaveRestore: return "user save/restore";
+    case CostCategory::kCdManipulation: return "CD manipulation";
+    case CostCategory::kPpcKernel: return "PPC kernel";
+    case CostCategory::kTlbMiss: return "TLB miss";
+    case CostCategory::kTrapOverhead: return "trap overhead";
+    case CostCategory::kUnaccounted: return "unaccounted";
+    case CostCategory::kIdle: return "idle";
+    case CostCategory::kNumCategories: break;
+  }
+  return "?";
+}
+
+/// Per-CPU accumulator of cycles by category.
+class CostLedger {
+ public:
+  void charge(CostCategory c, Cycles cycles) {
+    cells_[static_cast<std::size_t>(c)] += cycles;
+    total_ += cycles;
+  }
+
+  Cycles get(CostCategory c) const {
+    return cells_[static_cast<std::size_t>(c)];
+  }
+
+  Cycles total() const { return total_; }
+
+  void reset() {
+    cells_.fill(0);
+    total_ = 0;
+  }
+
+  /// Difference ledger: *this - earlier snapshot (per category).
+  CostLedger since(const CostLedger& snapshot) const {
+    CostLedger d;
+    for (std::size_t i = 0; i < kNumCostCategories; ++i) {
+      d.cells_[i] = cells_[i] - snapshot.cells_[i];
+    }
+    d.total_ = total_ - snapshot.total_;
+    return d;
+  }
+
+  CostLedger& operator+=(const CostLedger& o) {
+    for (std::size_t i = 0; i < kNumCostCategories; ++i) {
+      cells_[i] += o.cells_[i];
+    }
+    total_ += o.total_;
+    return *this;
+  }
+
+ private:
+  std::array<Cycles, kNumCostCategories> cells_{};
+  Cycles total_ = 0;
+};
+
+}  // namespace hppc::sim

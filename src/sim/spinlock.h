@@ -1,0 +1,73 @@
+// Timeline-based simulated spinlock.
+//
+// The multiprocessor experiments advance each simulated CPU's clock
+// independently and only interact where the software actually shares data.
+// A lock is exactly such a point: this model serializes holders on a single
+// timeline (`free_at_`) and charges
+//   - the spin time (booked as idle) to a contending acquirer,
+//   - a line-transfer cost whenever ownership moves between stations or
+//     processors (Hector has no hardware coherence, so the lock word is
+//     accessed uncached; every acquire/release is a remote access when the
+//     lock's home is off-station),
+//   - nothing beyond a local access in the uncontended, same-owner case.
+//
+// Callers must be driven in global-time order (the throughput engine pops
+// the earliest CPU first), which makes the timeline causally consistent.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/cost.h"
+#include "sim/memctx.h"
+
+namespace hppc::sim {
+
+class SimSpinLock {
+ public:
+  /// `home` is the simulated address of the lock word (determines its NUMA
+  /// home node and hence the transfer cost for remote acquirers).
+  explicit SimSpinLock(SimAddr home) : home_(home) {}
+
+  /// Acquire at the acquirer's current time; advances the acquirer's clock
+  /// past any spin (booked idle) plus the lock-word traffic (booked `cat`).
+  void acquire(MemContext& cpu, CostCategory cat) {
+    // Spin until the lock is free.
+    cpu.idle_until(free_at_);
+    // Test-and-set on the (uncached) lock word.
+    cpu.access_uncached(home_, cat);
+    if (last_owner_ != cpu.cpu() && last_owner_ != kInvalidCpu) {
+      // Ownership migration: the next holder starts with the protected
+      // data cold; charge one extra line transfer for the handoff.
+      cpu.charge(cat, cpu.config().dcache.costs.fill_cycles +
+                          cpu.numa_surcharge(home_));
+      ++migrations_;
+    }
+    held_ = true;
+    last_owner_ = cpu.cpu();
+    ++acquisitions_;
+  }
+
+  /// Release at the holder's current time.
+  void release(MemContext& cpu, CostCategory cat) {
+    cpu.access_uncached(home_, cat);
+    free_at_ = cpu.now();
+    held_ = false;
+  }
+
+  Cycles free_at() const { return free_at_; }
+  std::uint64_t acquisitions() const { return acquisitions_; }
+  std::uint64_t migrations() const { return migrations_; }
+  CpuId last_owner() const { return last_owner_; }
+
+ private:
+  SimAddr home_;
+  Cycles free_at_ = 0;
+  CpuId last_owner_ = kInvalidCpu;
+  bool held_ = false;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace hppc::sim

@@ -1,0 +1,109 @@
+// LRPC-style baseline: functionally correct, but its global locked pools
+// serialize under concurrency — the property the PPC design removes.
+#include "baseline/lrpc.h"
+
+#include <gtest/gtest.h>
+
+namespace hppc::baseline {
+namespace {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+using ppc::RegSet;
+
+struct Fixture {
+  Fixture() : machine(sim::hector_config(16)), lrpc(machine) {}
+
+  Process& make_client(ProgramId prog, CpuId cpu) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, "client",
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  Machine machine;
+  LrpcFacility lrpc;
+};
+
+TEST(Lrpc, BasicCall) {
+  Fixture f;
+  const auto id = f.lrpc.bind([](LrpcCtx&, RegSet& regs) {
+    regs[0] += 1;
+    set_rc(regs, Status::kOk);
+  });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  regs[0] = 41;
+  set_op(regs, 1);
+  ASSERT_EQ(f.lrpc.call(f.machine.cpu(0), client, id, regs), Status::kOk);
+  EXPECT_EQ(regs[0], 42u);
+}
+
+TEST(Lrpc, UnknownService) {
+  Fixture f;
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  EXPECT_EQ(f.lrpc.call(f.machine.cpu(0), client, 99, regs),
+            Status::kNoSuchEntryPoint);
+}
+
+TEST(Lrpc, PoolLockSerializesAcrossCpus) {
+  Fixture f;
+  const auto id = f.lrpc.bind(
+      [](LrpcCtx&, RegSet& regs) { set_rc(regs, Status::kOk); });
+  RegSet regs;
+  for (CpuId c = 0; c < 8; ++c) {
+    Process& client = f.make_client(100 + c, c);
+    set_op(regs, 1);
+    f.lrpc.call(f.machine.cpu(c), client, id, regs);
+  }
+  // Two lock acquisitions per call (allocate + free).
+  EXPECT_EQ(f.lrpc.lock_acquisitions(), 16u);
+  // The lock migrated between processors (coherence traffic the PPC
+  // facility never generates).
+  EXPECT_GT(f.lrpc.lock_migrations(), 0u);
+}
+
+TEST(Lrpc, SlowerThanPpcWouldBeUnderContention) {
+  // Calls from many CPUs each pay remote pool traffic; a single CPU's
+  // repeated calls stay cheaper. This is a sanity property of the model,
+  // not a full Figure-3 rerun (the ablation bench does that).
+  Fixture f;
+  const auto id = f.lrpc.bind(
+      [](LrpcCtx&, RegSet& regs) { set_rc(regs, Status::kOk); });
+  Process& local = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  for (int i = 0; i < 4; ++i) f.lrpc.call(f.machine.cpu(0), local, id, regs);
+  const Cycles t0 = f.machine.cpu(0).now();
+  set_op(regs, 1);
+  f.lrpc.call(f.machine.cpu(0), local, id, regs);
+  const Cycles local_cost = f.machine.cpu(0).now() - t0;
+
+  Process& remote = f.make_client(101, 12);  // station 3: 1 hop from pool
+  set_op(regs, 1);
+  for (int i = 0; i < 4; ++i) f.lrpc.call(f.machine.cpu(12), remote, id, regs);
+  const Cycles t1 = f.machine.cpu(12).now();
+  set_op(regs, 1);
+  f.lrpc.call(f.machine.cpu(12), remote, id, regs);
+  const Cycles remote_cost = f.machine.cpu(12).now() - t1;
+  EXPECT_GT(remote_cost, local_cost);
+}
+
+TEST(Lrpc, PoolGrowsOnDemand) {
+  Fixture f;
+  // One-CD pool forces growth on nested/parallel use; here just verify many
+  // sequential calls recycle without error.
+  const auto id = f.lrpc.bind(
+      [](LrpcCtx&, RegSet& regs) { set_rc(regs, Status::kOk); });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  for (int i = 0; i < 50; ++i) {
+    set_op(regs, 1);
+    ASSERT_EQ(f.lrpc.call(f.machine.cpu(0), client, id, regs), Status::kOk);
+  }
+}
+
+}  // namespace
+}  // namespace hppc::baseline

@@ -1,0 +1,74 @@
+#include "common/free_stack.h"
+
+#include <gtest/gtest.h>
+
+namespace hppc {
+namespace {
+
+struct Item {
+  int id = 0;
+  StackLink link;
+};
+
+using Pool = FreeStack<Item, &Item::link>;
+
+TEST(FreeStack, StartsEmpty) {
+  Pool pool;
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.pop(), nullptr);
+  EXPECT_EQ(pool.peek(), nullptr);
+}
+
+TEST(FreeStack, LifoOrder) {
+  // LIFO is load-bearing: the most recently freed CD/stack is the cache-hot
+  // one, which is the paper's "effectively recycled on each call" effect.
+  Pool pool;
+  Item items[4];
+  for (int i = 0; i < 4; ++i) {
+    items[i].id = i;
+    pool.push(&items[i]);
+  }
+  EXPECT_EQ(pool.size(), 4u);
+  for (int i = 3; i >= 0; --i) {
+    Item* it = pool.pop();
+    ASSERT_NE(it, nullptr);
+    EXPECT_EQ(it->id, i);
+  }
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(FreeStack, PeekDoesNotRemove) {
+  Pool pool;
+  Item a{7, {}};
+  pool.push(&a);
+  EXPECT_EQ(pool.peek(), &a);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.pop(), &a);
+}
+
+TEST(FreeStack, PushPopInterleaved) {
+  Pool pool;
+  Item items[3];
+  pool.push(&items[0]);
+  pool.push(&items[1]);
+  EXPECT_EQ(pool.pop(), &items[1]);
+  pool.push(&items[2]);
+  EXPECT_EQ(pool.pop(), &items[2]);
+  EXPECT_EQ(pool.pop(), &items[0]);
+  EXPECT_EQ(pool.pop(), nullptr);
+}
+
+TEST(FreeStack, ReuseAfterPop) {
+  Pool pool;
+  Item a{};
+  pool.push(&a);
+  Item* got = pool.pop();
+  ASSERT_EQ(got, &a);
+  pool.push(got);  // link must be clean for re-push
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.pop(), &a);
+}
+
+}  // namespace
+}  // namespace hppc

@@ -1,0 +1,134 @@
+#include "common/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hppc {
+namespace {
+
+struct Node {
+  int value = 0;
+  ListLink link;
+  ListLink other_link;  // a node can be on two different lists
+};
+
+using NodeList = IntrusiveList<Node, &Node::link>;
+
+TEST(IntrusiveList, StartsEmpty) {
+  NodeList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+  EXPECT_EQ(list.pop_front(), nullptr);
+  EXPECT_EQ(list.pop_back(), nullptr);
+}
+
+TEST(IntrusiveList, PushBackPopFrontIsFifo) {
+  NodeList list;
+  Node nodes[4];
+  for (int i = 0; i < 4; ++i) {
+    nodes[i].value = i;
+    list.push_back(&nodes[i]);
+  }
+  EXPECT_EQ(list.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    Node* n = list.pop_front();
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->value, i);
+    EXPECT_FALSE(n->link.linked());
+  }
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, PushFrontPopFrontIsLifo) {
+  NodeList list;
+  Node nodes[3];
+  for (int i = 0; i < 3; ++i) {
+    nodes[i].value = i;
+    list.push_front(&nodes[i]);
+  }
+  for (int i = 2; i >= 0; --i) {
+    EXPECT_EQ(list.pop_front()->value, i);
+  }
+}
+
+TEST(IntrusiveList, PopBack) {
+  NodeList list;
+  Node a{1, {}, {}}, b{2, {}, {}};
+  list.push_back(&a);
+  list.push_back(&b);
+  EXPECT_EQ(list.pop_back()->value, 2);
+  EXPECT_EQ(list.pop_back()->value, 1);
+}
+
+TEST(IntrusiveList, EraseFromMiddle) {
+  NodeList list;
+  Node nodes[5];
+  for (int i = 0; i < 5; ++i) {
+    nodes[i].value = i;
+    list.push_back(&nodes[i]);
+  }
+  list.erase(&nodes[2]);
+  EXPECT_EQ(list.size(), 4u);
+  EXPECT_FALSE(list.contains(&nodes[2]));
+  std::vector<int> got;
+  while (Node* n = list.pop_front()) got.push_back(n->value);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 3, 4}));
+}
+
+TEST(IntrusiveList, ContainsFindsOnlyMembers) {
+  NodeList list;
+  Node in{}, out{};
+  list.push_back(&in);
+  EXPECT_TRUE(list.contains(&in));
+  EXPECT_FALSE(list.contains(&out));
+}
+
+TEST(IntrusiveList, UnlinkIsIdempotent) {
+  NodeList list;
+  Node n{};
+  list.push_back(&n);
+  n.link.unlink();
+  EXPECT_FALSE(n.link.linked());
+  n.link.unlink();  // safe second time
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, TwoListsThroughDifferentLinks) {
+  NodeList primary;
+  IntrusiveList<Node, &Node::other_link> secondary;
+  Node n{42, {}, {}};
+  primary.push_back(&n);
+  secondary.push_back(&n);
+  EXPECT_TRUE(primary.contains(&n));
+  EXPECT_TRUE(secondary.contains(&n));
+  EXPECT_EQ(primary.pop_front(), &n);
+  EXPECT_EQ(secondary.pop_front(), &n);
+}
+
+TEST(IntrusiveList, IterationVisitsInOrder) {
+  NodeList list;
+  Node nodes[3];
+  for (int i = 0; i < 3; ++i) {
+    nodes[i].value = i * 10;
+    list.push_back(&nodes[i]);
+  }
+  int expect = 0;
+  for (Node& n : list) {
+    EXPECT_EQ(n.value, expect);
+    expect += 10;
+  }
+  EXPECT_EQ(expect, 30);
+}
+
+TEST(IntrusiveListDeathTest, DoubleInsertAsserts) {
+  NodeList list;
+  Node n{};
+  list.push_back(&n);
+  EXPECT_DEATH(list.push_back(&n), "already on a list");
+}
+
+}  // namespace
+}  // namespace hppc

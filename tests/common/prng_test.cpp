@@ -1,0 +1,76 @@
+#include "common/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hppc {
+namespace {
+
+TEST(Prng, DeterministicForSeed) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Prng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Prng, BelowOneIsAlwaysZero) {
+  Prng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng rng(11);
+  double sum = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Prng, BelowIsRoughlyUniform) {
+  Prng rng(13);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kN = 80000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) ++hist[rng.below(kBuckets)];
+  for (auto h : hist) {
+    EXPECT_NEAR(h, kN / kBuckets, kN / kBuckets * 0.1);
+  }
+}
+
+TEST(Prng, SplitStreamsAreIndependent) {
+  Prng base(42);
+  Prng s1 = base.split(1);
+  Prng s2 = base.split(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    seen.insert(s1.next());
+    seen.insert(s2.next());
+  }
+  EXPECT_EQ(seen.size(), 128u);  // no collisions across streams
+}
+
+}  // namespace
+}  // namespace hppc

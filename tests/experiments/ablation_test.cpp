@@ -1,0 +1,151 @@
+// Regression guards for the ablation claims: NUMA flatness of the warm PPC
+// path, lock saturation of the LRPC-style baseline, and PPC's linear
+// scaling against it. These pin the *shapes* the benches print.
+#include <gtest/gtest.h>
+
+#include "baseline/lrpc.h"
+#include "kernel/machine.h"
+#include "ppc/facility.h"
+
+namespace hppc {
+namespace {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+using ppc::PpcFacility;
+using ppc::RegSet;
+
+Cycles warm_ppc_cost(CpuId client_cpu, Cycles hop_cycles) {
+  sim::MachineConfig mc = sim::hector_config(16);
+  mc.numa_hop_cycles = hop_cycles;
+  Machine machine(mc);
+  PpcFacility ppc(machine);
+  auto& as = machine.create_address_space(700, 0);
+  const EntryPointId ep = ppc.bind(
+      {}, &as, 700,
+      [](ppc::ServerCtx&, RegSet& regs) { set_rc(regs, Status::kOk); });
+  auto& cas = machine.create_address_space(
+      100, machine.config().node_of_cpu(client_cpu));
+  Process& client = machine.create_process(
+      100, &cas, "c", machine.config().node_of_cpu(client_cpu));
+  Cpu& cpu = machine.cpu(client_cpu);
+  RegSet regs;
+  for (int i = 0; i < 8; ++i) {
+    set_op(regs, 1);
+    ppc.call(cpu, client, ep, regs);
+  }
+  const Cycles t0 = cpu.now();
+  for (int i = 0; i < 8; ++i) {
+    set_op(regs, 1);
+    ppc.call(cpu, client, ep, regs);
+  }
+  return cpu.now() - t0;
+}
+
+TEST(NumaAblation, WarmPpcPathIsExactlyFlat) {
+  // "the non-uniform memory access times had no measurable impact" — in
+  // the model the warm path is *bit-for-bit* independent of distance.
+  const Cycles local = warm_ppc_cost(0, 12);
+  EXPECT_EQ(warm_ppc_cost(4, 12), local);   // 1 hop away
+  EXPECT_EQ(warm_ppc_cost(8, 12), local);   // 2 hops away
+  EXPECT_EQ(warm_ppc_cost(8, 200), local);  // even with huge hop costs
+}
+
+TEST(NumaAblation, LrpcPathIsNot) {
+  auto lrpc_cost = [](CpuId client_cpu) {
+    Machine machine(sim::hector_config(16));
+    baseline::LrpcFacility lrpc(machine);
+    const auto id = lrpc.bind([](baseline::LrpcCtx&, RegSet& regs) {
+      set_rc(regs, Status::kOk);
+    });
+    auto& cas = machine.create_address_space(
+        100, machine.config().node_of_cpu(client_cpu));
+    Process& client = machine.create_process(
+        100, &cas, "c", machine.config().node_of_cpu(client_cpu));
+    Cpu& cpu = machine.cpu(client_cpu);
+    RegSet regs;
+    for (int i = 0; i < 8; ++i) {
+      set_op(regs, 1);
+      lrpc.call(cpu, client, id, regs);
+    }
+    const Cycles t0 = cpu.now();
+    for (int i = 0; i < 8; ++i) {
+      set_op(regs, 1);
+      lrpc.call(cpu, client, id, regs);
+    }
+    return cpu.now() - t0;
+  };
+  EXPECT_GT(lrpc_cost(8), lrpc_cost(0));
+}
+
+// Throughput helper: P clients in closed loops for a fixed window.
+template <typename CallFn>
+double throughput(Machine& machine, std::uint32_t clients, CallFn&& fn) {
+  std::vector<Process*> procs;
+  for (CpuId c = 0; c < clients; ++c) {
+    auto& as = machine.create_address_space(100 + c,
+                                            machine.config().node_of_cpu(c));
+    procs.push_back(&machine.create_process(
+        100 + c, &as, "client", machine.config().node_of_cpu(c)));
+    fn(machine.cpu(c), *procs[c]);  // warm
+  }
+  const Cycles window = machine.config().cycles_from_us(2000.0);
+  std::vector<std::uint64_t> counts(clients, 0);
+  std::vector<Cycles> deadline(clients);
+  for (CpuId c = 0; c < clients; ++c) {
+    deadline[c] = machine.cpu(c).now() + window;
+    procs[c]->set_body([&, c](Cpu& cpu, Process& self) {
+      if (cpu.now() >= deadline[c]) return;
+      fn(cpu, self);
+      ++counts[c];
+      machine.ready(cpu, self);
+    });
+    machine.ready(machine.cpu(c), *procs[c]);
+  }
+  machine.run_until_idle();
+  std::uint64_t total = 0;
+  for (auto n : counts) total += n;
+  return static_cast<double>(total) / 0.002;
+}
+
+TEST(BaselineAblation, PpcScalesLinearlyLrpcSaturates) {
+  auto ppc_tput = [](std::uint32_t p) {
+    Machine machine(sim::hector_config(16));
+    PpcFacility ppc(machine);
+    auto& as = machine.create_address_space(700, 0);
+    const EntryPointId ep = ppc.bind(
+        {}, &as, 700,
+        [](ppc::ServerCtx&, RegSet& regs) { set_rc(regs, Status::kOk); });
+    return throughput(machine, p, [&](Cpu& cpu, Process& self) {
+      RegSet regs;
+      set_op(regs, 1);
+      ppc.call(cpu, self, ep, regs);
+    });
+  };
+  auto lrpc_tput = [](std::uint32_t p) {
+    Machine machine(sim::hector_config(16));
+    baseline::LrpcFacility lrpc(machine);
+    const auto id = lrpc.bind([](baseline::LrpcCtx&, RegSet& regs) {
+      set_rc(regs, Status::kOk);
+    });
+    return throughput(machine, p, [&](Cpu& cpu, Process& self) {
+      RegSet regs;
+      set_op(regs, 1);
+      lrpc.call(cpu, self, id, regs);
+    });
+  };
+
+  const double ppc1 = ppc_tput(1), ppc8 = ppc_tput(8), ppc16 = ppc_tput(16);
+  EXPECT_NEAR(ppc8 / ppc1, 8.0, 0.15);
+  EXPECT_NEAR(ppc16 / ppc1, 16.0, 0.3);
+
+  const double lrpc1 = lrpc_tput(1), lrpc8 = lrpc_tput(8),
+               lrpc16 = lrpc_tput(16);
+  EXPECT_LT(lrpc8 / lrpc1, 2.5);            // saturated on its lock
+  EXPECT_LT(lrpc16, lrpc8 * 1.2);           // no further scaling
+  EXPECT_GT(ppc16 / lrpc16, 8.0);           // PPC wins by a wide margin
+}
+
+}  // namespace
+}  // namespace hppc

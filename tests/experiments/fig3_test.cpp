@@ -1,0 +1,84 @@
+// Regression guards for the Figure 3 reproduction: linear scaling for
+// independent files, saturation at ~4 processors for a shared file.
+#include <gtest/gtest.h>
+
+#include "experiments/experiments.h"
+
+namespace hppc::experiments {
+namespace {
+
+Fig3Config quick(std::uint32_t clients, bool single) {
+  Fig3Config cfg;
+  cfg.clients = clients;
+  cfg.single_file = single;
+  cfg.measure_ms = 8.0;  // short windows keep the suite fast
+  return cfg;
+}
+
+TEST(Fig3, SequentialBaseNear66Us) {
+  Fig3Config cfg = quick(1, false);
+  cfg.measure_ms = 20.0;
+  const Fig3Result r = run_fig3(cfg);
+  EXPECT_NEAR(r.sequential_us, 66.0, 6.0);
+}
+
+TEST(Fig3, DifferentFilesScaleLinearly) {
+  const double base = run_fig3(quick(1, false)).calls_per_sec;
+  for (std::uint32_t p : {2u, 4u, 8u, 16u}) {
+    const Fig3Result r = run_fig3(quick(p, false));
+    EXPECT_NEAR(r.calls_per_sec, base * p, base * p * 0.03)
+        << "at " << p << " processors";
+  }
+}
+
+TEST(Fig3, SingleFileSaturatesAroundFourProcessors) {
+  const double base = run_fig3(quick(1, true)).calls_per_sec;
+  const double at4 = run_fig3(quick(4, true)).calls_per_sec;
+  const double at8 = run_fig3(quick(8, true)).calls_per_sec;
+  const double at16 = run_fig3(quick(16, true)).calls_per_sec;
+
+  // Near-linear to 4...
+  EXPECT_GT(at4 / base, 3.3);
+  // ...then flat: no further meaningful speedup.
+  EXPECT_LT(at8 / base, 4.6);
+  EXPECT_LT(at16 / base, 4.6);
+  EXPECT_GT(at16 / base, 2.5);
+  // 8 -> 16 adds essentially nothing.
+  EXPECT_LT(std::abs(at16 - at8) / at8, 0.25);
+}
+
+TEST(Fig3, LatencyStatsTrackSaturation) {
+  const Fig3Result solo = run_fig3(quick(1, true));
+  EXPECT_NEAR(solo.mean_call_us, 64.0, 6.0);
+  EXPECT_NEAR(solo.p99_call_us, solo.mean_call_us, 5.0);  // no queueing
+  const Fig3Result hot = run_fig3(quick(8, true));
+  // Past the knee the mean call time is dominated by lock waiting.
+  EXPECT_GT(hot.mean_call_us, solo.mean_call_us * 1.5);
+}
+
+TEST(Fig3, SingleFileLockMigratesBetweenProcessors) {
+  const Fig3Result r = run_fig3(quick(4, true));
+  EXPECT_GT(r.lock_migrations, 100u);
+  const Fig3Result solo = run_fig3(quick(1, true));
+  EXPECT_EQ(solo.lock_migrations, 0u);
+}
+
+TEST(Fig3, Deterministic) {
+  const Fig3Result a = run_fig3(quick(3, true));
+  const Fig3Result b = run_fig3(quick(3, true));
+  EXPECT_EQ(a.total_calls, b.total_calls);
+  EXPECT_EQ(a.lock_migrations, b.lock_migrations);
+}
+
+TEST(Fig3, CritsecScaleMovesTheKnee) {
+  // Ablation hook: halving the critical section moves saturation higher.
+  Fig3Config heavy = quick(8, true);
+  Fig3Config light = quick(8, true);
+  light.critsec_scale = 0.25;
+  const double heavy_tput = run_fig3(heavy).calls_per_sec;
+  const double light_tput = run_fig3(light).calls_per_sec;
+  EXPECT_GT(light_tput, heavy_tput * 1.3);
+}
+
+}  // namespace
+}  // namespace hppc::experiments

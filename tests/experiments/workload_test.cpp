@@ -1,0 +1,70 @@
+#include "experiments/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace hppc::experiments {
+namespace {
+
+WorkloadConfig quick() {
+  WorkloadConfig cfg;
+  cfg.measure_ms = 3.0;
+  cfg.clients = 8;
+  cfg.num_files = 16;
+  return cfg;
+}
+
+TEST(Workload, RunsAndCounts) {
+  WorkloadConfig cfg = quick();
+  WorkloadResult r = run_workload(cfg);
+  EXPECT_GT(r.total_calls, 100u);
+  EXPECT_EQ(r.total_calls, r.reads + r.writes + r.name_lookups);
+  EXPECT_GT(r.reads, r.writes);  // 10% writes
+  EXPECT_GT(r.calls_per_sec, 0.0);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  WorkloadConfig cfg = quick();
+  WorkloadResult a = run_workload(cfg);
+  WorkloadResult b = run_workload(cfg);
+  EXPECT_EQ(a.total_calls, b.total_calls);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.lock_migrations, b.lock_migrations);
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadConfig a = quick(), b = quick();
+  b.seed = 777;
+  // Same workload shape, different interleavings.
+  EXPECT_NE(run_workload(a).reads, run_workload(b).reads);
+}
+
+TEST(Workload, SkewIncreasesIdleTime) {
+  WorkloadConfig uniform = quick();
+  uniform.zipf_s = 0.0;
+  WorkloadConfig skewed = quick();
+  skewed.zipf_s = 1.5;
+  const WorkloadResult u = run_workload(uniform);
+  const WorkloadResult s = run_workload(skewed);
+  EXPECT_GT(s.idle_fraction, u.idle_fraction);
+  EXPECT_LT(s.calls_per_sec, u.calls_per_sec);
+  EXPECT_GT(s.lock_migrations, u.lock_migrations / 2);
+}
+
+TEST(Workload, CategorySharesSumToOne) {
+  WorkloadResult r = run_workload(quick());
+  double sum = 0;
+  for (double x : r.category_share) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Workload, NameLookupFractionHonored) {
+  WorkloadConfig cfg = quick();
+  cfg.name_lookup_fraction = 0.5;
+  WorkloadResult r = run_workload(cfg);
+  const double frac =
+      static_cast<double>(r.name_lookups) / static_cast<double>(r.total_calls);
+  EXPECT_NEAR(frac, 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace hppc::experiments

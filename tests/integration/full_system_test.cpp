@@ -1,0 +1,251 @@
+// Integration: the whole system at once — Frank, the name server, Bob, the
+// CopyServer, the disk, and the exception server, on a 16-processor
+// machine, with clients that mix synchronous, asynchronous, blocking and
+// bulk-data operations, and a mid-run soft-kill/rebind cycle.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "kernel/machine.h"
+#include "naming/name_server.h"
+#include "ppc/facility.h"
+#include "ppc/stub.h"
+#include "servers/copy_server.h"
+#include "servers/disk_server.h"
+#include "servers/exception_server.h"
+#include "servers/file_server.h"
+
+namespace hppc {
+namespace {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+using ppc::PpcFacility;
+using ppc::RegSet;
+
+class FullSystem : public ::testing::Test {
+ protected:
+  FullSystem()
+      : machine(sim::hector_config(16)),
+        ppc(machine),
+        names(ppc),
+        copy(ppc),
+        bob(ppc, {}),
+        disk(ppc, {}),
+        exceptions(ppc) {}
+
+  Process& make_client(ProgramId prog, CpuId cpu) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, "client",
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  Machine machine;
+  PpcFacility ppc;
+  naming::NameServer names;
+  servers::CopyServer copy;
+  servers::FileServer bob;
+  servers::DiskServer disk;
+  servers::ExceptionServer exceptions;
+};
+
+TEST_F(FullSystem, BootBindsWellKnownServices) {
+  EXPECT_NE(ppc.entry_point(ppc::kFrankEp), nullptr);
+  EXPECT_NE(ppc.entry_point(ppc::kNameServerEp), nullptr);
+  EXPECT_NE(ppc.entry_point(ppc::kCopyServerEp), nullptr);
+}
+
+TEST_F(FullSystem, DiscoveryThenServiceUse) {
+  Process& owner = make_client(700, 0);
+  ASSERT_EQ(naming::NameServer::register_name(ppc, machine.cpu(0), owner,
+                                              "bob", bob.ep()),
+            Status::kOk);
+
+  // A client on a distant station finds and uses the service.
+  Process& client = make_client(100, 12);
+  EntryPointId found = 0;
+  ASSERT_EQ(naming::NameServer::lookup(ppc, machine.cpu(12), client, "bob",
+                                       &found),
+            Status::kOk);
+  const auto fid = bob.create_file(3, 555);
+  std::uint64_t len = 0;
+  ASSERT_EQ(servers::FileServer::get_length(ppc, machine.cpu(12), client,
+                                            found, fid, &len),
+            Status::kOk);
+  EXPECT_EQ(len, 555u);
+}
+
+TEST_F(FullSystem, BulkDataThroughCopyServer) {
+  // The paper's bulk-data flow: the client grants Bob's program access to
+  // its buffer; a (mock) Bob worker pulls the data via CopyFrom while
+  // servicing the request.
+  Process& client = make_client(100, 1);
+  const SimAddr client_buf = machine.allocator().alloc(0, 256, 16);
+  const char payload[] = "write me to the file";
+  machine.write_data(client_buf, payload, sizeof(payload));
+
+  ASSERT_EQ(servers::CopyServer::grant(ppc, machine.cpu(1), client,
+                                       bob.program(), client_buf, 256,
+                                       servers::kCopyRightRead),
+            Status::kOk);
+
+  // A service of Bob's program that pulls from the granted region.
+  auto& svc_as = machine.create_address_space(bob.program(), 0);
+  const SimAddr server_buf = machine.allocator().alloc(0, 256, 16);
+  const EntryPointId pull = ppc.bind(
+      {.name = "pull"}, &svc_as, bob.program(),
+      [&](ppc::ServerCtx& ctx, RegSet& regs) {
+        RegSet c;
+        c[0] = ctx.caller_program();  // the granter
+        ppc::set_u64(c, 1, client_buf);
+        ppc::set_u64(c, 3, server_buf);
+        c[5] = sizeof(payload);
+        set_op(c, servers::kCopyFrom);
+        set_rc(regs, ctx.call(ppc::kCopyServerEp, c));
+      });
+  RegSet regs;
+  set_op(regs, 1);
+  ASSERT_EQ(ppc.call(machine.cpu(1), client, pull, regs), Status::kOk);
+
+  char got[sizeof(payload)] = {};
+  machine.read_data(server_buf, got, sizeof(got));
+  EXPECT_STREQ(got, payload);
+}
+
+TEST_F(FullSystem, MixedTrafficAcrossAllCpus) {
+  // Every CPU runs a client doing file ops; CPU 5's client also reads the
+  // disk; exceptions are delivered throughout; everything completes.
+  const char disk_content[] = "disk block 3";
+  disk.load_block(3, disk_content, sizeof(disk_content));
+  const SimAddr disk_buf = machine.allocator().alloc(1, 512, 16);
+
+  std::vector<std::uint32_t> fids;
+  for (CpuId c = 0; c < 16; ++c) {
+    fids.push_back(bob.create_file(machine.config().node_of_cpu(c), c * 10));
+  }
+  int file_ok = 0;
+  bool disk_ok = false;
+  for (CpuId c = 0; c < 16; ++c) {
+    Process& client = make_client(100 + c, c);
+    bool started = false;
+    client.set_body([&, c, started](Cpu& cpu, Process& self) mutable {
+      if (started) return;
+      started = true;
+      std::uint64_t len = 0;
+      if (servers::FileServer::get_length(ppc, cpu, self, bob.ep(), fids[c],
+                                          &len) == Status::kOk &&
+          len == c * 10u) {
+        ++file_ok;
+      }
+      if (c == 5) {
+        servers::DiskServer::read_block(
+            ppc, cpu, self, disk.ep(), 3, disk_buf,
+            [&](Status s, RegSet&) { disk_ok = s == Status::kOk; });
+      }
+    });
+    machine.ready(machine.cpu(c), client);
+  }
+  for (CpuId c = 0; c < 4; ++c) {
+    servers::ExceptionServer::deliver(ppc, machine.cpu(c), exceptions.ep(),
+                                      100 + c, 0xE);
+  }
+  machine.run_until_idle();
+
+  EXPECT_EQ(file_ok, 16);
+  EXPECT_TRUE(disk_ok);
+  char got[sizeof(disk_content)] = {};
+  machine.read_data(disk_buf, got, sizeof(got));
+  EXPECT_STREQ(got, disk_content);
+  for (CpuId c = 0; c < 4; ++c) {
+    EXPECT_EQ(exceptions.exceptions_for(100 + c), 1u);
+  }
+}
+
+TEST_F(FullSystem, OnlineReplacementUnderTraffic) {
+  // Soft-kill a service, rebind the name to a new one, clients fail over.
+  auto& as_v1 = machine.create_address_space(700, 0);
+  const EntryPointId v1 = ppc.bind({.name = "svc"}, &as_v1, 700,
+                                   [](ppc::ServerCtx&, RegSet& r) {
+                                     r[0] = 1;
+                                     set_rc(r, Status::kOk);
+                                   });
+  Process& owner = make_client(700, 0);
+  ASSERT_EQ(naming::NameServer::register_name(ppc, machine.cpu(0), owner,
+                                              "svc", v1),
+            Status::kOk);
+
+  Process& client = make_client(100, 2);
+  ppc::ClientStub stub(ppc, machine.cpu(2), client, v1);
+  Word version = 0;
+  ASSERT_EQ(stub(1, version), Status::kOk);
+  EXPECT_EQ(version, 1u);
+
+  // Replace: bind v2, re-register, soft-kill v1.
+  auto& as_v2 = machine.create_address_space(700, 0);
+  const EntryPointId v2 = ppc.bind({.name = "svc2"}, &as_v2, 700,
+                                   [](ppc::ServerCtx&, RegSet& r) {
+                                     r[0] = 2;
+                                     set_rc(r, Status::kOk);
+                                   });
+  ASSERT_EQ(naming::NameServer::unregister_name(ppc, machine.cpu(0), owner,
+                                                "svc"),
+            Status::kOk);
+  ASSERT_EQ(naming::NameServer::register_name(ppc, machine.cpu(0), owner,
+                                              "svc", v2),
+            Status::kOk);
+  ASSERT_EQ(ppc.soft_kill(machine.cpu(0), v1), Status::kOk);
+
+  // Old handle now fails; re-resolution finds v2.
+  EXPECT_NE(stub(1, version), Status::kOk);
+  EntryPointId fresh = 0;
+  ASSERT_EQ(naming::NameServer::lookup(ppc, machine.cpu(2), client, "svc",
+                                       &fresh),
+            Status::kOk);
+  stub.retarget(fresh);
+  ASSERT_EQ(stub(1, version), Status::kOk);
+  EXPECT_EQ(version, 2u);
+}
+
+TEST_F(FullSystem, FrankStatsSeeTheWholeSystem) {
+  Process& client = make_client(100, 0);
+  const auto fid = bob.create_file(0, 1);
+  std::uint64_t len;
+  for (CpuId c = 0; c < 3; ++c) {
+    Process& cl = make_client(200 + c, c);
+    servers::FileServer::get_length(ppc, machine.cpu(c), cl, bob.ep(), fid,
+                                    &len);
+  }
+  RegSet regs;
+  regs[0] = bob.ep();
+  set_op(regs, ppc::kFrankStats);
+  ASSERT_EQ(ppc.call(machine.cpu(0), client, ppc::kFrankEp, regs),
+            Status::kOk);
+  EXPECT_EQ(regs[0], 3u);  // one Bob worker per calling CPU
+  EXPECT_EQ(regs[1], 0u);
+}
+
+TEST_F(FullSystem, SystemWideLedgerConservation) {
+  // Drive mixed traffic, then check: on every CPU the category sum equals
+  // the clock — no cycle is ever double-charged or lost.
+  const auto fid = bob.create_file(0, 1);
+  std::uint64_t len;
+  for (CpuId c = 0; c < 16; ++c) {
+    Process& cl = make_client(300 + c, c);
+    servers::FileServer::get_length(ppc, machine.cpu(c), cl, bob.ep(), fid,
+                                    &len);
+  }
+  machine.run_until_idle();
+  for (CpuId c = 0; c < 16; ++c) {
+    const auto& mem = machine.cpu(c).mem();
+    Cycles sum = 0;
+    for (std::size_t i = 0; i < sim::kNumCostCategories; ++i) {
+      sum += mem.ledger().get(static_cast<sim::CostCategory>(i));
+    }
+    EXPECT_EQ(sum, mem.now()) << "cpu " << c;
+  }
+}
+
+}  // namespace
+}  // namespace hppc

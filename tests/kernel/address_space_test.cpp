@@ -1,0 +1,72 @@
+#include "kernel/address_space.h"
+
+#include <gtest/gtest.h>
+
+namespace hppc::kernel {
+namespace {
+
+TEST(AddressSpace, Identity) {
+  AddressSpace as(3, /*supervisor=*/false, /*program=*/42, /*home=*/2);
+  EXPECT_EQ(as.id(), 3u);
+  EXPECT_FALSE(as.supervisor());
+  EXPECT_EQ(as.program(), 42u);
+  EXPECT_EQ(as.home_node(), 2u);
+  EXPECT_EQ(as.tlb_context(), sim::TlbContext::kUser);
+
+  AddressSpace k(0, /*supervisor=*/true, 0);
+  EXPECT_EQ(k.tlb_context(), sim::TlbContext::kSupervisor);
+}
+
+TEST(AddressSpace, MapUnmapRoundTrip) {
+  AddressSpace as(1, false, 7);
+  const SimAddr va = 0x10000;
+  const SimAddr pa = 0x555000;
+  EXPECT_FALSE(as.mapped(va));
+  as.map_page(va, pa);
+  EXPECT_TRUE(as.mapped(va));
+  EXPECT_EQ(as.page_count(), 1u);
+  EXPECT_EQ(as.unmap_page(va), pa);
+  EXPECT_FALSE(as.mapped(va));
+  EXPECT_EQ(as.page_count(), 0u);
+}
+
+TEST(AddressSpace, TranslateWithinPage) {
+  AddressSpace as(1, false, 7);
+  as.map_page(0x10000, 0x555000);
+  auto t = as.translate(0x10123);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 0x555123u);
+  EXPECT_FALSE(as.translate(0x11000).has_value());
+}
+
+TEST(AddressSpace, TranslatePageIgnoresOffset) {
+  AddressSpace as(1, false, 7);
+  as.map_page(0x10000, 0x555000);
+  auto t = as.translate_page(0x10FFF);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 0x555000u);
+}
+
+TEST(AddressSpace, MultiplePages) {
+  AddressSpace as(1, false, 7);
+  for (SimAddr i = 0; i < 8; ++i) {
+    as.map_page(0x10000 + i * kPageSize, 0x800000 + i * kPageSize);
+  }
+  EXPECT_EQ(as.page_count(), 8u);
+  EXPECT_EQ(*as.translate(0x10000 + 5 * kPageSize + 9),
+            0x800000u + 5 * kPageSize + 9);
+}
+
+TEST(AddressSpaceDeathTest, DoubleMapAsserts) {
+  AddressSpace as(1, false, 7);
+  as.map_page(0x10000, 0x555000);
+  EXPECT_DEATH(as.map_page(0x10000, 0x666000), "already mapped");
+}
+
+TEST(AddressSpaceDeathTest, UnmapUnmappedAsserts) {
+  AddressSpace as(1, false, 7);
+  EXPECT_DEATH(as.unmap_page(0x10000), "unmap of unmapped");
+}
+
+}  // namespace
+}  // namespace hppc::kernel

@@ -1,0 +1,74 @@
+#include "kernel/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+#include "sim/addr.h"
+
+namespace hppc::kernel {
+namespace {
+
+TEST(FrameAllocator, FreshFramesAreNodeLocalAndAligned) {
+  sim::SimAllocator backing(4);
+  FrameAllocator frames(backing, 4);
+  for (NodeId n = 0; n < 4; ++n) {
+    const SimAddr f = frames.alloc(n);
+    EXPECT_EQ(sim::node_of_addr(f), n);
+    EXPECT_EQ(f & (kPageSize - 1), 0u);
+  }
+  EXPECT_EQ(frames.fresh_allocations(), 4u);
+  EXPECT_EQ(frames.reuses(), 0u);
+}
+
+TEST(FrameAllocator, FreedFramesAreReusedFirst) {
+  sim::SimAllocator backing(2);
+  FrameAllocator frames(backing, 2);
+  const SimAddr a = frames.alloc(0);
+  frames.free(a);
+  EXPECT_EQ(frames.free_count(0), 1u);
+  const SimAddr b = frames.alloc(0);
+  EXPECT_EQ(b, a);  // LIFO reuse
+  EXPECT_EQ(frames.reuses(), 1u);
+  EXPECT_EQ(frames.free_count(0), 0u);
+}
+
+TEST(FrameAllocator, FreeRoutesToHomeNode) {
+  sim::SimAllocator backing(4);
+  FrameAllocator frames(backing, 4);
+  const SimAddr f2 = frames.alloc(2);
+  frames.free(f2);
+  EXPECT_EQ(frames.free_count(2), 1u);
+  EXPECT_EQ(frames.free_count(0), 0u);
+  // Allocation on another node does not steal it.
+  frames.alloc(1);
+  EXPECT_EQ(frames.free_count(2), 1u);
+}
+
+TEST(FrameAllocator, ChurnDoesNotGrowBacking) {
+  sim::SimAllocator backing(1);
+  FrameAllocator frames(backing, 1);
+  const std::size_t used_before_churn = [&] {
+    const SimAddr f = frames.alloc(0);
+    frames.free(f);
+    return backing.bytes_used(0);
+  }();
+  for (int i = 0; i < 1000; ++i) {
+    const SimAddr f = frames.alloc(0);
+    frames.free(f);
+  }
+  EXPECT_EQ(backing.bytes_used(0), used_before_churn);
+  EXPECT_EQ(frames.reuses(), 1000u);
+}
+
+TEST(FrameAllocator, TrimReturnsStackPagesForReuse) {
+  // End to end: PPC pool trimming feeds the frame allocator; the next CD
+  // creation reuses the reclaimed stack page.
+  Machine machine(sim::hector_config(1));
+  EXPECT_EQ(machine.frames().free_count(0), 0u);
+  // (Exercised in depth via ppc tests; here just the allocator contract.)
+  machine.frames().free(machine.frames().alloc(0));
+  EXPECT_EQ(machine.frames().free_count(0), 1u);
+}
+
+}  // namespace
+}  // namespace hppc::kernel

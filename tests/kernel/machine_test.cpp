@@ -1,0 +1,156 @@
+#include "kernel/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hppc::kernel {
+namespace {
+
+sim::MachineConfig cfg(std::uint32_t cpus = 4) {
+  return sim::hector_config(cpus);
+}
+
+TEST(Machine, Boot) {
+  Machine m(cfg(16));
+  EXPECT_EQ(m.num_cpus(), 16u);
+  EXPECT_TRUE(m.kernel_as().supervisor());
+  for (CpuId c = 0; c < 16; ++c) {
+    EXPECT_EQ(m.cpu(c).id(), c);
+    EXPECT_EQ(m.cpu(c).node(), m.config().node_of_cpu(c));
+    EXPECT_EQ(m.cpu(c).now(), 0u);
+  }
+}
+
+TEST(Machine, KernelTextReplicatedPerNode) {
+  Machine m(cfg(16));
+  for (NodeId n = 0; n < m.config().num_nodes(); ++n) {
+    EXPECT_EQ(sim::node_of_addr(m.text(n).dispatch.base), n);
+    EXPECT_EQ(sim::node_of_addr(m.text(n).interrupt_entry.base), n);
+  }
+}
+
+TEST(Machine, CreateProcessAllocatesNodeLocalState) {
+  Machine m(cfg(8));
+  AddressSpace& as = m.create_address_space(50, /*home=*/1);
+  Process& p = m.create_process(50, &as, "proc", /*home=*/1);
+  EXPECT_EQ(sim::node_of_addr(p.context_save_area()), 1u);
+  EXPECT_EQ(sim::node_of_addr(p.user_stack()), 1u);
+  EXPECT_EQ(p.state(), ProcessState::kBlocked);
+  EXPECT_EQ(p.program(), 50u);
+}
+
+TEST(Machine, DispatchRunsBody) {
+  Machine m(cfg());
+  Process& p = m.create_process(1, &m.kernel_as(), "t", 0);
+  int runs = 0;
+  p.set_body([&](Cpu& cpu, Process&) {
+    EXPECT_EQ(cpu.id(), 2u);
+    ++runs;
+  });
+  m.ready(m.cpu(2), p);
+  EXPECT_EQ(p.state(), ProcessState::kReady);
+  EXPECT_TRUE(m.step());
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(p.state(), ProcessState::kDead);  // body didn't re-ready
+  EXPECT_FALSE(m.step());
+}
+
+TEST(Machine, SelfRescheduleLoops) {
+  Machine m(cfg());
+  Process& p = m.create_process(1, &m.kernel_as(), "loop", 0);
+  int runs = 0;
+  p.set_body([&](Cpu& cpu, Process& self) {
+    if (++runs < 5) m.ready(cpu, self);
+  });
+  m.ready(m.cpu(0), p);
+  m.run_until_idle();
+  EXPECT_EQ(runs, 5);
+}
+
+TEST(Machine, StepPicksGloballyEarliestCpu) {
+  Machine m(cfg(2));
+  Process& a = m.create_process(1, &m.kernel_as(), "a", 0);
+  Process& b = m.create_process(2, &m.kernel_as(), "b", 0);
+  std::vector<int> order;
+  a.set_body([&](Cpu&, Process&) { order.push_back(0); });
+  b.set_body([&](Cpu&, Process&) { order.push_back(1); });
+  // CPU 1's clock is behind CPU 0's.
+  m.cpu(0).mem().charge(sim::CostCategory::kIdle, 1000);
+  m.ready(m.cpu(0), a);
+  m.ready(m.cpu(1), b);
+  m.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(Machine, EventDeliveredAtTime) {
+  Machine m(cfg());
+  bool fired = false;
+  m.post_event(1, 500, [&](Cpu& cpu) {
+    fired = true;
+    EXPECT_GE(cpu.now(), 500u);
+  });
+  m.run_until_idle();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Machine, EventsInTimeOrder) {
+  Machine m(cfg());
+  std::vector<int> order;
+  m.post_event(0, 900, [&](Cpu&) { order.push_back(2); });
+  m.post_event(0, 100, [&](Cpu&) { order.push_back(1); });
+  m.post_event(0, 900, [&](Cpu&) { order.push_back(3); });  // FIFO tie
+  m.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Machine, RunUntilStopsAtHorizon) {
+  Machine m(cfg());
+  int fired = 0;
+  m.post_event(0, 100, [&](Cpu&) { ++fired; });
+  m.post_event(0, 10000, [&](Cpu&) { ++fired; });
+  m.run_until(5000);
+  EXPECT_EQ(fired, 1);
+  m.run_until_idle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Machine, IpiArrivesAfterLatency) {
+  Machine m(cfg(4));
+  Cpu& sender = m.cpu(0);
+  sender.mem().charge(sim::CostCategory::kPpcKernel, 200);
+  Cycles arrival = 0;
+  m.post_ipi(sender, 3, [&](Cpu& target) { arrival = target.now(); });
+  m.run_until_idle();
+  EXPECT_GE(arrival, 200u + m.config().ipi_latency_cycles);
+}
+
+TEST(Machine, BlockRemovesFromQueue) {
+  Machine m(cfg());
+  Process& p = m.create_process(1, &m.kernel_as(), "b", 0);
+  p.set_body([](Cpu&, Process&) { FAIL() << "must not run"; });
+  m.ready(m.cpu(0), p);
+  m.block(p);
+  EXPECT_EQ(p.state(), ProcessState::kBlocked);
+  EXPECT_FALSE(m.step());
+}
+
+TEST(Machine, DispatchChargesCycles) {
+  Machine m(cfg());
+  Process& p = m.create_process(1, &m.kernel_as(), "c", 0);
+  p.set_body([](Cpu&, Process&) {});
+  m.ready(m.cpu(0), p);
+  const Cycles before = m.cpu(0).now();
+  m.step();
+  EXPECT_GT(m.cpu(0).now(), before);
+}
+
+TEST(Machine, HorizonReflectsEarliestWork) {
+  Machine m(cfg(2));
+  EXPECT_EQ(m.horizon(), 0u);
+  m.post_event(1, 777, [](Cpu&) {});
+  EXPECT_EQ(m.horizon(), 777u);
+}
+
+}  // namespace
+}  // namespace hppc::kernel

@@ -1,0 +1,126 @@
+// Multiprogramming on one processor: several client processes share a CPU
+// through the ready queue in FIFO order, each making PPC calls — the
+// "smaller number of large-scale parallel programs" end of §1's spectrum
+// needs many processes per processor to behave.
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+#include "ppc/facility.h"
+
+namespace hppc {
+namespace {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+using ppc::PpcFacility;
+using ppc::RegSet;
+
+TEST(Timesharing, RoundRobinFairnessOnOneCpu) {
+  Machine machine(sim::hector_config(1));
+  PpcFacility ppc(machine);
+  auto& as = machine.create_address_space(700, 0);
+  const EntryPointId ep = ppc.bind(
+      {}, &as, 700,
+      [](ppc::ServerCtx&, RegSet& regs) { set_rc(regs, Status::kOk); });
+
+  constexpr int kProcs = 3;
+  constexpr int kCallsEach = 5;
+  std::vector<int> made(kProcs, 0);
+  std::vector<int> order;
+  for (int i = 0; i < kProcs; ++i) {
+    auto& cas = machine.create_address_space(100 + i, 0);
+    Process& p = machine.create_process(100 + i, &cas, "p", 0);
+    p.set_body([&, i](Cpu& cpu, Process& self) {
+      if (made[i] >= kCallsEach) return;
+      RegSet regs;
+      set_op(regs, 1);
+      ASSERT_EQ(ppc.call(cpu, self, ep, regs), Status::kOk);
+      order.push_back(i);
+      if (++made[i] < kCallsEach) machine.ready(cpu, self);
+    });
+    machine.ready(machine.cpu(0), p);
+  }
+  machine.run_until_idle();
+
+  for (int i = 0; i < kProcs; ++i) EXPECT_EQ(made[i], kCallsEach);
+  // FIFO requeueing interleaves them 0,1,2,0,1,2,...
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kProcs * kCallsEach));
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    EXPECT_EQ(order[k], static_cast<int>(k % kProcs)) << "position " << k;
+  }
+}
+
+TEST(Timesharing, SharedWorkerPoolAcrossProcessesOnOneCpu) {
+  // Sequential callers on one CPU reuse the same pooled worker: process
+  // count does not inflate per-CPU resources.
+  Machine machine(sim::hector_config(1));
+  PpcFacility ppc(machine);
+  auto& as = machine.create_address_space(700, 0);
+  const EntryPointId ep = ppc.bind(
+      {}, &as, 700,
+      [](ppc::ServerCtx&, RegSet& regs) { set_rc(regs, Status::kOk); });
+
+  for (int i = 0; i < 6; ++i) {
+    auto& cas = machine.create_address_space(100 + i, 0);
+    Process& p = machine.create_process(100 + i, &cas, "p", 0);
+    RegSet regs;
+    set_op(regs, 1);
+    ASSERT_EQ(ppc.call(machine.cpu(0), p, ep, regs), Status::kOk);
+  }
+  EXPECT_EQ(ppc.entry_point(ep)->per_cpu(0).workers_created, 1u);
+}
+
+TEST(Timesharing, CacheInterferenceBetweenProcessesIsVisible) {
+  // Two processes alternating on one CPU with large private working sets
+  // evict each other: per-call cost is higher than a solo process's. The
+  // cache model sees multiprogramming, which is what makes the Figure-2
+  // "cache flushed" condition the realistic one for busy systems.
+  Machine machine(sim::hector_config(1));
+  PpcFacility ppc(machine);
+  auto& as = machine.create_address_space(700, 0);
+  const EntryPointId ep = ppc.bind(
+      {}, &as, 700,
+      [](ppc::ServerCtx&, RegSet& regs) { set_rc(regs, Status::kOk); });
+  Cpu& cpu = machine.cpu(0);
+
+  auto& cas1 = machine.create_address_space(101, 0);
+  Process& p1 = machine.create_process(101, &cas1, "p1", 0);
+  auto& cas2 = machine.create_address_space(102, 0);
+  Process& p2 = machine.create_process(102, &cas2, "p2", 0);
+
+  const std::size_t cache_bytes = machine.config().dcache.size_bytes;
+  const SimAddr ws1 = machine.allocator().alloc(0, cache_bytes, kPageSize);
+  const SimAddr ws2 = machine.allocator().alloc(0, cache_bytes, kPageSize);
+
+  auto one_iteration = [&](Process& p, SimAddr ws) {
+    // The process touches its working set, then calls.
+    cpu.mem().access(ws, cache_bytes, /*is_store=*/true,
+                     sim::TlbContext::kUser, sim::CostCategory::kIdle);
+    RegSet regs;
+    set_op(regs, 1);
+    ppc.call(cpu, p, ep, regs);
+  };
+
+  // Solo: p1 alone, steady state.
+  for (int i = 0; i < 4; ++i) one_iteration(p1, ws1);
+  const auto misses_solo_start = cpu.mem().dcache().misses();
+  one_iteration(p1, ws1);
+  // Working set fits exactly: the call still misses a little, but the
+  // working-set re-touch is warm.
+  const auto solo_misses = cpu.mem().dcache().misses() - misses_solo_start;
+
+  // Alternating: each iteration faces the other's evictions.
+  for (int i = 0; i < 2; ++i) {
+    one_iteration(p1, ws1);
+    one_iteration(p2, ws2);
+  }
+  const auto misses_alt_start = cpu.mem().dcache().misses();
+  one_iteration(p1, ws1);
+  const auto alternating_misses = cpu.mem().dcache().misses() -
+                                  misses_alt_start;
+  EXPECT_GT(alternating_misses, solo_misses * 4);
+}
+
+}  // namespace
+}  // namespace hppc

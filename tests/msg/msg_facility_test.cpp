@@ -1,0 +1,189 @@
+// The pre-existing message-passing facility (§5): send/receive/reply
+// semantics, rendezvous in both orders, cross-processor routing, and the
+// single-threaded-server serialization it implies.
+#include "msg/msg_facility.h"
+
+#include <gtest/gtest.h>
+
+namespace hppc::msg {
+namespace {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+using ppc::RegSet;
+using ppc::set_op;
+using ppc::set_rc;
+
+struct Fixture {
+  Fixture() : machine(sim::hector_config(8)), msgs(machine) {}
+
+  Process& make_process(ProgramId prog, CpuId cpu, const char* name) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, name,
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  Machine machine;
+  MsgFacility msgs;
+};
+
+TEST(MsgFacility, SendThenReceiveRendezvous) {
+  // Sender first: the message queues; the receiver picks it up.
+  Fixture f;
+  Process& server = f.make_process(700, 2, "server");
+  Process& client = f.make_process(100, 0, "client");
+
+  Status reply_status = Status::kServerError;
+  Word reply_word = 0;
+  bool sent = false;
+  client.set_body([&](Cpu& cpu, Process& self) {
+    if (sent) return;
+    sent = true;
+    RegSet regs;
+    regs[0] = 41;
+    set_op(regs, 1);
+    f.msgs.send(cpu, self, server.pid(), regs,
+                [&](Status s, RegSet& r) {
+                  reply_status = s;
+                  reply_word = r[0];
+                });
+  });
+  f.machine.ready(f.machine.cpu(0), client);
+  f.machine.run_until_idle();
+
+  // Now the server receives (message already queued: inline delivery).
+  bool got = false;
+  server.set_body([&](Cpu& cpu, Process& self) {
+    const bool immediate =
+        f.msgs.receive(cpu, self, [&](Pid from, RegSet& m) {
+          got = true;
+          RegSet reply = m;
+          reply[0] = m[0] + 1;
+          set_rc(reply, Status::kOk);
+          f.msgs.reply(cpu, self, from, reply);
+        });
+    EXPECT_TRUE(immediate);
+  });
+  f.machine.ready(f.machine.cpu(2), server);
+  f.machine.run_until_idle();
+
+  EXPECT_TRUE(got);
+  EXPECT_EQ(reply_status, Status::kOk);
+  EXPECT_EQ(reply_word, 42u);
+  EXPECT_EQ(f.msgs.messages(), 1u);
+}
+
+TEST(MsgFacility, ReceiveThenSendRendezvous) {
+  // Receiver first: it blocks; the send wakes it on its own processor.
+  Fixture f;
+  Process& server = f.make_process(700, 3, "server");
+  Process& client = f.make_process(100, 1, "client");
+
+  CpuId served_on = 999;
+  bool waiting_path = true;
+  server.set_body([&](Cpu& cpu, Process& self) {
+    waiting_path = !f.msgs.receive(cpu, self, [&](Pid from, RegSet& m) {
+      served_on = f.machine.cpu(3).id();
+      RegSet reply = m;
+      set_rc(reply, Status::kOk);
+      f.msgs.reply(f.machine.cpu(3), self, from, reply);
+    });
+  });
+  f.machine.ready(f.machine.cpu(3), server);
+  f.machine.run_until_idle();
+  EXPECT_TRUE(waiting_path);  // queue was empty: it blocked
+
+  Status done = Status::kServerError;
+  bool sent = false;
+  client.set_body([&](Cpu& cpu, Process& self) {
+    if (sent) return;
+    sent = true;
+    RegSet regs;
+    set_op(regs, 1);
+    f.msgs.send(cpu, self, server.pid(), regs,
+                [&](Status s, RegSet&) { done = s; });
+  });
+  f.machine.ready(f.machine.cpu(1), client);
+  f.machine.run_until_idle();
+
+  EXPECT_EQ(done, Status::kOk);
+  EXPECT_EQ(served_on, 3u);  // handled on the receiver's processor
+}
+
+TEST(MsgFacility, ReplyToUnknownSenderRejected) {
+  Fixture f;
+  Process& server = f.make_process(700, 0, "server");
+  RegSet regs;
+  EXPECT_EQ(f.msgs.reply(f.machine.cpu(0), server, 12345, regs),
+            Status::kInvalidArgument);
+}
+
+TEST(MsgFacility, ServerLoopDrainsQueuedSenders) {
+  // Three clients send before the server ever receives; a classic
+  // receive-inside-handler loop serves them all in order.
+  Fixture f;
+  Process& server = f.make_process(700, 4, "server");
+  std::vector<Word> replies;
+  for (int i = 0; i < 3; ++i) {
+    Process& client = f.make_process(100 + i, i, "client");
+    bool sent = false;
+    client.set_body([&, i, sent](Cpu& cpu, Process& self) mutable {
+      if (sent) return;
+      sent = true;
+      RegSet regs;
+      regs[0] = static_cast<Word>(i);
+      set_op(regs, 1);
+      f.msgs.send(cpu, self, server.pid(), regs,
+                  [&](Status, RegSet& r) { replies.push_back(r[0]); });
+    });
+    f.machine.ready(f.machine.cpu(i), client);
+  }
+  f.machine.run_until_idle();
+
+  // The server's handler re-arms receive from within itself.
+  std::function<void(Pid, RegSet&)> loop;
+  Process* sp = &server;
+  loop = [&](Pid from, RegSet& m) {
+    Cpu& scpu = f.machine.cpu(4);
+    RegSet reply = m;
+    reply[0] = m[0] * 10;
+    set_rc(reply, Status::kOk);
+    f.msgs.reply(scpu, *sp, from, reply);
+    f.msgs.receive(scpu, *sp, loop);
+  };
+  server.set_body([&](Cpu& cpu, Process& self) {
+    f.msgs.receive(cpu, self, loop);
+  });
+  f.machine.ready(f.machine.cpu(4), server);
+  f.machine.run_until_idle();
+
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0], 0u);
+  EXPECT_EQ(replies[1], 10u);
+  EXPECT_EQ(replies[2], 20u);
+}
+
+TEST(MsgFacility, QueueLockSeesContention) {
+  Fixture f;
+  Process& server = f.make_process(700, 0, "server");
+  for (int i = 0; i < 4; ++i) {
+    Process& client = f.make_process(100 + i, 1 + i, "client");
+    bool sent = false;
+    client.set_body([&, sent](Cpu& cpu, Process& self) mutable {
+      if (sent) return;
+      sent = true;
+      RegSet regs;
+      set_op(regs, 1);
+      f.msgs.send(cpu, self, server.pid(), regs, nullptr);
+    });
+    f.machine.ready(f.machine.cpu(1 + i), client);
+  }
+  f.machine.run_until_idle();
+  EXPECT_GT(f.msgs.queue_lock_migrations(), 0u);
+  EXPECT_EQ(f.msgs.messages(), 4u);
+}
+
+}  // namespace
+}  // namespace hppc::msg

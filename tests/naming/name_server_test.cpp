@@ -1,0 +1,163 @@
+// Name server (§4.5.5): registration, lookup, the separation of naming from
+// authentication (§4.1), and register-packed name transport.
+#include "naming/name_server.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+
+namespace hppc::naming {
+namespace {
+
+using kernel::Machine;
+using kernel::Process;
+using ppc::PpcFacility;
+using ppc::RegSet;
+using ppc::ServerCtx;
+
+struct Fixture {
+  Fixture() : machine(sim::hector_config(4)), ppc(machine), names(ppc) {}
+
+  Process& make_client(ProgramId prog, CpuId cpu) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, "client",
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  EntryPointId bind_null(ProgramId prog) {
+    auto* as = &machine.create_address_space(prog, 0);
+    return ppc.bind({}, as, prog, [](ServerCtx&, RegSet& regs) {
+      set_rc(regs, Status::kOk);
+    });
+  }
+
+  Machine machine;
+  PpcFacility ppc;
+  NameServer names;
+};
+
+TEST(NamePacking, RoundTrip) {
+  for (const char* name : {"a", "bob", "file-server", "exactly-24-bytes-name!!"}) {
+    RegSet regs;
+    pack_name(name, regs);
+    EXPECT_EQ(unpack_name(regs), name);
+  }
+}
+
+TEST(NamePacking, MaxLengthName) {
+  const std::string max(kMaxNameBytes, 'x');
+  RegSet regs;
+  pack_name(max, regs);
+  EXPECT_EQ(unpack_name(regs), max);
+}
+
+TEST(NameServer, RegisterThenLookup) {
+  Fixture f;
+  const EntryPointId svc = f.bind_null(700);
+  Process& server_prog = f.make_client(700, 0);
+  ASSERT_EQ(NameServer::register_name(f.ppc, f.machine.cpu(0), server_prog,
+                                      "bob", svc),
+            Status::kOk);
+  EXPECT_EQ(f.names.size(), 1u);
+
+  Process& client = f.make_client(100, 1);
+  EntryPointId found = 0;
+  ASSERT_EQ(
+      NameServer::lookup(f.ppc, f.machine.cpu(1), client, "bob", &found),
+      Status::kOk);
+  EXPECT_EQ(found, svc);
+
+  // The looked-up id is directly callable.
+  RegSet regs;
+  set_op(regs, 1);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(1), client, found, regs), Status::kOk);
+}
+
+TEST(NameServer, LookupMissingName) {
+  Fixture f;
+  Process& client = f.make_client(100, 0);
+  EntryPointId found = 0;
+  EXPECT_EQ(
+      NameServer::lookup(f.ppc, f.machine.cpu(0), client, "ghost", &found),
+      Status::kNoSuchEntryPoint);
+}
+
+TEST(NameServer, DuplicateRegistrationRejected) {
+  Fixture f;
+  const EntryPointId svc = f.bind_null(700);
+  Process& p = f.make_client(700, 0);
+  ASSERT_EQ(NameServer::register_name(f.ppc, f.machine.cpu(0), p, "dup", svc),
+            Status::kOk);
+  EXPECT_EQ(NameServer::register_name(f.ppc, f.machine.cpu(0), p, "dup", svc),
+            Status::kInvalidArgument);
+}
+
+TEST(NameServer, OnlyOwnerMayUnregister) {
+  Fixture f;
+  const EntryPointId svc = f.bind_null(700);
+  Process& owner = f.make_client(700, 0);
+  Process& other = f.make_client(999, 1);
+  ASSERT_EQ(NameServer::register_name(f.ppc, f.machine.cpu(0), owner, "mine",
+                                      svc),
+            Status::kOk);
+  EXPECT_EQ(NameServer::unregister_name(f.ppc, f.machine.cpu(1), other,
+                                        "mine"),
+            Status::kPermissionDenied);
+  EXPECT_EQ(NameServer::unregister_name(f.ppc, f.machine.cpu(0), owner,
+                                        "mine"),
+            Status::kOk);
+  EntryPointId found = 0;
+  EXPECT_EQ(NameServer::lookup(f.ppc, f.machine.cpu(0), owner, "mine",
+                               &found),
+            Status::kNoSuchEntryPoint);
+}
+
+TEST(NameServer, RejectsOversizeAndEmptyNames) {
+  Fixture f;
+  Process& p = f.make_client(100, 0);
+  const std::string long_name(kMaxNameBytes + 1, 'y');
+  EXPECT_EQ(NameServer::register_name(f.ppc, f.machine.cpu(0), p, long_name,
+                                      9),
+            Status::kInvalidArgument);
+  EXPECT_EQ(NameServer::register_name(f.ppc, f.machine.cpu(0), p, "", 9),
+            Status::kInvalidArgument);
+  EntryPointId found;
+  EXPECT_EQ(NameServer::lookup(f.ppc, f.machine.cpu(0), p, "", &found),
+            Status::kInvalidArgument);
+}
+
+TEST(NameServer, ResolveReturnsBoundStub) {
+  Fixture f;
+  const EntryPointId svc = f.bind_null(700);
+  Process& owner = f.make_client(700, 0);
+  ASSERT_EQ(NameServer::register_name(f.ppc, f.machine.cpu(0), owner,
+                                      "svc", svc),
+            Status::kOk);
+  Process& client = f.make_client(100, 1);
+  auto stub = resolve(f.ppc, f.machine.cpu(1), client, "svc");
+  ASSERT_TRUE(stub.has_value());
+  EXPECT_EQ(stub->entry_point(), svc);
+  Word dummy = 0;
+  EXPECT_EQ((*stub)(1, dummy), Status::kOk);
+  EXPECT_FALSE(
+      resolve(f.ppc, f.machine.cpu(1), client, "missing").has_value());
+}
+
+TEST(NameServer, ManyNames) {
+  Fixture f;
+  Process& p = f.make_client(700, 0);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(NameServer::register_name(f.ppc, f.machine.cpu(0), p,
+                                        "svc" + std::to_string(i),
+                                        100 + i),
+              Status::kOk);
+  }
+  EntryPointId found = 0;
+  ASSERT_EQ(NameServer::lookup(f.ppc, f.machine.cpu(0), p, "svc37", &found),
+            Status::kOk);
+  EXPECT_EQ(found, 137u);
+}
+
+}  // namespace
+}  // namespace hppc::naming

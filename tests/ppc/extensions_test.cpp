@@ -1,0 +1,286 @@
+// The paper's extension features: trust groups for stack sharing (§2's
+// compromise), the hashed overflow entry-point space (§4.5.5), the
+// cross-processor PPC variant (§4.3), and the ClientStub (§4.5.1).
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+#include "ppc/facility.h"
+#include "ppc/stub.h"
+
+namespace hppc::ppc {
+namespace {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+using kernel::ProcessState;
+
+struct Fixture {
+  Fixture(std::uint32_t cpus = 4)
+      : machine(sim::hector_config(cpus)), ppc(machine) {}
+
+  Process& make_client(ProgramId prog, CpuId cpu) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, "client",
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  EntryPointId bind_probe(EntryPointConfig cfg, SimAddr* out_page) {
+    auto& as = machine.create_address_space(700 + next_prog_, 0);
+    return ppc.bind(cfg, &as, 700 + next_prog_++,
+                    [out_page](ServerCtx& ctx, RegSet& regs) {
+                      *out_page = ctx.worker().active_cd()->stack_page();
+                      set_rc(regs, Status::kOk);
+                    });
+  }
+
+  Machine machine;
+  PpcFacility ppc;
+  int next_prog_ = 0;
+};
+
+TEST(TrustGroups, SameGroupSharesStacks) {
+  Fixture f;
+  SimAddr page_a = 0, page_b = 0;
+  EntryPointConfig cfg;
+  cfg.trust_group = 5;
+  const EntryPointId a = f.bind_probe(cfg, &page_a);
+  const EntryPointId b = f.bind_probe(cfg, &page_b);
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, a, regs);
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, b, regs);
+  EXPECT_EQ(page_a, page_b);  // same group: stack recycled
+}
+
+TEST(TrustGroups, DifferentGroupsNeverShareStacks) {
+  // §2: "only share stacks between servers in the same group" — a server
+  // must never see another group's (potentially sensitive) stack page.
+  Fixture f;
+  SimAddr page_a = 0, page_b = 0;
+  EntryPointConfig ga;
+  ga.trust_group = 1;
+  EntryPointConfig gb;
+  gb.trust_group = 2;
+  const EntryPointId a = f.bind_probe(ga, &page_a);
+  const EntryPointId b = f.bind_probe(gb, &page_b);
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  for (int i = 0; i < 3; ++i) {
+    set_op(regs, 1);
+    f.ppc.call(f.machine.cpu(0), client, a, regs);
+    set_op(regs, 1);
+    f.ppc.call(f.machine.cpu(0), client, b, regs);
+  }
+  EXPECT_NE(page_a, page_b);
+}
+
+TEST(TrustGroups, DefaultGroupStillShares) {
+  Fixture f;
+  SimAddr page_a = 0, page_b = 0;
+  const EntryPointId a = f.bind_probe({}, &page_a);
+  const EntryPointId b = f.bind_probe({}, &page_b);
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, a, regs);
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, b, regs);
+  EXPECT_EQ(page_a, page_b);
+}
+
+TEST(HashedEntryPoints, OptOutGetsOverflowId) {
+  Fixture f;
+  EntryPointConfig cfg;
+  cfg.fast_lookup = false;
+  auto& as = f.machine.create_address_space(700, 0);
+  const EntryPointId id = f.ppc.bind(cfg, &as, 700,
+                                     [](ServerCtx&, RegSet& regs) {
+                                       regs[0] = 99;
+                                       set_rc(regs, Status::kOk);
+                                     });
+  EXPECT_GE(id, kMaxEntryPoints);
+
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, id, regs), Status::kOk);
+  EXPECT_EQ(regs[0], 99u);
+  EXPECT_EQ(f.ppc.state(f.machine.cpu(0)).hashed_lookups, 1u);
+}
+
+TEST(HashedEntryPoints, SlowerLookupThanDirect) {
+  Fixture f;
+  auto& as = f.machine.create_address_space(700, 0);
+  auto handler = [](ServerCtx&, RegSet& regs) { set_rc(regs, Status::kOk); };
+  const EntryPointId fast = f.ppc.bind({}, &as, 700, handler);
+  EntryPointConfig slow_cfg;
+  slow_cfg.fast_lookup = false;
+  const EntryPointId slow = f.ppc.bind(slow_cfg, &as, 700, handler);
+
+  Process& client = f.make_client(100, 0);
+  Cpu& cpu = f.machine.cpu(0);
+  RegSet regs;
+  auto measure = [&](EntryPointId ep) {
+    for (int i = 0; i < 6; ++i) {
+      set_op(regs, 1);
+      f.ppc.call(cpu, client, ep, regs);
+    }
+    const Cycles t0 = cpu.now();
+    for (int i = 0; i < 16; ++i) {
+      set_op(regs, 1);
+      f.ppc.call(cpu, client, ep, regs);
+    }
+    return (cpu.now() - t0) / 16;
+  };
+  const Cycles fast_cost = measure(fast);
+  const Cycles slow_cost = measure(slow);
+  EXPECT_GT(slow_cost, fast_cost);
+  EXPECT_LT(slow_cost, fast_cost + 60);  // a few extra loads, not a cliff
+}
+
+TEST(HashedEntryPoints, HardKillClearsOverflowEntries) {
+  Fixture f;
+  EntryPointConfig cfg;
+  cfg.fast_lookup = false;
+  auto& as = f.machine.create_address_space(700, 0);
+  const EntryPointId id = f.ppc.bind(
+      cfg, &as, 700, [](ServerCtx&, RegSet& r) { set_rc(r, Status::kOk); });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, id, regs), Status::kOk);
+  ASSERT_EQ(f.ppc.hard_kill(f.machine.cpu(0), id), Status::kOk);
+  f.machine.run_until_idle();
+  set_op(regs, 1);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(0), client, id, regs),
+            Status::kNoSuchEntryPoint);
+}
+
+TEST(CrossProcessorCall, ExecutesOnTargetAndRepliesHome) {
+  Fixture f(4);
+  CpuId served_on = 999;
+  auto& as = f.machine.create_address_space(700, 0);
+  const EntryPointId ep =
+      f.ppc.bind({}, &as, 700, [&](ServerCtx& ctx, RegSet& regs) {
+        served_on = ctx.cpu().id();
+        regs[1] = regs[0] + 1;
+        set_rc(regs, Status::kOk);
+      });
+
+  Process& client = f.make_client(100, 0);
+  Status done_status = Status::kServerError;
+  Word result = 0;
+  bool issued = false;
+  client.set_body([&](Cpu& cpu, Process& self) {
+    if (issued) return;
+    issued = true;
+    RegSet regs;
+    regs[0] = 41;
+    set_op(regs, 1);
+    f.ppc.call_remote(cpu, self, /*target=*/3, ep, regs,
+                      [&](Status s, RegSet& out) {
+                        done_status = s;
+                        result = out[1];
+                      });
+  });
+  f.machine.ready(f.machine.cpu(0), client);
+  f.machine.run_until_idle();
+
+  EXPECT_EQ(served_on, 3u);
+  EXPECT_EQ(done_status, Status::kOk);
+  EXPECT_EQ(result, 42u);
+  EXPECT_EQ(f.ppc.state(f.machine.cpu(0)).remote_calls, 1u);
+  // The target used its own per-CPU resources.
+  EXPECT_EQ(f.ppc.entry_point(ep)->per_cpu(3).workers_created, 1u);
+  EXPECT_EQ(f.ppc.entry_point(ep)->per_cpu(0).workers_created, 0u);
+}
+
+TEST(CrossProcessorCall, LocalTargetDegeneratesToBlockingCall) {
+  Fixture f;
+  auto& as = f.machine.create_address_space(700, 0);
+  const EntryPointId ep = f.ppc.bind(
+      {}, &as, 700, [](ServerCtx&, RegSet& regs) {
+        regs[0] = 7;
+        set_rc(regs, Status::kOk);
+      });
+  Process& client = f.make_client(100, 0);
+  bool completed = false;
+  RegSet regs;
+  set_op(regs, 1);
+  ASSERT_EQ(f.ppc.call_remote(f.machine.cpu(0), client, 0, ep, regs,
+                              [&](Status s, RegSet& out) {
+                                completed = true;
+                                EXPECT_EQ(s, Status::kOk);
+                                EXPECT_EQ(out[0], 7u);
+                              }),
+            Status::kOk);
+  EXPECT_TRUE(completed);
+}
+
+TEST(CrossProcessorCall, UnknownEntryPointReportsThroughCompletion) {
+  Fixture f(4);
+  Process& client = f.make_client(100, 0);
+  Status done = Status::kOk;
+  bool issued = false;
+  client.set_body([&](Cpu& cpu, Process& self) {
+    if (issued) return;
+    issued = true;
+    RegSet regs;
+    set_op(regs, 1);
+    f.ppc.call_remote(cpu, self, 2, 999, regs,
+                      [&](Status s, RegSet&) { done = s; });
+  });
+  f.machine.ready(f.machine.cpu(0), client);
+  f.machine.run_until_idle();
+  EXPECT_EQ(done, Status::kNoSuchEntryPoint);
+}
+
+TEST(ClientStub, ProcedureCallStyle) {
+  Fixture f;
+  auto& as = f.machine.create_address_space(700, 0);
+  const EntryPointId ep =
+      f.ppc.bind({}, &as, 700, [](ServerCtx&, RegSet& regs) {
+        // "DoStuff": consume three args, produce two results.
+        regs[3] = regs[0] + regs[1] + regs[2];
+        regs[4] = opcode_of(regs);
+        set_rc(regs, Status::kOk);
+      });
+  Process& client = f.make_client(100, 0);
+  ClientStub stub(f.ppc, f.machine.cpu(0), client, ep);
+
+  Word a = 10, b = 20, c = 12, sum = 0, op_seen = 0;
+  ASSERT_EQ(stub(/*opcode=*/0x7, a, b, c, sum, op_seen), Status::kOk);
+  EXPECT_EQ(sum, 42u);
+  EXPECT_EQ(op_seen, 0x7u);
+  EXPECT_EQ(a, 10u);  // untouched arguments come back unchanged
+}
+
+TEST(ClientStub, Retarget) {
+  Fixture f;
+  auto& as = f.machine.create_address_space(700, 0);
+  const EntryPointId one = f.ppc.bind({}, &as, 700,
+                                      [](ServerCtx&, RegSet& r) {
+                                        r[0] = 1;
+                                        set_rc(r, Status::kOk);
+                                      });
+  const EntryPointId two = f.ppc.bind({}, &as, 700,
+                                      [](ServerCtx&, RegSet& r) {
+                                        r[0] = 2;
+                                        set_rc(r, Status::kOk);
+                                      });
+  Process& client = f.make_client(100, 0);
+  ClientStub stub(f.ppc, f.machine.cpu(0), client, one);
+  Word v = 0;
+  stub(1, v);
+  EXPECT_EQ(v, 1u);
+  stub.retarget(two);
+  stub(1, v);
+  EXPECT_EQ(v, 2u);
+}
+
+}  // namespace
+}  // namespace hppc::ppc

@@ -1,0 +1,343 @@
+// Core synchronous PPC call semantics: argument/result transport, caller
+// identification, per-processor resource ownership, pool growth, hold-CD,
+// the worker-initialization protocol, and the no-shared-data/no-lock
+// property of the fast path.
+#include "ppc/facility.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+
+namespace hppc::ppc {
+namespace {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+
+struct Fixture {
+  Fixture(std::uint32_t cpus = 4)
+      : machine(sim::hector_config(cpus)), ppc(machine) {}
+
+  Process& make_client(ProgramId prog, CpuId cpu) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, "client",
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  EntryPointId bind_echo(EntryPointConfig cfg = {}) {
+    cfg.name = "echo";
+    auto* as = cfg.kernel_space
+                   ? nullptr
+                   : &machine.create_address_space(700, 0);
+    return ppc.bind(cfg, as, 700, [](ServerCtx&, RegSet& regs) {
+      // Echo: add one to each argument word so transport is observable.
+      for (std::size_t i = 0; i + 1 < kPpcWords; ++i) regs[i] += 1;
+      set_rc(regs, Status::kOk);
+    });
+  }
+
+  Machine machine;
+  PpcFacility ppc;
+};
+
+TEST(Facility, EightWordsTravelBothWays) {
+  Fixture f;
+  const EntryPointId ep = f.bind_echo();
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  for (std::size_t i = 0; i + 1 < kPpcWords; ++i) {
+    regs[i] = static_cast<Word>(1000 + i);
+  }
+  set_op(regs, 5);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, ep, regs), Status::kOk);
+  for (std::size_t i = 0; i + 1 < kPpcWords; ++i) {
+    EXPECT_EQ(regs[i], 1001u + i);  // modified in place: "those same
+                                    // variables ... return eight values"
+  }
+  EXPECT_EQ(rc_of(regs), Status::kOk);
+  EXPECT_EQ(opcode_of(regs), 5u);  // opcode preserved alongside rc
+}
+
+TEST(Facility, CallToUnknownEntryPointFails) {
+  Fixture f;
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(0), client, 999, regs),
+            Status::kNoSuchEntryPoint);
+  EXPECT_EQ(rc_of(regs), Status::kNoSuchEntryPoint);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(0), client, 100000, regs),
+            Status::kNoSuchEntryPoint);
+}
+
+TEST(Facility, CallerIdentifiedByProgramId) {
+  // §4.1: "Callers are identified to servers by their program ID."
+  Fixture f;
+  ProgramId seen = 0;
+  Pid seen_pid = 0;
+  auto* as = &f.machine.create_address_space(700, 0);
+  const EntryPointId ep =
+      f.ppc.bind({}, as, 700, [&](ServerCtx& ctx, RegSet& regs) {
+        seen = ctx.caller_program();
+        seen_pid = ctx.caller_pid();
+        set_rc(regs, Status::kOk);
+      });
+  Process& client = f.make_client(123, 0);
+  RegSet regs;
+  f.ppc.call(f.machine.cpu(0), client, ep, regs);
+  EXPECT_EQ(seen, 123u);
+  EXPECT_EQ(seen_pid, client.pid());
+}
+
+TEST(Facility, WorkerCreatedOnFirstCallPerCpu) {
+  // "Worker processes are created dynamically as needed" — one per CPU that
+  // actually calls, never shared across CPUs.
+  Fixture f(4);
+  const EntryPointId ep = f.bind_echo();
+  EntryPoint* e = f.ppc.entry_point(ep);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->total_workers_created(), 0u);
+
+  Process& c0 = f.make_client(100, 0);
+  Process& c2 = f.make_client(101, 2);
+  RegSet regs;
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), c0, ep, regs);
+  EXPECT_EQ(e->per_cpu(0).workers_created, 1u);
+  EXPECT_EQ(e->per_cpu(2).workers_created, 0u);
+
+  f.ppc.call(f.machine.cpu(2), c2, ep, regs);
+  EXPECT_EQ(e->per_cpu(2).workers_created, 1u);
+
+  // Subsequent calls reuse pooled workers: no further creation.
+  for (int i = 0; i < 10; ++i) f.ppc.call(f.machine.cpu(0), c0, ep, regs);
+  EXPECT_EQ(e->per_cpu(0).workers_created, 1u);
+  EXPECT_EQ(f.ppc.pooled_workers(0, ep), 1u);
+}
+
+TEST(Facility, SlowPathOnlyOnFirstCall) {
+  Fixture f;
+  const EntryPointId ep = f.bind_echo();
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, ep, regs);
+  auto& st = f.ppc.state(f.machine.cpu(0));
+  const auto refills = st.frank_worker_refills;
+  EXPECT_GE(refills, 1u);
+  for (int i = 0; i < 20; ++i) f.ppc.call(f.machine.cpu(0), client, ep, regs);
+  EXPECT_EQ(st.frank_worker_refills, refills);  // fast path ever after
+}
+
+TEST(Facility, WarmCallTouchesNoRemoteMemory) {
+  // The headline property: a warm call's memory traffic is entirely
+  // node-local — no shared data, no remote accesses, hence no lock and no
+  // coherence traffic.
+  Fixture f(8);
+  const EntryPointId ep = f.bind_echo();  // server text homed on node 0
+  Process& client = f.make_client(100, 0);
+  Cpu& cpu = f.machine.cpu(0);
+  RegSet regs;
+  set_op(regs, 1);
+  for (int i = 0; i < 8; ++i) f.ppc.call(cpu, client, ep, regs);
+
+  // After warmup, further calls add no cache misses at all (the whole
+  // working set is resident) and therefore no memory traffic whatsoever.
+  const auto misses_before = cpu.mem().dcache().misses();
+  for (int i = 0; i < 8; ++i) f.ppc.call(cpu, client, ep, regs);
+  EXPECT_EQ(cpu.mem().dcache().misses(), misses_before);
+}
+
+TEST(Facility, PerCpuResourcesAreIndependent) {
+  Fixture f(4);
+  const EntryPointId ep = f.bind_echo();
+  RegSet regs;
+  set_op(regs, 1);
+  for (CpuId c = 0; c < 4; ++c) {
+    Process& client = f.make_client(200 + c, c);
+    f.ppc.call(f.machine.cpu(c), client, ep, regs);
+  }
+  EntryPoint* e = f.ppc.entry_point(ep);
+  for (CpuId c = 0; c < 4; ++c) {
+    EXPECT_EQ(e->per_cpu(c).workers_created, 1u);
+    EXPECT_EQ(e->per_cpu(c).pool.size(), 1u);
+    EXPECT_EQ(e->per_cpu(c).in_progress, 0u);
+  }
+}
+
+TEST(Facility, HoldCdSkipsPoolTraffic) {
+  Fixture f;
+  EntryPointConfig hold;
+  hold.hold_cd = true;
+  const EntryPointId ep = f.bind_echo(hold);
+  Process& client = f.make_client(100, 0);
+  Cpu& cpu = f.machine.cpu(0);
+  RegSet regs;
+  set_op(regs, 1);
+  f.ppc.call(cpu, client, ep, regs);  // creates worker + held CD
+
+  auto& st = f.ppc.state(cpu);
+  const std::size_t pool_before = st.cd_pools[0].pool.size();
+  for (int i = 0; i < 5; ++i) f.ppc.call(cpu, client, ep, regs);
+  // Held CD never re-pooled.
+  EXPECT_EQ(st.cd_pools[0].pool.size(), pool_before);
+}
+
+TEST(Facility, HoldCdIsFasterWarm) {
+  // §3: locking the CD and stack to the worker saves 2-3 us per call.
+  auto measure = [](bool hold) {
+    Fixture f;
+    EntryPointConfig cfg;
+    cfg.hold_cd = hold;
+    const EntryPointId ep = f.bind_echo(cfg);
+    Process& client = f.make_client(100, 0);
+    Cpu& cpu = f.machine.cpu(0);
+    RegSet regs;
+    set_op(regs, 1);
+    for (int i = 0; i < 8; ++i) f.ppc.call(cpu, client, ep, regs);
+    const Cycles before = cpu.now();
+    for (int i = 0; i < 16; ++i) f.ppc.call(cpu, client, ep, regs);
+    return static_cast<double>(cpu.now() - before) / 16.0;
+  };
+  const double no_hold = measure(false);
+  const double with_hold = measure(true);
+  const double saving_us = (no_hold - with_hold) / 16.67;
+  EXPECT_GT(saving_us, 1.0);
+  EXPECT_LT(saving_us, 5.0);
+}
+
+TEST(Facility, WorkerInitProtocolRunsOncePerWorker) {
+  // §4.5.3: the first call enters the init routine, which swaps the
+  // worker's call-handling routine; later calls skip it.
+  Fixture f;
+  int init_runs = 0;
+  int main_runs = 0;
+  auto* as = &f.machine.create_address_space(700, 0);
+  Worker::CallHandler main_handler = [&](ServerCtx&, RegSet& regs) {
+    ++main_runs;
+    set_rc(regs, Status::kOk);
+  };
+  const EntryPointId ep = f.ppc.bind(
+      {}, as, 700, [&, main_handler](ServerCtx& ctx, RegSet& regs) {
+        ++init_runs;  // one-time setup
+        ctx.set_worker_handler(main_handler);
+        main_handler(ctx, regs);  // handle this first call too
+      });
+
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  for (int i = 0; i < 6; ++i) f.ppc.call(f.machine.cpu(0), client, ep, regs);
+  EXPECT_EQ(init_runs, 1);
+  EXPECT_EQ(main_runs, 6);
+}
+
+TEST(Facility, NestedCallsServerAsClient) {
+  // A server can PPC-call another server from inside its handler (the way
+  // CopyTo/CopyFrom are "normal PPC requests", §4.2).
+  Fixture f;
+  const EntryPointId inner = f.bind_echo();
+  auto* as = &f.machine.create_address_space(701, 0);
+  const EntryPointId outer =
+      f.ppc.bind({}, as, 701, [&, inner](ServerCtx& ctx, RegSet& regs) {
+        RegSet nested;
+        nested[0] = regs[0];
+        set_op(nested, 9);
+        const Status s = ctx.call(inner, nested);
+        regs[1] = nested[0];
+        set_rc(regs, s);
+      });
+
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  regs[0] = 41;
+  set_op(regs, 1);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, outer, regs), Status::kOk);
+  EXPECT_EQ(regs[1], 42u);  // inner echo incremented
+}
+
+TEST(Facility, KernelCallerSkipsUserSaveRestore) {
+  Fixture f;
+  const EntryPointId ep = f.bind_echo({.kernel_space = true});
+  Process& kproc =
+      f.machine.create_process(0, &f.machine.kernel_as(), "kclient", 0);
+  Cpu& cpu = f.machine.cpu(0);
+  RegSet regs;
+  set_op(regs, 1);
+  for (int i = 0; i < 4; ++i) f.ppc.call(cpu, kproc, ep, regs);
+  auto before = cpu.mem().ledger();
+  f.ppc.call(cpu, kproc, ep, regs);
+  auto delta = cpu.mem().ledger().since(before);
+  EXPECT_EQ(delta.get(sim::CostCategory::kUserSaveRestore), 0u);
+}
+
+TEST(Facility, StackPageMappedOnlyDuringCall) {
+  Fixture f;
+  const EntryPointId ep = f.bind_echo();
+  EntryPoint* e = f.ppc.entry_point(ep);
+  auto* as = e->address_space();
+  bool mapped_during = false;
+  SimAddr stack_va = 0;
+  const EntryPointId probe =
+      f.ppc.bind({}, as, 700, [&](ServerCtx& ctx, RegSet& regs) {
+        stack_va = ctx.worker().stack_vaddr();
+        mapped_during =
+            ctx.entry_point().address_space()->mapped(stack_va);
+        set_rc(regs, Status::kOk);
+      });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, probe, regs);
+  EXPECT_TRUE(mapped_during);
+  EXPECT_NE(stack_va, 0u);
+  EXPECT_FALSE(as->mapped(stack_va));
+}
+
+TEST(Facility, LedgerConservedAcrossCalls) {
+  // Property: every cycle of a call lands in exactly one category.
+  Fixture f;
+  const EntryPointId ep = f.bind_echo();
+  Process& client = f.make_client(100, 0);
+  Cpu& cpu = f.machine.cpu(0);
+  RegSet regs;
+  set_op(regs, 1);
+  for (int i = 0; i < 10; ++i) f.ppc.call(cpu, client, ep, regs);
+  Cycles sum = 0;
+  for (std::size_t c = 0; c < sim::kNumCostCategories; ++c) {
+    sum += cpu.mem().ledger().get(static_cast<sim::CostCategory>(c));
+  }
+  EXPECT_EQ(sum, cpu.now());
+}
+
+TEST(Facility, TrimPoolsReclaimsSurplus) {
+  Fixture f;
+  const EntryPointId ep = f.bind_echo();
+  Process& client = f.make_client(100, 0);
+  Cpu& cpu = f.machine.cpu(0);
+  RegSet regs;
+  set_op(regs, 1);
+  f.ppc.call(cpu, client, ep, regs);
+  // Grow the CD pool artificially via Frank stats on pool behaviour is
+  // indirect; instead verify worker pool trims to target.
+  EXPECT_EQ(f.ppc.pooled_workers(0, ep), 1u);
+  f.ppc.trim_pools(cpu);
+  EXPECT_LE(f.ppc.pooled_workers(0, ep),
+            f.ppc.entry_point(ep)->config().pool_target);
+  // Calls still work after trimming (a new worker is created on demand).
+  EXPECT_EQ(f.ppc.call(cpu, client, ep, regs), Status::kOk);
+}
+
+TEST(Facility, BindRejectsMismatchedSpace) {
+  Fixture f;
+  auto* as = &f.machine.create_address_space(700, 0);
+  EntryPointConfig cfg;
+  cfg.kernel_space = true;  // but a user AS is supplied
+  EXPECT_DEATH(f.ppc.bind(cfg, as, 700, [](ServerCtx&, RegSet&) {}),
+               "kernel_space");
+}
+
+}  // namespace
+}  // namespace hppc::ppc

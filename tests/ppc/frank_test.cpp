@@ -1,0 +1,204 @@
+// Frank (§4.5.6): the kernel-level resource manager with a well-known
+// entry point. Entry points are allocated/deallocated with PPC calls to
+// Frank; calls that fail for lack of resources are redirected to him.
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+#include "ppc/facility.h"
+
+namespace hppc::ppc {
+namespace {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+
+struct Fixture {
+  Fixture() : machine(sim::hector_config(4)), ppc(machine) {}
+
+  Process& make_client(ProgramId prog, CpuId cpu) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, "client",
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  Machine machine;
+  PpcFacility ppc;
+};
+
+TEST(Frank, IsBoundAtWellKnownEntryPoint) {
+  Fixture f;
+  EntryPoint* frank = f.ppc.entry_point(kFrankEp);
+  ASSERT_NE(frank, nullptr);
+  EXPECT_TRUE(frank->address_space()->supervisor());
+  EXPECT_TRUE(frank->config().hold_cd);  // resources preallocated
+}
+
+TEST(Frank, AllocEpThroughPpcCall) {
+  // The paper's service-creation flow: stage a bind, then PPC-call Frank
+  // with kFrankAllocEp; the new EP id comes back in w[0].
+  Fixture f;
+  auto* as = &f.machine.create_address_space(123, 0);
+  const std::uint32_t token = f.ppc.prepare_bind(
+      {.name = "svc"}, as, /*program=*/123,
+      [](ServerCtx&, RegSet& regs) {
+        regs[0] = 0xAB;
+        set_rc(regs, Status::kOk);
+      });
+
+  Process& client = f.make_client(123, 0);
+  RegSet regs;
+  regs[0] = token;
+  set_op(regs, kFrankAllocEp);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, kFrankEp, regs),
+            Status::kOk);
+  const EntryPointId new_ep = regs[0];
+  EXPECT_GE(new_ep, kFirstDynamicEp);
+
+  // The new service answers.
+  set_op(regs, 1);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, new_ep, regs), Status::kOk);
+  EXPECT_EQ(regs[0], 0xABu);
+}
+
+TEST(Frank, AllocEpRejectsBadToken) {
+  Fixture f;
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  regs[0] = 0xFFFF;  // never staged
+  set_op(regs, kFrankAllocEp);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(0), client, kFrankEp, regs),
+            Status::kInvalidArgument);
+}
+
+TEST(Frank, AllocEpRejectsWrongProgram) {
+  // §4.1: authentication by program id, performed by the server itself.
+  Fixture f;
+  auto* as = &f.machine.create_address_space(123, 0);
+  const std::uint32_t token =
+      f.ppc.prepare_bind({}, as, /*program=*/123,
+                         [](ServerCtx&, RegSet& r) { set_rc(r, Status::kOk); });
+  Process& impostor = f.make_client(/*different program*/ 666, 0);
+  RegSet regs;
+  regs[0] = token;
+  set_op(regs, kFrankAllocEp);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(0), impostor, kFrankEp, regs),
+            Status::kPermissionDenied);
+}
+
+TEST(Frank, SoftAndHardKillViaPpc) {
+  Fixture f;
+  auto* as = &f.machine.create_address_space(123, 0);
+  const std::uint32_t token =
+      f.ppc.prepare_bind({}, as, 123,
+                         [](ServerCtx&, RegSet& r) { set_rc(r, Status::kOk); });
+  Process& client = f.make_client(123, 0);
+  RegSet regs;
+  regs[0] = token;
+  set_op(regs, kFrankAllocEp);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, kFrankEp, regs), Status::kOk);
+  const EntryPointId ep = regs[0];
+
+  regs[0] = ep;
+  set_op(regs, kFrankSoftKill);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, kFrankEp, regs), Status::kOk);
+  EXPECT_EQ(f.ppc.entry_point(ep)->state(), EpState::kDead);  // was idle
+
+  regs[0] = ep;
+  set_op(regs, kFrankHardKill);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(0), client, kFrankEp, regs),
+            Status::kNoSuchEntryPoint);  // already gone
+}
+
+TEST(Frank, StatsOp) {
+  Fixture f;
+  auto* as = &f.machine.create_address_space(123, 0);
+  const EntryPointId ep = f.ppc.bind(
+      {}, as, 123, [](ServerCtx&, RegSet& r) { set_rc(r, Status::kOk); });
+  Process& client = f.make_client(123, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, ep, regs);
+
+  regs[0] = ep;
+  set_op(regs, kFrankStats);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, kFrankEp, regs), Status::kOk);
+  EXPECT_EQ(regs[0], 1u);  // one worker created
+  EXPECT_EQ(regs[1], 0u);  // none in flight
+}
+
+TEST(Frank, TrimPoolsOp) {
+  Fixture f;
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, kFrankTrimPools);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(0), client, kFrankEp, regs), Status::kOk);
+}
+
+TEST(Frank, UnknownOpcode) {
+  Fixture f;
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 0xEE);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(0), client, kFrankEp, regs),
+            Status::kInvalidArgument);
+}
+
+TEST(Frank, CdPoolRefillSlowPath) {
+  // Exhaust the per-CPU CD pool by holding CDs captive in workers, then
+  // verify the next call is redirected to Frank for a fresh CD.
+  Fixture f;
+  // Bind several hold-CD services: each worker permanently captures a CD.
+  std::vector<EntryPointId> eps;
+  for (int i = 0; i < 3; ++i) {
+    auto* as = &f.machine.create_address_space(800 + i, 0);
+    EntryPointConfig cfg;
+    cfg.hold_cd = true;
+    eps.push_back(f.ppc.bind(cfg, as, 800 + i, [](ServerCtx&, RegSet& r) {
+      set_rc(r, Status::kOk);
+    }));
+  }
+  Process& client = f.make_client(100, 0);
+  Cpu& cpu = f.machine.cpu(0);
+  RegSet regs;
+  auto& st = f.ppc.state(cpu);
+  const auto refills_before = st.frank_cd_refills;
+  for (EntryPointId ep : eps) {
+    set_op(regs, 1);
+    ASSERT_EQ(f.ppc.call(cpu, client, ep, regs), Status::kOk);
+  }
+  // Every held CD was freshly created (the pool starts empty).
+  EXPECT_GE(st.frank_cd_refills + st.cds_created,
+            refills_before + eps.size());
+  EXPECT_EQ(f.ppc.entry_point(eps[0])->total_in_progress(), 0u);
+}
+
+TEST(Frank, WorkerRefillCostIsOnSlowPathOnly) {
+  Fixture f;
+  auto* as = &f.machine.create_address_space(123, 0);
+  const EntryPointId ep = f.ppc.bind(
+      {}, as, 123, [](ServerCtx&, RegSet& r) { set_rc(r, Status::kOk); });
+  Process& client = f.make_client(123, 0);
+  Cpu& cpu = f.machine.cpu(0);
+
+  RegSet regs;
+  set_op(regs, 1);
+  const Cycles t0 = cpu.now();
+  f.ppc.call(cpu, client, ep, regs);  // slow: creates worker (+ CD)
+  const Cycles first = cpu.now() - t0;
+
+  for (int i = 0; i < 4; ++i) {
+    set_op(regs, 1);
+    f.ppc.call(cpu, client, ep, regs);
+  }
+  const Cycles t1 = cpu.now();
+  set_op(regs, 1);
+  f.ppc.call(cpu, client, ep, regs);  // warm
+  const Cycles warm = cpu.now() - t1;
+
+  EXPECT_GT(first, warm + f.ppc.calibration().worker_create_cycles / 2);
+}
+
+}  // namespace
+}  // namespace hppc::ppc

@@ -1,0 +1,222 @@
+// Death and destruction (§4.5.2): soft-kill drains, hard-kill aborts and
+// reclaims per-processor resources by interrupting each processor, and
+// Exchange supports on-line replacement of a server.
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+#include "ppc/facility.h"
+
+namespace hppc::ppc {
+namespace {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+
+struct Fixture {
+  Fixture(std::uint32_t cpus = 4)
+      : machine(sim::hector_config(cpus)), ppc(machine) {}
+
+  Process& make_client(ProgramId prog, CpuId cpu) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, "client",
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  EntryPointId bind_null() {
+    auto* as = &machine.create_address_space(700, 0);
+    return ppc.bind({}, as, 700, [](ServerCtx&, RegSet& regs) {
+      set_rc(regs, Status::kOk);
+    });
+  }
+
+  Machine machine;
+  PpcFacility ppc;
+};
+
+TEST(SoftKill, RejectsNewCalls) {
+  Fixture f;
+  const EntryPointId ep = f.bind_null();
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, ep, regs), Status::kOk);
+
+  ASSERT_EQ(f.ppc.soft_kill(f.machine.cpu(0), ep), Status::kOk);
+  set_op(regs, 1);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(0), client, ep, regs),
+            Status::kNoSuchEntryPoint);  // fully drained: slot already dead
+}
+
+TEST(SoftKill, InFlightCallCompletes) {
+  // "a soft-kill ... allows calls in progress to complete"
+  Fixture f;
+  Worker* blocked = nullptr;
+  auto* as = &f.machine.create_address_space(700, 0);
+  const EntryPointId ep =
+      f.ppc.bind({}, as, 700, [&](ServerCtx& ctx, RegSet&) {
+        blocked = &ctx.worker();
+        ctx.block_call(
+            [](ServerCtx&, RegSet& regs) { set_rc(regs, Status::kOk); });
+      });
+  Process& client = f.make_client(100, 0);
+  Status final_status = Status::kServerError;
+  bool issued = false;
+  client.set_body([&](Cpu& cpu, Process& self) {
+    if (issued) return;
+    issued = true;
+    RegSet regs;
+    set_op(regs, 1);
+    f.ppc.call_blocking(cpu, self, ep, regs,
+                        [&](Status s, RegSet&) { final_status = s; });
+  });
+  f.machine.ready(f.machine.cpu(0), client);
+  f.machine.run_until_idle();
+  ASSERT_NE(blocked, nullptr);
+
+  // Soft-kill while the call is in flight: EP drains, not dead yet.
+  EXPECT_EQ(f.ppc.soft_kill(f.machine.cpu(1), ep), Status::kOk);
+  EXPECT_EQ(f.ppc.entry_point(ep)->state(), EpState::kDraining);
+
+  // New calls are refused while draining.
+  Process& other = f.make_client(101, 1);
+  RegSet regs;
+  set_op(regs, 1);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(1), other, ep, regs),
+            Status::kEntryPointDraining);
+
+  // Completion finishes the drain.
+  f.machine.post_event(0, f.machine.cpu(0).now() + 100,
+                       [&](Cpu& cpu) { f.ppc.resume_worker(cpu, *blocked); });
+  f.machine.run_until_idle();
+  EXPECT_EQ(final_status, Status::kOk);
+  EXPECT_EQ(f.ppc.entry_point(ep)->state(), EpState::kDead);
+}
+
+TEST(SoftKill, UnknownEntryPoint) {
+  Fixture f;
+  EXPECT_EQ(f.ppc.soft_kill(f.machine.cpu(0), 999),
+            Status::kNoSuchEntryPoint);
+}
+
+TEST(HardKill, ClearsEveryProcessorsTableViaIpis) {
+  Fixture f(4);
+  const EntryPointId ep = f.bind_null();
+  RegSet regs;
+  // Warm pools on several CPUs so there is per-CPU state to reclaim.
+  for (CpuId c = 0; c < 4; ++c) {
+    Process& cl = f.make_client(200 + c, c);
+    set_op(regs, 1);
+    f.ppc.call(f.machine.cpu(c), cl, ep, regs);
+  }
+  EXPECT_EQ(f.ppc.entry_point(ep)->total_workers_created(), 4u);
+
+  ASSERT_EQ(f.ppc.hard_kill(f.machine.cpu(0), ep), Status::kOk);
+  // The killing CPU cleaned up locally at once; remote CPUs need their IPIs
+  // delivered.
+  f.machine.run_until_idle();
+
+  for (CpuId c = 0; c < 4; ++c) {
+    EXPECT_EQ(f.ppc.state(f.machine.cpu(c)).service_table[ep], nullptr);
+    EXPECT_EQ(f.ppc.pooled_workers(c, ep), 0u);
+  }
+  Process& client = f.make_client(300, 1);
+  set_op(regs, 1);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(1), client, ep, regs),
+            Status::kNoSuchEntryPoint);
+}
+
+TEST(HardKill, AbortsBlockedCallWithStatus) {
+  // "The hard-kill frees all resources and aborts any calls in progress."
+  Fixture f;
+  Worker* blocked = nullptr;
+  auto* as = &f.machine.create_address_space(700, 0);
+  const EntryPointId ep =
+      f.ppc.bind({}, as, 700, [&](ServerCtx& ctx, RegSet&) {
+        blocked = &ctx.worker();
+        ctx.block_call(
+            [](ServerCtx&, RegSet& regs) { set_rc(regs, Status::kOk); });
+      });
+  Process& client = f.make_client(100, 0);
+  Status final_status = Status::kOk;
+  bool issued = false;
+  client.set_body([&](Cpu& cpu, Process& self) {
+    if (issued) return;
+    issued = true;
+    RegSet regs;
+    set_op(regs, 1);
+    f.ppc.call_blocking(cpu, self, ep, regs,
+                        [&](Status s, RegSet&) { final_status = s; });
+  });
+  f.machine.ready(f.machine.cpu(0), client);
+  f.machine.run_until_idle();
+  ASSERT_NE(blocked, nullptr);
+
+  ASSERT_EQ(f.ppc.hard_kill(f.machine.cpu(0), ep), Status::kOk);
+  f.machine.run_until_idle();
+  EXPECT_EQ(final_status, Status::kCallAborted);
+  EXPECT_EQ(f.ppc.entry_point(ep)->total_in_progress(), 0u);
+}
+
+TEST(HardKill, Twice) {
+  Fixture f;
+  const EntryPointId ep = f.bind_null();
+  EXPECT_EQ(f.ppc.hard_kill(f.machine.cpu(0), ep), Status::kOk);
+  f.machine.run_until_idle();
+  EXPECT_EQ(f.ppc.hard_kill(f.machine.cpu(0), ep),
+            Status::kNoSuchEntryPoint);
+}
+
+TEST(Exchange, ReplacesHandlerForNewCalls) {
+  // §4.5.2: soft-kill "in conjunction with an Exchange call, allowing
+  // on-line replacement of executing servers".
+  Fixture f;
+  auto* as = &f.machine.create_address_space(700, 0);
+  const EntryPointId ep = f.ppc.bind({}, as, 700,
+                                     [](ServerCtx&, RegSet& regs) {
+                                       regs[0] = 1;  // version 1
+                                       set_rc(regs, Status::kOk);
+                                     });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, ep, regs);
+  EXPECT_EQ(regs[0], 1u);
+
+  ASSERT_EQ(f.ppc.exchange(f.machine.cpu(0), ep,
+                           [](ServerCtx&, RegSet& r) {
+                             r[0] = 2;  // version 2
+                             set_rc(r, Status::kOk);
+                           }),
+            Status::kOk);
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, ep, regs);
+  EXPECT_EQ(regs[0], 2u);
+
+  EXPECT_EQ(f.ppc.exchange(f.machine.cpu(0), 999, nullptr),
+            Status::kNoSuchEntryPoint);
+}
+
+TEST(EntryPoints, IdReuseAfterDeath) {
+  Fixture f;
+  const EntryPointId ep = f.bind_null();
+  f.ppc.hard_kill(f.machine.cpu(0), ep);
+  f.machine.run_until_idle();
+  // Binding again may reuse the dead slot; either way calls must route to
+  // the new service.
+  auto* as = &f.machine.create_address_space(701, 0);
+  const EntryPointId ep2 = f.ppc.bind({}, as, 701,
+                                      [](ServerCtx&, RegSet& regs) {
+                                        regs[0] = 77;
+                                        set_rc(regs, Status::kOk);
+                                      });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, ep2, regs), Status::kOk);
+  EXPECT_EQ(regs[0], 77u);
+}
+
+}  // namespace
+}  // namespace hppc::ppc

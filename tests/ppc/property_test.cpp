@@ -1,0 +1,165 @@
+// Property sweeps: the facility's invariants must hold across the whole
+// configuration grid — machine sizes, service spaces, hold-CD, stack
+// strategies, trust groups, lookup classes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kernel/machine.h"
+#include "ppc/facility.h"
+
+namespace hppc::ppc {
+namespace {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+
+struct GridParam {
+  std::uint32_t cpus;
+  bool kernel_space;
+  bool hold_cd;
+  StackStrategy strategy;
+  std::uint32_t trust_group;
+  bool fast_lookup;
+};
+
+class FacilityGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(FacilityGrid, CallSemanticsAndInvariantsHold) {
+  const GridParam p = GetParam();
+  Machine machine(sim::hector_config(p.cpus));
+  PpcFacility ppc(machine);
+
+  EntryPointConfig cfg;
+  cfg.name = "grid";
+  cfg.kernel_space = p.kernel_space;
+  cfg.hold_cd = p.hold_cd;
+  cfg.stack_strategy = p.strategy;
+  cfg.stack_pages = p.strategy == StackStrategy::kSinglePage ? 1 : 3;
+  cfg.trust_group = p.trust_group;
+  cfg.fast_lookup = p.fast_lookup;
+
+  kernel::AddressSpace* as =
+      p.kernel_space ? nullptr : &machine.create_address_space(700, 0);
+  const EntryPointId ep = ppc.bind(
+      cfg, as, 700, [&](ServerCtx& ctx, RegSet& regs) {
+        ctx.touch_stack(32, 64, /*is_store=*/true);
+        if (p.strategy != StackStrategy::kSinglePage) {
+          ctx.touch_stack(2 * kPageSize + 8, 32, /*is_store=*/true);
+        }
+        regs[1] = regs[0] ^ 0xFFFFu;
+        set_rc(regs, Status::kOk);
+      });
+  EXPECT_EQ(ep >= kMaxEntryPoints, !p.fast_lookup);
+
+  // Every CPU calls several times; results correct everywhere.
+  for (CpuId c = 0; c < p.cpus; ++c) {
+    auto& cas = machine.create_address_space(100 + c,
+                                             machine.config().node_of_cpu(c));
+    Process& client = machine.create_process(
+        100 + c, &cas, "client", machine.config().node_of_cpu(c));
+    Cpu& cpu = machine.cpu(c);
+    for (int i = 0; i < 4; ++i) {
+      RegSet regs;
+      regs[0] = static_cast<Word>(c * 100 + i);
+      set_op(regs, 1);
+      ASSERT_EQ(ppc.call(cpu, client, ep, regs), Status::kOk);
+      ASSERT_EQ(regs[1], (c * 100 + i) ^ 0xFFFFu);
+    }
+  }
+
+  EntryPoint* e = ppc.entry_point(ep);
+  ASSERT_NE(e, nullptr);
+  // Invariant: exactly one worker per calling CPU; none in flight;
+  // per-CPU pools hold exactly what was created.
+  for (CpuId c = 0; c < p.cpus; ++c) {
+    EXPECT_EQ(e->per_cpu(c).workers_created, 1u) << "cpu " << c;
+    EXPECT_EQ(e->per_cpu(c).in_progress, 0u);
+    EXPECT_EQ(e->per_cpu(c).pool.size(), 1u);
+    EXPECT_TRUE(e->per_cpu(c).active_workers.empty());
+  }
+  // Invariant: the server space holds no leftover stack mappings, except
+  // hold-CD workers' permanently mapped page (one per CPU).
+  const std::size_t expected_pages = p.hold_cd ? p.cpus : 0;
+  EXPECT_EQ(e->address_space()->page_count(), expected_pages);
+
+  // Invariant: ledger conservation on every CPU.
+  for (CpuId c = 0; c < p.cpus; ++c) {
+    const auto& mem = machine.cpu(c).mem();
+    Cycles sum = 0;
+    for (std::size_t i = 0; i < sim::kNumCostCategories; ++i) {
+      sum += mem.ledger().get(static_cast<sim::CostCategory>(i));
+    }
+    EXPECT_EQ(sum, mem.now());
+  }
+
+  // Hard kill cleans up fully on every configuration.
+  ASSERT_EQ(ppc.hard_kill(machine.cpu(0), ep), Status::kOk);
+  machine.run_until_idle();
+  for (CpuId c = 0; c < p.cpus; ++c) {
+    EXPECT_EQ(ppc.pooled_workers(c, ep), 0u);
+  }
+  EXPECT_EQ(e->address_space()->page_count(), 0u);
+}
+
+std::string grid_name(const ::testing::TestParamInfo<GridParam>& info) {
+  const GridParam& p = info.param;
+  std::string s = std::to_string(p.cpus) + "cpu";
+  s += p.kernel_space ? "_kernel" : "_user";
+  s += p.hold_cd ? "_hold" : "_share";
+  s += p.strategy == StackStrategy::kSinglePage     ? "_1page"
+       : p.strategy == StackStrategy::kFixedMultiple ? "_fixed"
+                                                     : "_lazy";
+  s += "_g" + std::to_string(p.trust_group);
+  s += p.fast_lookup ? "_fast" : "_hashed";
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FacilityGrid,
+    ::testing::Values(
+        GridParam{1, false, false, StackStrategy::kSinglePage, 0, true},
+        GridParam{1, true, false, StackStrategy::kSinglePage, 0, true},
+        GridParam{4, false, true, StackStrategy::kSinglePage, 0, true},
+        GridParam{4, true, true, StackStrategy::kSinglePage, 0, true},
+        GridParam{4, false, false, StackStrategy::kFixedMultiple, 0, true},
+        GridParam{4, false, false, StackStrategy::kLazyFault, 0, true},
+        GridParam{8, false, false, StackStrategy::kSinglePage, 3, true},
+        GridParam{8, false, true, StackStrategy::kSinglePage, 3, true},
+        GridParam{4, false, false, StackStrategy::kSinglePage, 0, false},
+        GridParam{16, false, false, StackStrategy::kSinglePage, 0, true},
+        GridParam{16, true, false, StackStrategy::kLazyFault, 2, false},
+        GridParam{3, false, false, StackStrategy::kFixedMultiple, 1, false}),
+    grid_name);
+
+// Determinism across the grid: identical runs produce identical clocks.
+class FacilityDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(FacilityDeterminism, IdenticalRunsIdenticalClocks) {
+  auto run = [&]() -> Cycles {
+    Machine machine(sim::hector_config(4));
+    PpcFacility ppc(machine);
+    auto& as = machine.create_address_space(700, 0);
+    const EntryPointId ep = ppc.bind(
+        {}, &as, 700, [](ServerCtx& ctx, RegSet& regs) {
+          ctx.work(17);
+          set_rc(regs, Status::kOk);
+        });
+    auto& cas = machine.create_address_space(100, 0);
+    Process& client = machine.create_process(100, &cas, "c", 0);
+    for (int i = 0; i < GetParam(); ++i) {
+      RegSet regs;
+      set_op(regs, 1);
+      ppc.call(machine.cpu(0), client, ep, regs);
+    }
+    return machine.cpu(0).now();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FacilityDeterminism,
+                         ::testing::Values(1, 7, 33));
+
+}  // namespace
+}  // namespace hppc::ppc

@@ -1,0 +1,98 @@
+// The call interface of §4.5.1 / Figure 4: 8 words each way, opcode+flags
+// packed in the last word, return code in the same word on the way back,
+// and — crucially — no marshalling: argument words pass through untouched.
+#include "ppc/regs.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace hppc::ppc {
+namespace {
+
+TEST(OpFlags, PackUnpackRoundTrip) {
+  const Word w = op_flags(/*opcode=*/0x1234, /*flags=*/0x56);
+  EXPECT_EQ(opcode_of(w), 0x1234u);
+  EXPECT_EQ(flags_of(w), 0x56u);
+  EXPECT_EQ(rc_of(w), Status::kOk);  // rc starts clear
+}
+
+TEST(OpFlags, RcDoesNotDisturbOpcodeOrFlags) {
+  Word w = op_flags(0xBEEF, 0x7);
+  w = with_rc(w, Status::kPermissionDenied);
+  EXPECT_EQ(opcode_of(w), 0xBEEFu);
+  EXPECT_EQ(flags_of(w), 0x7u);
+  EXPECT_EQ(rc_of(w), Status::kPermissionDenied);
+  w = with_rc(w, Status::kOk);
+  EXPECT_EQ(rc_of(w), Status::kOk);
+  EXPECT_EQ(opcode_of(w), 0xBEEFu);
+}
+
+TEST(OpFlags, FieldsAreMasked) {
+  const Word w = op_flags(0xFFFFF, 0xFFF);  // over-wide inputs
+  EXPECT_EQ(opcode_of(w), 0xFFFFu);
+  EXPECT_EQ(flags_of(w), 0xFFu);
+}
+
+TEST(RegSet, DefaultsToZero) {
+  RegSet r;
+  for (std::size_t i = 0; i < kPpcWords; ++i) EXPECT_EQ(r[i], 0u);
+}
+
+TEST(RegSet, OpWordHelpers) {
+  RegSet r;
+  set_op(r, 42, 3);
+  EXPECT_EQ(opcode_of(r), 42u);
+  EXPECT_EQ(flags_of(r), 3u);
+  set_rc(r, Status::kServerError);
+  EXPECT_EQ(rc_of(r), Status::kServerError);
+  EXPECT_EQ(opcode_of(r), 42u);  // rc write preserves opcode
+}
+
+TEST(RegSet, U64PackUnpack) {
+  RegSet r;
+  const std::uint64_t v = 0x0123456789ABCDEFull;
+  set_u64(r, 2, v);
+  EXPECT_EQ(get_u64(r, 2), v);
+  EXPECT_EQ(r[2], 0x89ABCDEFu);
+  EXPECT_EQ(r[3], 0x01234567u);
+}
+
+TEST(RegSet, Equality) {
+  RegSet a, b;
+  a[0] = b[0] = 5;
+  EXPECT_EQ(a, b);
+  b[6] = 1;
+  EXPECT_NE(a, b);
+}
+
+// Property sweep: any (opcode, flags, rc) triple survives packing.
+class OpFlagsProperty
+    : public ::testing::TestWithParam<std::tuple<Word, Word, int>> {};
+
+TEST_P(OpFlagsProperty, RoundTrip) {
+  const auto [opcode, flags, rc_int] = GetParam();
+  const Status rc = static_cast<Status>(rc_int);
+  Word w = op_flags(opcode, flags);
+  w = with_rc(w, rc);
+  EXPECT_EQ(opcode_of(w), opcode & 0xFFFFu);
+  EXPECT_EQ(flags_of(w), flags & 0xFFu);
+  EXPECT_EQ(rc_of(w), rc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OpFlagsProperty,
+    ::testing::Combine(::testing::Values<Word>(0, 1, 0x7F, 0x1234, 0xFFFF),
+                       ::testing::Values<Word>(0, 1, 0x80, 0xFF),
+                       ::testing::Values(0, 1, 4, 9)));
+
+TEST(Status, AllCodesNamed) {
+  for (int i = 0; i <= static_cast<int>(Status::kInvalidArgument); ++i) {
+    EXPECT_STRNE(to_string(static_cast<Status>(i)), "?");
+  }
+  EXPECT_TRUE(ok(Status::kOk));
+  EXPECT_FALSE(ok(Status::kCallAborted));
+}
+
+}  // namespace
+}  // namespace hppc::ppc

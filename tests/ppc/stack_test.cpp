@@ -1,0 +1,203 @@
+// Stack-size strategies (§4.5.4): one page by default, fixed multiples per
+// service, and lazily-faulted growth.
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+#include "ppc/facility.h"
+
+namespace hppc::ppc {
+namespace {
+
+using kernel::Cpu;
+using kernel::Machine;
+using kernel::Process;
+
+struct Fixture {
+  Fixture() : machine(sim::hector_config(4)), ppc(machine) {}
+
+  Process& make_client(ProgramId prog, CpuId cpu) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, "client",
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  Machine machine;
+  PpcFacility ppc;
+};
+
+TEST(StackSinglePage, AccessWithinPageWorks) {
+  Fixture f;
+  auto* as = &f.machine.create_address_space(700, 0);
+  std::uint32_t pages_seen = 0;
+  const EntryPointId ep =
+      f.ppc.bind({}, as, 700, [&](ServerCtx& ctx, RegSet& regs) {
+        ctx.touch_stack(64, 32, /*is_store=*/true);
+        ctx.touch_stack(kPageSize - 64, 32, /*is_store=*/false);
+        pages_seen = ctx.worker().mapped_stack_pages();
+        set_rc(regs, Status::kOk);
+      });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, ep, regs), Status::kOk);
+  EXPECT_EQ(pages_seen, 1u);
+}
+
+TEST(StackSinglePageDeathTest, OverflowAsserts) {
+  Fixture f;
+  auto* as = &f.machine.create_address_space(700, 0);
+  const EntryPointId ep =
+      f.ppc.bind({}, as, 700, [&](ServerCtx& ctx, RegSet& regs) {
+        ctx.touch_stack(kPageSize + 8, 8, true);  // beyond the single page
+        set_rc(regs, Status::kOk);
+      });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  EXPECT_DEATH(f.ppc.call(f.machine.cpu(0), client, ep, regs),
+               "stack overflow");
+}
+
+TEST(StackFixedMultiple, AllPagesMappedUpFront) {
+  Fixture f;
+  auto* as = &f.machine.create_address_space(700, 0);
+  EntryPointConfig cfg;
+  cfg.stack_strategy = StackStrategy::kFixedMultiple;
+  cfg.stack_pages = 3;
+  std::uint32_t pages_seen = 0;
+  const EntryPointId ep =
+      f.ppc.bind(cfg, as, 700, [&](ServerCtx& ctx, RegSet& regs) {
+        pages_seen = ctx.worker().mapped_stack_pages();
+        ctx.touch_stack(2 * kPageSize + 100, 16, true);  // no fault needed
+        set_rc(regs, Status::kOk);
+      });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, ep, regs), Status::kOk);
+  EXPECT_EQ(pages_seen, 3u);
+  // All pages unmapped again after the call (the server space holds no
+  // stack mappings at all between calls).
+  EntryPoint* e = f.ppc.entry_point(ep);
+  EXPECT_EQ(e->address_space()->page_count(), 0u);
+  // The extra pages went back to the per-CPU list for reuse.
+  EXPECT_EQ(e->per_cpu(0).extra_stack_pages.size(), 2u);
+}
+
+TEST(StackFixedMultiple, ExtraPagesReusedAcrossCalls) {
+  Fixture f;
+  auto* as = &f.machine.create_address_space(700, 0);
+  EntryPointConfig cfg;
+  cfg.stack_strategy = StackStrategy::kFixedMultiple;
+  cfg.stack_pages = 2;
+  const EntryPointId ep = f.ppc.bind(
+      cfg, as, 700, [](ServerCtx&, RegSet& r) { set_rc(r, Status::kOk); });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, ep, regs);
+  EntryPoint* e = f.ppc.entry_point(ep);
+  const auto pages_after_first = e->per_cpu(0).extra_stack_pages;
+  ASSERT_EQ(pages_after_first.size(), 1u);
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, ep, regs);
+  // Same physical page came back: no new allocation.
+  ASSERT_EQ(e->per_cpu(0).extra_stack_pages.size(), 1u);
+  EXPECT_EQ(e->per_cpu(0).extra_stack_pages[0], pages_after_first[0]);
+}
+
+TEST(StackLazyFault, GrowsOnDemandAndShrinksAfter) {
+  // "Accesses beyond the first page would result in a page fault ...
+  //  keep[ing] the common case fast and only penaliz[ing] those servers
+  //  that require the extra space."
+  Fixture f;
+  auto* as = &f.machine.create_address_space(700, 0);
+  EntryPointConfig cfg;
+  cfg.stack_strategy = StackStrategy::kLazyFault;
+  cfg.stack_pages = 4;  // virtual reservation
+  bool deep = false;
+  std::uint32_t pages_small = 0, pages_deep = 0;
+  const EntryPointId ep =
+      f.ppc.bind(cfg, as, 700, [&](ServerCtx& ctx, RegSet& regs) {
+        if (deep) {
+          ctx.touch_stack(3 * kPageSize + 16, 16, true);  // fault 3 pages in
+          pages_deep = ctx.worker().mapped_stack_pages();
+        } else {
+          ctx.touch_stack(16, 16, true);
+          pages_small = ctx.worker().mapped_stack_pages();
+        }
+        set_rc(regs, Status::kOk);
+      });
+  Process& client = f.make_client(100, 0);
+  Cpu& cpu = f.machine.cpu(0);
+  RegSet regs;
+
+  set_op(regs, 1);
+  ASSERT_EQ(f.ppc.call(cpu, client, ep, regs), Status::kOk);
+  EXPECT_EQ(pages_small, 1u);  // common case: no growth
+
+  deep = true;
+  const Cycles before = cpu.now();
+  set_op(regs, 1);
+  ASSERT_EQ(f.ppc.call(cpu, client, ep, regs), Status::kOk);
+  EXPECT_EQ(pages_deep, 4u);  // faulted up to the touched page
+  const Cycles deep_cost = cpu.now() - before;
+
+  // The extra pages were returned at call end...
+  EntryPoint* e = f.ppc.entry_point(ep);
+  EXPECT_EQ(e->per_cpu(0).extra_stack_pages.size(), 3u);
+  // ...and the shallow path stays fast afterwards.
+  deep = false;
+  const Cycles b2 = cpu.now();
+  set_op(regs, 1);
+  f.ppc.call(cpu, client, ep, regs);
+  EXPECT_LT(cpu.now() - b2, deep_cost);
+}
+
+TEST(StackLazyFaultDeathTest, BeyondReservationAsserts) {
+  Fixture f;
+  auto* as = &f.machine.create_address_space(700, 0);
+  EntryPointConfig cfg;
+  cfg.stack_strategy = StackStrategy::kLazyFault;
+  cfg.stack_pages = 2;
+  const EntryPointId ep =
+      f.ppc.bind(cfg, as, 700, [&](ServerCtx& ctx, RegSet& regs) {
+        ctx.touch_stack(2 * kPageSize + 8, 8, true);  // beyond reservation
+        set_rc(regs, Status::kOk);
+      });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  EXPECT_DEATH(f.ppc.call(f.machine.cpu(0), client, ep, regs),
+               "stack overflow");
+}
+
+TEST(StackSharing, SuccessiveServersShareThePhysicalStackPage) {
+  // §2: "multiple servers called in succession may share a single CD and
+  // stack" — the serial sharing that shrinks the combined cache footprint.
+  Fixture f;
+  SimAddr page_a = 0, page_b = 0;
+  auto* as_a = &f.machine.create_address_space(700, 0);
+  auto* as_b = &f.machine.create_address_space(701, 0);
+  const EntryPointId ep_a =
+      f.ppc.bind({}, as_a, 700, [&](ServerCtx& ctx, RegSet& regs) {
+        page_a = ctx.worker().active_cd()->stack_page();
+        set_rc(regs, Status::kOk);
+      });
+  const EntryPointId ep_b =
+      f.ppc.bind({}, as_b, 701, [&](ServerCtx& ctx, RegSet& regs) {
+        page_b = ctx.worker().active_cd()->stack_page();
+        set_rc(regs, Status::kOk);
+      });
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, ep_a, regs);
+  set_op(regs, 1);
+  f.ppc.call(f.machine.cpu(0), client, ep_b, regs);
+  EXPECT_EQ(page_a, page_b);  // the CD (and its stack) was recycled
+}
+
+}  // namespace
+}  // namespace hppc::ppc

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rt/global_pool.h"
+#include "rt/msgq.h"
+
+namespace hppc::rt {
+namespace {
+
+using ppc::RegSet;
+using ppc::set_op;
+using ppc::set_rc;
+
+TEST(GlobalPool, BasicCall) {
+  GlobalPoolRuntime rt;
+  const EntryPointId ep = rt.bind([](ProgramId, RegSet& regs) {
+    regs[0] += 1;
+    set_rc(regs, Status::kOk);
+  });
+  RegSet regs;
+  regs[0] = 41;
+  set_op(regs, 1);
+  ASSERT_EQ(rt.call(1, ep, regs), Status::kOk);
+  EXPECT_EQ(regs[0], 42u);
+}
+
+TEST(GlobalPool, UnknownService) {
+  GlobalPoolRuntime rt;
+  RegSet regs;
+  EXPECT_EQ(rt.call(1, 99, regs), Status::kNoSuchEntryPoint);
+}
+
+TEST(GlobalPool, ConcurrentCallsAreSafe) {
+  GlobalPoolRuntime rt;
+  std::atomic<int> served{0};
+  const EntryPointId ep = rt.bind([&](ProgramId, RegSet& regs) {
+    served.fetch_add(1, std::memory_order_relaxed);
+    set_rc(regs, Status::kOk);
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      RegSet regs;
+      for (int i = 0; i < 2000; ++i) {
+        set_op(regs, 1);
+        ASSERT_EQ(rt.call(1, ep, regs), Status::kOk);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(served.load(), 8000);
+}
+
+TEST(MsgQueueServer, RoundTrip) {
+  MsgQueueServer server(1, [](RegSet& regs) {
+    regs[0] *= 3;
+    set_rc(regs, Status::kOk);
+  });
+  RegSet regs;
+  regs[0] = 14;
+  set_op(regs, 1);
+  ASSERT_EQ(server.call(regs), Status::kOk);
+  EXPECT_EQ(regs[0], 42u);
+  EXPECT_EQ(server.served(), 1u);
+}
+
+TEST(MsgQueueServer, ManyClientsManyServers) {
+  MsgQueueServer server(2, [](RegSet& regs) {
+    regs[1] = regs[0] + 1;
+    set_rc(regs, Status::kOk);
+  });
+  std::vector<std::thread> clients;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        RegSet regs;
+        regs[0] = static_cast<Word>(t * 1000 + i);
+        set_op(regs, 1);
+        if (server.call(regs) != Status::kOk ||
+            regs[1] != regs[0] + 1) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(server.served(), 2000u);
+}
+
+TEST(MsgQueueServer, ShutdownDrains) {
+  auto server = std::make_unique<MsgQueueServer>(
+      1, [](RegSet& regs) { set_rc(regs, Status::kOk); });
+  RegSet regs;
+  set_op(regs, 1);
+  EXPECT_EQ(server->call(regs), Status::kOk);
+  server.reset();  // clean join, no hang
+}
+
+}  // namespace
+}  // namespace hppc::rt

@@ -1,0 +1,81 @@
+#include "rt/dispatch.h"
+
+#include <gtest/gtest.h>
+
+namespace hppc::rt {
+namespace {
+
+using ppc::RegSet;
+using ppc::set_op;
+using ppc::set_rc;
+
+TEST(OpDispatcher, RoutesByOpcode) {
+  Runtime rt(1);
+  const SlotId slot = rt.register_thread();
+  const EntryPointId ep = rt.bind(
+      {}, 700,
+      OpDispatcher()
+          .on(1,
+              [](RtCtx&, RegSet& regs) {
+                regs[0] = 0x11;
+                set_rc(regs, Status::kOk);
+              })
+          .on(2,
+              [](RtCtx&, RegSet& regs) {
+                regs[0] = 0x22;
+                set_rc(regs, Status::kOk);
+              })
+          .handler());
+
+  RegSet regs;
+  set_op(regs, 1);
+  ASSERT_EQ(rt.call(slot, 1, ep, regs), Status::kOk);
+  EXPECT_EQ(regs[0], 0x11u);
+  set_op(regs, 2);
+  ASSERT_EQ(rt.call(slot, 1, ep, regs), Status::kOk);
+  EXPECT_EQ(regs[0], 0x22u);
+}
+
+TEST(OpDispatcher, UnknownOpcodeRejected) {
+  Runtime rt(1);
+  const SlotId slot = rt.register_thread();
+  const EntryPointId ep = rt.bind(
+      {}, 700,
+      OpDispatcher()
+          .on(1, [](RtCtx&, RegSet& r) { set_rc(r, Status::kOk); })
+          .handler());
+  RegSet regs;
+  set_op(regs, 9);
+  EXPECT_EQ(rt.call(slot, 1, ep, regs), Status::kInvalidArgument);
+  set_op(regs, 63);
+  EXPECT_EQ(rt.call(slot, 1, ep, regs), Status::kInvalidArgument);
+}
+
+TEST(OpDispatcher, HandlersSeeContext) {
+  Runtime rt(1);
+  const SlotId slot = rt.register_thread();
+  ProgramId seen = 0;
+  const EntryPointId ep = rt.bind(
+      {}, 700,
+      OpDispatcher()
+          .on(1,
+              [&](RtCtx& ctx, RegSet& regs) {
+                seen = ctx.caller_program();
+                ctx.stack()[0] = std::byte{7};  // stack is usable
+                set_rc(regs, Status::kOk);
+              })
+          .handler());
+  RegSet regs;
+  set_op(regs, 1);
+  ASSERT_EQ(rt.call(slot, 99, ep, regs), Status::kOk);
+  EXPECT_EQ(seen, 99u);
+}
+
+TEST(OpDispatcherDeathTest, DuplicateOpcodeAsserts) {
+  OpDispatcher d;
+  d.on(1, [](RtCtx&, RegSet&) {});
+  EXPECT_DEATH(d.on(1, [](RtCtx&, RegSet&) {}), "already registered");
+}
+
+}  // namespace
+}  // namespace hppc::rt

@@ -1,0 +1,140 @@
+// KvService: the host runtime's sample domain service.
+#include "rt/kv_service.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+namespace hppc::rt {
+namespace {
+
+TEST(KvService, PutGetRoundTrip) {
+  Runtime rt(1);
+  const SlotId slot = rt.register_thread();
+  KvService kv(rt);
+  ASSERT_EQ(kv.put(slot, 1, 42, 4242), Status::kOk);
+  auto v = kv.get(slot, 1, 42);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 4242u);
+}
+
+TEST(KvService, GetMissing) {
+  Runtime rt(1);
+  const SlotId slot = rt.register_thread();
+  KvService kv(rt);
+  EXPECT_FALSE(kv.get(slot, 1, 777).has_value());
+}
+
+TEST(KvService, OverwriteKeepsOneEntry) {
+  Runtime rt(1);
+  const SlotId slot = rt.register_thread();
+  KvService kv(rt);
+  kv.put(slot, 1, 5, 100);
+  kv.put(slot, 1, 5, 200);
+  EXPECT_EQ(*kv.get(slot, 1, 5), 200u);
+  ppc::RegSet r;
+  ppc::set_op(r, kKvSize);
+  ASSERT_EQ(rt.call(slot, 1, kv.ep(), r), Status::kOk);
+  EXPECT_EQ(r[0], 1u);
+}
+
+TEST(KvService, EraseRequiresOwner) {
+  Runtime rt(1);
+  const SlotId slot = rt.register_thread();
+  KvService kv(rt);
+  kv.put(slot, /*caller=*/7, 1, 10);
+  EXPECT_EQ(kv.erase(slot, /*caller=*/8, 1), Status::kPermissionDenied);
+  EXPECT_TRUE(kv.get(slot, 8, 1).has_value());
+  EXPECT_EQ(kv.erase(slot, 7, 1), Status::kOk);
+  EXPECT_FALSE(kv.get(slot, 7, 1).has_value());
+}
+
+TEST(KvService, ProbeChainSurvivesMiddleErase) {
+  // Colliding keys form a probe chain; erasing the middle one must keep
+  // the tail reachable (the backward-shift correctness case).
+  Runtime rt(1);
+  const SlotId slot = rt.register_thread();
+  KvService::Config cfg;
+  cfg.shard_capacity = 8;
+  cfg.enforce_ownership = false;
+  KvService kv(rt, cfg);
+  // Keys 0, 8, 16 all hash to slot 0 in an 8-entry shard.
+  kv.put(slot, 1, 0, 100);
+  kv.put(slot, 1, 8, 108);
+  kv.put(slot, 1, 16, 116);
+  ASSERT_EQ(kv.erase(slot, 1, 8), Status::kOk);
+  EXPECT_EQ(*kv.get(slot, 1, 0), 100u);
+  auto tail = kv.get(slot, 1, 16);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(*tail, 116u);
+}
+
+TEST(KvService, FillsToCapacityThenRejects) {
+  Runtime rt(1);
+  const SlotId slot = rt.register_thread();
+  KvService::Config cfg;
+  cfg.shard_capacity = 4;
+  KvService kv(rt, cfg);
+  for (Word k = 0; k < 4; ++k) {
+    ASSERT_EQ(kv.put(slot, 1, k, k), Status::kOk);
+  }
+  EXPECT_EQ(kv.put(slot, 1, 99, 99), Status::kOutOfResources);
+  // Still consistent.
+  for (Word k = 0; k < 4; ++k) EXPECT_EQ(*kv.get(slot, 1, k), k);
+}
+
+TEST(KvService, RandomizedAgainstReferenceMap) {
+  Runtime rt(1);
+  const SlotId slot = rt.register_thread();
+  KvService::Config cfg;
+  cfg.shard_capacity = 64;
+  cfg.enforce_ownership = false;
+  KvService kv(rt, cfg);
+  std::map<Word, Word> ref;
+  std::uint64_t seed = 12345;
+  for (int i = 0; i < 4000; ++i) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    const Word key = static_cast<Word>((seed >> 16) % 48);
+    const Word val = static_cast<Word>(seed >> 40);
+    switch ((seed >> 8) % 3) {
+      case 0:
+        ASSERT_EQ(kv.put(slot, 1, key, val), Status::kOk);
+        ref[key] = val;
+        break;
+      case 1: {
+        auto got = kv.get(slot, 1, key);
+        auto it = ref.find(key);
+        ASSERT_EQ(got.has_value(), it != ref.end()) << "key " << key;
+        if (got) ASSERT_EQ(*got, it->second);
+        break;
+      }
+      case 2: {
+        const Status s = kv.erase(slot, 1, key);
+        ASSERT_EQ(s == Status::kOk, ref.erase(key) == 1) << "key " << key;
+        break;
+      }
+    }
+  }
+}
+
+TEST(KvService, ShardsArePerSlot) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  KvService kv(rt);
+  kv.put(me, 1, 10, 111);
+
+  std::optional<Word> other_sees;
+  std::thread t([&] {
+    const SlotId other = rt.register_thread();
+    other_sees = kv.get(other, 1, 10);
+  });
+  t.join();
+  // Different slot, different shard: the key is not there.
+  EXPECT_FALSE(other_sees.has_value());
+  EXPECT_TRUE(kv.get(me, 1, 10).has_value());
+  EXPECT_EQ(kv.initialized_workers(), 2u);  // one init per slot's worker
+}
+
+}  // namespace
+}  // namespace hppc::rt

@@ -1,0 +1,88 @@
+#include "rt/percpu.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace hppc::rt {
+namespace {
+
+TEST(SlotRegistry, SameThreadSameSlot) {
+  SlotRegistry reg(4);
+  const SlotId a = reg.register_thread();
+  const SlotId b = reg.register_thread();
+  EXPECT_EQ(a, b);
+}
+
+TEST(SlotRegistry, DistinctThreadsDistinctSlots) {
+  SlotRegistry reg(8);
+  std::vector<SlotId> slots(4, kInvalidSlot);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] { slots[i] = reg.register_thread(); });
+  }
+  for (auto& t : threads) t.join();
+  std::set<SlotId> unique(slots.begin(), slots.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (SlotId s : slots) EXPECT_LT(s, 8u);
+}
+
+TEST(SlotRegistry, SeparateRegistriesSeparateSlots) {
+  SlotRegistry a(2), b(2);
+  const SlotId sa = a.register_thread();
+  const SlotId sb = b.register_thread();
+  EXPECT_EQ(sa, 0u);
+  EXPECT_EQ(sb, 0u);  // fresh count per registry, same thread OK
+}
+
+TEST(Mailbox, FifoDelivery) {
+  Mailbox<int> box;
+  for (int i = 0; i < 5; ++i) box.post(i);
+  std::vector<int> got;
+  box.drain([&](int v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(Mailbox, DrainEmpty) {
+  Mailbox<int> box;
+  EXPECT_EQ(box.drain([](int) { FAIL(); }), 0u);
+}
+
+TEST(Mailbox, ConcurrentProducersSingleConsumer) {
+  Mailbox<int> box;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 10000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) box.post(p * kPerProducer + i);
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::size_t consumed = 0;
+  std::set<int> seen;
+  std::thread consumer([&] {
+    while (!stop.load() || !box.empty()) {
+      consumed += box.drain([&](int v) { seen.insert(v); });
+    }
+  });
+  for (auto& t : producers) t.join();
+  stop.store(true);
+  consumer.join();
+  EXPECT_EQ(consumed, std::size_t{kProducers} * kPerProducer);
+  EXPECT_EQ(seen.size(), std::size_t{kProducers} * kPerProducer);
+}
+
+TEST(Mailbox, DestructorFreesUndrained) {
+  // Just must not leak/crash (ASan would flag it).
+  Mailbox<std::unique_ptr<int>> box;
+  box.post(std::make_unique<int>(1));
+  box.post(std::make_unique<int>(2));
+}
+
+}  // namespace
+}  // namespace hppc::rt

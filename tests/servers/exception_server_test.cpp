@@ -1,0 +1,91 @@
+// Exception server: upcall delivery (§4.4) and the worker-initialization
+// protocol in its natural habitat (§4.5.3).
+#include "servers/exception_server.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+
+namespace hppc::servers {
+namespace {
+
+using kernel::Machine;
+using kernel::Process;
+using ppc::PpcFacility;
+using ppc::RegSet;
+
+struct Fixture {
+  Fixture() : machine(sim::hector_config(4)), ppc(machine), exc(ppc) {}
+
+  Process& make_client(ProgramId prog, CpuId cpu) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, "client",
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  Machine machine;
+  PpcFacility ppc;
+  ExceptionServer exc;
+};
+
+TEST(ExceptionServer, DeliverViaUpcall) {
+  Fixture f;
+  ASSERT_EQ(ExceptionServer::deliver(f.ppc, f.machine.cpu(0), f.exc.ep(),
+                                     /*victim=*/123, /*code=*/7),
+            Status::kOk);
+  EXPECT_EQ(f.exc.exceptions_for(123), 1u);
+  EXPECT_EQ(f.exc.exceptions_for(999), 0u);
+}
+
+TEST(ExceptionServer, QueryThroughPpc) {
+  Fixture f;
+  for (int i = 0; i < 3; ++i) {
+    ExceptionServer::deliver(f.ppc, f.machine.cpu(0), f.exc.ep(), 55, 1);
+  }
+  Process& client = f.make_client(100, 1);
+  RegSet regs;
+  regs[0] = 55;
+  set_op(regs, kExceptionQuery);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(1), client, f.exc.ep(), regs),
+            Status::kOk);
+  EXPECT_EQ(regs[1], 3u);
+}
+
+TEST(ExceptionServer, WorkerInitRunsOncePerCpuWorker) {
+  Fixture f;
+  // Deliveries on the same CPU reuse the initialized worker.
+  for (int i = 0; i < 5; ++i) {
+    ExceptionServer::deliver(f.ppc, f.machine.cpu(0), f.exc.ep(), 1, 1);
+  }
+  EXPECT_EQ(f.exc.registered_workers(), 1u);
+  // A delivery on another CPU creates (and initializes) that CPU's worker.
+  ExceptionServer::deliver(f.ppc, f.machine.cpu(2), f.exc.ep(), 1, 1);
+  EXPECT_EQ(f.exc.registered_workers(), 2u);
+  EXPECT_EQ(f.exc.exceptions_for(1), 6u);
+}
+
+TEST(ExceptionServer, InitCostPaidOnlyOnFirstCall) {
+  Fixture f;
+  auto& cpu = f.machine.cpu(0);
+  const Cycles t0 = cpu.now();
+  ExceptionServer::deliver(f.ppc, cpu, f.exc.ep(), 9, 1);
+  const Cycles first = cpu.now() - t0;
+  const Cycles t1 = cpu.now();
+  ExceptionServer::deliver(f.ppc, cpu, f.exc.ep(), 9, 1);
+  const Cycles later = cpu.now() - t1;
+  // First call pays worker creation + init registration; later calls don't.
+  EXPECT_GT(first, later + 150);
+}
+
+TEST(ExceptionServer, UnknownOpcode) {
+  Fixture f;
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 0x66);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(0), client, f.exc.ep(), regs),
+            Status::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hppc::servers

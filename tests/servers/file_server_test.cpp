@@ -1,0 +1,246 @@
+// Bob, the file server: GetLength/SetLength/Read/Write/Create semantics,
+// per-file locking, owner authentication, and the contention instrumentation
+// Figure 3 relies on.
+#include "servers/file_server.h"
+
+#include "servers/copy_server.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+
+namespace hppc::servers {
+namespace {
+
+using kernel::Machine;
+using kernel::Process;
+using ppc::PpcFacility;
+using ppc::RegSet;
+
+struct Fixture {
+  Fixture() : machine(sim::hector_config(8)), ppc(machine), bob(ppc, {}) {}
+
+  Process& make_client(ProgramId prog, CpuId cpu) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, "client",
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  Machine machine;
+  PpcFacility ppc;
+  FileServer bob;
+};
+
+TEST(FileServer, GetLength) {
+  Fixture f;
+  const auto fid = f.bob.create_file(0, 12345);
+  Process& client = f.make_client(100, 0);
+  std::uint64_t len = 0;
+  ASSERT_EQ(FileServer::get_length(f.ppc, f.machine.cpu(0), client,
+                                   f.bob.ep(), fid, &len),
+            Status::kOk);
+  EXPECT_EQ(len, 12345u);
+}
+
+TEST(FileServer, GetLength64Bit) {
+  Fixture f;
+  const std::uint64_t big = 0x1234567890ull;
+  const auto fid = f.bob.create_file(1, big);
+  Process& client = f.make_client(100, 0);
+  std::uint64_t len = 0;
+  ASSERT_EQ(FileServer::get_length(f.ppc, f.machine.cpu(0), client,
+                                   f.bob.ep(), fid, &len),
+            Status::kOk);
+  EXPECT_EQ(len, big);
+}
+
+TEST(FileServer, InvalidFileId) {
+  Fixture f;
+  Process& client = f.make_client(100, 0);
+  std::uint64_t len;
+  EXPECT_EQ(FileServer::get_length(f.ppc, f.machine.cpu(0), client,
+                                   f.bob.ep(), 999, &len),
+            Status::kInvalidArgument);
+}
+
+TEST(FileServer, SetLengthRequiresOwner) {
+  Fixture f;
+  const auto fid = f.bob.create_file(0, 100, /*owner=*/700);
+  Process& owner = f.make_client(700, 0);
+  Process& other = f.make_client(999, 1);
+
+  EXPECT_EQ(FileServer::set_length(f.ppc, f.machine.cpu(1), other,
+                                   f.bob.ep(), fid, 5),
+            Status::kPermissionDenied);
+  EXPECT_EQ(f.bob.length_of(fid), 100u);
+
+  ASSERT_EQ(FileServer::set_length(f.ppc, f.machine.cpu(0), owner,
+                                   f.bob.ep(), fid, 555),
+            Status::kOk);
+  EXPECT_EQ(f.bob.length_of(fid), 555u);
+}
+
+TEST(FileServer, UnownedFileWritableByAnyone) {
+  Fixture f;
+  const auto fid = f.bob.create_file(0, 10, /*owner=*/0);
+  Process& anyone = f.make_client(321, 0);
+  EXPECT_EQ(FileServer::set_length(f.ppc, f.machine.cpu(0), anyone,
+                                   f.bob.ep(), fid, 42),
+            Status::kOk);
+}
+
+TEST(FileServer, ReadClampsToEof) {
+  Fixture f;
+  const auto fid = f.bob.create_file(0, 100);
+  Process& client = f.make_client(100, 0);
+  std::uint32_t got = 0;
+  ASSERT_EQ(FileServer::read(f.ppc, f.machine.cpu(0), client, f.bob.ep(),
+                             fid, 80, 50, &got),
+            Status::kOk);
+  EXPECT_EQ(got, 20u);  // clamped at EOF
+  ASSERT_EQ(FileServer::read(f.ppc, f.machine.cpu(0), client, f.bob.ep(),
+                             fid, 100, 10, &got),
+            Status::kOk);
+  EXPECT_EQ(got, 0u);  // at EOF
+}
+
+TEST(FileServer, WriteExtendsFile) {
+  Fixture f;
+  const auto fid = f.bob.create_file(0, 10, 0);
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  regs[0] = fid;
+  regs[1] = 50;   // offset
+  regs[2] = 30;   // bytes
+  set_op(regs, kFileWrite);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, f.bob.ep(), regs),
+            Status::kOk);
+  EXPECT_EQ(f.bob.length_of(fid), 80u);
+}
+
+TEST(FileServer, CreateThroughPpc) {
+  Fixture f;
+  Process& client = f.make_client(123, 0);
+  RegSet regs;
+  regs[0] = 1;  // home node
+  ppc::set_u64(regs, 1, 4096);
+  set_op(regs, kFileCreate);
+  ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, f.bob.ep(), regs),
+            Status::kOk);
+  const std::uint32_t fid = regs[0];
+  EXPECT_EQ(f.bob.length_of(fid), 4096u);
+
+  // The creating program owns it.
+  Process& other = f.make_client(999, 1);
+  EXPECT_EQ(FileServer::set_length(f.ppc, f.machine.cpu(1), other,
+                                   f.bob.ep(), fid, 1),
+            Status::kPermissionDenied);
+}
+
+TEST(FileServer, UnknownOpcode) {
+  Fixture f;
+  Process& client = f.make_client(100, 0);
+  RegSet regs;
+  set_op(regs, 0x77);
+  EXPECT_EQ(f.ppc.call(f.machine.cpu(0), client, f.bob.ep(), regs),
+            Status::kInvalidArgument);
+}
+
+TEST(FileServer, LockMigrationsCountContention) {
+  Fixture f;
+  const auto fid = f.bob.create_file(0, 100);
+  Process& a = f.make_client(100, 0);
+  Process& b = f.make_client(101, 1);
+  std::uint64_t len;
+  FileServer::get_length(f.ppc, f.machine.cpu(0), a, f.bob.ep(), fid, &len);
+  EXPECT_EQ(f.bob.lock_migrations(fid), 0u);
+  FileServer::get_length(f.ppc, f.machine.cpu(1), b, f.bob.ep(), fid, &len);
+  EXPECT_EQ(f.bob.lock_migrations(fid), 1u);
+  FileServer::get_length(f.ppc, f.machine.cpu(1), b, f.bob.ep(), fid, &len);
+  EXPECT_EQ(f.bob.lock_migrations(fid), 1u);  // same owner: no migration
+}
+
+TEST(FileServer, BulkWriteThroughCopyServer) {
+  // The full §4.2 flow: grant -> PPC to Bob -> Bob's nested CopyFrom pulls
+  // the caller's buffer -> bytes land in the file's data pages.
+  Machine machine(sim::hector_config(8));
+  PpcFacility ppc(machine);
+  CopyServer copies(ppc);
+  FileServer bob(ppc, {});
+  const auto fid = bob.create_file(0, 0, /*owner=*/0);
+
+  auto& as = machine.create_address_space(100, 0);
+  Process& client = machine.create_process(100, &as, "client", 0);
+
+  const SimAddr buf = machine.allocator().alloc(0, 256, 16);
+  const char payload[] = "bulk payload via copy server";
+  machine.write_data(buf, payload, sizeof(payload));
+
+  // Without a grant, Bob's CopyFrom is refused and surfaces as the rc.
+  EXPECT_EQ(FileServer::write_bulk(ppc, machine.cpu(0), client, bob.ep(),
+                                   fid, 0, buf, sizeof(payload)),
+            Status::kBadRegion);
+
+  ASSERT_EQ(CopyServer::grant(ppc, machine.cpu(0), client, bob.program(),
+                              buf, 256, kCopyRightRead),
+            Status::kOk);
+  ASSERT_EQ(FileServer::write_bulk(ppc, machine.cpu(0), client, bob.ep(),
+                                   fid, 0, buf, sizeof(payload)),
+            Status::kOk);
+  EXPECT_EQ(bob.length_of(fid), sizeof(payload));
+  char got[sizeof(payload)] = {};
+  machine.read_data(bob.data_addr(fid), got, sizeof(got));
+  EXPECT_STREQ(got, payload);
+}
+
+TEST(FileServer, BulkWriteRespectsFileOwnership) {
+  Machine machine(sim::hector_config(4));
+  PpcFacility ppc(machine);
+  CopyServer copies(ppc);
+  FileServer bob(ppc, {});
+  const auto fid = bob.create_file(0, 0, /*owner=*/555);
+  auto& as = machine.create_address_space(100, 0);
+  Process& intruder = machine.create_process(100, &as, "i", 0);
+  const SimAddr buf = machine.allocator().alloc(0, 64, 16);
+  CopyServer::grant(ppc, machine.cpu(0), intruder, bob.program(), buf, 64,
+                    kCopyRightRead);
+  EXPECT_EQ(FileServer::write_bulk(ppc, machine.cpu(0), intruder, bob.ep(),
+                                   fid, 0, buf, 16),
+            Status::kPermissionDenied);
+}
+
+TEST(FileServer, KernelSpaceVariant) {
+  Machine machine(sim::hector_config(4));
+  PpcFacility ppc(machine);
+  FileServer::Config cfg;
+  cfg.user_space = false;
+  FileServer bob(ppc, cfg);
+  auto& as = machine.create_address_space(100, 0);
+  Process& client = machine.create_process(100, &as, "c", 0);
+  const auto fid = bob.create_file(0, 777);
+  std::uint64_t len = 0;
+  ASSERT_EQ(FileServer::get_length(ppc, machine.cpu(0), client, bob.ep(),
+                                   fid, &len),
+            Status::kOk);
+  EXPECT_EQ(len, 777u);
+}
+
+TEST(FileServer, ManyFilesAcrossNodes) {
+  Fixture f;
+  std::vector<std::uint32_t> fids;
+  for (int i = 0; i < 32; ++i) {
+    fids.push_back(f.bob.create_file(i % 2, 1000 + i));
+  }
+  Process& client = f.make_client(100, 0);
+  for (int i = 0; i < 32; ++i) {
+    std::uint64_t len = 0;
+    ASSERT_EQ(FileServer::get_length(f.ppc, f.machine.cpu(0), client,
+                                     f.bob.ep(), fids[i], &len),
+              Status::kOk);
+    EXPECT_EQ(len, 1000u + i);
+  }
+}
+
+}  // namespace
+}  // namespace hppc::servers

@@ -1,0 +1,148 @@
+#include "sim/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace hppc::sim {
+namespace {
+
+CacheConfig tiny_cache(std::size_t assoc = 2) {
+  CacheConfig c;
+  c.size_bytes = 256;  // 16 lines
+  c.line_bytes = 16;
+  c.associativity = assoc;
+  return c;
+}
+
+TEST(CacheSim, MissThenHit) {
+  CacheSim c(tiny_cache());
+  auto r1 = c.access(0x100, false);
+  EXPECT_TRUE(r1.miss);
+  EXPECT_EQ(r1.cycles, 20u);
+  auto r2 = c.access(0x100, false);
+  EXPECT_FALSE(r2.miss);
+  EXPECT_EQ(r2.cycles, 1u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheSim, SameLineDifferentOffsetHits) {
+  CacheSim c(tiny_cache());
+  c.access(0x100, false);
+  EXPECT_FALSE(c.access(0x10F, false).miss);
+  EXPECT_TRUE(c.access(0x110, false).miss);  // next line
+}
+
+TEST(CacheSim, FirstStoreToCleanLinePaysExtra) {
+  CacheSim c(tiny_cache());
+  c.access(0x200, false);                     // fill clean
+  auto r = c.access(0x200, true);             // first store: +10
+  EXPECT_EQ(r.cycles, 1u + 10u);
+  auto r2 = c.access(0x200, true);            // already dirty: plain hit
+  EXPECT_EQ(r2.cycles, 1u);
+}
+
+TEST(CacheSim, StoreMissFillsDirty) {
+  CacheSim c(tiny_cache());
+  auto r = c.access(0x300, true);
+  EXPECT_TRUE(r.miss);
+  EXPECT_EQ(r.cycles, 20u + 10u);  // fill + first store
+}
+
+TEST(CacheSim, DirtyEvictionPaysWriteback) {
+  CacheConfig cfg = tiny_cache(/*assoc=*/1);  // direct-mapped: easy conflicts
+  CacheSim c(cfg);
+  const SimAddr a = 0x0;
+  const SimAddr b = a + cfg.size_bytes;  // same set, different tag
+  c.access(a, true);                     // dirty
+  auto r = c.access(b, false);           // evicts dirty victim
+  EXPECT_TRUE(r.miss);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.victim_line, a);
+  EXPECT_EQ(r.cycles, 20u + 20u);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(CacheSim, CleanEvictionHasNoWriteback) {
+  CacheConfig cfg = tiny_cache(1);
+  CacheSim c(cfg);
+  c.access(0x0, false);
+  auto r = c.access(cfg.size_bytes, false);
+  EXPECT_TRUE(r.miss);
+  EXPECT_FALSE(r.writeback);
+}
+
+TEST(CacheSim, LruVictimSelection) {
+  CacheConfig cfg = tiny_cache(2);
+  CacheSim c(cfg);
+  const SimAddr set_stride = cfg.size_bytes / 2;  // sets*line = size/assoc
+  const SimAddr a = 0x0, b = a + set_stride, d = a + 2 * set_stride;
+  c.access(a, false);
+  c.access(b, false);
+  c.access(a, false);        // a is MRU
+  c.access(d, false);        // evicts b (LRU)
+  EXPECT_TRUE(c.resident(a));
+  EXPECT_FALSE(c.resident(b));
+  EXPECT_TRUE(c.resident(d));
+}
+
+TEST(CacheSim, FlushAllInvalidatesEverything) {
+  CacheSim c(tiny_cache());
+  c.access(0x100, true);
+  c.access(0x200, false);
+  c.flush_all();
+  EXPECT_FALSE(c.resident(0x100));
+  EXPECT_FALSE(c.resident(0x200));
+  // Flush discards dirty data: refill pays no writeback.
+  auto r = c.access(0x100, false);
+  EXPECT_TRUE(r.miss);
+  EXPECT_FALSE(r.writeback);
+}
+
+TEST(CacheSim, InvalidateSingleLine) {
+  CacheSim c(tiny_cache());
+  c.access(0x100, true);
+  EXPECT_TRUE(c.invalidate(0x100));   // was dirty
+  EXPECT_FALSE(c.resident(0x100));
+  EXPECT_FALSE(c.invalidate(0x100));  // second time: not present
+}
+
+TEST(CacheSim, DirtyAllMakesEvictionsPayWritebacks) {
+  CacheConfig cfg = tiny_cache(1);
+  CacheSim c(cfg);
+  c.access(0x0, false);  // clean
+  c.dirty_all();
+  auto r = c.access(cfg.size_bytes, false);
+  EXPECT_TRUE(r.writeback);
+}
+
+TEST(CacheSim, FillWithJunkEvictsPriorContents) {
+  CacheConfig cfg = tiny_cache();
+  CacheSim c(cfg);
+  c.access(0x10, false);
+  c.fill_with_junk(0x100000);
+  EXPECT_FALSE(c.resident(0x10));
+}
+
+// Property: hits + misses == total accesses, for arbitrary access patterns.
+class CacheAccountingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheAccountingProperty, CountsAreConserved) {
+  CacheConfig cfg = tiny_cache(GetParam());
+  CacheSim c(cfg);
+  std::uint64_t accesses = 0;
+  std::uint64_t seed = 0x1234 + GetParam();
+  for (int i = 0; i < 2000; ++i) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    const SimAddr a = (seed >> 20) % 4096;
+    c.access(a, (seed & 1) != 0);
+    ++accesses;
+  }
+  EXPECT_EQ(c.hits() + c.misses(), accesses);
+  EXPECT_LE(c.writebacks(), c.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, CacheAccountingProperty,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace hppc::sim

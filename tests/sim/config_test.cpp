@@ -1,0 +1,117 @@
+#include "sim/config.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/addr.h"
+#include "sim/cost.h"
+
+namespace hppc::sim {
+namespace {
+
+TEST(MachineConfig, HectorDefaults) {
+  MachineConfig mc = hector_config();
+  EXPECT_EQ(mc.num_cpus, 16u);
+  EXPECT_EQ(mc.cpus_per_station, 4u);
+  EXPECT_EQ(mc.num_nodes(), 4u);
+  EXPECT_DOUBLE_EQ(mc.clock_mhz, 16.67);
+  EXPECT_EQ(mc.dcache.size_bytes, 16u * 1024);
+  EXPECT_EQ(mc.dcache.line_bytes, 16u);
+  EXPECT_EQ(mc.tlb.miss_cycles, 27u);
+}
+
+TEST(MachineConfig, CyclesMicrosecondConversion) {
+  MachineConfig mc = hector_config();
+  // The paper's 1.7 us trap is ~28 cycles at 16.67 MHz.
+  EXPECT_NEAR(mc.us(mc.trap_roundtrip_cycles), 1.7, 0.05);
+  EXPECT_EQ(mc.cycles_from_us(1.0), 17u);
+  EXPECT_NEAR(mc.us(mc.cycles_from_us(10.0)), 10.0, 0.05);
+}
+
+TEST(MachineConfig, NodeOfCpu) {
+  MachineConfig mc = hector_config();
+  EXPECT_EQ(mc.node_of_cpu(0), 0u);
+  EXPECT_EQ(mc.node_of_cpu(3), 0u);
+  EXPECT_EQ(mc.node_of_cpu(4), 1u);
+  EXPECT_EQ(mc.node_of_cpu(15), 3u);
+}
+
+TEST(MachineConfig, RingHops) {
+  MachineConfig mc = hector_config();  // 4 stations
+  EXPECT_EQ(mc.hops(0, 0), 0u);
+  EXPECT_EQ(mc.hops(0, 1), 1u);
+  EXPECT_EQ(mc.hops(0, 2), 2u);
+  EXPECT_EQ(mc.hops(0, 3), 1u);  // shorter way round
+  EXPECT_EQ(mc.hops(3, 0), 1u);
+  EXPECT_EQ(mc.hops(1, 3), 2u);
+}
+
+TEST(MachineConfig, UnevenCpuCount) {
+  MachineConfig mc = hector_config(6);
+  EXPECT_EQ(mc.num_nodes(), 2u);
+  EXPECT_EQ(mc.node_of_cpu(5), 1u);
+}
+
+TEST(SimAllocator, NodeLocalAllocation) {
+  SimAllocator alloc(4);
+  const SimAddr a0 = alloc.alloc(0, 64);
+  const SimAddr a2 = alloc.alloc(2, 64);
+  EXPECT_EQ(node_of_addr(a0), 0u);
+  EXPECT_EQ(node_of_addr(a2), 2u);
+}
+
+TEST(SimAllocator, AlignmentHonored) {
+  SimAllocator alloc(2);
+  alloc.alloc(0, 7, 16);
+  const SimAddr p = alloc.alloc_page(0);
+  EXPECT_EQ(p & (kPageSize - 1), 0u);
+  const SimAddr b = alloc.alloc(0, 10, 64);
+  EXPECT_EQ(b & 63u, 0u);
+}
+
+TEST(SimAllocator, AllocationsDisjoint) {
+  SimAllocator alloc(1);
+  const SimAddr a = alloc.alloc(0, 100);
+  const SimAddr b = alloc.alloc(0, 100);
+  EXPECT_GE(b, a + 100);
+}
+
+TEST(SimAllocator, TracksUsage) {
+  SimAllocator alloc(2);
+  EXPECT_EQ(alloc.bytes_used(0), 0u);
+  alloc.alloc(0, 256, 1);
+  EXPECT_GE(alloc.bytes_used(0), 256u);
+  EXPECT_EQ(alloc.bytes_used(1), 0u);
+}
+
+TEST(CostLedger, SinceComputesDelta) {
+  CostLedger a;
+  a.charge(CostCategory::kPpcKernel, 100);
+  CostLedger snapshot = a;
+  a.charge(CostCategory::kPpcKernel, 30);
+  a.charge(CostCategory::kTlbMiss, 27);
+  CostLedger d = a.since(snapshot);
+  EXPECT_EQ(d.get(CostCategory::kPpcKernel), 30u);
+  EXPECT_EQ(d.get(CostCategory::kTlbMiss), 27u);
+  EXPECT_EQ(d.total(), 57u);
+}
+
+TEST(CostLedger, AccumulateAndReset) {
+  CostLedger a, b;
+  a.charge(CostCategory::kServerTime, 10);
+  b.charge(CostCategory::kServerTime, 5);
+  b.charge(CostCategory::kIdle, 7);
+  a += b;
+  EXPECT_EQ(a.get(CostCategory::kServerTime), 15u);
+  EXPECT_EQ(a.total(), 22u);
+  a.reset();
+  EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(CostCategory, AllNamed) {
+  for (std::size_t c = 0; c < kNumCostCategories; ++c) {
+    EXPECT_STRNE(to_string(static_cast<CostCategory>(c)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace hppc::sim

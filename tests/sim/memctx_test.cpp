@@ -1,0 +1,163 @@
+#include "sim/memctx.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+
+namespace hppc::sim {
+namespace {
+
+MachineConfig cfg16() { return hector_config(16); }
+
+TEST(MemContext, ChargeAdvancesClockAndLedger) {
+  MachineConfig mc = cfg16();
+  MemContext m(mc, 0);
+  m.charge(CostCategory::kPpcKernel, 100);
+  EXPECT_EQ(m.now(), 100u);
+  EXPECT_EQ(m.ledger().get(CostCategory::kPpcKernel), 100u);
+  EXPECT_EQ(m.ledger().total(), 100u);
+}
+
+TEST(MemContext, LedgerConservation) {
+  // Invariant: the sum of all categories equals the clock.
+  MachineConfig mc = cfg16();
+  MemContext m(mc, 3);
+  m.load(node_base(0) + 0x100, 64, TlbContext::kSupervisor,
+         CostCategory::kCdManipulation);
+  m.store(node_base(1) + 0x200, 32, TlbContext::kUser,
+          CostCategory::kServerTime);
+  m.trap_roundtrip();
+  m.tlb_flush_user();
+  Cycles sum = 0;
+  for (std::size_t c = 0; c < kNumCostCategories; ++c) {
+    sum += m.ledger().get(static_cast<CostCategory>(c));
+  }
+  EXPECT_EQ(sum, m.now());
+  EXPECT_EQ(sum, m.ledger().total());
+}
+
+TEST(MemContext, TlbMissesBookedSeparately) {
+  MachineConfig mc = cfg16();
+  MemContext m(mc, 0);
+  m.load(node_base(0) + kPageSize, 4, TlbContext::kUser,
+         CostCategory::kServerTime);
+  EXPECT_EQ(m.ledger().get(CostCategory::kTlbMiss), mc.tlb.miss_cycles);
+  EXPECT_GT(m.ledger().get(CostCategory::kServerTime), 0u);
+}
+
+TEST(MemContext, RepeatAccessIsCheapHit) {
+  MachineConfig mc = cfg16();
+  MemContext m(mc, 0);
+  const SimAddr a = node_base(0) + 0x340;
+  m.load(a, 4, TlbContext::kSupervisor, CostCategory::kPpcKernel);
+  const Cycles after_first = m.now();
+  m.load(a, 4, TlbContext::kSupervisor, CostCategory::kPpcKernel);
+  EXPECT_EQ(m.now() - after_first, mc.dcache.costs.hit_cycles);
+}
+
+TEST(MemContext, MultiLineAccessTouchesEachLine) {
+  MachineConfig mc = cfg16();
+  MemContext m(mc, 0);
+  // 64 bytes spanning exactly 4 lines of 16 bytes.
+  m.load(node_base(0) + 0x1000, 64, TlbContext::kSupervisor,
+         CostCategory::kPpcKernel);
+  EXPECT_EQ(m.dcache().misses(), 4u);
+}
+
+TEST(MemContext, NumaSurchargeScalesWithHops) {
+  MachineConfig mc = cfg16();  // 4 stations on a ring
+  MemContext m(mc, 0);         // node 0
+  EXPECT_EQ(m.numa_surcharge(node_base(0)), 0u);
+  EXPECT_EQ(m.numa_surcharge(node_base(1)), mc.numa_hop_cycles);
+  EXPECT_EQ(m.numa_surcharge(node_base(2)), 2 * mc.numa_hop_cycles);
+  EXPECT_EQ(m.numa_surcharge(node_base(3)), mc.numa_hop_cycles);  // ring
+}
+
+TEST(MemContext, RemoteMissPaysNuma) {
+  MachineConfig mc = cfg16();
+  MemContext local(mc, 0), remote(mc, 4);  // cpu4 = station 1
+  const SimAddr a = node_base(0) + 0x500;
+  local.load(a, 4, TlbContext::kSupervisor, CostCategory::kPpcKernel);
+  remote.load(a, 4, TlbContext::kSupervisor, CostCategory::kPpcKernel);
+  // Same access, remote pays one hop more (TLB misses are equal).
+  const Cycles l = local.ledger().get(CostCategory::kPpcKernel);
+  const Cycles r = remote.ledger().get(CostCategory::kPpcKernel);
+  EXPECT_EQ(r - l, mc.numa_hop_cycles);
+}
+
+TEST(MemContext, UncachedAccessCost) {
+  MachineConfig mc = cfg16();
+  MemContext m(mc, 0);
+  m.access_uncached(node_base(0) + 8, CostCategory::kServerTime);
+  EXPECT_EQ(m.now(), mc.uncached_local_cycles);
+  m.access_uncached(node_base(1) + 8, CostCategory::kServerTime);
+  EXPECT_EQ(m.now(),
+            2 * mc.uncached_local_cycles + mc.numa_hop_cycles);
+}
+
+TEST(MemContext, ExecChargesInstructionsAndFills) {
+  MachineConfig mc = cfg16();
+  MemContext m(mc, 0);
+  CodeRegion code{node_base(0) + 0x2000, 16, TlbContext::kSupervisor};
+  m.exec(code, CostCategory::kPpcKernel);
+  const Cycles first = m.now();
+  // 16 instructions = 64 bytes = 4 I-lines; cold cost > warm cost.
+  m.exec(code, CostCategory::kPpcKernel);
+  const Cycles second = m.now() - first;
+  EXPECT_GT(first, second);
+  EXPECT_EQ(second, 16u);  // warm: 1 cycle per instruction
+}
+
+TEST(MemContext, MappedAccessSplitsTlbAndCache) {
+  MachineConfig mc = cfg16();
+  MemContext m(mc, 0);
+  const SimAddr paddr = node_base(0) + 4 * kPageSize;
+  const SimAddr vaddr = SimAddr{0xF0} << 40;
+  m.access_mapped(paddr + 16, vaddr + 16, 8, true, TlbContext::kUser,
+                  CostCategory::kServerTime);
+  // Cache is physically indexed: the physical line is now resident.
+  EXPECT_TRUE(m.dcache().resident(paddr + 16));
+  // TLB is virtually indexed.
+  EXPECT_TRUE(m.tlb().present(vaddr, TlbContext::kUser));
+  EXPECT_FALSE(m.tlb().present(paddr, TlbContext::kUser));
+}
+
+TEST(MemContext, StackRecyclingKeepsPhysicalLinesHot) {
+  // The paper's serial stack sharing: the same physical page mapped at a
+  // different virtual address still hits in the (physical) cache.
+  MachineConfig mc = cfg16();
+  MemContext m(mc, 0);
+  const SimAddr page = node_base(0) + 64 * kPageSize;
+  const SimAddr va1 = (SimAddr{0xF0} << 40);
+  const SimAddr va2 = (SimAddr{0xF0} << 40) + 16 * kPageSize;
+  m.access_mapped(page, va1, 32, true, TlbContext::kUser,
+                  CostCategory::kServerTime);
+  const auto misses_before = m.dcache().misses();
+  m.access_mapped(page, va2, 32, true, TlbContext::kUser,
+                  CostCategory::kServerTime);
+  EXPECT_EQ(m.dcache().misses(), misses_before);  // all hits
+}
+
+TEST(MemContext, IdleUntilBooksIdleTime) {
+  MachineConfig mc = cfg16();
+  MemContext m(mc, 0);
+  m.charge(CostCategory::kPpcKernel, 50);
+  m.idle_until(80);
+  EXPECT_EQ(m.now(), 80u);
+  EXPECT_EQ(m.ledger().get(CostCategory::kIdle), 30u);
+  m.idle_until(10);  // no going backwards
+  EXPECT_EQ(m.now(), 80u);
+}
+
+TEST(MemContext, TlbSetupOperations) {
+  MachineConfig mc = cfg16();
+  MemContext m(mc, 0);
+  m.tlb_map_one(0x5000, TlbContext::kUser);
+  EXPECT_EQ(m.ledger().get(CostCategory::kTlbSetup), mc.tlb_map_one_cycles);
+  m.tlb().access(0x5000, TlbContext::kUser);
+  m.tlb_unmap_one(0x5000, TlbContext::kUser);
+  EXPECT_FALSE(m.tlb().present(0x5000, TlbContext::kUser));
+}
+
+}  // namespace
+}  // namespace hppc::sim

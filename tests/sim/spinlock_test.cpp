@@ -1,0 +1,97 @@
+#include "sim/spinlock.h"
+
+#include <gtest/gtest.h>
+
+namespace hppc::sim {
+namespace {
+
+TEST(SimSpinLock, UncontendedAcquireIsCheap) {
+  MachineConfig mc = hector_config(4);
+  MemContext cpu(mc, 0);
+  SimSpinLock lock(node_base(0) + 0x100);
+  lock.acquire(cpu, CostCategory::kServerTime);
+  EXPECT_EQ(cpu.ledger().get(CostCategory::kIdle), 0u);
+  lock.release(cpu, CostCategory::kServerTime);
+  EXPECT_EQ(lock.acquisitions(), 1u);
+  EXPECT_EQ(lock.migrations(), 0u);
+}
+
+TEST(SimSpinLock, SameOwnerReacquireHasNoMigration) {
+  MachineConfig mc = hector_config(4);
+  MemContext cpu(mc, 0);
+  SimSpinLock lock(node_base(0) + 0x100);
+  for (int i = 0; i < 3; ++i) {
+    lock.acquire(cpu, CostCategory::kServerTime);
+    cpu.charge(CostCategory::kServerTime, 10);
+    lock.release(cpu, CostCategory::kServerTime);
+  }
+  EXPECT_EQ(lock.migrations(), 0u);
+}
+
+TEST(SimSpinLock, ContenderSpinsUntilFree) {
+  MachineConfig mc = hector_config(8);
+  MemContext a(mc, 0), b(mc, 1);
+  SimSpinLock lock(node_base(0) + 0x100);
+
+  lock.acquire(a, CostCategory::kServerTime);
+  a.charge(CostCategory::kServerTime, 500);  // long critical section
+  lock.release(a, CostCategory::kServerTime);
+
+  // b arrives earlier in time; must spin until a's release time.
+  EXPECT_LT(b.now(), lock.free_at());
+  lock.acquire(b, CostCategory::kServerTime);
+  EXPECT_GE(b.now(), lock.free_at());
+  EXPECT_GT(b.ledger().get(CostCategory::kIdle), 0u);
+  EXPECT_EQ(lock.migrations(), 1u);
+  EXPECT_EQ(lock.last_owner(), 1u);
+}
+
+TEST(SimSpinLock, NoSpinWhenArrivingAfterRelease) {
+  MachineConfig mc = hector_config(8);
+  MemContext a(mc, 0), b(mc, 1);
+  SimSpinLock lock(node_base(0) + 0x100);
+
+  lock.acquire(a, CostCategory::kServerTime);
+  lock.release(a, CostCategory::kServerTime);
+
+  b.charge(CostCategory::kServerTime, 10000);  // arrives much later
+  lock.acquire(b, CostCategory::kServerTime);
+  EXPECT_EQ(b.ledger().get(CostCategory::kIdle), 0u);
+}
+
+TEST(SimSpinLock, RemoteLockWordPaysNuma) {
+  MachineConfig mc = hector_config(16);
+  MemContext near(mc, 0), far(mc, 8);  // station 0 vs station 2
+  SimSpinLock lock_near(node_base(0) + 0x100);
+  SimSpinLock lock_far(node_base(0) + 0x200);
+
+  lock_near.acquire(near, CostCategory::kServerTime);
+  lock_far.acquire(far, CostCategory::kServerTime);
+  // Far CPU pays hops on the uncached lock access.
+  EXPECT_GT(far.now(), near.now());
+}
+
+TEST(SimSpinLock, TimelineIsMonotone) {
+  MachineConfig mc = hector_config(4);
+  MemContext cpus[4] = {MemContext(mc, 0), MemContext(mc, 1),
+                        MemContext(mc, 2), MemContext(mc, 3)};
+  SimSpinLock lock(node_base(0) + 0x40);
+  Cycles last_free = 0;
+  // Drive acquisitions in global-time order, like the engine does.
+  for (int round = 0; round < 8; ++round) {
+    int earliest = 0;
+    for (int i = 1; i < 4; ++i) {
+      if (cpus[i].now() < cpus[earliest].now()) earliest = i;
+    }
+    MemContext& c = cpus[earliest];
+    lock.acquire(c, CostCategory::kServerTime);
+    c.charge(CostCategory::kServerTime, 37);
+    lock.release(c, CostCategory::kServerTime);
+    EXPECT_GE(lock.free_at(), last_free);
+    last_free = lock.free_at();
+  }
+  EXPECT_EQ(lock.acquisitions(), 8u);
+}
+
+}  // namespace
+}  // namespace hppc::sim

@@ -1,0 +1,74 @@
+// TLB capacity behaviour: the 56-entry dual-context ATC thrashes when a
+// working set exceeds it — a model-fidelity property the page-fault and
+// stack-strategy costs depend on.
+#include <gtest/gtest.h>
+
+#include "sim/memctx.h"
+
+namespace hppc::sim {
+namespace {
+
+TEST(TlbCapacity, WorkingSetWithinCapacityStopsMissing) {
+  MachineConfig mc = hector_config(1);
+  MemContext m(mc, 0);
+  // 40 pages < 56 entries: after one pass, all hits.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (SimAddr p = 0; p < 40; ++p) {
+      m.load(node_base(0) + (p + 1) * kPageSize, 4, TlbContext::kUser,
+             CostCategory::kServerTime);
+    }
+  }
+  const auto misses_after_warm = m.tlb().misses();
+  for (SimAddr p = 0; p < 40; ++p) {
+    m.load(node_base(0) + (p + 1) * kPageSize, 4, TlbContext::kUser,
+           CostCategory::kServerTime);
+  }
+  EXPECT_EQ(m.tlb().misses(), misses_after_warm);
+}
+
+TEST(TlbCapacity, OversizedWorkingSetThrashes) {
+  MachineConfig mc = hector_config(1);
+  MemContext m(mc, 0);
+  // 80 pages > 56 entries with LRU and a sequential scan: every access
+  // misses on every pass (the classic LRU worst case).
+  const int kPages = 80;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (SimAddr p = 0; p < kPages; ++p) {
+      m.load(node_base(0) + (p + 1) * kPageSize, 4, TlbContext::kUser,
+             CostCategory::kServerTime);
+    }
+  }
+  EXPECT_EQ(m.tlb().misses(), 3u * kPages);
+}
+
+TEST(TlbCapacity, SupervisorEntriesCompeteForTheSameArray) {
+  // One unified dual-context TLB: filling it from supervisor context also
+  // evicts user entries (they share capacity, unlike the two *contexts*
+  // which merely tag entries).
+  MachineConfig mc = hector_config(1);
+  mc.tlb.entries = 8;
+  MemContext m(mc, 0);
+  m.load(node_base(0) + kPageSize, 4, TlbContext::kUser,
+         CostCategory::kServerTime);
+  EXPECT_TRUE(m.tlb().present(node_base(0) + kPageSize, TlbContext::kUser));
+  for (SimAddr p = 0; p < 8; ++p) {
+    m.load(node_base(0) + (p + 10) * kPageSize, 4, TlbContext::kSupervisor,
+           CostCategory::kPpcKernel);
+  }
+  EXPECT_FALSE(m.tlb().present(node_base(0) + kPageSize, TlbContext::kUser));
+}
+
+TEST(TlbCapacity, MissPenaltyChargedPerMiss) {
+  MachineConfig mc = hector_config(1);
+  MemContext m(mc, 0);
+  const int kPages = 10;
+  for (SimAddr p = 0; p < kPages; ++p) {
+    m.load(node_base(0) + (p + 1) * kPageSize, 4, TlbContext::kUser,
+           CostCategory::kServerTime);
+  }
+  EXPECT_EQ(m.ledger().get(CostCategory::kTlbMiss),
+            kPages * mc.tlb.miss_cycles);
+}
+
+}  // namespace
+}  // namespace hppc::sim

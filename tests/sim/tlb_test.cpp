@@ -1,0 +1,86 @@
+#include "sim/tlb.h"
+
+#include <gtest/gtest.h>
+
+namespace hppc::sim {
+namespace {
+
+TlbConfig tiny_tlb(std::size_t entries = 4) {
+  TlbConfig t;
+  t.entries = entries;
+  t.miss_cycles = 27;
+  return t;
+}
+
+TEST(TlbSim, MissThenHit) {
+  TlbSim t(tiny_tlb());
+  auto r1 = t.access(0x1000, TlbContext::kUser);
+  EXPECT_TRUE(r1.miss);
+  EXPECT_EQ(r1.cycles, 27u);
+  auto r2 = t.access(0x1FFF, TlbContext::kUser);  // same page
+  EXPECT_FALSE(r2.miss);
+  EXPECT_EQ(r2.cycles, 0u);
+}
+
+TEST(TlbSim, ContextsAreSeparate) {
+  // The dual-context property: the same page number in user and supervisor
+  // context occupies two distinct entries.
+  TlbSim t(tiny_tlb());
+  t.access(0x1000, TlbContext::kUser);
+  auto r = t.access(0x1000, TlbContext::kSupervisor);
+  EXPECT_TRUE(r.miss);
+  EXPECT_TRUE(t.present(0x1000, TlbContext::kUser));
+  EXPECT_TRUE(t.present(0x1000, TlbContext::kSupervisor));
+}
+
+TEST(TlbSim, FlushUserSparesSupervisor) {
+  // This is what makes user->kernel PPC calls cheaper than user->user in
+  // Figure 2.
+  TlbSim t(tiny_tlb());
+  t.access(0x1000, TlbContext::kUser);
+  t.access(0x2000, TlbContext::kSupervisor);
+  t.flush_user();
+  EXPECT_FALSE(t.present(0x1000, TlbContext::kUser));
+  EXPECT_TRUE(t.present(0x2000, TlbContext::kSupervisor));
+}
+
+TEST(TlbSim, InvalidateSingleTranslation) {
+  TlbSim t(tiny_tlb());
+  t.access(0x1000, TlbContext::kUser);
+  t.access(0x2000, TlbContext::kUser);
+  t.invalidate(0x1800, TlbContext::kUser);  // same page as 0x1000
+  EXPECT_FALSE(t.present(0x1000, TlbContext::kUser));
+  EXPECT_TRUE(t.present(0x2000, TlbContext::kUser));
+}
+
+TEST(TlbSim, LruReplacementWhenFull) {
+  TlbSim t(tiny_tlb(2));
+  t.access(0x1000, TlbContext::kUser);
+  t.access(0x2000, TlbContext::kUser);
+  t.access(0x1000, TlbContext::kUser);  // refresh
+  t.access(0x3000, TlbContext::kUser);  // evicts 0x2000
+  EXPECT_TRUE(t.present(0x1000, TlbContext::kUser));
+  EXPECT_FALSE(t.present(0x2000, TlbContext::kUser));
+  EXPECT_TRUE(t.present(0x3000, TlbContext::kUser));
+}
+
+TEST(TlbSim, FlushAll) {
+  TlbSim t(tiny_tlb());
+  t.access(0x1000, TlbContext::kUser);
+  t.access(0x2000, TlbContext::kSupervisor);
+  t.flush_all();
+  EXPECT_FALSE(t.present(0x1000, TlbContext::kUser));
+  EXPECT_FALSE(t.present(0x2000, TlbContext::kSupervisor));
+}
+
+TEST(TlbSim, HitMissCountsConserved) {
+  TlbSim t(tiny_tlb(8));
+  for (int i = 0; i < 500; ++i) {
+    t.access(static_cast<SimAddr>(i % 13) << kPageShift,
+             (i % 3 == 0) ? TlbContext::kSupervisor : TlbContext::kUser);
+  }
+  EXPECT_EQ(t.hits() + t.misses(), 500u);
+}
+
+}  // namespace
+}  // namespace hppc::sim

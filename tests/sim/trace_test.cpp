@@ -1,0 +1,71 @@
+// The trace hook: every charged cycle is observable, in order, and the
+// trace totals reconcile with the ledger (the guarantee bench/call_trace
+// relies on).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/memctx.h"
+
+namespace hppc::sim {
+namespace {
+
+TEST(Trace, ObservesChargesInOrder) {
+  MachineConfig mc = hector_config(1);
+  MemContext m(mc, 0);
+  std::vector<std::pair<CostCategory, Cycles>> events;
+  m.set_trace([&](CostCategory c, Cycles cy, Cycles) {
+    events.emplace_back(c, cy);
+  });
+  m.charge(CostCategory::kPpcKernel, 10);
+  m.trap_roundtrip();
+  m.charge(CostCategory::kServerTime, 5);
+  m.clear_trace();
+  m.charge(CostCategory::kServerTime, 99);  // not traced
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], std::make_pair(CostCategory::kPpcKernel, Cycles{10}));
+  EXPECT_EQ(events[1],
+            std::make_pair(CostCategory::kTrapOverhead,
+                           mc.trap_roundtrip_cycles));
+  EXPECT_EQ(events[2], std::make_pair(CostCategory::kServerTime, Cycles{5}));
+}
+
+TEST(Trace, ClockAfterIsMonotoneAndMatchesSums) {
+  MachineConfig mc = hector_config(1);
+  MemContext m(mc, 0);
+  Cycles last_clock = 0;
+  Cycles traced_total = 0;
+  m.set_trace([&](CostCategory, Cycles cy, Cycles clock_after) {
+    EXPECT_GE(clock_after, last_clock);
+    last_clock = clock_after;
+    traced_total += cy;
+  });
+  // A workload with every kind of charge.
+  m.load(node_base(0) + 0x100, 64, TlbContext::kSupervisor,
+         CostCategory::kCdManipulation);
+  m.store(node_base(0) + kPageSize, 16, TlbContext::kUser,
+          CostCategory::kServerTime);
+  m.tlb_flush_user();
+  m.access_uncached(node_base(0) + 8, CostCategory::kPpcKernel);
+  m.exec({node_base(0) + 0x4000, 20, TlbContext::kSupervisor},
+         CostCategory::kPpcKernel);
+  m.idle_until(m.now() + 100);
+
+  EXPECT_EQ(traced_total, m.now());
+  EXPECT_EQ(traced_total, m.ledger().total());
+}
+
+TEST(Trace, IdleChargesAreTraced) {
+  MachineConfig mc = hector_config(1);
+  MemContext m(mc, 0);
+  bool saw_idle = false;
+  m.set_trace([&](CostCategory c, Cycles, Cycles) {
+    if (c == CostCategory::kIdle) saw_idle = true;
+  });
+  m.idle_until(500);
+  EXPECT_TRUE(saw_idle);
+}
+
+}  // namespace
+}  // namespace hppc::sim
