@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_critsec.dir/ablation_critsec.cpp.o"
+  "CMakeFiles/ablation_critsec.dir/ablation_critsec.cpp.o.d"
+  "ablation_critsec"
+  "ablation_critsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_critsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_frank.dir/ablation_frank.cpp.o"
+  "CMakeFiles/ablation_frank.dir/ablation_frank.cpp.o.d"
+  "ablation_frank"
+  "ablation_frank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gateway.dir/ablation_gateway.cpp.o"
+  "CMakeFiles/ablation_gateway.dir/ablation_gateway.cpp.o.d"
+  "ablation_gateway"
+  "ablation_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

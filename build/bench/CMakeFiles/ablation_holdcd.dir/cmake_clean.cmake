@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_holdcd.dir/ablation_holdcd.cpp.o"
+  "CMakeFiles/ablation_holdcd.dir/ablation_holdcd.cpp.o.d"
+  "ablation_holdcd"
+  "ablation_holdcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_holdcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

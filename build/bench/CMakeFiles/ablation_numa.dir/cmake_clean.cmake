@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_numa.dir/ablation_numa.cpp.o"
+  "CMakeFiles/ablation_numa.dir/ablation_numa.cpp.o.d"
+  "ablation_numa"
+  "ablation_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

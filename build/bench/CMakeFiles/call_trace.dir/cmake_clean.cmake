@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_trace.dir/call_trace.cpp.o"
+  "CMakeFiles/call_trace.dir/call_trace.cpp.o.d"
+  "call_trace"
+  "call_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

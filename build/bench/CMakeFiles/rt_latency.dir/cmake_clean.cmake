@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_latency.dir/rt_latency.cpp.o"
+  "CMakeFiles/rt_latency.dir/rt_latency.cpp.o.d"
+  "rt_latency"
+  "rt_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

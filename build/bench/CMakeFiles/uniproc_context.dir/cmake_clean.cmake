@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniproc_context.dir/uniproc_context.cpp.o"
+  "CMakeFiles/uniproc_context.dir/uniproc_context.cpp.o.d"
+  "uniproc_context"
+  "uniproc_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniproc_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_prefetch.dir/async_prefetch.cpp.o"
+  "CMakeFiles/async_prefetch.dir/async_prefetch.cpp.o.d"
+  "async_prefetch"
+  "async_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/figure4_stub.cpp" "examples/CMakeFiles/figure4_stub.dir/figure4_stub.cpp.o" "gcc" "examples/CMakeFiles/figure4_stub.dir/figure4_stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/hppc_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/servers/CMakeFiles/hppc_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/hppc_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppc/CMakeFiles/hppc_ppc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/hppc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hppc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hppc_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/hppc_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_stub.dir/figure4_stub.cpp.o"
+  "CMakeFiles/figure4_stub.dir/figure4_stub.cpp.o.d"
+  "figure4_stub"
+  "figure4_stub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_stub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrupt_dispatch.dir/interrupt_dispatch.cpp.o"
+  "CMakeFiles/interrupt_dispatch.dir/interrupt_dispatch.cpp.o.d"
+  "interrupt_dispatch"
+  "interrupt_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrupt_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_inprocess.dir/rt_inprocess.cpp.o"
+  "CMakeFiles/rt_inprocess.dir/rt_inprocess.cpp.o.d"
+  "rt_inprocess"
+  "rt_inprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_inprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

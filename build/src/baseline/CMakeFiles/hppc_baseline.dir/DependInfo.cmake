@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/lrpc.cpp" "src/baseline/CMakeFiles/hppc_baseline.dir/lrpc.cpp.o" "gcc" "src/baseline/CMakeFiles/hppc_baseline.dir/lrpc.cpp.o.d"
+  "/root/repo/src/baseline/msgq.cpp" "src/baseline/CMakeFiles/hppc_baseline.dir/msgq.cpp.o" "gcc" "src/baseline/CMakeFiles/hppc_baseline.dir/msgq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppc/CMakeFiles/hppc_ppc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/hppc_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

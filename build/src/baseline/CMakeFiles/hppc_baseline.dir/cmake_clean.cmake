@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hppc_baseline.dir/lrpc.cpp.o"
+  "CMakeFiles/hppc_baseline.dir/lrpc.cpp.o.d"
+  "CMakeFiles/hppc_baseline.dir/msgq.cpp.o"
+  "CMakeFiles/hppc_baseline.dir/msgq.cpp.o.d"
+  "libhppc_baseline.a"
+  "libhppc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hppc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

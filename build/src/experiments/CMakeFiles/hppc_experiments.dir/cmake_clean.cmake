@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hppc_experiments.dir/experiments.cpp.o"
+  "CMakeFiles/hppc_experiments.dir/experiments.cpp.o.d"
+  "CMakeFiles/hppc_experiments.dir/workload.cpp.o"
+  "CMakeFiles/hppc_experiments.dir/workload.cpp.o.d"
+  "libhppc_experiments.a"
+  "libhppc_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hppc_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hppc_kernel.dir/machine.cpp.o"
+  "CMakeFiles/hppc_kernel.dir/machine.cpp.o.d"
+  "libhppc_kernel.a"
+  "libhppc_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hppc_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

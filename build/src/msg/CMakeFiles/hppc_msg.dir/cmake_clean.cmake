@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hppc_msg.dir/gateway.cpp.o"
+  "CMakeFiles/hppc_msg.dir/gateway.cpp.o.d"
+  "CMakeFiles/hppc_msg.dir/msg_facility.cpp.o"
+  "CMakeFiles/hppc_msg.dir/msg_facility.cpp.o.d"
+  "libhppc_msg.a"
+  "libhppc_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hppc_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

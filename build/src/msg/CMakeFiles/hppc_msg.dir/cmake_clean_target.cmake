@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhppc_msg.a"
+)

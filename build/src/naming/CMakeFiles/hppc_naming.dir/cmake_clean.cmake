@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hppc_naming.dir/name_server.cpp.o"
+  "CMakeFiles/hppc_naming.dir/name_server.cpp.o.d"
+  "libhppc_naming.a"
+  "libhppc_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hppc_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hppc_ppc.dir/facility.cpp.o"
+  "CMakeFiles/hppc_ppc.dir/facility.cpp.o.d"
+  "libhppc_ppc.a"
+  "libhppc_ppc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hppc_ppc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

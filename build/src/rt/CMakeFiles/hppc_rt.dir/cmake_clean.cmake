@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hppc_rt.dir/runtime.cpp.o"
+  "CMakeFiles/hppc_rt.dir/runtime.cpp.o.d"
+  "libhppc_rt.a"
+  "libhppc_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hppc_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hppc_servers.dir/copy_server.cpp.o"
+  "CMakeFiles/hppc_servers.dir/copy_server.cpp.o.d"
+  "CMakeFiles/hppc_servers.dir/disk_server.cpp.o"
+  "CMakeFiles/hppc_servers.dir/disk_server.cpp.o.d"
+  "CMakeFiles/hppc_servers.dir/exception_server.cpp.o"
+  "CMakeFiles/hppc_servers.dir/exception_server.cpp.o.d"
+  "CMakeFiles/hppc_servers.dir/file_server.cpp.o"
+  "CMakeFiles/hppc_servers.dir/file_server.cpp.o.d"
+  "libhppc_servers.a"
+  "libhppc_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hppc_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("kernel")
+subdirs("ppc")
+subdirs("naming")
+subdirs("servers")
+subdirs("experiments")
+subdirs("baseline")
+subdirs("rt")
+subdirs("integration")
+subdirs("msg")

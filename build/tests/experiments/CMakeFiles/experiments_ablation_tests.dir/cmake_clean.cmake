@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_ablation_tests.dir/ablation_test.cpp.o"
+  "CMakeFiles/experiments_ablation_tests.dir/ablation_test.cpp.o.d"
+  "experiments_ablation_tests"
+  "experiments_ablation_tests.pdb"
+  "experiments_ablation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_ablation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

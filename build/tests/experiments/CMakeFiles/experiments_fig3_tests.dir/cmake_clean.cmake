@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_fig3_tests.dir/fig3_test.cpp.o"
+  "CMakeFiles/experiments_fig3_tests.dir/fig3_test.cpp.o.d"
+  "experiments_fig3_tests"
+  "experiments_fig3_tests.pdb"
+  "experiments_fig3_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_fig3_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_workload_tests.dir/workload_test.cpp.o"
+  "CMakeFiles/experiments_workload_tests.dir/workload_test.cpp.o.d"
+  "experiments_workload_tests"
+  "experiments_workload_tests.pdb"
+  "experiments_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

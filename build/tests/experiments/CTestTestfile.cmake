@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/experiments
+# Build directory: /root/repo/build/tests/experiments
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/experiments/experiments_fig2_tests[1]_include.cmake")
+include("/root/repo/build/tests/experiments/experiments_fig3_tests[1]_include.cmake")
+include("/root/repo/build/tests/experiments/experiments_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/experiments/experiments_ablation_tests[1]_include.cmake")

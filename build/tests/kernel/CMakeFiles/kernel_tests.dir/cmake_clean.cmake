@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_tests.dir/address_space_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/address_space_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/data_memory_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/data_memory_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/frame_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/frame_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/machine_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/machine_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/timesharing_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/timesharing_test.cpp.o.d"
+  "kernel_tests"
+  "kernel_tests.pdb"
+  "kernel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

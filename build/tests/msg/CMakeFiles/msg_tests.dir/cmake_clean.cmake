@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_tests.dir/gateway_test.cpp.o"
+  "CMakeFiles/msg_tests.dir/gateway_test.cpp.o.d"
+  "CMakeFiles/msg_tests.dir/msg_facility_test.cpp.o"
+  "CMakeFiles/msg_tests.dir/msg_facility_test.cpp.o.d"
+  "msg_tests"
+  "msg_tests.pdb"
+  "msg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_callpath_golden_tests.dir/callpath_golden_test.cpp.o"
+  "CMakeFiles/ppc_callpath_golden_tests.dir/callpath_golden_test.cpp.o.d"
+  "ppc_callpath_golden_tests"
+  "ppc_callpath_golden_tests.pdb"
+  "ppc_callpath_golden_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_callpath_golden_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_extensions_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/ppc_extensions_tests.dir/extensions_test.cpp.o.d"
+  "ppc_extensions_tests"
+  "ppc_extensions_tests.pdb"
+  "ppc_extensions_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_extensions_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_facility_tests.dir/facility_test.cpp.o"
+  "CMakeFiles/ppc_facility_tests.dir/facility_test.cpp.o.d"
+  "ppc_facility_tests"
+  "ppc_facility_tests.pdb"
+  "ppc_facility_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_facility_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_frank_tests.dir/frank_test.cpp.o"
+  "CMakeFiles/ppc_frank_tests.dir/frank_test.cpp.o.d"
+  "ppc_frank_tests"
+  "ppc_frank_tests.pdb"
+  "ppc_frank_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_frank_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

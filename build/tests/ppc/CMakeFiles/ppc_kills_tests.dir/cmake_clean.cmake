@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_kills_tests.dir/kills_test.cpp.o"
+  "CMakeFiles/ppc_kills_tests.dir/kills_test.cpp.o.d"
+  "ppc_kills_tests"
+  "ppc_kills_tests.pdb"
+  "ppc_kills_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_kills_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

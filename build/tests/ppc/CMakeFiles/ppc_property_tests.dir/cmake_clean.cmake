@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_property_tests.dir/property_test.cpp.o"
+  "CMakeFiles/ppc_property_tests.dir/property_test.cpp.o.d"
+  "ppc_property_tests"
+  "ppc_property_tests.pdb"
+  "ppc_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_regs_tests.dir/regs_test.cpp.o"
+  "CMakeFiles/ppc_regs_tests.dir/regs_test.cpp.o.d"
+  "ppc_regs_tests"
+  "ppc_regs_tests.pdb"
+  "ppc_regs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_regs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

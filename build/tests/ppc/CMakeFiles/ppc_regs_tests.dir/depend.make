@@ -1,0 +1,2 @@
+# Empty dependencies file for ppc_regs_tests.
+# This may be replaced when dependencies are built.

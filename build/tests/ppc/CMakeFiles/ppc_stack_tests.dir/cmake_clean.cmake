@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_stack_tests.dir/stack_test.cpp.o"
+  "CMakeFiles/ppc_stack_tests.dir/stack_test.cpp.o.d"
+  "ppc_stack_tests"
+  "ppc_stack_tests.pdb"
+  "ppc_stack_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_stack_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

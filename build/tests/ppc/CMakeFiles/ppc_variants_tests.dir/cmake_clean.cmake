@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc_variants_tests.dir/variants_test.cpp.o"
+  "CMakeFiles/ppc_variants_tests.dir/variants_test.cpp.o.d"
+  "ppc_variants_tests"
+  "ppc_variants_tests.pdb"
+  "ppc_variants_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc_variants_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

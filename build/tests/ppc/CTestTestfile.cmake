@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ppc
+# Build directory: /root/repo/build/tests/ppc
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ppc/ppc_regs_tests[1]_include.cmake")
+include("/root/repo/build/tests/ppc/ppc_facility_tests[1]_include.cmake")
+include("/root/repo/build/tests/ppc/ppc_variants_tests[1]_include.cmake")
+include("/root/repo/build/tests/ppc/ppc_kills_tests[1]_include.cmake")
+include("/root/repo/build/tests/ppc/ppc_frank_tests[1]_include.cmake")
+include("/root/repo/build/tests/ppc/ppc_stack_tests[1]_include.cmake")
+include("/root/repo/build/tests/ppc/ppc_extensions_tests[1]_include.cmake")
+include("/root/repo/build/tests/ppc/ppc_property_tests[1]_include.cmake")
+include("/root/repo/build/tests/ppc/ppc_callpath_golden_tests[1]_include.cmake")

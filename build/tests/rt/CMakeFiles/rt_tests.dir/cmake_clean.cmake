@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_tests.dir/baselines_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/baselines_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/dispatch_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/dispatch_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/kv_service_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/kv_service_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/percpu_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/percpu_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/runtime_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/runtime_test.cpp.o.d"
+  "rt_tests"
+  "rt_tests.pdb"
+  "rt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

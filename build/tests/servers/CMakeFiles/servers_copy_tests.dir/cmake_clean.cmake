@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/servers_copy_tests.dir/copy_server_test.cpp.o"
+  "CMakeFiles/servers_copy_tests.dir/copy_server_test.cpp.o.d"
+  "servers_copy_tests"
+  "servers_copy_tests.pdb"
+  "servers_copy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/servers_copy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

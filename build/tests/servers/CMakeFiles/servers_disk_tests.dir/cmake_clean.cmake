@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/servers_disk_tests.dir/disk_server_test.cpp.o"
+  "CMakeFiles/servers_disk_tests.dir/disk_server_test.cpp.o.d"
+  "servers_disk_tests"
+  "servers_disk_tests.pdb"
+  "servers_disk_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/servers_disk_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

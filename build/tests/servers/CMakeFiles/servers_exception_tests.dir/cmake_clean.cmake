@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/servers_exception_tests.dir/exception_server_test.cpp.o"
+  "CMakeFiles/servers_exception_tests.dir/exception_server_test.cpp.o.d"
+  "servers_exception_tests"
+  "servers_exception_tests.pdb"
+  "servers_exception_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/servers_exception_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

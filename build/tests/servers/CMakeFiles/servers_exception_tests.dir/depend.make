@@ -1,0 +1,2 @@
+# Empty dependencies file for servers_exception_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/servers_file_tests.dir/file_server_test.cpp.o"
+  "CMakeFiles/servers_file_tests.dir/file_server_test.cpp.o.d"
+  "servers_file_tests"
+  "servers_file_tests.pdb"
+  "servers_file_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/servers_file_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

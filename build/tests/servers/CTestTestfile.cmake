@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/servers
+# Build directory: /root/repo/build/tests/servers
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/servers/servers_file_tests[1]_include.cmake")
+include("/root/repo/build/tests/servers/servers_copy_tests[1]_include.cmake")
+include("/root/repo/build/tests/servers/servers_disk_tests[1]_include.cmake")
+include("/root/repo/build/tests/servers/servers_exception_tests[1]_include.cmake")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/cache_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/cache_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/config_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/config_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/memctx_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/memctx_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/spinlock_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/spinlock_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/tlb_capacity_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/tlb_capacity_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/tlb_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/tlb_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/trace_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/trace_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
