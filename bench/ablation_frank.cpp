@@ -99,11 +99,12 @@ int main() {
   std::printf("burst of %d in-flight calls:\n", kBurst);
   std::printf("  workers created on cpu 0: %u\n",
               e->per_cpu(0).workers_created);
-  std::printf("  CDs created on cpu 0:     %u\n",
-              ppc.state(machine.cpu(0)).cds_created);
-  std::printf("  Frank worker refills:     %llu\n",
+  std::printf("  CDs created on cpu 0:     %llu\n",
               static_cast<unsigned long long>(
-                  ppc.state(machine.cpu(0)).frank_worker_refills));
+                  machine.cpu(0).counters().get(obs::Counter::kCdsCreated)));
+  std::printf("  Frank worker refills:     %llu\n",
+              static_cast<unsigned long long>(machine.cpu(0).counters().get(
+                  obs::Counter::kFrankWorkerRefills)));
 
   // Drain the burst and trim back to the pool target.
   for (ppc::Worker* w : blocked) ppc.resume_worker(cpu, *w);

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "experiments/experiments.h"
+#include "obs/bench_metrics.h"
 
 using hppc::experiments::Fig2Config;
 using hppc::experiments::Fig2Result;
@@ -38,6 +39,39 @@ void print_column_header() {
 
 }  // namespace
 
+namespace {
+
+/// Structured mirror of the text/CSV output, written unconditionally so the
+/// breakdown is diffable across PRs.
+void write_report(const std::vector<Fig2Result>& results,
+                  double dirty_extra_us, double uncontrolled_lo,
+                  double uncontrolled_hi) {
+  hppc::obs::BenchReport report("fig2_breakdown");
+  report.meta("paper", "Figure 2: PPC round-trip breakdown");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto& row = report.row("breakdown");
+    row.cell("paper_total_us", kPaperTotals[i]);
+    for (CostCategory cat : kRows) {
+      row.cell(to_string(cat), results[i].us(cat));
+    }
+    row.cell("total_us", results[i].total_us);
+    report.meta("config_" + std::to_string(i), results[i].label);
+  }
+  report.scalar("u2u_primed_us", results[0].total_us);
+  report.scalar("u2u_hold_cd_saving_us",
+                results[0].total_us - results[1].total_us);
+  report.scalar("u2k_primed_us", results[4].total_us);
+  report.scalar("u2k_hold_cd_us", results[5].total_us);
+  report.scalar("dcache_flush_penalty_us",
+                results[2].total_us - results[0].total_us);
+  report.scalar("dirty_iflush_extra_us", dirty_extra_us);
+  report.scalar("uncontrollable_share_lo_pct", uncontrolled_lo);
+  report.scalar("uncontrollable_share_hi_pct", uncontrolled_hi);
+  report.write();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   // --csv: machine-readable output for plotting scripts.
   const bool csv = argc > 1 && std::string_view(argv[1]) == "--csv";
@@ -51,22 +85,23 @@ int main(int argc, char** argv) {
       }
       std::printf("\"%s\",TOTAL,%.3f\n", r.label.c_str(), r.total_us);
     }
-    return 0;
   }
-  std::printf("Figure 2: PPC round-trip breakdown (microseconds)\n");
-  std::printf("=================================================\n\n");
+  if (!csv) {
+    std::printf("Figure 2: PPC round-trip breakdown (microseconds)\n");
+    std::printf("=================================================\n\n");
 
-  print_column_header();
-  for (CostCategory cat : kRows) {
-    std::printf("%-22s", to_string(cat));
-    for (const auto& r : results) std::printf(" %14.2f", r.us(cat));
-    std::printf("\n");
+    print_column_header();
+    for (CostCategory cat : kRows) {
+      std::printf("%-22s", to_string(cat));
+      for (const auto& r : results) std::printf(" %14.2f", r.us(cat));
+      std::printf("\n");
+    }
+    std::printf("%-22s", "TOTAL");
+    for (const auto& r : results) std::printf(" %14.2f", r.total_us);
+    std::printf("\n%-22s", "paper");
+    for (double t : kPaperTotals) std::printf(" %14.2f", t);
+    std::printf("\n\n");
   }
-  std::printf("%-22s", "TOTAL");
-  for (const auto& r : results) std::printf(" %14.2f", r.total_us);
-  std::printf("\n%-22s", "paper");
-  for (double t : kPaperTotals) std::printf(" %14.2f", t);
-  std::printf("\n\n");
 
   // §3 scalar claims derived from the same data.
   const double u2u = results[0].total_us;
@@ -75,14 +110,16 @@ int main(int argc, char** argv) {
   const double u2k = results[4].total_us;
   const double u2k_hold = results[5].total_us;
 
-  std::printf("Scalar claims (paper -> measured)\n");
-  std::printf("  warm user-to-user null PPC:   32.4 -> %.1f us\n", u2u);
-  std::printf("  hold-CD saving:              2-3  -> %.1f us\n",
-              u2u - u2u_hold);
-  std::printf("  user-to-kernel (no CD):       22.2 -> %.1f us\n", u2k);
-  std::printf("  user-to-kernel (hold CD):     19.2 -> %.1f us\n", u2k_hold);
-  std::printf("  D-cache flush penalty:       ~20   -> %.1f us\n",
-              u2u_flushed - u2u);
+  if (!csv) {
+    std::printf("Scalar claims (paper -> measured)\n");
+    std::printf("  warm user-to-user null PPC:   32.4 -> %.1f us\n", u2u);
+    std::printf("  hold-CD saving:              2-3  -> %.1f us\n",
+                u2u - u2u_hold);
+    std::printf("  user-to-kernel (no CD):       22.2 -> %.1f us\n", u2k);
+    std::printf("  user-to-kernel (hold CD):     19.2 -> %.1f us\n", u2k_hold);
+    std::printf("  D-cache flush penalty:       ~20   -> %.1f us\n",
+                u2u_flushed - u2u);
+  }
 
   // "Dirtying the cache and flushing the instruction cache can increase the
   //  times by another 20-30 usec."
@@ -91,8 +128,10 @@ int main(int argc, char** argv) {
   dirty.dirty_and_flush_icache = true;
   dirty.measured_calls = 256;
   Fig2Result rd = hppc::experiments::run_fig2(dirty);
-  std::printf("  dirty+I-flush extra:        20-30  -> %.1f us\n",
-              rd.total_us - u2u_flushed);
+  if (!csv) {
+    std::printf("  dirty+I-flush extra:        20-30  -> %.1f us\n",
+                rd.total_us - u2u_flushed);
+  }
 
   // "the categories for which we had no control accounted for between 52%%
   //  and 60%% of the total execution time" (trap, TLB miss, save/restores,
@@ -107,6 +146,10 @@ int main(int argc, char** argv) {
     lo = pct < lo ? pct : lo;
     hi = pct > hi ? pct : hi;
   }
-  std::printf("  uncontrollable share:       52-60%% -> %.0f-%.0f%%\n", lo, hi);
+  if (!csv) {
+    std::printf("  uncontrollable share:       52-60%% -> %.0f-%.0f%%\n", lo,
+                hi);
+  }
+  write_report(results, rd.total_us - u2u_flushed, lo, hi);
   return 0;
 }

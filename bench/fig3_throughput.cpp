@@ -5,13 +5,28 @@
 // contributing a constant increase); "single common file" saturates at four
 // processors because of the lock + a few shared accesses in the file
 // server's critical section. Sequential base time: 66 us per call.
+//
+// Output: the human-readable table (or --csv), plus a structured
+// BENCH_fig3_throughput.json via obs::BenchReport.
 #include <cstdio>
 #include <string_view>
+#include <vector>
 
 #include "experiments/experiments.h"
+#include "obs/bench_metrics.h"
 
 using hppc::experiments::Fig3Config;
 using hppc::experiments::Fig3Result;
+
+namespace {
+
+struct Point {
+  std::uint32_t cpus;
+  Fig3Result diff;
+  Fig3Result single;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bool csv = argc > 1 && std::string_view(argv[1]) == "--csv";
@@ -22,48 +37,69 @@ int main(int argc, char** argv) {
   Fig3Result r1 = hppc::experiments::run_fig3(base);
   const double per_client = r1.calls_per_sec;
 
-  if (csv) {
-    std::printf("cpus,perfect,diff_files,single_file,mean_us,p99_us\n");
-    for (std::uint32_t p = 1; p <= 16; ++p) {
-      Fig3Config cfg;
-      cfg.clients = p;
-      cfg.single_file = false;
-      Fig3Result diff = hppc::experiments::run_fig3(cfg);
-      cfg.single_file = true;
-      Fig3Result single = hppc::experiments::run_fig3(cfg);
-      std::printf("%u,%.0f,%.0f,%.0f,%.1f,%.1f\n", p, per_client * p,
-                  diff.calls_per_sec, single.calls_per_sec,
-                  single.mean_call_us, single.p99_call_us);
-    }
-    return 0;
-  }
-
-  std::printf("Figure 3: file-server GetLength throughput (calls/second)\n");
-  std::printf("=========================================================\n\n");
-  std::printf("sequential GetLength: %.1f us/call (paper: 66 us)\n\n",
-              r1.sequential_us);
-
-  std::printf("%5s %13s %13s %13s %9s %12s %10s\n", "cpus", "perfect",
-              "diff-files", "single-file", "sat.", "1file mean", "1file p99");
+  std::vector<Point> points;
   for (std::uint32_t p = 1; p <= 16; ++p) {
     Fig3Config cfg;
     cfg.clients = p;
-
     cfg.single_file = false;
     Fig3Result diff = hppc::experiments::run_fig3(cfg);
-
     cfg.single_file = true;
     Fig3Result single = hppc::experiments::run_fig3(cfg);
-
-    std::printf("%5u %13.0f %13.0f %13.0f %8.2fx %10.0fus %8.0fus\n", p,
-                per_client * p, diff.calls_per_sec, single.calls_per_sec,
-                single.calls_per_sec / per_client, single.mean_call_us,
-                single.p99_call_us);
+    points.push_back(Point{p, diff, single});
   }
 
-  std::printf(
-      "\nExpected shape: diff-files tracks perfect speedup; single-file\n"
-      "saturates around 4 processors (paper: \"the throughput saturates at\n"
-      "four processors\").\n");
+  if (csv) {
+    std::printf("cpus,perfect,diff_files,single_file,mean_us,p99_us\n");
+    for (const Point& pt : points) {
+      std::printf("%u,%.0f,%.0f,%.0f,%.1f,%.1f\n", pt.cpus,
+                  per_client * pt.cpus, pt.diff.calls_per_sec,
+                  pt.single.calls_per_sec, pt.single.mean_call_us,
+                  pt.single.p99_call_us);
+    }
+  } else {
+    std::printf("Figure 3: file-server GetLength throughput (calls/second)\n");
+    std::printf("=========================================================\n\n");
+    std::printf("sequential GetLength: %.1f us/call (paper: 66 us)\n\n",
+                r1.sequential_us);
+
+    std::printf("%5s %13s %13s %13s %9s %12s %10s\n", "cpus", "perfect",
+                "diff-files", "single-file", "sat.", "1file mean",
+                "1file p99");
+    for (const Point& pt : points) {
+      std::printf("%5u %13.0f %13.0f %13.0f %8.2fx %10.0fus %8.0fus\n",
+                  pt.cpus, per_client * pt.cpus, pt.diff.calls_per_sec,
+                  pt.single.calls_per_sec,
+                  pt.single.calls_per_sec / per_client,
+                  pt.single.mean_call_us, pt.single.p99_call_us);
+    }
+
+    std::printf(
+        "\nExpected shape: diff-files tracks perfect speedup; single-file\n"
+        "saturates around 4 processors (paper: \"the throughput saturates "
+        "at\nfour processors\").\n");
+  }
+
+  hppc::obs::BenchReport report("fig3_throughput");
+  report.meta("paper", "Figure 3: file-server GetLength throughput");
+  report.meta("paper_sequential_us", 66.0);
+  report.scalar("sequential_us", r1.sequential_us);
+  report.scalar("per_client_calls_per_sec", per_client);
+  for (const Point& pt : points) {
+    report.row("throughput")
+        .cell("cpus", pt.cpus)
+        .cell("perfect", per_client * pt.cpus)
+        .cell("diff_files_calls_per_sec", pt.diff.calls_per_sec)
+        .cell("single_file_calls_per_sec", pt.single.calls_per_sec)
+        .cell("single_file_saturation", pt.single.calls_per_sec / per_client)
+        .cell("single_file_mean_us", pt.single.mean_call_us)
+        .cell("single_file_p99_us", pt.single.p99_call_us)
+        .cell("single_file_lock_migrations",
+              static_cast<double>(pt.single.lock_migrations));
+  }
+  // Counter snapshots for the full-machine endpoints: the single-file run
+  // accumulates lock traffic, the different-files run stays slot-local.
+  report.counters("diff_files_16cpu", points.back().diff.counters);
+  report.counters("single_file_16cpu", points.back().single.counters);
+  if (!report.write()) return 1;
   return 0;
 }

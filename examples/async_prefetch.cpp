@@ -71,7 +71,7 @@ int main() {
               static_cast<unsigned long long>(read_bytes));
   std::printf("async calls recorded on cpu 0: %llu\n",
               static_cast<unsigned long long>(
-                  ppc.state(machine.cpu(0)).async_calls));
+                  machine.cpu(0).counters().get(obs::Counter::kCallsAsync)));
   std::printf("total simulated time: %.1f us\n",
               machine.config().us(cpu.now()));
   return 0;

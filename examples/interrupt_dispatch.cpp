@@ -61,8 +61,9 @@ int main() {
   std::printf("\ncompletions: %d; interrupt-dispatched PPCs on cpu %u: %llu\n",
               completions, cfg.interrupt_cpu,
               static_cast<unsigned long long>(
-                  ppc.state(machine.cpu(cfg.interrupt_cpu))
-                      .interrupt_dispatches));
+                  machine.cpu(cfg.interrupt_cpu)
+                      .counters()
+                      .get(obs::Counter::kCallsInterrupt)));
   std::printf("disk serviced %llu transfers through its shared queue\n",
               static_cast<unsigned long long>(disk.completed()));
   return 0;

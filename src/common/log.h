@@ -2,6 +2,7 @@
 // not hide I/O in it. Enable per-binary with hppc::log_set_level().
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
@@ -10,14 +11,24 @@ namespace hppc {
 enum class LogLevel : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
 
 namespace detail {
-inline LogLevel g_level = LogLevel::kError;
+// Read from every slot thread on each log call; relaxed is sufficient — the
+// level is a filter, not a synchronization point.
+inline std::atomic<int> g_level{static_cast<int>(LogLevel::kError)};
 }
 
-inline void log_set_level(LogLevel level) { detail::g_level = level; }
-inline LogLevel log_level() { return detail::g_level; }
+inline void log_set_level(LogLevel level) {
+  detail::g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+inline LogLevel log_level() {
+  return static_cast<LogLevel>(
+      detail::g_level.load(std::memory_order_relaxed));
+}
 
 inline void logf(LogLevel level, const char* tag, const char* fmt, ...) {
-  if (static_cast<int>(level) > static_cast<int>(detail::g_level)) return;
+  if (static_cast<int>(level) >
+      detail::g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
   std::fprintf(stderr, "[%s] ", tag);
   va_list ap;
   va_start(ap, fmt);

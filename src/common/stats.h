@@ -59,6 +59,11 @@ class RunningStats {
 
 /// Exact-percentile latency recorder: stores samples, sorts on demand.
 /// Intended for benchmark harnesses where sample counts are bounded.
+///
+/// Quantile queries are const: the sorted view lives in a lazily filled
+/// cache, so a metrics sink can snapshot a recorder it only holds by
+/// const reference without mutating shared state. The cache is sorted at
+/// most once per batch of add() calls.
 class Percentiles {
  public:
   void add(double x) {
@@ -68,25 +73,39 @@ class Percentiles {
 
   std::size_t count() const { return samples_.size(); }
 
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+
   /// q in [0,1]; nearest-rank.
-  double quantile(double q) {
+  double quantile(double q) const {
     HPPC_ASSERT(!samples_.empty());
     HPPC_ASSERT(q >= 0.0 && q <= 1.0);
     if (!sorted_) {
-      std::sort(samples_.begin(), samples_.end());
+      sorted_cache_ = samples_;
+      std::sort(sorted_cache_.begin(), sorted_cache_.end());
       sorted_ = true;
     }
     const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(samples_.size() - 1) + 0.5);
-    return samples_[std::min(idx, samples_.size() - 1)];
+        q * static_cast<double>(sorted_cache_.size() - 1) + 0.5);
+    return sorted_cache_[std::min(idx, sorted_cache_.size() - 1)];
   }
 
-  double median() { return quantile(0.5); }
-  double p99() { return quantile(0.99); }
+  double median() const { return quantile(0.5); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
 
  private:
   std::vector<double> samples_;
-  bool sorted_ = true;
+  mutable std::vector<double> sorted_cache_;
+  mutable bool sorted_ = false;
 };
 
 }  // namespace hppc

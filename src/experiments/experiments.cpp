@@ -201,6 +201,9 @@ Fig3Result run_fig3(const Fig3Config& cfg) {
     out.mean_call_us = latency.mean();
     out.p99_call_us = tails.p99();
   }
+  for (CpuId c = 0; c < cfg.total_cpus; ++c) {
+    out.counters.merge(m.cpu(c).counters().snapshot());
+  }
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/counters.h"
 #include "sim/config.h"
 #include "sim/cost.h"
 
@@ -64,6 +65,9 @@ struct Fig3Result {
   std::uint64_t lock_migrations = 0;  // lock handoffs between processors
   double mean_call_us = 0;            // per-call latency across all clients
   double p99_call_us = 0;             // tail latency (lock-wait victims)
+  /// Merged observability counters across every CPU in the run (lock and
+  /// shared-line traffic separates the two curves mechanically).
+  obs::CounterSnapshot counters;
 };
 
 /// Run one Figure-3 point: `clients` independent client processes, one per

@@ -14,6 +14,8 @@
 
 #include "common/intrusive_list.h"
 #include "common/types.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "sim/memctx.h"
 #include "kernel/process.h"
 
@@ -40,7 +42,11 @@ struct EventLater {
 class Cpu {
  public:
   Cpu(Machine& machine, const sim::MachineConfig& cfg, CpuId id)
-      : machine_(machine), id_(id), mem_(cfg, id) {}
+      : machine_(machine), id_(id), mem_(cfg, id) {
+    // Let primitives that only see the MemContext (SimSpinLock) attribute
+    // lock/shared-line traffic to this CPU's counter block.
+    mem_.set_obs(&counters_);
+  }
 
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
@@ -71,6 +77,16 @@ class Cpu {
   void* ppc_state() const { return ppc_state_; }
   void set_ppc_state(void* s) { ppc_state_ = s; }
 
+  /// Observability block (Figure 1 discipline applied to metrics): owned
+  /// and written by this CPU only, merged by observers at snapshot time.
+  /// Host-side bookkeeping — increments charge no simulated cycles.
+  obs::SlotCounters& counters() { return counters_; }
+  const obs::SlotCounters& counters() const { return counters_; }
+
+  /// Bounded event-trace ring for this CPU (written only under HPPC_TRACE).
+  obs::TraceRing& trace_ring() { return trace_ring_; }
+  const obs::TraceRing& trace_ring() const { return trace_ring_; }
+
   // --- pending events (interrupts / IPIs) ---
 
   void push_event(Event e) { events_.push(std::move(e)); }
@@ -90,6 +106,8 @@ class Cpu {
   IntrusiveList<Process, &Process::rq_link> ready_queue_;
   SimAddr rq_addr_ = kInvalidAddr;
   void* ppc_state_ = nullptr;
+  obs::SlotCounters counters_;
+  obs::TraceRing trace_ring_;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
 };
 

@@ -88,7 +88,10 @@ void Machine::post_event(CpuId target, Cycles time,
 
 void Machine::post_ipi(Cpu& sender, CpuId target,
                        std::function<void(Cpu&)> fn) {
-  // The sender pays a store to the target's interrupt register.
+  // The sender pays a store to the target's interrupt register — a write
+  // to another processor's state, so it books as shared traffic too.
+  sender.counters().inc(obs::Counter::kIpisSent);
+  sender.counters().inc(obs::Counter::kSharedLinesTouched);
   sender.mem().access_uncached(sim::node_base(cfg_.node_of_cpu(target)),
                                sim::CostCategory::kPpcKernel);
   post_event(target, sender.now() + cfg_.ipi_latency_cycles, std::move(fn));

@@ -1,5 +1,7 @@
 #include "msg/gateway.h"
 
+#include "obs/trace.h"
+
 namespace hppc::msg {
 
 using ppc::RegSet;
@@ -20,6 +22,9 @@ PpcMsgGateway::PpcMsgGateway(ppc::PpcFacility& ppc, MsgFacility& msgs,
 
 void PpcMsgGateway::handler(ServerCtx& ctx, RegSet& regs) {
   ++forwarded_;
+  ctx.cpu().counters().inc(obs::Counter::kGatewayForwards);
+  HPPC_TRACE_EVENT(ctx.cpu().trace_ring(), ctx.cpu().now(), ctx.cpu().id(),
+                   obs::TraceEvent::kGatewayForward, server_pid_);
   // Forward the registers as a message from the worker (a real process, so
   // the legacy facility's sender bookkeeping just works), then block the
   // call until the legacy server replies.

@@ -1,0 +1,186 @@
+// Per-slot observability counters, built the same way the facility itself
+// is built (§2): every hot-path increment is a plain store into a fixed-id,
+// cache-line-aligned block owned by exactly one slot (one rt thread slot or
+// one simulated kernel::Cpu). Nothing on the fast path is atomic, locked,
+// or shared; blocks are merged only at snapshot time, the same way
+// RunningStats::merge folds per-stream moments.
+//
+// The two headline counters — kLocksTaken and kSharedLinesTouched — exist
+// to turn the paper's central claim ("in the common case the fast path
+// accesses no shared data and requires no locks", §1, §2) from a comment
+// into a measured invariant: after warmup, a null PPC must leave both at
+// exactly zero in its slot's delta.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cacheline.h"
+
+namespace hppc::obs {
+
+/// Fixed counter ids. Append only — ids are part of the BENCH_*.json and
+/// kFrankStats contract across PRs. Keep the hottest ids in the first
+/// cache line of the block (8 ids per 64-byte line).
+enum class Counter : std::uint32_t {
+  // -- call variants (hot: first line) --
+  kCallsSync = 0,       // synchronous calls (incl. blocking-capable ones)
+  kCallsAsync,          // §4.4 async variant
+  kCallsBlocking,       // continuation-style synchronous calls
+  kCallsRemote,         // cross-processor variant
+  kCallsInterrupt,      // interrupt dispatches
+  kCallsUpcall,         // software upcalls
+  kNestedCalls,         // server-to-server calls from inside a handler
+  kHoldCdHits,          // calls served by a permanently held CD (§2)
+
+  // -- per-slot pool dynamics --
+  kWorkerPoolHits,      // worker taken from the slot-local pool
+  kWorkersCreated,      // pool grow (Frank redirect / host slow path)
+  kWorkersReclaimed,    // pool shrink (trim, kill, exchange)
+  kCdRecycles,          // CD taken from the slot-local free list
+  kCdsCreated,          // CD pool grow
+  kPoolTrims,           // trim_pools sweeps
+
+  // -- slow-path entries (anything that leaves the per-slot fast path) --
+  kSlowPathEntries,     // total slow-path diversions
+  kFrankWorkerRefills,  // empty worker pool -> Frank
+  kFrankCdRefills,      // empty CD pool -> Frank
+  kHashedLookups,       // overflow-table lookups (§4.5.5 extension)
+  kBinds,               // entry points bound
+  kSoftKills,
+  kHardKills,
+
+  // -- cross-slot traffic (the host analogue of remote interrupts) --
+  kMailboxPosts,        // actions posted to another slot's mailbox
+  kMailboxDrains,       // mailbox drain sweeps performed by the owner
+  kIpisSent,            // simulated cross-processor interrupts sent
+  kGatewayForwards,     // PPC->message gateway forwards (§5)
+
+  // -- the zero-contention invariants --
+  kLocksTaken,          // locks/mutexes acquired on behalf of this slot
+  kSharedLinesTouched,  // stores/RMWs to cache lines other slots access
+
+  kCount
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kCount);
+
+constexpr const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kCallsSync: return "calls_sync";
+    case Counter::kCallsAsync: return "calls_async";
+    case Counter::kCallsBlocking: return "calls_blocking";
+    case Counter::kCallsRemote: return "calls_remote";
+    case Counter::kCallsInterrupt: return "calls_interrupt";
+    case Counter::kCallsUpcall: return "calls_upcall";
+    case Counter::kNestedCalls: return "nested_calls";
+    case Counter::kHoldCdHits: return "hold_cd_hits";
+    case Counter::kWorkerPoolHits: return "worker_pool_hits";
+    case Counter::kWorkersCreated: return "workers_created";
+    case Counter::kWorkersReclaimed: return "workers_reclaimed";
+    case Counter::kCdRecycles: return "cd_recycles";
+    case Counter::kCdsCreated: return "cds_created";
+    case Counter::kPoolTrims: return "pool_trims";
+    case Counter::kSlowPathEntries: return "slow_path_entries";
+    case Counter::kFrankWorkerRefills: return "frank_worker_refills";
+    case Counter::kFrankCdRefills: return "frank_cd_refills";
+    case Counter::kHashedLookups: return "hashed_lookups";
+    case Counter::kBinds: return "binds";
+    case Counter::kSoftKills: return "soft_kills";
+    case Counter::kHardKills: return "hard_kills";
+    case Counter::kMailboxPosts: return "mailbox_posts";
+    case Counter::kMailboxDrains: return "mailbox_drains";
+    case Counter::kIpisSent: return "ipis_sent";
+    case Counter::kGatewayForwards: return "gateway_forwards";
+    case Counter::kLocksTaken: return "locks_taken";
+    case Counter::kSharedLinesTouched: return "shared_lines_touched";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+/// A merged, point-in-time view of one or more counter blocks. Plain value
+/// type: snapshots can be subtracted to get per-phase deltas.
+struct CounterSnapshot {
+  std::array<std::uint64_t, kNumCounters> v{};
+
+  std::uint64_t get(Counter c) const {
+    return v[static_cast<std::size_t>(c)];
+  }
+
+  void merge(const CounterSnapshot& o) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) v[i] += o.v[i];
+  }
+
+  /// Counter-wise `this - since` (for warmup-relative deltas), saturating
+  /// at zero. Raw counters are monotonic so the subtraction cannot
+  /// underflow on a well-ordered pair, but snapshot-derived values (see
+  /// rt's derive_pool_counters) may undershoot by a bounded amount; a
+  /// clamped zero reads far better in a report than 2^64 - k.
+  CounterSnapshot delta(const CounterSnapshot& since) const {
+    CounterSnapshot d;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      d.v[i] = v[i] > since.v[i] ? v[i] - since.v[i] : 0;
+    }
+    return d;
+  }
+
+  bool operator==(const CounterSnapshot&) const = default;
+};
+
+/// The per-slot block. Single writer (the owning slot/CPU); plain stores
+/// only. Aligned so adjacent slots' blocks never share a cache line.
+struct alignas(kHostCacheLine) SlotCounters {
+  std::array<std::uint64_t, kNumCounters> v{};
+
+  void inc(Counter c, std::uint64_t n = 1) {
+    v[static_cast<std::size_t>(c)] += n;
+  }
+
+  std::uint64_t get(Counter c) const {
+    return v[static_cast<std::size_t>(c)];
+  }
+
+  void reset() { v.fill(0); }
+
+  CounterSnapshot snapshot() const {
+    CounterSnapshot s;
+    s.v = v;
+    return s;
+  }
+};
+
+/// Counters for operations that do not run on behalf of a single slot
+/// (binding, kills, cross-slot posts from unregistered threads). These sit
+/// on slow paths by definition, so relaxed atomics are fine here — the
+/// fast path never touches this block.
+class SharedCounters {
+ public:
+  void inc(Counter c, std::uint64_t n = 1) {
+    v_[static_cast<std::size_t>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t get(Counter c) const {
+    return v_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    for (auto& a : v_) a.store(0, std::memory_order_relaxed);
+  }
+
+  CounterSnapshot snapshot() const {
+    CounterSnapshot s;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      s.v[i] = v_[i].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumCounters> v_{};
+};
+
+}  // namespace hppc::obs

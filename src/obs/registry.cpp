@@ -1,0 +1,56 @@
+#include "obs/registry.h"
+
+namespace hppc::obs {
+
+namespace {
+
+bool always_emitted(Counter c) {
+  return c == Counter::kLocksTaken || c == Counter::kSharedLinesTouched;
+}
+
+void append_snapshot(std::string& out, const CounterSnapshot& snap,
+                     bool skip_zero) {
+  out += '{';
+  bool first = true;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const Counter c = static_cast<Counter>(i);
+    if (skip_zero && snap.v[i] == 0 && !always_emitted(c)) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += counter_name(c);
+    out += "\":";
+    out += std::to_string(snap.v[i]);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string snapshot_to_json(const CounterSnapshot& snap, bool skip_zero) {
+  std::string out;
+  append_snapshot(out, snap, skip_zero);
+  return out;
+}
+
+std::string Registry::to_json(bool skip_zero) const {
+  std::string out = "{\"slots\":{";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += slots_[i].first;
+    out += "\":";
+    append_snapshot(out, slots_[i].second->snapshot(), skip_zero);
+  }
+  out += '}';
+  if (shared_ != nullptr) {
+    out += ",\"shared\":";
+    append_snapshot(out, shared_->snapshot(), skip_zero);
+  }
+  out += ",\"total\":";
+  append_snapshot(out, aggregate(), skip_zero);
+  out += '}';
+  return out;
+}
+
+}  // namespace hppc::obs

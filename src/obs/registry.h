@@ -1,0 +1,62 @@
+// Metrics registry: a non-owning roster of per-slot counter blocks (plus at
+// most one shared slow-path block) that can be merged into one snapshot and
+// rendered as JSON. The registry never touches a block on a hot path — it
+// only reads at snapshot time, which is the whole point of the per-slot
+// design: aggregation cost is paid by the observer, not the observed.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.h"
+
+namespace hppc::obs {
+
+class Registry {
+ public:
+  /// Register a slot block under a display label ("cpu3", "slot0", ...).
+  /// The block must outlive the registry; the registry never writes it.
+  void add_slot(std::string label, const SlotCounters* block) {
+    slots_.emplace_back(std::move(label), block);
+  }
+
+  /// At most one shared block (slow-path operations with no owning slot).
+  void set_shared(const SharedCounters* shared) { shared_ = shared; }
+
+  std::size_t num_slots() const { return slots_.size(); }
+  const std::string& slot_label(std::size_t i) const {
+    return slots_[i].first;
+  }
+
+  CounterSnapshot slot_snapshot(std::size_t i) const {
+    return slots_[i].second->snapshot();
+  }
+
+  /// Merge every registered block (RunningStats::merge-style: read each
+  /// per-slot block once, fold into the aggregate).
+  CounterSnapshot aggregate() const {
+    CounterSnapshot total;
+    for (const auto& [label, block] : slots_) total.merge(block->snapshot());
+    if (shared_ != nullptr) total.merge(shared_->snapshot());
+    return total;
+  }
+
+  /// JSON: {"slots": {"<label>": {counter: value, ...}, ...},
+  ///        "shared": {...}, "total": {...}}.
+  /// `skip_zero` drops zero-valued counters for compact diffs; the headline
+  /// invariants (locks_taken, shared_lines_touched) are always emitted so a
+  /// zero reads as an assertion, not an omission.
+  std::string to_json(bool skip_zero = true) const;
+
+ private:
+  std::vector<std::pair<std::string, const SlotCounters*>> slots_;
+  const SharedCounters* shared_ = nullptr;
+};
+
+/// Render one snapshot as a JSON object string (used by Registry and by
+/// the bench sink to embed counters into BENCH_*.json).
+std::string snapshot_to_json(const CounterSnapshot& snap,
+                             bool skip_zero = true);
+
+}  // namespace hppc::obs

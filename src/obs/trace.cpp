@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include <cstdio>
+
+namespace hppc::obs {
+
+std::vector<TraceRecord> TraceRing::snapshot() const {
+  std::vector<TraceRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t start = head_ - n;
+  for (std::uint64_t i = start; i < head_; ++i) {
+    out.push_back(buf_[i & (kCapacity - 1)]);
+  }
+  return out;
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string trace_to_chrome_json(const std::vector<NamedRing>& rings,
+                                 double ts_per_us) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& nr : rings) {
+    if (nr.ring == nullptr) continue;
+    for (const TraceRecord& r : nr.ring->snapshot()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"";
+      out += trace_event_name(static_cast<TraceEvent>(r.event));
+      out += "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":";
+      out += std::to_string(r.slot);
+      out += ",\"ts\":";
+      append_double(out, static_cast<double>(r.ts) / ts_per_us);
+      out += ",\"args\":{\"arg\":";
+      out += std::to_string(r.arg);
+      out += ",\"ring\":\"";
+      out += nr.label;
+      out += "\"}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string trace_to_json(const std::vector<NamedRing>& rings) {
+  std::string out = "{\"rings\":{";
+  bool first_ring = true;
+  for (const auto& nr : rings) {
+    if (nr.ring == nullptr) continue;
+    if (!first_ring) out += ',';
+    first_ring = false;
+    out += '"';
+    out += nr.label;
+    out += "\":{\"total_recorded\":";
+    out += std::to_string(nr.ring->total_recorded());
+    out += ",\"records\":[";
+    bool first = true;
+    for (const TraceRecord& r : nr.ring->snapshot()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"ts\":";
+      out += std::to_string(r.ts);
+      out += ",\"slot\":";
+      out += std::to_string(r.slot);
+      out += ",\"event\":\"";
+      out += trace_event_name(static_cast<TraceEvent>(r.event));
+      out += "\",\"arg\":";
+      out += std::to_string(r.arg);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::uint64_t host_trace_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace hppc::obs

@@ -1,0 +1,140 @@
+// Per-slot bounded ring-buffer event tracer, ftrace-style: fixed-size
+// 16-byte records (timestamp, slot, event id, arg) written with plain
+// stores into a ring owned by one slot/CPU. The ring never grows, never
+// locks, and overwrites its oldest record when full, so tracing cannot
+// change the allocation or sharing behaviour of the path being traced.
+//
+// Compile-time toggle: hooks are emitted only when the build defines
+// HPPC_TRACE=1 (cmake -DHPPC_TRACE=ON). With the toggle off the
+// HPPC_TRACE_EVENT macro expands to nothing — zero instructions on the
+// fast path, which is what the overhead bench asserts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hppc::obs {
+
+/// Fixed event ids. Append only — they appear in exported traces.
+enum class TraceEvent : std::uint16_t {
+  kCallEnter = 0,     // arg = entry point id
+  kCallExit,          // arg = status code
+  kAsyncEnqueue,      // arg = entry point id
+  kPoll,              // arg = actions performed
+  kWorkerCreate,      // arg = entry point id (pool grow)
+  kWorkerInit,        // arg = entry point id (§4.5.3 one-time init)
+  kFrankWorkerRefill, // arg = entry point id
+  kFrankCdRefill,     // arg = CD pool group
+  kBind,              // arg = new entry point id
+  kSoftKill,          // arg = entry point id
+  kHardKill,          // arg = entry point id
+  kReclaim,           // arg = entry point id (cross-slot reclamation)
+  kUpcall,            // arg = entry point id
+  kInterrupt,         // arg = entry point id
+  kRemoteCall,        // arg = target cpu
+  kGatewayForward,    // arg = legacy server pid
+  kCount
+};
+
+constexpr const char* trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kCallEnter: return "call_enter";
+    case TraceEvent::kCallExit: return "call_exit";
+    case TraceEvent::kAsyncEnqueue: return "async_enqueue";
+    case TraceEvent::kPoll: return "poll";
+    case TraceEvent::kWorkerCreate: return "worker_create";
+    case TraceEvent::kWorkerInit: return "worker_init";
+    case TraceEvent::kFrankWorkerRefill: return "frank_worker_refill";
+    case TraceEvent::kFrankCdRefill: return "frank_cd_refill";
+    case TraceEvent::kBind: return "bind";
+    case TraceEvent::kSoftKill: return "soft_kill";
+    case TraceEvent::kHardKill: return "hard_kill";
+    case TraceEvent::kReclaim: return "reclaim";
+    case TraceEvent::kUpcall: return "upcall";
+    case TraceEvent::kInterrupt: return "interrupt";
+    case TraceEvent::kRemoteCall: return "remote_call";
+    case TraceEvent::kGatewayForward: return "gateway_forward";
+    case TraceEvent::kCount: break;
+  }
+  return "unknown";
+}
+
+/// One record: 16 bytes, fixed layout. `ts` is simulated cycles for the
+/// sim layer and steady-clock nanoseconds for the host runtime.
+struct TraceRecord {
+  std::uint64_t ts = 0;
+  std::uint32_t arg = 0;
+  std::uint16_t slot = 0;
+  std::uint16_t event = 0;
+};
+
+/// Single-writer bounded ring. Capacity is a compile-time power of two so
+/// the index wrap is a mask, not a division.
+class TraceRing {
+ public:
+  static constexpr std::size_t kCapacity = 4096;
+  static_assert((kCapacity & (kCapacity - 1)) == 0);
+
+  void record(std::uint64_t ts, std::uint16_t slot, TraceEvent event,
+              std::uint32_t arg) {
+    TraceRecord& r = buf_[head_ & (kCapacity - 1)];
+    r.ts = ts;
+    r.arg = arg;
+    r.slot = slot;
+    r.event = static_cast<std::uint16_t>(event);
+    ++head_;
+  }
+
+  /// Total records ever written (>= kCapacity means the ring has wrapped
+  /// and the oldest records were overwritten).
+  std::uint64_t total_recorded() const { return head_; }
+
+  std::size_t size() const {
+    return head_ < kCapacity ? static_cast<std::size_t>(head_) : kCapacity;
+  }
+
+  void reset() { head_ = 0; }
+
+  /// Oldest-first copy of the retained records (owner or quiesced only —
+  /// the ring is single-writer and unsynchronized by design).
+  std::vector<TraceRecord> snapshot() const;
+
+ private:
+  std::array<TraceRecord, kCapacity> buf_{};
+  std::uint64_t head_ = 0;
+};
+
+/// A labelled ring for export ("cpu0", "slot3", ...).
+struct NamedRing {
+  std::string label;
+  const TraceRing* ring = nullptr;
+};
+
+/// Export as chrome://tracing / Perfetto JSON ("traceEvents" array of
+/// instant events; tid = slot, ts in microseconds assuming `ts_per_us`
+/// raw units per microsecond — pass 1000 for nanosecond host timestamps,
+/// or the simulated clock rate in MHz for cycle timestamps).
+std::string trace_to_chrome_json(const std::vector<NamedRing>& rings,
+                                 double ts_per_us = 1000.0);
+
+/// Export as plain JSON records (diff-friendly; raw timestamps).
+std::string trace_to_json(const std::vector<NamedRing>& rings);
+
+/// Steady-clock nanoseconds, for host-runtime trace timestamps (the sim
+/// layer passes cpu.now() cycles instead).
+std::uint64_t host_trace_now();
+
+}  // namespace hppc::obs
+
+// The hook macro. `ring` is evaluated only when tracing is compiled in, so
+// the expression may be arbitrarily costly to reach (e.g. a map lookup) —
+// with the toggle off nothing is evaluated at all.
+#if defined(HPPC_TRACE) && HPPC_TRACE
+#define HPPC_TRACE_EVENT(ring, ts, slot, event, arg) \
+  (ring).record((ts), static_cast<std::uint16_t>(slot), (event), \
+                static_cast<std::uint32_t>(arg))
+#else
+#define HPPC_TRACE_EVENT(ring, ts, slot, event, arg) ((void)0)
+#endif

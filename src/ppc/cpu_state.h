@@ -60,16 +60,10 @@ struct CpuPpcState {
     __builtin_unreachable();
   }
 
-  // --- statistics (host-side only; not charged) ---
-  std::uint64_t calls = 0;
-  std::uint64_t async_calls = 0;
-  std::uint64_t remote_calls = 0;           // cross-processor variant
-  std::uint64_t interrupt_dispatches = 0;
-  std::uint64_t upcalls = 0;
-  std::uint64_t hashed_lookups = 0;         // overflow-table lookups
-  std::uint64_t frank_worker_refills = 0;   // slow path: empty worker pool
-  std::uint64_t frank_cd_refills = 0;       // slow path: empty CD pool
-  std::uint32_t cds_created = 0;
+  // Statistics moved to the fixed-id observability block on kernel::Cpu
+  // (cpu.counters(), src/obs/counters.h): same per-processor ownership
+  // discipline, but uniform ids shared with the host runtime, mergeable
+  // snapshots, and reachable through Frank's kFrankStats interface.
 };
 
 }  // namespace hppc::ppc

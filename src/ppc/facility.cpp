@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "kernel/address_space.h"
+#include "obs/trace.h"
 #include "kernel/cpu.h"
 
 namespace hppc::ppc {
@@ -98,12 +99,16 @@ void ServerCtx::touch_stack(std::size_t off, std::size_t bytes,
 void ServerCtx::set_worker_handler(
     std::function<void(ServerCtx&, RegSet&)> h) {
   // One store to the worker's descriptor (§4.5.3).
+  HPPC_TRACE_EVENT(cpu_.trace_ring(), cpu_.now(), cpu_.id(),
+                   obs::TraceEvent::kWorkerInit,
+                   worker_.entry_point()->id());
   cpu_.mem().store(worker_.context_save_area(), 4, TlbContext::kSupervisor,
                    CostCategory::kServerTime);
   worker_.set_call_handler(std::move(h));
 }
 
 Status ServerCtx::call(EntryPointId ep, RegSet& regs) {
+  cpu_.counters().inc(obs::Counter::kNestedCalls);
   return ppc_.call(cpu_, worker_, ep, regs);
 }
 
@@ -302,7 +307,7 @@ EntryPoint* PpcFacility::lookup(Cpu& cpu, EntryPointId id,
   } else {
     // Overflow services: hash-table lookup with chained buckets — more
     // loads and instructions than the direct index (§4.5.5's extension).
-    st.hashed_lookups++;
+    cpu.counters().inc(obs::Counter::kHashedLookups);
     mem.charge(CostCategory::kPpcKernel, 10);  // hash + compare chain
     mem.load(st.hashed_table_saddr + (id % 32) * 32, 16,
              TlbContext::kSupervisor, CostCategory::kPpcKernel);
@@ -330,9 +335,14 @@ Worker* PpcFacility::acquire_worker(Cpu& cpu, EntryPoint& ep) {
   mem.access(epcpu.saddr, 8, /*is_store=*/true, TlbContext::kSupervisor,
              CostCategory::kPpcKernel);
   Worker* w = epcpu.pool.pop();
-  if (w == nullptr) {
+  if (w != nullptr) {
+    cpu.counters().inc(obs::Counter::kWorkerPoolHits);
+  } else {
     // Redirect to Frank (§4.5.6): create a worker, then continue the call.
-    state(cpu).frank_worker_refills++;
+    cpu.counters().inc(obs::Counter::kFrankWorkerRefills);
+    cpu.counters().inc(obs::Counter::kSlowPathEntries);
+    HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
+                     obs::TraceEvent::kFrankWorkerRefill, ep.id());
     w = frank_create_worker(cpu, ep);
   }
   return w;
@@ -353,12 +363,12 @@ CdPool& PpcFacility::cd_pool_of(Cpu& cpu, std::uint32_t group) {
 
 CallDescriptor* PpcFacility::acquire_cd(Cpu& cpu, Worker& w) {
   auto& mem = cpu.mem();
-  auto& st = state(cpu);
   const auto& text = text_[cpu.node()];
 
   CallDescriptor* cd;
   if (w.held_cd() != nullptr) {
     // Hold-CD mode: no free-list traffic; still record return info.
+    cpu.counters().inc(obs::Counter::kHoldCdHits);
     cd = w.held_cd();
     mem.charge(CostCategory::kCdManipulation, cal_.cd_fill_instr);
   } else {
@@ -368,8 +378,14 @@ CallDescriptor* PpcFacility::acquire_cd(Cpu& cpu, Worker& w) {
     mem.access(pool.saddr, 8, /*is_store=*/true, TlbContext::kSupervisor,
                CostCategory::kCdManipulation);
     cd = pool.pool.pop();
-    if (cd == nullptr) {
-      st.frank_cd_refills++;
+    if (cd != nullptr) {
+      cpu.counters().inc(obs::Counter::kCdRecycles);
+    } else {
+      cpu.counters().inc(obs::Counter::kFrankCdRefills);
+      cpu.counters().inc(obs::Counter::kSlowPathEntries);
+      HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
+                       obs::TraceEvent::kFrankCdRefill,
+                       w.entry_point()->config().trust_group);
       cd = frank_create_cd(cpu);
     }
   }
@@ -640,9 +656,10 @@ Status PpcFacility::call(Cpu& cpu, Process& caller, EntryPointId id,
     return s;
   }
 
-  auto& st = state(cpu);
   auto& epcpu = ep->per_cpu(cpu.id());
-  st.calls++;
+  cpu.counters().inc(obs::Counter::kCallsSync);
+  HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
+                   obs::TraceEvent::kCallEnter, id);
   Worker* w = acquire_worker(cpu, *ep);
   CallDescriptor* cd = acquire_cd(cpu, *w);
   cd->set_caller(&caller);
@@ -676,6 +693,9 @@ Status PpcFacility::call(Cpu& cpu, Process& caller, EntryPointId id,
              user_ctx_of(*caller.address_space()),
              CostCategory::kUserSaveRestore);
   }
+  HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
+                   obs::TraceEvent::kCallExit,
+                   static_cast<Word>(rc_of(regs)));
   return rc_of(regs);
 }
 
@@ -701,9 +721,11 @@ Status PpcFacility::call_blocking(
     return s;
   }
 
-  auto& st = state(cpu);
   auto& epcpu = ep->per_cpu(cpu.id());
-  st.calls++;
+  cpu.counters().inc(obs::Counter::kCallsSync);
+  cpu.counters().inc(obs::Counter::kCallsBlocking);
+  HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
+                   obs::TraceEvent::kCallEnter, id);
   Worker* w = acquire_worker(cpu, *ep);
   CallDescriptor* cd = acquire_cd(cpu, *w);
   cd->set_caller(&caller);
@@ -749,8 +771,9 @@ Status PpcFacility::call_async(Cpu& cpu, Process& caller, EntryPointId id,
   EntryPoint* ep = lookup(cpu, id, &s);
   if (ep == nullptr) return s;
 
-  auto& st = state(cpu);
-  st.async_calls++;
+  cpu.counters().inc(obs::Counter::kCallsAsync);
+  HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
+                   obs::TraceEvent::kAsyncEnqueue, id);
 
   // "Asynchronous requests are implemented ... by putting the calling
   //  process onto the processor ready-queue rather than linking it into the
@@ -816,7 +839,9 @@ Status PpcFacility::dispatch_no_caller(Cpu& cpu, EntryPointId id, RegSet regs,
 }
 
 Status PpcFacility::upcall(Cpu& cpu, EntryPointId id, RegSet regs) {
-  state(cpu).upcalls++;
+  cpu.counters().inc(obs::Counter::kCallsUpcall);
+  HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
+                   obs::TraceEvent::kUpcall, id);
   return dispatch_no_caller(cpu, id, std::move(regs), /*charge_trap=*/true,
                             nullptr);
 }
@@ -828,7 +853,9 @@ void PpcFacility::raise_interrupt(CpuId target, Cycles time, EntryPointId id,
   //  call." (§4.4) The trap cost is charged by the machine's interrupt
   //  delivery; the dispatch path is the normal no-caller PPC path.
   machine_.post_event(target, time, [this, id, regs](Cpu& cpu) mutable {
-    state(cpu).interrupt_dispatches++;
+    cpu.counters().inc(obs::Counter::kCallsInterrupt);
+    HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
+                     obs::TraceEvent::kInterrupt, id);
     dispatch_no_caller(cpu, id, regs, /*charge_trap=*/false, nullptr);
   });
 }
@@ -884,8 +911,9 @@ Status PpcFacility::call_remote(
   }
   HPPC_ASSERT(target < machine_.num_cpus());
   auto& mem = cpu.mem();
-  auto& st = state(cpu);
-  st.remote_calls++;
+  cpu.counters().inc(obs::Counter::kCallsRemote);
+  HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
+                   obs::TraceEvent::kRemoteCall, target);
 
   // Origin side: save state, block the caller, ship the request as an
   // interrupt to the target processor (§4.3: cross-processor operations
@@ -1009,6 +1037,9 @@ Worker* PpcFacility::frank_create_worker(Cpu& cpu, EntryPoint& ep) {
   }
 
   ep.per_cpu(cpu.id()).workers_created++;
+  cpu.counters().inc(obs::Counter::kWorkersCreated);
+  HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
+                   obs::TraceEvent::kWorkerCreate, ep.id());
   Worker* raw = w.get();
   workers_.push_back(std::move(w));
   return raw;
@@ -1024,7 +1055,7 @@ CallDescriptor* PpcFacility::frank_create_cd(Cpu& cpu) {
   const NodeId n = cpu.node();
   auto cd = std::make_unique<CallDescriptor>(
       alloc.alloc(n, 32, 32), machine_.frames().alloc(n), cpu.id());
-  state(cpu).cds_created++;
+  cpu.counters().inc(obs::Counter::kCdsCreated);
   CallDescriptor* raw = cd.get();
   cds_.push_back(std::move(cd));
   return raw;
@@ -1049,6 +1080,9 @@ void PpcFacility::frank_handler(ServerCtx& ctx, RegSet& regs) {
       ctx.work(220);  // table updates on every processor
       const EntryPointId id = bind(std::move(sb.cfg), sb.as, sb.program,
                                    std::move(sb.handler), sb.code);
+      ctx.cpu().counters().inc(obs::Counter::kBinds);
+      HPPC_TRACE_EVENT(ctx.cpu().trace_ring(), ctx.cpu().now(),
+                       ctx.cpu().id(), obs::TraceEvent::kBind, id);
       regs[0] = id;
       set_rc(regs, Status::kOk);
       return;
@@ -1077,6 +1111,15 @@ void PpcFacility::frank_handler(ServerCtx& ctx, RegSet& regs) {
       ctx.work(40);
       regs[0] = ep->total_workers_created();
       regs[1] = ep->total_in_progress();
+      // Per-CPU observability counters of the *calling* processor, so a
+      // server can audit the zero-contention claim through the same Frank
+      // interface it uses for everything else (truncated to Word).
+      const obs::SlotCounters& c = ctx.cpu().counters();
+      regs[2] = static_cast<Word>(c.get(obs::Counter::kCallsSync));
+      regs[3] = static_cast<Word>(c.get(obs::Counter::kFrankWorkerRefills));
+      regs[4] = static_cast<Word>(c.get(obs::Counter::kFrankCdRefills));
+      regs[5] = static_cast<Word>(c.get(obs::Counter::kLocksTaken));
+      regs[6] = static_cast<Word>(c.get(obs::Counter::kSharedLinesTouched));
       set_rc(regs, Status::kOk);
       return;
     }
@@ -1090,7 +1133,9 @@ void PpcFacility::frank_handler(ServerCtx& ctx, RegSet& regs) {
 // ---------------------------------------------------------------------------
 
 Status PpcFacility::soft_kill(Cpu& from, EntryPointId id) {
-  (void)from;
+  from.counters().inc(obs::Counter::kSoftKills);
+  HPPC_TRACE_EVENT(from.trace_ring(), from.now(), from.id(),
+                   obs::TraceEvent::kSoftKill, id);
   EntryPoint* ep = entry_point(id);
   if (ep == nullptr || ep->state() == EpState::kDead) {
     return Status::kNoSuchEntryPoint;
@@ -1154,6 +1199,7 @@ void PpcFacility::hard_kill_on_cpu(Cpu& cpu, EntryPoint& ep) {
 
 void PpcFacility::reclaim_worker(Cpu& cpu, Worker* w) {
   auto& mem = cpu.mem();
+  cpu.counters().inc(obs::Counter::kWorkersReclaimed);
   mem.charge(CostCategory::kPpcKernel, 60);  // teardown
   if (CallDescriptor* cd = w->held_cd()) {
     EntryPoint& ep = *w->entry_point();
@@ -1172,6 +1218,9 @@ void PpcFacility::reclaim_worker(Cpu& cpu, Worker* w) {
 }
 
 Status PpcFacility::hard_kill(Cpu& from, EntryPointId id) {
+  from.counters().inc(obs::Counter::kHardKills);
+  HPPC_TRACE_EVENT(from.trace_ring(), from.now(), from.id(),
+                   obs::TraceEvent::kHardKill, id);
   EntryPoint* ep = entry_point(id);
   if (ep == nullptr || ep->state() == EpState::kDead) {
     return Status::kNoSuchEntryPoint;
@@ -1217,6 +1266,7 @@ Status PpcFacility::exchange(Cpu& from, EntryPointId id,
 void PpcFacility::trim_pools(Cpu& cpu) {
   // "extra stacks created during peak call activity can easily be
   //  reclaimed" (§2).
+  cpu.counters().inc(obs::Counter::kPoolTrims);
   auto& st = state(cpu);
   constexpr std::size_t kCdTarget = 2;
   for (auto& pool : st.cd_pools) {

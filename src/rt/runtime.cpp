@@ -28,12 +28,19 @@ Status RtCtx::call(EntryPointId id, RegSet& regs) {
 // ---------------------------------------------------------------------------
 
 Runtime::Runtime(std::uint32_t slots, bool pin_threads)
-    : registry_(slots), pin_threads_(pin_threads), slots_(registry_.capacity()) {}
+    : registry_(slots), pin_threads_(pin_threads), slots_(registry_.capacity()) {
+  for (SlotId s = 0; s < slots_.size(); ++s) slots_[s]->self_id = s;
+}
 
 Runtime::~Runtime() = default;
 
 EntryPointId Runtime::bind(RtServiceConfig cfg, ProgramId program,
                            RtHandler initial_handler) {
+  // Off-slot slow path: the bind lock and the service-table publication are
+  // exactly the shared traffic the warm path avoids — book them.
+  shared_.inc(obs::Counter::kBinds);
+  shared_.inc(obs::Counter::kLocksTaken);
+  shared_.inc(obs::Counter::kSharedLinesTouched);
   std::lock_guard<std::mutex> lock(bind_mutex_);
   while (next_ep_ < kMaxEntryPoints &&
          services_[next_ep_].load(std::memory_order_relaxed) != nullptr) {
@@ -56,6 +63,8 @@ Status Runtime::kill(EntryPointId id, bool hard) {
   if (svc == nullptr || svc->state.load() == SvcState::kDead) {
     return Status::kNoSuchEntryPoint;
   }
+  shared_.inc(hard ? obs::Counter::kHardKills : obs::Counter::kSoftKills);
+  shared_.inc(obs::Counter::kSharedLinesTouched);  // the state store below
   svc->state.store(hard ? SvcState::kDead : SvcState::kDraining,
                    std::memory_order_release);
   if (hard) {
@@ -78,6 +87,9 @@ void Runtime::reclaim_service_on_slot(Slot& slot, EntryPointId id) {
   slot.worker_pool[id] = nullptr;
   while (w != nullptr) {
     RtWorker* next = w->next;
+    slot.counters.inc(obs::Counter::kWorkersReclaimed);
+    HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot.self_id,
+                     obs::TraceEvent::kReclaim, id);
     if (w->held_cd != nullptr) {
       // Return the held CD (and its stack) to the slot's shared pool.
       w->held_cd->next = slot.cd_pool;
@@ -88,6 +100,7 @@ void Runtime::reclaim_service_on_slot(Slot& slot, EntryPointId id) {
   }
 }
 
+template <bool kObserved>
 RtWorker* Runtime::acquire_worker(Slot& slot, Service& svc) {
   RtWorker* w = slot.worker_pool[svc.id];
   if (w != nullptr) {
@@ -97,25 +110,39 @@ RtWorker* Runtime::acquire_worker(Slot& slot, Service& svc) {
   }
   // Slow path: create a worker initialized to the service's initial
   // (possibly one-time-init, §4.5.3) routine.
-  ++slot.stats.worker_creations;
+  if constexpr (kObserved) {
+    slot.counters.inc(obs::Counter::kWorkersCreated);
+    slot.counters.inc(obs::Counter::kSlowPathEntries);
+    HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot.self_id,
+                     obs::TraceEvent::kWorkerCreate, svc.id);
+  }
   auto owned = std::make_unique<RtWorker>(svc.initial_handler);
   w = owned.get();
   slot.owned_workers.push_back(std::move(owned));
   if (svc.cfg.hold_cd) {
-    w->held_cd = acquire_cd(slot, *w);
+    w->held_cd = acquire_cd<kObserved>(slot, *w);
   }
   return w;
 }
 
+template <bool kObserved>
 RtCd* Runtime::acquire_cd(Slot& slot, RtWorker& w) {
-  if (w.held_cd != nullptr) return w.held_cd;
+  if (w.held_cd != nullptr) {
+    if constexpr (kObserved) {
+      slot.counters.inc(obs::Counter::kHoldCdHits);
+    }
+    return w.held_cd;
+  }
   RtCd* cd = slot.cd_pool;
   if (cd != nullptr) {
     slot.cd_pool = cd->next;
     cd->next = nullptr;
     return cd;
   }
-  ++slot.stats.cd_creations;
+  if constexpr (kObserved) {
+    slot.counters.inc(obs::Counter::kCdsCreated);
+    slot.counters.inc(obs::Counter::kSlowPathEntries);
+  }
   auto owned = std::make_unique<RtCd>();
   owned->stack = std::make_unique<std::byte[]>(kPageSize);
   cd = owned.get();
@@ -140,8 +167,9 @@ void Runtime::release(Slot& slot, Service& svc, RtWorker* w, RtCd* cd) {
   }
 }
 
-Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
-                     RegSet& regs) {
+template <bool kObserved>
+Status Runtime::call_impl(SlotId slot_id, ProgramId caller, EntryPointId id,
+                          RegSet& regs) {
   HPPC_ASSERT(slot_id < slots_.size());
   Slot& slot = *slots_[slot_id];
 
@@ -158,18 +186,44 @@ Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
     return s;
   }
 
-  // Fast path: everything below is slot-local, no atomics, no locks.
-  ++slot.stats.calls;
-  RtWorker* w = acquire_worker(slot, *svc);
-  RtCd* cd = acquire_cd(slot, *w);
+  // Fast path: everything below is slot-local, no atomics, no locks. The
+  // instrumentation here is one plain store (calls_sync; hold-CD services
+  // pay a second for hold_cd_hits) — pool-hit and CD-recycle tallies are
+  // derived at snapshot time from the slow-path counters instead of being
+  // incremented per call (see derive_pool_counters).
+  if constexpr (kObserved) {
+    slot.counters.inc(obs::Counter::kCallsSync);
+    HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
+                     obs::TraceEvent::kCallEnter, id);
+  }
+  RtWorker* w = acquire_worker<kObserved>(slot, *svc);
+  RtCd* cd = acquire_cd<kObserved>(slot, *w);
   w->active_cd = cd;
 
   RtCtx ctx(*this, slot_id, *w, caller);
-  RtHandler handler = w->handler();  // copy: may self-replace (§4.5.3)
-  handler(ctx, regs);
+  // Invoked by reference: self-replacement (§4.5.3) is staged in the worker
+  // and committed below, so no per-call std::function copy is needed.
+  w->handler()(ctx, regs);
+  if (w->has_pending_handler()) w->commit_pending_handler();
 
   release(slot, *svc, w, cd);
+  if constexpr (kObserved) {
+    HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
+                     obs::TraceEvent::kCallExit,
+                     static_cast<std::uint32_t>(rc_of(regs)));
+  }
   return rc_of(regs);
+}
+
+Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
+                     RegSet& regs) {
+  return call_impl<true>(slot_id, caller, id, regs);
+}
+
+Status Runtime::call_unobserved_for_benchmark(SlotId slot_id,
+                                              ProgramId caller,
+                                              EntryPointId id, RegSet& regs) {
+  return call_impl<false>(slot_id, caller, id, regs);
 }
 
 Status Runtime::call_async(SlotId slot_id, ProgramId caller, EntryPointId id,
@@ -181,7 +235,9 @@ Status Runtime::call_async(SlotId slot_id, ProgramId caller, EntryPointId id,
   if (svc->state.load(std::memory_order_acquire) != SvcState::kActive) {
     return Status::kEntryPointDraining;
   }
-  ++slot.stats.async_calls;
+  slot.counters.inc(obs::Counter::kCallsAsync);
+  HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
+                   obs::TraceEvent::kAsyncEnqueue, id);
   slot.deferred.push_back(DeferredCall{caller, id, regs});
   return Status::kOk;
 }
@@ -189,7 +245,8 @@ Status Runtime::call_async(SlotId slot_id, ProgramId caller, EntryPointId id,
 std::size_t Runtime::poll(SlotId slot_id) {
   HPPC_ASSERT(slot_id < slots_.size());
   Slot& slot = *slots_[slot_id];
-  std::size_t done = slot.mailbox.drain([](std::function<void()>&& fn) {
+  std::size_t done = slot.mailbox.drain([&slot](std::function<void()>&& fn) {
+    slot.counters.inc(obs::Counter::kMailboxDrains);
     fn();
   });
   std::vector<DeferredCall> pending;
@@ -204,12 +261,73 @@ std::size_t Runtime::poll(SlotId slot_id) {
 
 void Runtime::post(SlotId target, std::function<void()> fn) {
   HPPC_ASSERT(target < slots_.size());
+  // A post pushes onto another slot's MPSC list — shared traffic by
+  // definition, booked on the shared block (the poster may not own a slot).
+  shared_.inc(obs::Counter::kMailboxPosts);
+  shared_.inc(obs::Counter::kSharedLinesTouched);
   slots_[target]->mailbox.post(std::move(fn));
 }
 
 Runtime::SlotStats Runtime::stats(SlotId slot) const {
   HPPC_ASSERT(slot < slots_.size());
-  return slots_[slot]->stats;
+  const obs::SlotCounters& c = slots_[slot]->counters;
+  SlotStats s;
+  s.calls = c.get(obs::Counter::kCallsSync);
+  s.async_calls = c.get(obs::Counter::kCallsAsync);
+  s.worker_creations = c.get(obs::Counter::kWorkersCreated);
+  s.cd_creations = c.get(obs::Counter::kCdsCreated);
+  return s;
+}
+
+const obs::SlotCounters& Runtime::counters(SlotId slot) const {
+  HPPC_ASSERT(slot < slots_.size());
+  return slots_[slot]->counters;
+}
+
+namespace {
+
+/// Fill in the per-call pool counters the fast path deliberately does not
+/// increment. Every executed call acquires exactly one worker (pool hit or
+/// creation) and one CD (held, recycled, or created), so per slot:
+///   worker_pool_hits = calls_sync - workers_created
+///   cd_recycles      = calls_sync - hold_cd_hits - cds_created
+/// Both saturate at zero: a hold-CD worker's creation-time CD acquisition
+/// happens outside any call, so the second identity can undershoot by at
+/// most the number of such workers.
+void derive_pool_counters(obs::CounterSnapshot& s) {
+  auto get = [&s](obs::Counter c) { return s.get(obs::Counter{c}); };
+  auto& hits = s.v[static_cast<std::size_t>(obs::Counter::kWorkerPoolHits)];
+  const std::uint64_t calls = get(obs::Counter::kCallsSync);
+  const std::uint64_t created = get(obs::Counter::kWorkersCreated);
+  hits = calls > created ? calls - created : 0;
+  auto& rec = s.v[static_cast<std::size_t>(obs::Counter::kCdRecycles)];
+  const std::uint64_t spent = get(obs::Counter::kHoldCdHits) +
+                              get(obs::Counter::kCdsCreated);
+  rec = calls > spent ? calls - spent : 0;
+}
+
+}  // namespace
+
+obs::CounterSnapshot Runtime::slot_snapshot(SlotId slot) const {
+  HPPC_ASSERT(slot < slots_.size());
+  obs::CounterSnapshot s = slots_[slot]->counters.snapshot();
+  derive_pool_counters(s);
+  return s;
+}
+
+obs::CounterSnapshot Runtime::snapshot() const {
+  obs::CounterSnapshot s = shared_.snapshot();
+  for (const auto& slot : slots_) {
+    obs::CounterSnapshot per = slot->counters.snapshot();
+    derive_pool_counters(per);
+    s.merge(per);
+  }
+  return s;
+}
+
+obs::TraceRing& Runtime::trace_ring(SlotId slot) {
+  HPPC_ASSERT(slot < slots_.size());
+  return slots_[slot]->trace_ring;
 }
 
 std::size_t Runtime::pooled_workers(SlotId slot, EntryPointId id) const {

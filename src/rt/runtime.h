@@ -25,6 +25,8 @@
 #include "common/cacheline.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "ppc/regs.h"
 #include "rt/percpu.h"
 
@@ -81,7 +83,22 @@ class RtWorker {
   explicit RtWorker(RtHandler handler) : handler_(std::move(handler)) {}
 
   RtHandler& handler() { return handler_; }
-  void set_handler(RtHandler h) { handler_ = std::move(h); }
+
+  /// Stage a replacement handler. Only reachable from inside this worker's
+  /// own handler (via RtCtx::set_worker_handler, the §4.5.3 init protocol),
+  /// so the swap is deferred until the current call returns — the live
+  /// handler_ is never destroyed mid-invocation and the fast path can invoke
+  /// it by reference instead of copying a std::function on every call.
+  void set_handler(RtHandler h) {
+    pending_handler_ = std::move(h);
+    has_pending_handler_ = true;
+  }
+  bool has_pending_handler() const { return has_pending_handler_; }
+  void commit_pending_handler() {
+    handler_ = std::move(pending_handler_);
+    pending_handler_ = nullptr;
+    has_pending_handler_ = false;
+  }
 
   RtCd* held_cd = nullptr;   // hold-CD mode
   RtCd* active_cd = nullptr;
@@ -89,6 +106,8 @@ class RtWorker {
 
  private:
   RtHandler handler_;
+  RtHandler pending_handler_;
+  bool has_pending_handler_ = false;
 };
 
 class Runtime {
@@ -126,6 +145,14 @@ class Runtime {
   /// opcode+flags in and rc out. `caller` is the caller's program token.
   Status call(SlotId slot, ProgramId caller, EntryPointId id, RegSet& regs);
 
+  /// The identical fast path with the per-call counter increments and
+  /// trace hooks compiled out. Exists ONLY as the baseline for the
+  /// observability-overhead bench (shipped-vs-stripped of the same code,
+  /// so the measured difference is exactly what the instrumentation
+  /// costs). Never use this to serve real traffic.
+  Status call_unobserved_for_benchmark(SlotId slot, ProgramId caller,
+                                       EntryPointId id, RegSet& regs);
+
   /// Asynchronous call: queued on this slot, executed at the next poll().
   Status call_async(SlotId slot, ProgramId caller, EntryPointId id,
                     RegSet regs);
@@ -140,6 +167,7 @@ class Runtime {
 
   // ----- introspection -----
 
+  /// Legacy summary view, derived from the counter block below.
   struct SlotStats {
     std::uint64_t calls = 0;
     std::uint64_t async_calls = 0;
@@ -147,6 +175,23 @@ class Runtime {
     std::uint64_t cd_creations = 0;
   };
   SlotStats stats(SlotId slot) const;
+
+  /// The slot's full observability block (single writer: the slot's own
+  /// thread; read-only for observers).
+  const obs::SlotCounters& counters(SlotId slot) const;
+
+  /// Counters for off-slot slow paths (bind, kill, cross-slot post).
+  const obs::SharedCounters& shared_counters() const { return shared_; }
+
+  /// One slot's snapshot with the derived pool counters filled in
+  /// (worker_pool_hits, cd_recycles — see runtime.cpp).
+  obs::CounterSnapshot slot_snapshot(SlotId slot) const;
+
+  /// Merge of every slot block plus the shared block.
+  obs::CounterSnapshot snapshot() const;
+
+  /// The slot's trace ring (records only under HPPC_TRACE).
+  obs::TraceRing& trace_ring(SlotId slot);
 
   std::size_t pooled_workers(SlotId slot, EntryPointId id) const;
 
@@ -172,10 +217,12 @@ class Runtime {
   /// Everything one slot owns. Only the registered thread touches the
   /// non-atomic members; remote threads go through the mailbox.
   struct Slot {
+    SlotId self_id = 0;  // set once at construction; used by trace hooks
     // Per-service worker pools, indexed by entry-point id (sparse).
     std::array<RtWorker*, kMaxEntryPoints> worker_pool{};
     RtCd* cd_pool = nullptr;
-    SlotStats stats;
+    obs::SlotCounters counters;
+    obs::TraceRing trace_ring;
     std::vector<std::unique_ptr<RtWorker>> owned_workers;
     std::vector<std::unique_ptr<RtCd>> owned_cds;
     std::vector<DeferredCall> deferred;
@@ -187,7 +234,12 @@ class Runtime {
     return services_[id].load(std::memory_order_acquire);
   }
 
+  template <bool kObserved>
+  Status call_impl(SlotId slot, ProgramId caller, EntryPointId id,
+                   RegSet& regs);
+  template <bool kObserved>
   RtWorker* acquire_worker(Slot& slot, Service& svc);
+  template <bool kObserved>
   RtCd* acquire_cd(Slot& slot, RtWorker& w);
   void release(Slot& slot, Service& svc, RtWorker* w, RtCd* cd);
   void reclaim_service_on_slot(Slot& slot, EntryPointId id);
@@ -199,6 +251,7 @@ class Runtime {
   std::array<std::atomic<Service*>, kMaxEntryPoints> services_{};
   std::vector<std::unique_ptr<Service>> owned_services_;
   std::mutex bind_mutex_;  // slow path only
+  obs::SharedCounters shared_;
   EntryPointId next_ep_ = 8;
 };
 

@@ -14,6 +14,7 @@
 
 #include "common/assert.h"
 #include "common/types.h"
+#include "obs/counters.h"
 #include "sim/addr.h"
 #include "sim/cache.h"
 #include "sim/config.h"
@@ -62,6 +63,13 @@ class MemContext {
   using TraceFn = std::function<void(CostCategory, Cycles, Cycles)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
   void clear_trace() { trace_ = nullptr; }
+
+  /// Observability block of the owning CPU (set by kernel::Cpu). Lets
+  /// shared primitives that only receive a MemContext — the simulated
+  /// spinlock above all — book locks_taken / shared_lines_touched against
+  /// the right slot. May be null for bare contexts built in unit tests.
+  void set_obs(obs::SlotCounters* c) { obs_ = c; }
+  obs::SlotCounters* obs() const { return obs_; }
 
   /// Raw charge: advances the clock and books the cycles.
   void charge(CostCategory cat, Cycles cycles) {
@@ -206,6 +214,7 @@ class MemContext {
   CostLedger ledger_;
   Cycles clock_ = 0;
   TraceFn trace_;
+  obs::SlotCounters* obs_ = nullptr;
 };
 
 }  // namespace hppc::sim

@@ -33,6 +33,13 @@ class SimSpinLock {
   /// Acquire at the acquirer's current time; advances the acquirer's clock
   /// past any spin (booked idle) plus the lock-word traffic (booked `cat`).
   void acquire(MemContext& cpu, CostCategory cat) {
+    // Every acquisition is, by definition, a lock taken and a touch of a
+    // line other processors access — exactly what the warm PPC path must
+    // never do. Booked on the acquirer's observability block.
+    if (obs::SlotCounters* c = cpu.obs()) {
+      c->inc(obs::Counter::kLocksTaken);
+      c->inc(obs::Counter::kSharedLinesTouched);
+    }
     // Spin until the lock is free.
     cpu.idle_until(free_at_);
     // Test-and-set on the (uncached) lock word.
@@ -51,6 +58,9 @@ class SimSpinLock {
 
   /// Release at the holder's current time.
   void release(MemContext& cpu, CostCategory cat) {
+    if (obs::SlotCounters* c = cpu.obs()) {
+      c->inc(obs::Counter::kSharedLinesTouched);  // lock-word store
+    }
     cpu.access_uncached(home_, cat);
     free_at_ = cpu.now();
     held_ = false;

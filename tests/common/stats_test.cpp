@@ -75,5 +75,49 @@ TEST(Percentiles, UnsortedInput) {
   EXPECT_EQ(p.median(), 5.0);
 }
 
+TEST(RunningStats, MergeIsAssociative) {
+  // (a . b) . c == a . (b . c): per-slot blocks may be folded in any order
+  // at snapshot time, so the merge must not depend on grouping.
+  RunningStats a1, b1, c1, a2, b2, c2;
+  int i = 0;
+  for (double x : {0.1, 2.7, 3.9, 1.1, 8.2, 5.5, 0.4, 9.6, 4.2}) {
+    RunningStats* dst1 = i % 3 == 0 ? &a1 : (i % 3 == 1 ? &b1 : &c1);
+    RunningStats* dst2 = i % 3 == 0 ? &a2 : (i % 3 == 1 ? &b2 : &c2);
+    dst1->add(x);
+    dst2->add(x);
+    ++i;
+  }
+  a1.merge(b1);
+  a1.merge(c1);  // (a . b) . c
+  b2.merge(c2);
+  a2.merge(b2);  // a . (b . c)
+  EXPECT_EQ(a1.count(), a2.count());
+  EXPECT_NEAR(a1.mean(), a2.mean(), 1e-12);
+  EXPECT_NEAR(a1.variance(), a2.variance(), 1e-12);
+  EXPECT_EQ(a1.min(), a2.min());
+  EXPECT_EQ(a1.max(), a2.max());
+}
+
+TEST(Percentiles, P95AndP999NearestRank) {
+  Percentiles p;
+  for (int i = 1; i <= 1000; ++i) p.add(i);
+  EXPECT_NEAR(p.p95(), 950.0, 1.0);
+  EXPECT_NEAR(p.p999(), 999.0, 1.0);
+  EXPECT_LE(p.p95(), p.p99());
+  EXPECT_LE(p.p99(), p.p999());
+  EXPECT_LE(p.p999(), p.max());
+}
+
+TEST(Percentiles, QuantileIsConstAndCachedAcrossAdds) {
+  Percentiles p;
+  p.add(2.0);
+  p.add(1.0);
+  const Percentiles& view = p;  // metrics sinks hold const references
+  EXPECT_EQ(view.median(), 2.0);
+  p.add(100.0);  // must invalidate the sorted cache
+  EXPECT_EQ(view.max(), 100.0);
+  EXPECT_EQ(view.median(), 2.0);
+}
+
 }  // namespace
 }  // namespace hppc

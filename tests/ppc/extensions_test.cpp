@@ -109,7 +109,8 @@ TEST(HashedEntryPoints, OptOutGetsOverflowId) {
   set_op(regs, 1);
   ASSERT_EQ(f.ppc.call(f.machine.cpu(0), client, id, regs), Status::kOk);
   EXPECT_EQ(regs[0], 99u);
-  EXPECT_EQ(f.ppc.state(f.machine.cpu(0)).hashed_lookups, 1u);
+  EXPECT_EQ(f.machine.cpu(0).counters().get(obs::Counter::kHashedLookups),
+            1u);
 }
 
 TEST(HashedEntryPoints, SlowerLookupThanDirect) {
@@ -193,7 +194,8 @@ TEST(CrossProcessorCall, ExecutesOnTargetAndRepliesHome) {
   EXPECT_EQ(served_on, 3u);
   EXPECT_EQ(done_status, Status::kOk);
   EXPECT_EQ(result, 42u);
-  EXPECT_EQ(f.ppc.state(f.machine.cpu(0)).remote_calls, 1u);
+  EXPECT_EQ(f.machine.cpu(0).counters().get(obs::Counter::kCallsRemote),
+            1u);
   // The target used its own per-CPU resources.
   EXPECT_EQ(f.ppc.entry_point(ep)->per_cpu(3).workers_created, 1u);
   EXPECT_EQ(f.ppc.entry_point(ep)->per_cpu(0).workers_created, 0u);

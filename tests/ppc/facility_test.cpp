@@ -124,11 +124,12 @@ TEST(Facility, SlowPathOnlyOnFirstCall) {
   RegSet regs;
   set_op(regs, 1);
   f.ppc.call(f.machine.cpu(0), client, ep, regs);
-  auto& st = f.ppc.state(f.machine.cpu(0));
-  const auto refills = st.frank_worker_refills;
+  auto& counters = f.machine.cpu(0).counters();
+  const auto refills = counters.get(obs::Counter::kFrankWorkerRefills);
   EXPECT_GE(refills, 1u);
   for (int i = 0; i < 20; ++i) f.ppc.call(f.machine.cpu(0), client, ep, regs);
-  EXPECT_EQ(st.frank_worker_refills, refills);  // fast path ever after
+  // Fast path ever after: no refills, no slow-path entries beyond warmup.
+  EXPECT_EQ(counters.get(obs::Counter::kFrankWorkerRefills), refills);
 }
 
 TEST(Facility, WarmCallTouchesNoRemoteMemory) {

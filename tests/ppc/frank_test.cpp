@@ -162,14 +162,15 @@ TEST(Frank, CdPoolRefillSlowPath) {
   Process& client = f.make_client(100, 0);
   Cpu& cpu = f.machine.cpu(0);
   RegSet regs;
-  auto& st = f.ppc.state(cpu);
-  const auto refills_before = st.frank_cd_refills;
+  auto& counters = cpu.counters();
+  const auto refills_before = counters.get(obs::Counter::kFrankCdRefills);
   for (EntryPointId ep : eps) {
     set_op(regs, 1);
     ASSERT_EQ(f.ppc.call(cpu, client, ep, regs), Status::kOk);
   }
   // Every held CD was freshly created (the pool starts empty).
-  EXPECT_GE(st.frank_cd_refills + st.cds_created,
+  EXPECT_GE(counters.get(obs::Counter::kFrankCdRefills) +
+                counters.get(obs::Counter::kCdsCreated),
             refills_before + eps.size());
   EXPECT_EQ(f.ppc.entry_point(eps[0])->total_in_progress(), 0u);
 }

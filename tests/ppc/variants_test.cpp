@@ -82,7 +82,8 @@ TEST(AsyncCall, FireAndForgetResultsDiscarded) {
   f.machine.ready(f.machine.cpu(0), client);
   f.machine.run_until_idle();
   EXPECT_EQ(served, 1);
-  EXPECT_EQ(f.ppc.state(f.machine.cpu(0)).async_calls, 1u);
+  EXPECT_EQ(f.machine.cpu(0).counters().get(obs::Counter::kCallsAsync),
+            1u);
 }
 
 TEST(Upcall, RunsWithNoCaller) {
@@ -98,7 +99,8 @@ TEST(Upcall, RunsWithNoCaller) {
   set_op(regs, 1);
   EXPECT_EQ(f.ppc.upcall(f.machine.cpu(1), ep, regs), Status::kOk);
   EXPECT_EQ(seen_prog, 0u);  // kernel-manufactured: no user program
-  EXPECT_EQ(f.ppc.state(f.machine.cpu(1)).upcalls, 1u);
+  EXPECT_EQ(f.machine.cpu(1).counters().get(obs::Counter::kCallsUpcall),
+            1u);
 }
 
 TEST(Upcall, UnknownEntryPoint) {
@@ -134,7 +136,8 @@ TEST(InterruptDispatch, DeliveredAtTimeOnTargetCpu) {
   EXPECT_EQ(served_on, 3u);
   EXPECT_GE(served_at, 1000u);
   EXPECT_EQ(seen_vector, 0x11u);
-  EXPECT_EQ(f.ppc.state(f.machine.cpu(3)).interrupt_dispatches, 1u);
+  EXPECT_EQ(f.machine.cpu(3).counters().get(obs::Counter::kCallsInterrupt),
+            1u);
 }
 
 TEST(InterruptDispatch, UsesTargetCpusOwnResources) {
