@@ -62,6 +62,13 @@ enum class Counter : std::uint32_t {
   kLocksTaken,          // locks/mutexes acquired on behalf of this slot
   kSharedLinesTouched,  // stores/RMWs to cache lines other slots access
 
+  // -- xcall: bounded cross-slot call rings (appended: ids are contract) --
+  kXcallPosts,          // cells published into another slot's ring
+  kXcallBatches,        // non-empty ring drain batches
+  kXcallRingFull,       // posts that found the ring full (overflow path)
+  kXcallDirect,         // remote calls direct-executed on an idle slot
+  kMailboxAllocs,       // legacy mailbox node allocations (one per post)
+
   kCount
 };
 
@@ -97,6 +104,11 @@ constexpr const char* counter_name(Counter c) {
     case Counter::kGatewayForwards: return "gateway_forwards";
     case Counter::kLocksTaken: return "locks_taken";
     case Counter::kSharedLinesTouched: return "shared_lines_touched";
+    case Counter::kXcallPosts: return "xcall_posts";
+    case Counter::kXcallBatches: return "xcall_batches";
+    case Counter::kXcallRingFull: return "xcall_ring_full";
+    case Counter::kXcallDirect: return "xcall_direct";
+    case Counter::kMailboxAllocs: return "mailbox_allocs";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -35,6 +35,8 @@ enum class TraceEvent : std::uint16_t {
   kInterrupt,         // arg = entry point id
   kRemoteCall,        // arg = target cpu
   kGatewayForward,    // arg = legacy server pid
+  kXcallPost,         // arg = target slot (caller-side ring publish)
+  kXcallBatch,        // arg = cells drained in the batch (target-side)
   kCount
 };
 
@@ -56,6 +58,8 @@ constexpr const char* trace_event_name(TraceEvent e) {
     case TraceEvent::kInterrupt: return "interrupt";
     case TraceEvent::kRemoteCall: return "remote_call";
     case TraceEvent::kGatewayForward: return "gateway_forward";
+    case TraceEvent::kXcallPost: return "xcall_post";
+    case TraceEvent::kXcallBatch: return "xcall_batch";
     case TraceEvent::kCount: break;
   }
   return "unknown";

@@ -7,8 +7,10 @@
 //
 // Keys and values are single words (the register-passing discipline: bulk
 // data would go through a copy interface, §4.2). Each slot owns an
-// independent shard; cross-slot reads go through the owner via post(),
-// mirroring the cross-processor rule of the simulated kernel.
+// independent shard; cross-slot access goes through the owner's xcall
+// channel (Runtime::call_remote — direct execution on an idle owner, a
+// bounded ring cell otherwise), mirroring the cross-processor rule of the
+// simulated kernel without the allocation the old post() path paid.
 #pragma once
 
 #include <optional>
@@ -78,6 +80,30 @@ class KvService {
     r[0] = key;
     ppc::set_op(r, kKvErase);
     return rt_.call(slot, caller, ep_, r);
+  }
+
+  // Cross-slot stubs: operate on `owner_slot`'s shard from `caller_slot`'s
+  // thread. Synchronous, allocation-free (xcall), degenerate to the local
+  // fast path when the slots coincide.
+  Status put_remote(SlotId caller_slot, SlotId owner_slot, ProgramId caller,
+                    Word key, Word value) {
+    RegSet r;
+    r[0] = key;
+    r[1] = value;
+    ppc::set_op(r, kKvPut);
+    return rt_.call_remote(caller_slot, owner_slot, caller, ep_, r);
+  }
+
+  std::optional<Word> get_remote(SlotId caller_slot, SlotId owner_slot,
+                                 ProgramId caller, Word key) {
+    RegSet r;
+    r[0] = key;
+    ppc::set_op(r, kKvGet);
+    if (rt_.call_remote(caller_slot, owner_slot, caller, ep_, r) !=
+        Status::kOk) {
+      return std::nullopt;
+    }
+    return r[1];
   }
 
  private:

@@ -29,22 +29,30 @@ inline constexpr SlotId kInvalidSlot = ~SlotId{0};
 class SlotRegistry {
  public:
   explicit SlotRegistry(std::uint32_t capacity)
-      : capacity_(capacity ? capacity
+      : generation_(next_generation()),
+        capacity_(capacity ? capacity
                            : std::max(1u, std::thread::hardware_concurrency())) {}
 
   std::uint32_t capacity() const { return capacity_; }
 
   /// Register the calling thread; idempotent per thread per registry.
   /// Optionally pins the thread to CPU (slot % hardware cpus).
+  ///
+  /// The cached TLS record is keyed by the registry's process-unique
+  /// generation, NOT its address: a `this` comparison would let a new
+  /// registry constructed at a reused address silently hand back the slot
+  /// the thread held in the destroyed one.
   SlotId register_thread(bool pin = false) {
     thread_local struct TlsSlot {
-      const SlotRegistry* owner = nullptr;
+      std::uint64_t generation = 0;  // 0 never issued
       SlotId slot = kInvalidSlot;
     } tls;
-    if (tls.owner == this && tls.slot != kInvalidSlot) return tls.slot;
+    if (tls.generation == generation_ && tls.slot != kInvalidSlot) {
+      return tls.slot;
+    }
     const SlotId slot = next_.fetch_add(1, std::memory_order_relaxed);
     HPPC_ASSERT_MSG(slot < capacity_, "too many threads for this registry");
-    tls.owner = this;
+    tls.generation = generation_;
     tls.slot = slot;
     if (pin) pin_to_cpu(slot);
     return slot;
@@ -64,6 +72,12 @@ class SlotRegistry {
   }
 
  private:
+  static std::uint64_t next_generation() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::uint64_t generation_;
   std::uint32_t capacity_;
   std::atomic<SlotId> next_{0};
 };

@@ -168,6 +168,36 @@ void Runtime::release(Slot& slot, Service& svc, RtWorker* w, RtCd* cd) {
 }
 
 template <bool kObserved>
+Status Runtime::execute_on_slot(Slot& slot, SlotId slot_id, Service& svc,
+                                ProgramId caller, RegSet& regs) {
+  // The shared call body: everything below is slot-local under the current
+  // ownership — no atomics, no locks. Pool-hit and CD-recycle tallies are
+  // derived at snapshot time from the slow-path counters instead of being
+  // incremented per call (see derive_pool_counters).
+  if constexpr (kObserved) {
+    HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
+                     obs::TraceEvent::kCallEnter, svc.id);
+  }
+  RtWorker* w = acquire_worker<kObserved>(slot, svc);
+  RtCd* cd = acquire_cd<kObserved>(slot, *w);
+  w->active_cd = cd;
+
+  RtCtx ctx(*this, slot_id, *w, caller);
+  // Invoked by reference: self-replacement (§4.5.3) is staged in the worker
+  // and committed below, so no per-call std::function copy is needed.
+  w->handler()(ctx, regs);
+  if (w->has_pending_handler()) w->commit_pending_handler();
+
+  release(slot, svc, w, cd);
+  if constexpr (kObserved) {
+    HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
+                     obs::TraceEvent::kCallExit,
+                     static_cast<std::uint32_t>(rc_of(regs)));
+  }
+  return rc_of(regs);
+}
+
+template <bool kObserved>
 Status Runtime::call_impl(SlotId slot_id, ProgramId caller, EntryPointId id,
                           RegSet& regs) {
   HPPC_ASSERT(slot_id < slots_.size());
@@ -186,33 +216,12 @@ Status Runtime::call_impl(SlotId slot_id, ProgramId caller, EntryPointId id,
     return s;
   }
 
-  // Fast path: everything below is slot-local, no atomics, no locks. The
-  // instrumentation here is one plain store (calls_sync; hold-CD services
-  // pay a second for hold_cd_hits) — pool-hit and CD-recycle tallies are
-  // derived at snapshot time from the slow-path counters instead of being
-  // incremented per call (see derive_pool_counters).
+  // Fast path: one plain store (calls_sync; hold-CD services pay a second
+  // for hold_cd_hits), then the shared slot-local call body.
   if constexpr (kObserved) {
     slot.counters.inc(obs::Counter::kCallsSync);
-    HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
-                     obs::TraceEvent::kCallEnter, id);
   }
-  RtWorker* w = acquire_worker<kObserved>(slot, *svc);
-  RtCd* cd = acquire_cd<kObserved>(slot, *w);
-  w->active_cd = cd;
-
-  RtCtx ctx(*this, slot_id, *w, caller);
-  // Invoked by reference: self-replacement (§4.5.3) is staged in the worker
-  // and committed below, so no per-call std::function copy is needed.
-  w->handler()(ctx, regs);
-  if (w->has_pending_handler()) w->commit_pending_handler();
-
-  release(slot, *svc, w, cd);
-  if constexpr (kObserved) {
-    HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
-                     obs::TraceEvent::kCallExit,
-                     static_cast<std::uint32_t>(rc_of(regs)));
-  }
-  return rc_of(regs);
+  return execute_on_slot<kObserved>(slot, slot_id, *svc, caller, regs);
 }
 
 Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
@@ -242,28 +251,221 @@ Status Runtime::call_async(SlotId slot_id, ProgramId caller, EntryPointId id,
   return Status::kOk;
 }
 
+// ---------------------------------------------------------------------------
+// Cross-slot calls (xcall)
+// ---------------------------------------------------------------------------
+
+SlotId Runtime::register_thread() {
+  const SlotId s = registry_.register_thread(pin_threads_);
+  // First registration claims the gate (slots start idle, so a never-
+  // registered slot is remotely direct-executable); re-registration finds
+  // it already held by this thread and is a no-op.
+  slots_[s]->gate.claim_at_register();
+  return s;
+}
+
+Status Runtime::execute_remote(Slot& slot, ProgramId caller, EntryPointId id,
+                               RegSet& regs) {
+  // Re-resolve: the service may have been killed between post and drain.
+  Service* svc = lookup(id);
+  if (svc == nullptr) {
+    set_rc(regs, Status::kNoSuchEntryPoint);
+    return Status::kNoSuchEntryPoint;
+  }
+  const SvcState st = svc->state.load(std::memory_order_acquire);
+  if (st != SvcState::kActive) {
+    const Status s = st == SvcState::kDraining ? Status::kEntryPointDraining
+                                               : Status::kNoSuchEntryPoint;
+    set_rc(regs, s);
+    return s;
+  }
+  slot.counters.inc(obs::Counter::kCallsRemote);
+  HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot.self_id,
+                   obs::TraceEvent::kRemoteCall, id);
+  return execute_on_slot<true>(slot, slot.self_id, *svc, caller, regs);
+}
+
+std::size_t Runtime::drain_ring(Slot& slot) {
+  // One batch: every cell published before the first gap, one acquire per
+  // cell to observe its payload, one book-keeping store per batch.
+  const std::size_t n = slot.xcall.drain([this, &slot](XcallCell& cell) {
+    if (cell.wait != nullptr) {
+      // Synchronous: reply into the caller's register file, then publish
+      // completion (release) — one shared-line store, booked below.
+      RegSet& out = *cell.wait->regs;
+      out = cell.regs;
+      const Status rc = execute_remote(slot, cell.caller, cell.ep, out);
+      cell.wait->complete(rc);
+      slot.counters.inc(obs::Counter::kSharedLinesTouched);
+    } else {
+      RegSet regs = cell.regs;  // fire-and-forget: results discarded
+      execute_remote(slot, cell.caller, cell.ep, regs);
+    }
+  });
+  if (n > 0) {
+    slot.counters.inc(obs::Counter::kXcallBatches);
+    HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot.self_id,
+                     obs::TraceEvent::kXcallBatch, n);
+  }
+  return n;
+}
+
+bool Runtime::help_drain(Slot& target) {
+  if (!target.gate.try_steal()) return false;
+  drain_ring(target);
+  target.gate.release_steal();
+  return true;
+}
+
+Status Runtime::call_remote(SlotId caller_slot, SlotId target,
+                            ProgramId caller, EntryPointId id, RegSet& regs) {
+  HPPC_ASSERT(caller_slot < slots_.size());
+  HPPC_ASSERT(target < slots_.size());
+  if (target == caller_slot) return call(caller_slot, caller, id, regs);
+
+  // Fail fast before touching the target: same screening as call().
+  Service* svc = lookup(id);
+  if (svc == nullptr) {
+    set_rc(regs, Status::kNoSuchEntryPoint);
+    return Status::kNoSuchEntryPoint;
+  }
+  const SvcState st = svc->state.load(std::memory_order_acquire);
+  if (st != SvcState::kActive) {
+    const Status s = st == SvcState::kDraining ? Status::kEntryPointDraining
+                                               : Status::kNoSuchEntryPoint;
+    set_rc(regs, s);
+    return s;
+  }
+
+  Slot& me = *slots_[caller_slot];
+  Slot& tgt = *slots_[target];
+
+  // Adaptive fast path: the target is parked — take the gate and run the
+  // call right here, against the target's pools (LRPC-style migration).
+  // No context switch, no allocation; two shared RMWs (steal + release).
+  if (tgt.gate.try_steal()) {
+    me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
+    tgt.counters.inc(obs::Counter::kXcallDirect);
+    const Status rc = execute_remote(tgt, caller, id, regs);
+    // Help while we hold the slot: retire anything ring-queued behind us.
+    drain_ring(tgt);
+    tgt.gate.release_steal();
+    return rc;
+  }
+
+  // Ring path: publish a cell (one CAS + one release store), then
+  // spin-then-yield on the completion word. If the ring is full, other
+  // waiters are ahead of us — help drain if the owner parks, else yield;
+  // never allocate on the synchronous path.
+  XcallWait wait;
+  wait.regs = &regs;
+  bool booked_full = false;
+  while (!tgt.xcall.try_post(caller, id, regs, &wait)) {
+    if (!booked_full) {
+      booked_full = true;
+      me.counters.inc(obs::Counter::kXcallRingFull);
+    }
+    if (!help_drain(tgt)) std::this_thread::yield();
+  }
+  me.counters.inc(obs::Counter::kXcallPosts);
+  me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
+  HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                   obs::TraceEvent::kXcallPost, target);
+  return wait_complete(wait, [this, &tgt] { help_drain(tgt); });
+}
+
+Status Runtime::call_remote_async(SlotId caller_slot, SlotId target,
+                                  ProgramId caller, EntryPointId id,
+                                  RegSet regs) {
+  HPPC_ASSERT(caller_slot < slots_.size());
+  HPPC_ASSERT(target < slots_.size());
+  Service* svc = lookup(id);
+  if (svc == nullptr) return Status::kNoSuchEntryPoint;
+  if (svc->state.load(std::memory_order_acquire) != SvcState::kActive) {
+    return Status::kEntryPointDraining;
+  }
+  if (target == caller_slot) {
+    return call_async(caller_slot, caller, id, regs);
+  }
+  Slot& me = *slots_[caller_slot];
+  Slot& tgt = *slots_[target];
+  if (tgt.xcall.try_post(caller, id, regs, /*wait=*/nullptr)) {
+    me.counters.inc(obs::Counter::kXcallPosts);
+    me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kXcallPost, target);
+    return Status::kOk;
+  }
+  // Overflow: a fire-and-forget caller cannot wait for space, so this rare
+  // case rides the legacy allocating mailbox (and is booked as such).
+  me.counters.inc(obs::Counter::kXcallRingFull);
+  post(target, [this, target, caller, id, regs]() mutable {
+    execute_remote(*slots_[target], caller, id, regs);
+  });
+  return Status::kOk;
+}
+
+void Runtime::enter_idle(SlotId slot_id) {
+  HPPC_ASSERT(slot_id < slots_.size());
+  slots_[slot_id]->gate.enter_idle();
+}
+
+void Runtime::exit_idle(SlotId slot_id) {
+  HPPC_ASSERT(slot_id < slots_.size());
+  slots_[slot_id]->gate.exit_idle();
+}
+
+std::size_t Runtime::serve(SlotId slot_id, const std::atomic<bool>& stop) {
+  HPPC_ASSERT(slot_id < slots_.size());
+  Slot& slot = *slots_[slot_id];
+  std::size_t total = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    total += poll(slot_id);
+    enter_idle(slot_id);
+    // Parked: remote callers direct-execute (or help-drain) through the
+    // gate; we only need to wake for control-plane mailbox posts, ring
+    // cells published while we were still kOwner, or stop.
+    while (!stop.load(std::memory_order_acquire) &&
+           !slot.xcall.has_pending() && slot.mailbox.empty()) {
+      std::this_thread::yield();
+    }
+    exit_idle(slot_id);
+  }
+  total += poll(slot_id);
+  return total;
+}
+
 std::size_t Runtime::poll(SlotId slot_id) {
   HPPC_ASSERT(slot_id < slots_.size());
   Slot& slot = *slots_[slot_id];
+  // Control plane first (kill reclamation must not trail the calls it
+  // affects longer than necessary), then one ring batch, then the async
+  // queue — which reuses a member scratch buffer instead of constructing
+  // a fresh vector every poll.
   std::size_t done = slot.mailbox.drain([&slot](std::function<void()>&& fn) {
     slot.counters.inc(obs::Counter::kMailboxDrains);
     fn();
   });
-  std::vector<DeferredCall> pending;
-  pending.swap(slot.deferred);
+  done += drain_ring(slot);
+  std::vector<DeferredCall>& pending = slot.deferred_scratch;
+  pending.swap(slot.deferred);  // async calls made below land in deferred
   for (auto& d : pending) {
     RegSet regs = d.regs;
     call(slot_id, d.caller, d.id, regs);  // results discarded (§4.4 async)
     ++done;
   }
+  pending.clear();  // keep capacity for the next poll
   return done;
 }
 
 void Runtime::post(SlotId target, std::function<void()> fn) {
   HPPC_ASSERT(target < slots_.size());
   // A post pushes onto another slot's MPSC list — shared traffic by
-  // definition, booked on the shared block (the poster may not own a slot).
+  // definition, booked on the shared block (the poster may not own a slot),
+  // and it heap-allocates the list node: this is the control-plane path,
+  // kept off every hot cross-slot call.
   shared_.inc(obs::Counter::kMailboxPosts);
+  shared_.inc(obs::Counter::kMailboxAllocs);
   shared_.inc(obs::Counter::kSharedLinesTouched);
   slots_[target]->mailbox.post(std::move(fn));
 }
@@ -287,17 +489,19 @@ const obs::SlotCounters& Runtime::counters(SlotId slot) const {
 namespace {
 
 /// Fill in the per-call pool counters the fast path deliberately does not
-/// increment. Every executed call acquires exactly one worker (pool hit or
-/// creation) and one CD (held, recycled, or created), so per slot:
-///   worker_pool_hits = calls_sync - workers_created
-///   cd_recycles      = calls_sync - hold_cd_hits - cds_created
+/// increment. Every executed call — same-slot sync or remotely executed —
+/// acquires exactly one worker (pool hit or creation) and one CD (held,
+/// recycled, or created), so per slot:
+///   worker_pool_hits = calls_sync + calls_remote - workers_created
+///   cd_recycles      = calls_sync + calls_remote - hold_cd_hits - cds_created
 /// Both saturate at zero: a hold-CD worker's creation-time CD acquisition
 /// happens outside any call, so the second identity can undershoot by at
 /// most the number of such workers.
 void derive_pool_counters(obs::CounterSnapshot& s) {
   auto get = [&s](obs::Counter c) { return s.get(obs::Counter{c}); };
   auto& hits = s.v[static_cast<std::size_t>(obs::Counter::kWorkerPoolHits)];
-  const std::uint64_t calls = get(obs::Counter::kCallsSync);
+  const std::uint64_t calls = get(obs::Counter::kCallsSync) +
+                              get(obs::Counter::kCallsRemote);
   const std::uint64_t created = get(obs::Counter::kWorkersCreated);
   hits = calls > created ? calls - created : 0;
   auto& rec = s.v[static_cast<std::size_t>(obs::Counter::kCdRecycles)];

@@ -7,9 +7,18 @@
 // Semantics mirror the simulated facility: 8 words in/out through a RegSet,
 // opcode+flags+rc packed in the last word, caller identified by a program
 // token (§4.1), workers created on demand with a one-time init routine
-// (§4.5.3), hold-CD mode, soft/hard kill (§4.5.2; cross-slot resource
-// reclamation travels through MPSC mailboxes, the host analogue of the
-// cross-processor interrupt), and async calls deferred to the owning slot.
+// (§4.5.3), hold-CD mode, soft/hard kill (§4.5.2), and async calls
+// deferred to the owning slot.
+//
+// Cross-slot traffic (the paper's cross-processor path, §4.5.2) rides the
+// xcall layer: per-slot bounded MPSC rings of cache-line cells for the hot
+// path — call_remote() is a synchronous cross-slot PPC that either
+// direct-executes on an idle target slot (LRPC-style ownership handoff
+// through the SlotGate) or posts a ring cell and spin-then-yields on its
+// completion word — while the legacy allocating mailbox survives only as
+// the control-plane/overflow channel (kill reclamation, ring-full async
+// posts). A warm cross-slot call performs zero heap allocations, asserted
+// by the mailbox_allocs counter.
 #pragma once
 
 #include <array>
@@ -29,6 +38,7 @@
 #include "obs/trace.h"
 #include "ppc/regs.h"
 #include "rt/percpu.h"
+#include "rt/xcall.h"
 
 namespace hppc::rt {
 
@@ -120,9 +130,9 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   /// Register the calling thread; must be called before it makes calls.
-  SlotId register_thread() {
-    return registry_.register_thread(pin_threads_);
-  }
+  /// Claims the slot's gate: from this point remote callers use the ring
+  /// (drained by poll()) until the thread parks via serve()/enter_idle().
+  SlotId register_thread();
 
   std::uint32_t slots() const { return registry_.capacity(); }
 
@@ -157,12 +167,47 @@ class Runtime {
   Status call_async(SlotId slot, ProgramId caller, EntryPointId id,
                     RegSet regs);
 
-  /// Drain this slot's deferred/async queue and mailbox. Returns the
-  /// number of actions performed.
+  // ----- cross-slot calls (xcall) -----
+
+  /// Synchronous cross-slot PPC: execute `id` against `target`'s slot
+  /// state, from the thread owning `caller_slot`. Adaptive: if the target
+  /// slot is idle (parked in serve(), or never registered) the call is
+  /// direct-executed on the calling thread under a gate steal — zero
+  /// context switches, zero allocations; otherwise a cell is posted into
+  /// the target's bounded ring and the caller spin-then-yields on the
+  /// completion word, helping (stealing + draining) if the owner parks
+  /// meanwhile. `target == caller_slot` degenerates to a local call().
+  /// Requires the target slot to be either idle-gated or actively
+  /// poll()ing/serve()ing — like the mailbox, the ring is at-least-
+  /// eventually drained by construction only under that contract.
+  Status call_remote(SlotId caller_slot, SlotId target, ProgramId caller,
+                     EntryPointId id, RegSet& regs);
+
+  /// Fire-and-forget cross-slot call: posted into the target's ring (or,
+  /// if the ring is full, the legacy mailbox — the allocating overflow
+  /// path) and executed at the target's next drain. Results discarded.
+  Status call_remote_async(SlotId caller_slot, SlotId target,
+                           ProgramId caller, EntryPointId id, RegSet regs);
+
+  /// Drain this slot's ring (one batch), mailbox, and deferred/async
+  /// queue. Owner thread only. Returns the number of actions performed.
   std::size_t poll(SlotId slot);
 
+  /// Owner's service loop: poll, then park idle — publishing the slot for
+  /// remote direct execution — until `stop` or new work arrives. Returns
+  /// total actions performed. The gate is re-held (kOwner) on return.
+  std::size_t serve(SlotId slot, const std::atomic<bool>& stop);
+
+  /// Park/unpark primitives behind serve(): while idle, remote callers
+  /// direct-execute on this slot instead of waiting for a poll. Owner
+  /// thread only; must not be mid-call.
+  void enter_idle(SlotId slot);
+  void exit_idle(SlotId slot);
+
   /// Post a cross-slot action (host analogue of an IPI); it runs when the
-  /// owning thread next polls.
+  /// owning thread next polls. Control-plane path: allocates a mailbox
+  /// node per post (booked as mailbox_allocs) — cross-slot *calls* belong
+  /// on call_remote, which does not.
   void post(SlotId target, std::function<void()> fn);
 
   // ----- introspection -----
@@ -214,8 +259,12 @@ class Runtime {
     RegSet regs;
   };
 
-  /// Everything one slot owns. Only the registered thread touches the
-  /// non-atomic members; remote threads go through the mailbox.
+  /// Everything one slot owns. Only the slot's current ownership holder —
+  /// the registered thread while the gate reads kOwner, or a remote thief
+  /// while it reads kStolen — touches the non-atomic members; all other
+  /// threads go through the xcall ring (hot path) or mailbox (control
+  /// plane). Gate transitions are acquire/release, so ownership handoff
+  /// carries the slot state with it.
   struct Slot {
     SlotId self_id = 0;  // set once at construction; used by trace hooks
     // Per-service worker pools, indexed by entry-point id (sparse).
@@ -226,7 +275,10 @@ class Runtime {
     std::vector<std::unique_ptr<RtWorker>> owned_workers;
     std::vector<std::unique_ptr<RtCd>> owned_cds;
     std::vector<DeferredCall> deferred;
+    std::vector<DeferredCall> deferred_scratch;  // reused across polls
     Mailbox<std::function<void()>> mailbox;
+    SlotGate gate;        // remote-CASed: keep off the hot members' lines
+    XcallRing xcall;      // ring head/cells are internally line-aligned
   };
 
   Service* lookup(EntryPointId id) const {
@@ -244,6 +296,24 @@ class Runtime {
   void release(Slot& slot, Service& svc, RtWorker* w, RtCd* cd);
   void reclaim_service_on_slot(Slot& slot, EntryPointId id);
   Status kill(EntryPointId id, bool hard);
+
+  /// The call body shared by the same-slot fast path and both remote
+  /// execution modes: worker/CD acquire, handler, release. Caller has
+  /// already resolved the service and booked the per-variant counter.
+  template <bool kObserved>
+  Status execute_on_slot(Slot& slot, SlotId slot_id, Service& svc,
+                         ProgramId caller, RegSet& regs);
+  /// Execute one ring cell / remote request on `slot` (ownership held by
+  /// the calling thread): re-checks service state, books calls_remote.
+  Status execute_remote(Slot& slot, ProgramId caller, EntryPointId id,
+                        RegSet& regs);
+  /// Drain one ring batch on `slot` (ownership held). Books xcall_batches
+  /// and completes sync cells.
+  std::size_t drain_ring(Slot& slot);
+  /// Waiter-side progress: if `target`'s gate is idle, steal it, drain its
+  /// ring, and hand it back. Closes the "owner parked after I posted"
+  /// race without blocking primitives. Returns true if it drained.
+  bool help_drain(Slot& target);
 
   SlotRegistry registry_;
   bool pin_threads_;

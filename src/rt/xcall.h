@@ -1,0 +1,259 @@
+// Lock-free cross-slot call channels (xcall).
+//
+// The paper's fast path covers same-processor calls only; cross-processor
+// traffic goes through "interrupt + remote queue" (§4.5.2). The host
+// runtime used to model that with a Mailbox<std::function<void()>> — a
+// Treiber stack that heap-allocates a node per message — so every cross-
+// slot operation paid an allocation plus unbounded CAS contention. This
+// header replaces that hot path with a per-slot bounded MPSC ring of
+// fixed-size, cache-line-sized POD cells (caller program, entry point,
+// inline RegSet payload, completion pointer), in the style of the
+// shared-memory rings the memory-offloading IPC literature places between
+// "same-core procedure call" and "kernel message queue".
+//
+// Three pieces:
+//
+//   XcallRing  — a Vyukov-style bounded multi-producer/single-consumer
+//                ring. Producers claim a cell with one CAS and publish it
+//                with one release store; the consumer drains every ready
+//                cell in a batch. No allocation, ever; a full ring is
+//                reported to the caller, who falls back to the legacy
+//                mailbox (the overflow path, now control-plane only).
+//
+//   SlotGate   — the slot-ownership word that makes the *adaptive* part of
+//                Runtime::call_remote possible. A slot whose owning thread
+//                is parked (or was never registered) publishes kIdle; a
+//                remote caller may then CAS the gate to kStolen and run
+//                the call directly against the target slot's pools — the
+//                host analogue of LRPC thread migration — instead of
+//                paying two context switches for a ring round trip. All
+//                slot state handed across the gate is synchronized by the
+//                acquire/release CAS pair, so single-consumer structures
+//                stay single-consumer *at a time*.
+//
+//   XcallWait  — the caller-side completion block for synchronous calls:
+//                one atomic word (0 while pending, 0x100|Status when
+//                done) spun on with an adaptive spin-then-yield loop.
+//
+// A warm cross-slot call — direct or ring — performs ZERO heap
+// allocations; the `mailbox_allocs` counter exists to assert that.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+#include "common/cacheline.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "ppc/regs.h"
+
+namespace hppc::rt {
+
+/// Compiler-friendly busy-wait hint (PAUSE on x86, YIELD on arm64).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Caller-side completion block for a synchronous cross-slot call. Lives
+/// on the caller's stack (cache-hot for the spinner); the server writes
+/// the reply registers, then release-stores kDoneBit|Status.
+struct XcallWait {
+  static constexpr std::uint32_t kDoneBit = 0x100;
+
+  std::atomic<std::uint32_t> done{0};
+  ppc::RegSet* regs = nullptr;  // caller's in/out register file
+
+  void complete(Status rc) {
+    done.store(kDoneBit | static_cast<std::uint32_t>(rc),
+               std::memory_order_release);
+  }
+};
+
+/// One ring cell: exactly one cache line. `seq` is the Vyukov sequence
+/// (cell i starts at i; a producer claiming position p publishes p+1; the
+/// consumer retires it to p+capacity). `wait == nullptr` marks a
+/// fire-and-forget (async) cell.
+struct alignas(kHostCacheLine) XcallCell {
+  std::atomic<std::uint64_t> seq{0};
+  XcallWait* wait = nullptr;
+  ppc::RegSet regs{};  // inline request payload — no indirection, no alloc
+  ProgramId caller = 0;
+  EntryPointId ep = 0;
+};
+static_assert(sizeof(XcallCell) % kHostCacheLine == 0,
+              "cells must tile cache lines exactly");
+
+/// Bounded MPSC ring channel. Any thread posts; only the slot's current
+/// ownership holder (owner thread, or a remote thread that won the
+/// SlotGate) drains. Capacity is a compile-time power of two so the index
+/// wrap is a mask.
+class XcallRing {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+  static_assert((kCapacity & (kCapacity - 1)) == 0);
+
+  XcallRing() {
+    for (std::size_t i = 0; i < kCapacity; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  XcallRing(const XcallRing&) = delete;
+  XcallRing& operator=(const XcallRing&) = delete;
+
+  /// Any thread. One CAS to claim a cell, one release store to publish.
+  /// Returns false when the ring is full (the caller takes the overflow
+  /// path); never blocks, never allocates.
+  bool try_post(ProgramId caller, EntryPointId ep, const ppc::RegSet& regs,
+                XcallWait* wait) {
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    XcallCell* cell;
+    for (;;) {
+      cell = &cells_[pos & (kCapacity - 1)];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full: the cell kCapacity behind is not retired yet
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->caller = caller;
+    cell->ep = ep;
+    cell->regs = regs;
+    cell->wait = wait;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Ownership holder only. Consumes every ready cell in one batch —
+  /// `fn(cell)` per cell — and retires them. Returns the batch size.
+  template <typename Fn>
+  std::size_t drain(Fn&& fn) {
+    std::size_t n = 0;
+    for (;;) {
+      std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+      XcallCell& cell = cells_[pos & (kCapacity - 1)];
+      if (cell.seq.load(std::memory_order_acquire) != pos + 1) break;
+      fn(cell);
+      cell.seq.store(pos + kCapacity, std::memory_order_release);
+      dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+      ++n;
+    }
+    return n;
+  }
+
+  /// Producer-side hint (racy by nature): are there published-but-undrained
+  /// cells? Used by serve() to decide whether to wake; correctness never
+  /// depends on it (waiters help-drain through the gate).
+  bool has_pending() const {
+    return enqueue_pos_.load(std::memory_order_relaxed) !=
+           dequeue_pos_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Producer-shared and consumer-private positions on separate lines so
+  // remote CAS traffic never collides with the drain cursor.
+  alignas(kHostCacheLine) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(kHostCacheLine) std::atomic<std::uint64_t> dequeue_pos_{0};
+  std::array<XcallCell, kCapacity> cells_;
+};
+
+/// The slot-ownership word. States:
+///   kOwner  — the registered thread is running; remote callers must use
+///             the ring (it will be drained at the owner's next poll).
+///   kIdle   — nobody is executing on the slot (thread parked in serve(),
+///             or no thread ever registered); a remote caller may steal.
+///   kStolen — a remote caller holds the slot and is executing on it.
+/// The owner's fast path (Runtime::call) never touches this word: while
+/// the owner runs, the state is kOwner and cannot change under it, so the
+/// same-slot warm call stays zero-shared-lines by construction.
+class SlotGate {
+ public:
+  enum : std::uint32_t { kOwner = 0, kIdle = 1, kStolen = 2 };
+
+  /// Remote caller: try to take the slot for direct execution.
+  bool try_steal() {
+    std::uint32_t expect = kIdle;
+    return state_.compare_exchange_strong(expect, kStolen,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  /// Remote caller: hand the slot back after direct execution.
+  void release_steal() { state_.store(kIdle, std::memory_order_release); }
+
+  /// Owner thread: park (publish idle). Must not be mid-call.
+  void enter_idle() { state_.store(kIdle, std::memory_order_release); }
+
+  /// Owner thread: un-park, waiting out any in-flight thief.
+  void exit_idle() {
+    std::uint32_t expect = kIdle;
+    while (!state_.compare_exchange_weak(expect, kOwner,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      expect = kIdle;
+      std::this_thread::yield();
+    }
+  }
+
+  /// First registration: claim an idle gate; idempotent re-registration
+  /// (state already kOwner — necessarily ours, slots are per-thread) is a
+  /// no-op. Waits out a thief caught mid-steal.
+  void claim_at_register() {
+    for (;;) {
+      std::uint32_t expect = kIdle;
+      if (state_.compare_exchange_weak(expect, kOwner,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      if (expect == kOwner) return;
+      std::this_thread::yield();  // kStolen: thief is finishing
+    }
+  }
+
+  std::uint32_t state() const {
+    return state_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint32_t> state_{kIdle};
+};
+
+/// Adaptive completion wait: spin briefly (the multi-core happy path,
+/// where the server replies within the spin window), then yield the CPU so
+/// a time-sliced server can run. `Helper` is invoked once per yield round
+/// and lets the waiter make progress itself — Runtime uses it to steal an
+/// idle target slot and drain its ring, which closes the "owner parked
+/// after I posted" race without any blocking primitive.
+template <typename Helper>
+Status wait_complete(XcallWait& wait, Helper&& help) {
+  constexpr int kSpins = 96;
+  for (;;) {
+    for (int i = 0; i < kSpins; ++i) {
+      const std::uint32_t v = wait.done.load(std::memory_order_acquire);
+      if (v != 0) return static_cast<Status>(v & 0xFFu);
+      cpu_relax();
+    }
+    help();
+    const std::uint32_t v = wait.done.load(std::memory_order_acquire);
+    if (v != 0) return static_cast<Status>(v & 0xFFu);
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace hppc::rt

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <thread>
 
@@ -116,6 +117,46 @@ TEST(KvService, RandomizedAgainstReferenceMap) {
       }
     }
   }
+}
+
+TEST(KvService, RemoteGetReachesAnotherSlotsShard) {
+  // The owner slot is never registered: call_remote direct-executes the
+  // get against its shard on this thread — zero allocations, no helper
+  // thread needed.
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  KvService kv(rt);
+  ASSERT_EQ(kv.put_remote(me, /*owner_slot=*/1, /*caller=*/1, 10, 111),
+            Status::kOk);
+  EXPECT_FALSE(kv.get(me, 1, 10).has_value());  // not in MY shard
+  auto v = kv.get_remote(me, 1, 1, 10);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 111u);
+  EXPECT_FALSE(kv.get_remote(me, 1, 1, 999).has_value());
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs), 0u);
+}
+
+TEST(KvService, RemoteGetAgainstServingOwner) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  KvService kv(rt);
+  std::atomic<bool> stop{false};
+  std::thread owner([&] {
+    const SlotId s = rt.register_thread();
+    rt.serve(s, stop);
+  });
+  for (Word k = 0; k < 64; ++k) {
+    ASSERT_EQ(kv.put_remote(me, 1, 1, k, k * 10), Status::kOk);
+  }
+  for (Word k = 0; k < 64; ++k) {
+    auto v = kv.get_remote(me, 1, 1, k);
+    ASSERT_TRUE(v.has_value()) << "key " << k;
+    EXPECT_EQ(*v, k * 10);
+  }
+  stop.store(true, std::memory_order_release);
+  owner.join();
+  // The shard now lives on slot 1 regardless of which path executed.
+  EXPECT_FALSE(kv.get(me, 1, 0).has_value());
 }
 
 TEST(KvService, ShardsArePerSlot) {

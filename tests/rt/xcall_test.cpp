@@ -1,0 +1,391 @@
+// The xcall layer: the bounded MPSC ring and slot gate in isolation, then
+// Runtime::call_remote / call_remote_async end to end — including the
+// counter contract the bench asserts (warm cross-slot calls never touch
+// the allocating mailbox).
+#include "rt/xcall.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ppc/regs.h"
+#include "rt/runtime.h"
+
+namespace hppc::rt {
+namespace {
+
+ppc::RegSet make_regs(Word w0) {
+  ppc::RegSet r{};
+  r[0] = w0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// XcallRing
+// ---------------------------------------------------------------------------
+
+TEST(XcallRing, PostDrainRoundTrip) {
+  XcallRing ring;
+  EXPECT_FALSE(ring.has_pending());
+  ASSERT_TRUE(ring.try_post(/*caller=*/7, /*ep=*/9, make_regs(41), nullptr));
+  EXPECT_TRUE(ring.has_pending());
+  std::size_t seen = 0;
+  const std::size_t n = ring.drain([&](XcallCell& c) {
+    EXPECT_EQ(c.caller, 7u);
+    EXPECT_EQ(c.ep, 9u);
+    EXPECT_EQ(c.regs[0], 41u);
+    EXPECT_EQ(c.wait, nullptr);
+    ++seen;
+  });
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(seen, 1u);
+  EXPECT_FALSE(ring.has_pending());
+}
+
+TEST(XcallRing, FifoOrderWithinABatch) {
+  XcallRing ring;
+  for (Word i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.try_post(1, 1, make_regs(i), nullptr));
+  }
+  Word expect = 0;
+  ring.drain([&](XcallCell& c) { EXPECT_EQ(c.regs[0], expect++); });
+  EXPECT_EQ(expect, 10u);
+}
+
+TEST(XcallRing, FullRingRejectsWithoutBlocking) {
+  XcallRing ring;
+  for (std::size_t i = 0; i < XcallRing::kCapacity; ++i) {
+    ASSERT_TRUE(ring.try_post(1, 1, make_regs(i), nullptr)) << i;
+  }
+  EXPECT_FALSE(ring.try_post(1, 1, make_regs(999), nullptr));
+  // One batch retires everything; capacity is available again.
+  EXPECT_EQ(ring.drain([](XcallCell&) {}), XcallRing::kCapacity);
+  EXPECT_TRUE(ring.try_post(1, 1, make_regs(0), nullptr));
+}
+
+TEST(XcallRing, WrapsAcrossManyGenerations) {
+  XcallRing ring;
+  Word next = 0;
+  for (int round = 0; round < 300; ++round) {
+    for (Word i = 0; i < 7; ++i) {
+      ASSERT_TRUE(ring.try_post(1, 1, make_regs(next + i), nullptr));
+    }
+    ring.drain([&](XcallCell& c) { EXPECT_EQ(c.regs[0], next++); });
+  }
+  EXPECT_EQ(next, 2100u);
+}
+
+TEST(XcallRing, ConcurrentProducersKeepPerProducerFifo) {
+  XcallRing ring;
+  constexpr int kProducers = 4;
+  constexpr Word kPerProducer = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (Word i = 0; i < kPerProducer; ++i) {
+        // Encode (producer, index); spin until the bounded ring has room.
+        while (!ring.try_post(static_cast<ProgramId>(p), 1, make_regs(i),
+                              nullptr)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::array<Word, kProducers> next_from{};
+  std::size_t total = 0;
+  while (total < std::size_t{kProducers} * kPerProducer) {
+    const std::size_t n = ring.drain([&](XcallCell& c) {
+      ASSERT_LT(c.caller, kProducers);
+      EXPECT_EQ(c.regs[0], next_from[c.caller]++);
+    });
+    total += n;
+    if (n == 0) std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+  for (Word n : next_from) EXPECT_EQ(n, kPerProducer);
+  EXPECT_FALSE(ring.has_pending());
+}
+
+// ---------------------------------------------------------------------------
+// SlotGate
+// ---------------------------------------------------------------------------
+
+TEST(SlotGate, StartsIdleAndStealsOnce) {
+  SlotGate gate;
+  EXPECT_EQ(gate.state(), SlotGate::kIdle);
+  EXPECT_TRUE(gate.try_steal());
+  EXPECT_EQ(gate.state(), SlotGate::kStolen);
+  EXPECT_FALSE(gate.try_steal());  // only one thief at a time
+  gate.release_steal();
+  EXPECT_EQ(gate.state(), SlotGate::kIdle);
+}
+
+TEST(SlotGate, OwnerBlocksThievesUntilIdle) {
+  SlotGate gate;
+  gate.claim_at_register();
+  EXPECT_EQ(gate.state(), SlotGate::kOwner);
+  EXPECT_FALSE(gate.try_steal());
+  gate.claim_at_register();  // idempotent re-registration
+  EXPECT_EQ(gate.state(), SlotGate::kOwner);
+  gate.enter_idle();
+  EXPECT_TRUE(gate.try_steal());
+  // The owner un-parking must wait the thief out.
+  std::atomic<bool> resumed{false};
+  std::thread owner([&] {
+    gate.exit_idle();
+    resumed.store(true);
+  });
+  std::this_thread::yield();
+  EXPECT_FALSE(resumed.load());
+  gate.release_steal();
+  owner.join();
+  EXPECT_TRUE(resumed.load());
+  EXPECT_EQ(gate.state(), SlotGate::kOwner);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime::call_remote / call_remote_async
+// ---------------------------------------------------------------------------
+
+/// Binds an adder service: r[1] = r[0] + 1. Returns its entry point.
+EntryPointId bind_adder(Runtime& rt) {
+  return rt.bind({.name = "adder"}, /*program=*/0,
+                 [](RtCtx&, ppc::RegSet& r) {
+                   r[1] = r[0] + 1;
+                   ppc::set_rc(r, Status::kOk);
+                 });
+}
+
+TEST(CallRemote, DirectExecutesOnIdleSlot) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  ASSERT_EQ(me, 0u);
+  const EntryPointId ep = bind_adder(rt);
+  // Slot 1 never registered: its gate is idle, so the call direct-executes
+  // on this thread against slot 1's pools.
+  ppc::RegSet r = make_regs(10);
+  ASSERT_EQ(rt.call_remote(me, /*target=*/1, /*caller=*/1, ep, r),
+            Status::kOk);
+  EXPECT_EQ(r[1], 11u);
+  EXPECT_EQ(rt.counters(1).get(obs::Counter::kXcallDirect), 1u);
+  EXPECT_EQ(rt.counters(1).get(obs::Counter::kCallsRemote), 1u);
+  EXPECT_EQ(rt.counters(0).get(obs::Counter::kXcallPosts), 0u);
+  // No allocation-path traffic anywhere.
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs), 0u);
+}
+
+TEST(CallRemote, SameSlotDegeneratesToLocalCall) {
+  Runtime rt(1);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  ppc::RegSet r = make_regs(5);
+  ASSERT_EQ(rt.call_remote(me, me, 1, ep, r), Status::kOk);
+  EXPECT_EQ(r[1], 6u);
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kCallsSync), 1u);
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kCallsRemote), 0u);
+}
+
+TEST(CallRemote, RingPathWhileOwnerPolls) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> owner_up{false};
+  std::thread owner([&] {
+    const SlotId s = rt.register_thread();
+    ASSERT_EQ(s, 1u);
+    owner_up.store(true, std::memory_order_release);
+    // Poll-driven owner: the gate stays kOwner throughout (yield does not
+    // park), so the caller cannot steal and must take the ring path.
+    while (!stop.load(std::memory_order_acquire)) {
+      if (rt.poll(s) == 0) std::this_thread::yield();
+    }
+  });
+  while (!owner_up.load(std::memory_order_acquire)) std::this_thread::yield();
+  for (Word i = 0; i < 200; ++i) {
+    ppc::RegSet r = make_regs(i);
+    ASSERT_EQ(rt.call_remote(me, 1, /*caller=*/1, ep, r), Status::kOk);
+    ASSERT_EQ(r[1], i + 1);
+  }
+  stop.store(true, std::memory_order_release);
+  owner.join();
+  EXPECT_EQ(rt.counters(0).get(obs::Counter::kXcallPosts), 200u);
+  EXPECT_GT(rt.counters(1).get(obs::Counter::kXcallBatches), 0u);
+  EXPECT_EQ(rt.counters(1).get(obs::Counter::kCallsRemote), 200u);
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs), 0u);
+}
+
+TEST(CallRemote, ServedSlotAnswersAndParksIdle) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    const SlotId s = rt.register_thread();
+    rt.serve(s, stop);
+  });
+  for (Word i = 0; i < 500; ++i) {
+    ppc::RegSet r = make_regs(i);
+    ASSERT_EQ(rt.call_remote(me, 1, 1, ep, r), Status::kOk);
+    ASSERT_EQ(r[1], i + 1);
+  }
+  stop.store(true, std::memory_order_release);
+  server.join();
+  const auto& c = rt.counters(1);
+  // Every call executed remotely, by direct steal or ring cell.
+  EXPECT_EQ(c.get(obs::Counter::kCallsRemote), 500u);
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs), 0u);
+}
+
+TEST(CallRemote, DrainingServiceReportsStatus) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  ASSERT_EQ(rt.soft_kill(ep), Status::kOk);
+  ppc::RegSet r = make_regs(1);
+  EXPECT_EQ(rt.call_remote(me, 1, 1, ep, r), Status::kEntryPointDraining);
+  EXPECT_EQ(rt.call_remote(me, 1, 1, kInvalidEntryPoint, r),
+            Status::kNoSuchEntryPoint);
+}
+
+TEST(CallRemoteAsync, ExecutedAtTargetPoll) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  std::atomic<int> hits{0};
+  const EntryPointId ep =
+      rt.bind({.name = "tally"}, 0, [&](RtCtx&, ppc::RegSet& r) {
+        hits.fetch_add(static_cast<int>(r[0]), std::memory_order_relaxed);
+        ppc::set_rc(r, Status::kOk);
+      });
+  for (Word i = 1; i <= 8; ++i) {
+    ASSERT_EQ(rt.call_remote_async(me, 1, 1, ep, make_regs(i)), Status::kOk);
+  }
+  EXPECT_EQ(hits.load(), 0);  // nothing ran yet: cells are parked in the ring
+  std::thread owner([&] {
+    const SlotId s = rt.register_thread();
+    EXPECT_GE(rt.poll(s), 8u);
+  });
+  owner.join();
+  EXPECT_EQ(hits.load(), 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8);
+  EXPECT_EQ(rt.counters(1).get(obs::Counter::kCallsRemote), 8u);
+}
+
+TEST(CallRemoteAsync, RingOverflowFallsBackToMailbox) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  std::atomic<int> hits{0};
+  const EntryPointId ep =
+      rt.bind({.name = "tally"}, 0, [&](RtCtx&, ppc::RegSet& r) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+        ppc::set_rc(r, Status::kOk);
+      });
+  // Hold slot 1's gate as its registered owner (in a thread that is not
+  // draining), so async posts park in the ring until it fills.
+  std::atomic<bool> filled{false};
+  std::atomic<bool> stop{false};
+  std::thread owner([&] {
+    const SlotId s = rt.register_thread();
+    while (!filled.load(std::memory_order_acquire)) std::this_thread::yield();
+    while (!stop.load(std::memory_order_acquire)) rt.poll(s);
+  });
+  const std::size_t n = XcallRing::kCapacity + 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(rt.call_remote_async(me, 1, 1, ep, make_regs(i)), Status::kOk);
+  }
+  // The overflow beyond kCapacity went through the allocating mailbox.
+  EXPECT_EQ(rt.counters(0).get(obs::Counter::kXcallRingFull), 8u);
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs), 8u);
+  filled.store(true, std::memory_order_release);
+  while (hits.load(std::memory_order_relaxed) < static_cast<int>(n)) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  owner.join();
+  EXPECT_EQ(hits.load(), static_cast<int>(n));
+}
+
+TEST(CallRemote, WarmCrossSlotCallsNeverAllocate) {
+  // Single-threaded on purpose (the snapshot reads must not race the
+  // target's counter stores): the target slot is never registered, so
+  // every call takes the direct-execution path on this thread. The ring
+  // path's no-alloc warm phase is asserted by the xcall_latency bench.
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  // Warm up: worker + CD creation on the target slot happen here.
+  for (int i = 0; i < 32; ++i) {
+    ppc::RegSet r = make_regs(i);
+    ASSERT_EQ(rt.call_remote(me, 1, 1, ep, r), Status::kOk);
+  }
+  const auto before = rt.snapshot();
+  for (Word i = 0; i < 1000; ++i) {
+    ppc::RegSet r = make_regs(i);
+    ASSERT_EQ(rt.call_remote(me, 1, 1, ep, r), Status::kOk);
+    ASSERT_EQ(r[1], i + 1);
+  }
+  const auto delta = rt.snapshot().delta(before);
+  // The invariant the whole layer exists for: a warm cross-slot call takes
+  // no locks and performs zero heap allocations, on either side.
+  EXPECT_EQ(delta.get(obs::Counter::kMailboxAllocs), 0u);
+  EXPECT_EQ(delta.get(obs::Counter::kMailboxPosts), 0u);
+  EXPECT_EQ(delta.get(obs::Counter::kLocksTaken), 0u);
+  EXPECT_EQ(delta.get(obs::Counter::kWorkersCreated), 0u);
+  EXPECT_EQ(delta.get(obs::Counter::kCdsCreated), 0u);
+  EXPECT_EQ(delta.get(obs::Counter::kCallsRemote), 1000u);
+  EXPECT_EQ(delta.get(obs::Counter::kXcallDirect), 1000u);
+}
+
+TEST(CallRemote, MultiCallerStress) {
+  // TSan's bread and butter: several caller threads hammer one served slot
+  // with sync calls while async posts fly in, all through gate handoffs.
+  Runtime rt(5);
+  const EntryPointId ep = [&] {
+    Runtime& r = rt;
+    return r.bind({.name = "adder"}, 0, [](RtCtx&, ppc::RegSet& regs) {
+      regs[1] = regs[0] + 1;
+      ppc::set_rc(regs, Status::kOk);
+    });
+  }();
+  std::atomic<bool> stop{false};
+  std::atomic<bool> server_up{false};
+  std::thread server([&] {
+    const SlotId s = rt.register_thread();
+    EXPECT_EQ(s, 0u);
+    server_up.store(true, std::memory_order_release);
+    rt.serve(s, stop);
+  });
+  while (!server_up.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  constexpr int kCallers = 4;
+  constexpr Word kCallsEach = 500;
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      const SlotId my = rt.register_thread();
+      for (Word i = 0; i < kCallsEach; ++i) {
+        ppc::RegSet r = make_regs(i);
+        if (rt.call_remote(my, 0, /*caller=*/my, ep, r) != Status::kOk ||
+            r[1] != i + 1) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (i % 64 == 0) {
+          rt.call_remote_async(my, 0, my, ep, make_regs(i));
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  stop.store(true, std::memory_order_release);
+  server.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every sync call ran exactly once somewhere on slot 0's state.
+  EXPECT_GE(rt.counters(0).get(obs::Counter::kCallsRemote),
+            std::uint64_t{kCallers} * kCallsEach);
+}
+
+}  // namespace
+}  // namespace hppc::rt
