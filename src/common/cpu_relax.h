@@ -1,0 +1,17 @@
+// Busy-wait hint shared by the host-side spin loops (the xcall completion
+// spinner, the seqlock read retry in repl/). Lives in common/ so layers
+// below rt/ can spin without pulling in the runtime headers.
+#pragma once
+
+namespace hppc {
+
+/// Compiler-friendly busy-wait hint (PAUSE on x86, YIELD on arm64).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace hppc

@@ -126,6 +126,7 @@ Fig3Result run_fig3(const Fig3Config& cfg) {
   fscfg.user_space = true;
   fscfg.home_node = 0;
   fscfg.critsec_scale = cfg.critsec_scale;
+  fscfg.replicate_read_path = cfg.replicate_read_path;
   servers::FileServer bob(ppc, fscfg);
 
   // Files: one common file, or one per client homed on the client's own
@@ -156,6 +157,13 @@ Fig3Result run_fig3(const Fig3Config& cfg) {
       servers::FileServer::get_length(ppc, m.cpu(c), *clients[c], bob.ep(),
                                       file_ids[c], &len);
     }
+  }
+
+  // Snapshot after warmup so the measured phase gets its own counter delta
+  // (the replicated read path's locks_taken == 0 invariant lives there).
+  obs::CounterSnapshot warm_base;
+  for (CpuId c = 0; c < cfg.total_cpus; ++c) {
+    warm_base.merge(m.cpu(c).counters().snapshot());
   }
 
   const Cycles window =
@@ -204,6 +212,7 @@ Fig3Result run_fig3(const Fig3Config& cfg) {
   for (CpuId c = 0; c < cfg.total_cpus; ++c) {
     out.counters.merge(m.cpu(c).counters().snapshot());
   }
+  out.warm_counters = out.counters.delta(warm_base);
   return out;
 }
 

@@ -55,6 +55,10 @@ struct Fig3Config {
   /// Extra knob for the critical-section ablation: scales the file server's
   /// per-call locked work (1.0 reproduces the paper's setup).
   double critsec_scale = 1.0;
+  /// Replicate the file server's read-mostly record block per CPU (see
+  /// FileServer::Config::replicate_read_path): the GetLength path takes no
+  /// lock at all. Off reproduces the published Figure-3 curves.
+  bool replicate_read_path = false;
 };
 
 struct Fig3Result {
@@ -68,6 +72,11 @@ struct Fig3Result {
   /// Merged observability counters across every CPU in the run (lock and
   /// shared-line traffic separates the two curves mechanically).
   obs::CounterSnapshot counters;
+  /// Counters for the measured (post-warmup) phase only: the warm-read
+  /// invariant of the replicated path — locks_taken == 0 — is asserted on
+  /// this delta, since warmup legitimately pays locked work (file creation,
+  /// pool growth).
+  obs::CounterSnapshot warm_counters;
 };
 
 /// Run one Figure-3 point: `clients` independent client processes, one per

@@ -69,6 +69,12 @@ enum class Counter : std::uint32_t {
   kXcallDirect,         // remote calls direct-executed on an idle slot
   kMailboxAllocs,       // legacy mailbox node allocations (one per post)
 
+  // -- repl: replicated read-mostly objects (appended: ids are contract) --
+  kReplReads,           // replica reads (seqlock-validated, lock-free)
+  kReplSeqRetries,      // reads that observed a mid-update replica
+  kReplInvalidations,   // replica updates propagated by a writer
+  kReplFallbackLocked,  // reads that gave up retrying and took the master lock
+
   kCount
 };
 
@@ -109,6 +115,10 @@ constexpr const char* counter_name(Counter c) {
     case Counter::kXcallRingFull: return "xcall_ring_full";
     case Counter::kXcallDirect: return "xcall_direct";
     case Counter::kMailboxAllocs: return "mailbox_allocs";
+    case Counter::kReplReads: return "repl_reads";
+    case Counter::kReplSeqRetries: return "repl_seq_retries";
+    case Counter::kReplInvalidations: return "repl_invalidations";
+    case Counter::kReplFallbackLocked: return "repl_fallback_locked";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -37,6 +37,8 @@ enum class TraceEvent : std::uint16_t {
   kGatewayForward,    // arg = legacy server pid
   kXcallPost,         // arg = target slot (caller-side ring publish)
   kXcallBatch,        // arg = cells drained in the batch (target-side)
+  kReplPublish,       // arg = replicated object id (writer-side propagate)
+  kReplPull,          // arg = replicated object id (owner refreshed replica)
   kCount
 };
 
@@ -60,6 +62,8 @@ constexpr const char* trace_event_name(TraceEvent e) {
     case TraceEvent::kGatewayForward: return "gateway_forward";
     case TraceEvent::kXcallPost: return "xcall_post";
     case TraceEvent::kXcallBatch: return "xcall_batch";
+    case TraceEvent::kReplPublish: return "repl_publish";
+    case TraceEvent::kReplPull: return "repl_pull";
     case TraceEvent::kCount: break;
   }
   return "unknown";

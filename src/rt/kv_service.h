@@ -13,9 +13,14 @@
 // simulated kernel without the allocation the old post() path paid.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "repl/repl_hub.h"
+#include "repl/replicated.h"
 #include "rt/dispatch.h"
 #include "rt/runtime.h"
 
@@ -29,11 +34,24 @@ enum KvOp : Word {
   kKvOwnerOf = 5, // w[0]=key            -> w[1]=owning program
 };
 
+/// Fixed capacity of the replicated hot set. Sized so HotSet stays within
+/// the Replicated<T> small-payload bound (256 bytes); the config capacity
+/// is clamped to this.
+inline constexpr std::size_t kKvHotSetCapacity = 8;
+
 struct KvServiceConfig {
   std::string name = "kv";
   std::size_t shard_capacity = 1024;
   /// When set, only the creating program may erase an entry.
   bool enforce_ownership = true;
+  /// Replicate a read-mostly hot set of entries per slot
+  /// (repl::Replicated, propagated through the xcall rings by a ReplHub):
+  /// get_remote consults the caller's local seqlock replica first and only
+  /// falls back to the owner's xcall channel on a miss — the same
+  /// un-saturation the file server's replicated record block buys on the
+  /// simulated facility. Entries are admitted write-through on put while
+  /// space remains. 0 disables; clamped to kKvHotSetCapacity.
+  std::size_t replicated_hot_capacity = 0;
 };
 
 class KvService {
@@ -44,6 +62,12 @@ class KvService {
       : rt_(rt), cfg_(std::move(cfg)), shards_(rt.slots()) {
     for (auto& shard : shards_) {
       shard->entries.resize(cfg_.shard_capacity);
+    }
+    if (cfg_.replicated_hot_capacity > 0) {
+      hot_cap_ = std::min(cfg_.replicated_hot_capacity, kKvHotSetCapacity);
+      hot_ = std::make_unique<repl::Replicated<HotSet>>(rt_.slots());
+      hub_ = std::make_unique<repl::ReplHub>(rt_, cfg_.name + "-repl");
+      hub_->manage(*hot_);
     }
     ep_ = rt_.bind({.name = cfg_.name}, /*program=*/0,
                    [this](RtCtx& ctx, RegSet& regs) { init(ctx, regs); });
@@ -96,6 +120,15 @@ class KvService {
 
   std::optional<Word> get_remote(SlotId caller_slot, SlotId owner_slot,
                                  ProgramId caller, Word key) {
+    // Replicated fast path: consult the caller's own seqlock replica of the
+    // hot set — no lock, no xcall, no remote lines. A miss (cold key, or an
+    // entry the hot set never admitted) falls through to the owner.
+    if (hot_ != nullptr) {
+      const HotSet h = hot_->read(caller_slot);
+      for (std::uint32_t i = 0; i < hot_cap_; ++i) {
+        if (h.e[i].used != 0 && h.e[i].key == key) return h.e[i].value;
+      }
+    }
     RegSet r;
     r[0] = key;
     ppc::set_op(r, kKvGet);
@@ -113,6 +146,51 @@ class KvService {
     ProgramId owner = 0;
     bool used = false;
   };
+
+  /// The replicated hot set: a fixed, trivially-copyable record small
+  /// enough for a per-slot seqlock replica. Admission is write-through on
+  /// put while slots remain; eviction only on erase (read-mostly data —
+  /// churn would turn every put into a fan-out publish).
+  struct HotEntry {
+    Word key = 0;
+    Word value = 0;
+    std::uint32_t used = 0;
+  };
+  struct HotSet {
+    std::uint32_t n = 0;
+    std::array<HotEntry, kKvHotSetCapacity> e{};
+  };
+
+  void hot_put(std::uint32_t writer_slot, Word key, Word value) {
+    hot_->write(writer_slot, [&](HotSet& h) {
+      for (std::uint32_t i = 0; i < hot_cap_; ++i) {
+        if (h.e[i].used != 0 && h.e[i].key == key) {
+          h.e[i].value = value;
+          return;
+        }
+      }
+      for (std::uint32_t i = 0; i < hot_cap_; ++i) {
+        if (h.e[i].used == 0) {
+          h.e[i] = HotEntry{key, value, 1};
+          ++h.n;
+          return;
+        }
+      }
+      // Hot set full: not admitted — gets for this key take the xcall path.
+    });
+  }
+
+  void hot_erase(std::uint32_t writer_slot, Word key) {
+    hot_->write(writer_slot, [&](HotSet& h) {
+      for (std::uint32_t i = 0; i < hot_cap_; ++i) {
+        if (h.e[i].used != 0 && h.e[i].key == key) {
+          h.e[i] = HotEntry{};
+          --h.n;
+          return;
+        }
+      }
+    });
+  }
 
   /// One slot's shard: touched only by that slot's thread on the fast path.
   struct Shard {
@@ -185,6 +263,7 @@ class KvService {
       ++shard.size;
     }
     e->value = regs[1];
+    if (hot_ != nullptr) hot_put(ctx.slot(), regs[0], regs[1]);
     ppc::set_rc(regs, Status::kOk);
   }
 
@@ -231,6 +310,7 @@ class KvService {
         hole = j;
       }
     }
+    if (hot_ != nullptr) hot_erase(ctx.slot(), regs[0]);
     ppc::set_rc(regs, Status::kOk);
   }
 
@@ -238,6 +318,9 @@ class KvService {
   KvServiceConfig cfg_;
   std::vector<CacheAligned<Shard>> shards_;
   EntryPointId ep_ = kInvalidEntryPoint;
+  std::uint32_t hot_cap_ = 0;
+  std::unique_ptr<repl::Replicated<HotSet>> hot_;
+  std::unique_ptr<repl::ReplHub> hub_;
 };
 
 }  // namespace hppc::rt

@@ -486,6 +486,11 @@ const obs::SlotCounters& Runtime::counters(SlotId slot) const {
   return slots_[slot]->counters;
 }
 
+obs::SlotCounters& Runtime::slot_counters(SlotId slot) {
+  HPPC_ASSERT(slot < slots_.size());
+  return slots_[slot]->counters;
+}
+
 namespace {
 
 /// Fill in the per-call pool counters the fast path deliberately does not

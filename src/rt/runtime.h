@@ -225,6 +225,12 @@ class Runtime {
   /// thread; read-only for observers).
   const obs::SlotCounters& counters(SlotId slot) const;
 
+  /// Writable view of a slot's counter block, for slot-local layers built
+  /// on top of the runtime (repl::ReplHub wires Replicated<T> reads into
+  /// it). The single-writer discipline is the caller's contract: only the
+  /// slot's current ownership holder may increment through this.
+  obs::SlotCounters& slot_counters(SlotId slot);
+
   /// Counters for off-slot slow paths (bind, kill, cross-slot post).
   const obs::SharedCounters& shared_counters() const { return shared_; }
 

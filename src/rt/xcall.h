@@ -46,20 +46,17 @@
 #include <thread>
 
 #include "common/cacheline.h"
+#include "common/cpu_relax.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "ppc/regs.h"
 
 namespace hppc::rt {
 
-/// Compiler-friendly busy-wait hint (PAUSE on x86, YIELD on arm64).
-inline void cpu_relax() {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#elif defined(__aarch64__)
-  asm volatile("yield");
-#endif
-}
+// The spin hint moved to common/cpu_relax.h so spin loops below rt/ (the
+// repl seqlock read retry) can share it; re-exported here for existing
+// callers.
+using ::hppc::cpu_relax;
 
 /// Caller-side completion block for a synchronous cross-slot call. Lives
 /// on the caller's stack (cache-hot for the spinner); the server writes

@@ -25,6 +25,10 @@ constexpr Cycles kLockedWork = 200;
 constexpr int kRecordAccesses = 2;        // "a very small number"
 constexpr std::size_t kRecordBytes = 64;  // metadata record
 constexpr std::size_t kOpenTableEntry = 32;
+// The replicated read path replaces the whole serialized section with a
+// CPU-local seqlock validation: no lock, no remote record accesses, just
+// the version check and the copy of the (one-word) record block.
+constexpr Cycles kReplicaWork = 40;
 }  // namespace
 
 FileServer::FileServer(ppc::PpcFacility& ppc, Config cfg)
@@ -54,6 +58,11 @@ std::uint32_t FileServer::create_file(NodeId home, std::uint64_t length,
   const SimAddr record = alloc.alloc(home, kRecordBytes, 64);
   const SimAddr data = alloc.alloc(home, kPageSize, kPageSize);
   files_.push_back(std::make_unique<File>(length, record, data, home, owner));
+  if (cfg_.replicate_read_path) {
+    files_.back()->replicas =
+        std::make_unique<repl::SimReplicated<RecordBlock>>(
+            ppc_.machine(), RecordBlock{length});
+  }
   return static_cast<std::uint32_t>(files_.size() - 1);
 }
 
@@ -102,6 +111,26 @@ void FileServer::locked_record_access(ServerCtx& ctx, File& f,
   f.lock.release(mem, CostCategory::kServerTime);
 }
 
+std::uint64_t FileServer::replicated_length(ServerCtx& ctx, File& f) {
+  // The replicated fast path: validate this CPU's replica of the record
+  // block. No lock acquired, no shared record touched — only the CPU-local
+  // update-queue flag and replica line (plus the lazy apply of a pending
+  // update). A reader that lands inside a writer's publish window retries
+  // once and waits the window out (SimSeqlockReplica charges it).
+  const auto out = f.replicas->read(ctx.cpu().mem(), CostCategory::kServerTime);
+  ctx.work(kReplicaWork);
+  return out.value.length;
+}
+
+void FileServer::publish_record(ServerCtx& ctx, File& f) {
+  if (!f.replicas) return;
+  // Write side of the replication: still serialized by the per-file lock
+  // (the caller holds it logically — writes are rare); push the new record
+  // block into every CPU's update queue.
+  f.replicas->write(ctx.cpu().mem(), CostCategory::kServerTime,
+                    RecordBlock{f.length});
+}
+
 void FileServer::handler(ServerCtx& ctx, RegSet& regs) {
   switch (opcode_of(regs)) {
     case kFileGetLength: {
@@ -110,9 +139,15 @@ void FileServer::handler(ServerCtx& ctx, RegSet& regs) {
       ctx.work(kLookupWork);
       ctx.touch(open_table_ + (regs[0] % 256) * kOpenTableEntry,
                 kOpenTableEntry, /*is_store=*/false);
-      locked_record_access(ctx, *f, /*is_store=*/false);
+      std::uint64_t len;
+      if (f->replicas) {
+        len = replicated_length(ctx, *f);
+      } else {
+        locked_record_access(ctx, *f, /*is_store=*/false);
+        len = f->length;
+      }
       ctx.work(kResultWork);
-      set_u64(regs, 1, f->length);
+      set_u64(regs, 1, len);
       set_rc(regs, Status::kOk);
       return;
     }
@@ -130,6 +165,7 @@ void FileServer::handler(ServerCtx& ctx, RegSet& regs) {
       const std::uint64_t len = get_u64(regs, 1);
       locked_record_access(ctx, *f, /*is_store=*/true);
       f->length = len;
+      publish_record(ctx, *f);
       ctx.work(kResultWork);
       set_rc(regs, Status::kOk);
       return;
@@ -140,14 +176,22 @@ void FileServer::handler(ServerCtx& ctx, RegSet& regs) {
       ctx.work(kLookupWork);
       const std::uint32_t offset = regs[1];
       std::uint32_t bytes = regs[2];
-      locked_record_access(ctx, *f, /*is_store=*/false);
-      if (offset >= f->length) {
+      std::uint64_t len;
+      if (f->replicas) {
+        // EOF check against the CPU-local replica: the read path of a
+        // replicated file takes no lock at all.
+        len = replicated_length(ctx, *f);
+      } else {
+        locked_record_access(ctx, *f, /*is_store=*/false);
+        len = f->length;
+      }
+      if (offset >= len) {
         regs[3] = 0;
         set_rc(regs, Status::kOk);
         return;
       }
       bytes = static_cast<std::uint32_t>(
-          std::min<std::uint64_t>(bytes, f->length - offset));
+          std::min<std::uint64_t>(bytes, len - offset));
       bytes = std::min<std::uint32_t>(bytes, kPageSize);
       // Stream the data through the cache (file cache pages at the file's
       // home node).
@@ -171,7 +215,10 @@ void FileServer::handler(ServerCtx& ctx, RegSet& regs) {
       locked_record_access(ctx, *f, /*is_store=*/true);
       ctx.touch(f->data + offset % kPageSize, std::max<std::uint32_t>(bytes, 1),
                 /*is_store=*/true);
-      if (offset + bytes > f->length) f->length = offset + bytes;
+      if (offset + bytes > f->length) {
+        f->length = offset + bytes;
+        publish_record(ctx, *f);
+      }
       ctx.work(kResultWork);
       set_rc(regs, Status::kOk);
       return;
@@ -206,7 +253,10 @@ void FileServer::handler(ServerCtx& ctx, RegSet& regs) {
         return;
       }
       locked_record_access(ctx, *f, /*is_store=*/true);
-      if (offset + len > f->length) f->length = offset + len;
+      if (offset + len > f->length) {
+        f->length = offset + len;
+        publish_record(ctx, *f);
+      }
       ctx.work(kResultWork);
       set_rc(regs, Status::kOk);
       return;

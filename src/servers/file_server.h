@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ppc/facility.h"
+#include "repl/sim_replicated.h"
 #include "sim/spinlock.h"
 
 namespace hppc::servers {
@@ -46,6 +47,13 @@ class FileServer {
     /// the paper's saturation at ~4 processors. The critical-section
     /// ablation bench sweeps this.
     double critsec_scale = 1.0;
+    /// Replicate the read-mostly record block (the file length) per CPU:
+    /// GetLength and the Read EOF check validate a CPU-local seqlock
+    /// replica instead of taking the per-file spinlock; writes still go
+    /// through the locked master and publish new versions to every CPU's
+    /// update queue. Off (the default) reproduces the published Figure-3
+    /// single-file saturation.
+    bool replicate_read_path = false;
   };
 
   FileServer(ppc::PpcFacility& ppc, Config cfg);
@@ -94,6 +102,13 @@ class FileServer {
   SimAddr data_addr(std::uint32_t file_id) const;
 
  private:
+  /// The read-mostly slice of the shared record: what GetLength and the
+  /// Read EOF check actually need. Small and trivially copyable so it can
+  /// ride a per-CPU seqlock replica.
+  struct RecordBlock {
+    std::uint64_t length = 0;
+  };
+
   struct File {
     std::uint64_t length;
     SimAddr record;  // shared on-disk-cache metadata (accessed uncached)
@@ -101,6 +116,8 @@ class FileServer {
     NodeId home;
     ProgramId owner;
     sim::SimSpinLock lock;
+    /// Per-CPU replicas of the record block (replicate_read_path only).
+    std::unique_ptr<repl::SimReplicated<RecordBlock>> replicas;
 
     File(std::uint64_t len, SimAddr rec, SimAddr dat, NodeId h, ProgramId o)
         : length(len), record(rec), data(dat), home(h), owner(o), lock(rec) {}
@@ -109,6 +126,10 @@ class FileServer {
   void handler(ppc::ServerCtx& ctx, ppc::RegSet& regs);
   File* file_for(ppc::RegSet& regs);  // sets rc on failure
   void locked_record_access(ppc::ServerCtx& ctx, File& f, bool is_store);
+  /// Lock-free replicated read of the record block (replicate_read_path).
+  std::uint64_t replicated_length(ppc::ServerCtx& ctx, File& f);
+  /// Write-side publish: refresh every CPU's replica after a length change.
+  void publish_record(ppc::ServerCtx& ctx, File& f);
 
   ppc::PpcFacility& ppc_;
   Config cfg_;

@@ -70,6 +70,65 @@ TEST(Fig3, Deterministic) {
   EXPECT_EQ(a.lock_migrations, b.lock_migrations);
 }
 
+Fig3Config quick_repl(std::uint32_t clients) {
+  Fig3Config cfg = quick(clients, /*single=*/true);
+  cfg.replicate_read_path = true;
+  return cfg;
+}
+
+TEST(Fig3, ReplicatedSingleFileScalesLikeDifferentFiles) {
+  // The tentpole claim: replicating the read-mostly record block removes
+  // the per-file lock from the hot path, so one shared file scales like
+  // sixteen independent ones instead of saturating at four processors.
+  const Fig3Result diff = run_fig3(quick(16, false));
+  const Fig3Result locked = run_fig3(quick(16, true));
+  const Fig3Result repl = run_fig3(quick_repl(16));
+
+  EXPECT_GE(repl.calls_per_sec, 0.8 * diff.calls_per_sec);
+  EXPECT_GT(repl.calls_per_sec, 3.0 * locked.calls_per_sec);
+  // No lock is ever taken in the measured (warm) read phase, and no reader
+  // ever fell back to the master.
+  EXPECT_EQ(repl.warm_counters.get(obs::Counter::kLocksTaken), 0u);
+  EXPECT_EQ(repl.warm_counters.get(obs::Counter::kReplFallbackLocked), 0u);
+  // The Figure-3 workload never writes, so no read lands in a publish
+  // window: retries stay bounded at exactly zero.
+  EXPECT_EQ(repl.warm_counters.get(obs::Counter::kReplSeqRetries), 0u);
+  EXPECT_EQ(repl.lock_migrations, 0u);
+  EXPECT_GT(repl.warm_counters.get(obs::Counter::kReplReads),
+            repl.total_calls / 2);
+}
+
+TEST(Fig3, ReplicatedFlagOffReproducesPublishedCurve) {
+  // The flag must be a pure ablation: off is byte-for-byte the published
+  // saturating behavior, with the per-file lock taken on every call.
+  const Fig3Result locked = run_fig3(quick(8, true));
+  EXPECT_GT(locked.warm_counters.get(obs::Counter::kLocksTaken), 0u);
+  EXPECT_EQ(locked.warm_counters.get(obs::Counter::kReplReads), 0u);
+  EXPECT_EQ(locked.counters.get(obs::Counter::kLocksTaken),
+            locked.counters.get(obs::Counter::kCallsSync));
+}
+
+TEST(Fig3, ReplicatedSequentialCallIsCheaper) {
+  // Dropping the locked section from the call shortens even the
+  // uncontended path (the seqlock validation is cheaper than the lock plus
+  // its uncached record accesses).
+  Fig3Config solo_locked = quick(1, true);
+  solo_locked.measure_ms = 20.0;
+  Fig3Config solo_repl = quick_repl(1);
+  solo_repl.measure_ms = 20.0;
+  const Fig3Result locked = run_fig3(solo_locked);
+  const Fig3Result repl = run_fig3(solo_repl);
+  EXPECT_LT(repl.sequential_us, locked.sequential_us);
+  EXPECT_GT(repl.sequential_us, 0.5 * locked.sequential_us);
+}
+
+TEST(Fig3, ReplicatedDeterministic) {
+  const Fig3Result a = run_fig3(quick_repl(3));
+  const Fig3Result b = run_fig3(quick_repl(3));
+  EXPECT_EQ(a.total_calls, b.total_calls);
+  EXPECT_EQ(a.counters, b.counters);
+}
+
 TEST(Fig3, CritsecScaleMovesTheKnee) {
   // Ablation hook: halving the critical section moves saturation higher.
   Fig3Config heavy = quick(8, true);

@@ -1,0 +1,152 @@
+// The simulated-facility side of the replication layer: the timeline
+// seqlock cost model (sim::SimSeqlockReplica) and the value-typed wrapper
+// (repl::SimReplicated) the file server's replicated record block rides.
+#include "repl/sim_replicated.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+#include "sim/seqlock.h"
+
+namespace hppc::repl {
+namespace {
+
+using obs::Counter;
+using sim::CostCategory;
+using sim::MachineConfig;
+using sim::MemContext;
+using sim::SimSeqlockReplica;
+
+TEST(SimSeqlock, WarmReadIsTwoLocalUncachedAccesses) {
+  MachineConfig mc = sim::hector_config(4);
+  MemContext cpu(mc, 0);
+  obs::SlotCounters c;
+  cpu.set_obs(&c);
+  SimSeqlockReplica sl(sim::node_base(0) + 0x100, sim::node_base(0) + 0x140);
+
+  const auto ch = sl.read(cpu, CostCategory::kServerTime);
+  EXPECT_EQ(ch.retries, 0);
+  EXPECT_FALSE(ch.applied);
+  // Queue-flag check + payload read, both node-local uncached.
+  EXPECT_EQ(cpu.now(), 2 * mc.uncached_local_cycles);
+  EXPECT_EQ(c.get(Counter::kReplReads), 1u);
+  EXPECT_EQ(c.get(Counter::kReplSeqRetries), 0u);
+  EXPECT_EQ(c.get(Counter::kLocksTaken), 0u);
+}
+
+TEST(SimSeqlock, ReaderInsidePublishWindowRetriesAndApplies) {
+  MachineConfig mc = sim::hector_config(4);
+  MemContext writer(mc, 1), reader(mc, 0);
+  obs::SlotCounters c;
+  reader.set_obs(&c);
+  SimSeqlockReplica sl(sim::node_base(0) + 0x100, sim::node_base(0) + 0x140);
+
+  writer.charge(CostCategory::kServerTime, 5);
+  sl.publish(writer, CostCategory::kServerTime);
+  ASSERT_EQ(sl.window_start(), 5u);
+  ASSERT_GT(sl.window_end(), sl.window_start());
+
+  // The reader's queue-flag access lands inside [5, 25): it observed the
+  // sequence word mid-flip, retries, and waits the window out.
+  const auto ch = sl.read(reader, CostCategory::kServerTime);
+  EXPECT_EQ(ch.retries, 1);
+  EXPECT_TRUE(ch.applied);
+  EXPECT_GE(reader.now(), sl.window_end());
+  EXPECT_GT(reader.ledger().get(CostCategory::kIdle), 0u);
+  EXPECT_EQ(c.get(Counter::kReplSeqRetries), 1u);
+  EXPECT_EQ(sl.applied_version(), 1u);
+  EXPECT_FALSE(sl.has_pending());
+}
+
+TEST(SimSeqlock, ReaderBeforeWindowSeesNothingPending) {
+  MachineConfig mc = sim::hector_config(4);
+  MemContext writer(mc, 1), reader(mc, 0);
+  SimSeqlockReplica sl(sim::node_base(0) + 0x100, sim::node_base(0) + 0x140);
+
+  writer.charge(CostCategory::kServerTime, 500);
+  sl.publish(writer, CostCategory::kServerTime);
+
+  // The reader's clock never reaches the window: the update stays pending
+  // and this read is charged like any warm read.
+  const auto ch = sl.read(reader, CostCategory::kServerTime);
+  EXPECT_EQ(ch.retries, 0);
+  EXPECT_FALSE(ch.applied);
+  EXPECT_TRUE(sl.has_pending());
+  EXPECT_EQ(sl.applied_version(), 0u);
+}
+
+TEST(SimReplicated, CrossCpuVisibilityFollowsTheWindow) {
+  kernel::Machine m(sim::hector_config(4));
+  SimReplicated<std::uint64_t> val(m, 7);
+
+  // Initial value everywhere.
+  EXPECT_EQ(val.read(m.cpu(1).mem(), CostCategory::kServerTime).value, 7u);
+
+  // Write from CPU 0: each CPU's update queue gets its own publish window
+  // in writer-clock order.
+  val.write(m.cpu(0).mem(), CostCategory::kServerTime, 42);
+  EXPECT_EQ(val.master(), 42u);
+
+  // CPU 2's clock is still at ~0, before its window: it reads the previous
+  // generation — a consistent, bounded-stale value.
+  EXPECT_EQ(val.read(m.cpu(2).mem(), CostCategory::kServerTime).value, 7u);
+
+  // Once its clock passes the writer's publish, the update applies.
+  m.cpu(2).mem().idle_until(m.cpu(0).now());
+  const auto out = val.read(m.cpu(2).mem(), CostCategory::kServerTime);
+  EXPECT_TRUE(out.applied);
+  EXPECT_EQ(out.value, 42u);
+  // And stays applied (no more pending work on later reads).
+  EXPECT_FALSE(
+      val.read(m.cpu(2).mem(), CostCategory::kServerTime).applied);
+}
+
+TEST(SimReplicated, CoalescedWritesKeepGenerationsConsistent) {
+  kernel::Machine m(sim::hector_config(4));
+  SimReplicated<std::uint64_t> val(m, 1);
+
+  val.write(m.cpu(0).mem(), CostCategory::kServerTime, 2);
+  m.cpu(0).mem().charge(CostCategory::kServerTime, 1000);
+  val.write(m.cpu(0).mem(), CostCategory::kServerTime, 3);
+
+  // A reader past everything sees the latest.
+  m.cpu(1).mem().idle_until(m.cpu(0).now());
+  EXPECT_EQ(val.read(m.cpu(1).mem(), CostCategory::kServerTime).value, 3u);
+
+  // A reader between the two publishes sees the folded first write — never
+  // a value that was never written.
+  m.cpu(2).mem().idle_until(m.cpu(0).now() - 500);
+  const auto mid = val.read(m.cpu(2).mem(), CostCategory::kServerTime).value;
+  EXPECT_EQ(mid, 2u);
+}
+
+TEST(SimReplicated, WriterPaysForEveryReplica) {
+  kernel::Machine m(sim::hector_config(16));
+  SimReplicated<std::uint64_t> val(m, 0);
+  auto& w = m.cpu(0).mem();
+  const Cycles before = w.now();
+  val.write(w, CostCategory::kServerTime, 1);
+  // 2 uncached stores per replica, 16 replicas, 12 of them off-station:
+  // the fan-out publish is visibly the writer's cost.
+  EXPECT_GE(w.now() - before, 16u * 2u * sim::hector_config(16).uncached_local_cycles);
+  EXPECT_EQ(m.cpu(0).counters().get(Counter::kReplInvalidations), 16u);
+}
+
+TEST(SimReplicated, DeterministicAcrossRuns) {
+  auto run = [] {
+    kernel::Machine m(sim::hector_config(4));
+    SimReplicated<std::uint64_t> val(m, 1);
+    val.write(m.cpu(0).mem(), CostCategory::kServerTime, 2);
+    std::uint64_t sum = 0;
+    for (CpuId c = 0; c < 4; ++c) {
+      m.cpu(c).mem().charge(CostCategory::kServerTime, 100 * (c + 1));
+      sum += val.read(m.cpu(c).mem(), CostCategory::kServerTime).value;
+      sum += m.cpu(c).mem().now();
+    }
+    return sum;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace hppc::repl

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "kernel/machine.h"
+#include "obs/counters.h"
 
 namespace hppc::servers {
 namespace {
@@ -240,6 +243,118 @@ TEST(FileServer, ManyFilesAcrossNodes) {
               Status::kOk);
     EXPECT_EQ(len, 1000u + i);
   }
+}
+
+struct ReplFixture {
+  ReplFixture() : machine(sim::hector_config(8)), ppc(machine) {
+    FileServer::Config cfg;
+    cfg.replicate_read_path = true;
+    bob = std::make_unique<FileServer>(ppc, cfg);
+  }
+
+  Process& make_client(ProgramId prog, CpuId cpu) {
+    auto& as = machine.create_address_space(prog,
+                                            machine.config().node_of_cpu(cpu));
+    return machine.create_process(prog, &as, "client",
+                                  machine.config().node_of_cpu(cpu));
+  }
+
+  obs::CounterSnapshot snap(CpuId cpu) {
+    return machine.cpu(cpu).counters().snapshot();
+  }
+
+  Machine machine;
+  PpcFacility ppc;
+  std::unique_ptr<FileServer> bob;
+};
+
+TEST(FileServerReplicated, GetLengthTakesNoLock) {
+  ReplFixture f;
+  const auto fid = f.bob->create_file(0, 12345);
+  Process& client = f.make_client(100, 0);
+  std::uint64_t len = 0;
+  // Warm call (pools, caches), then measure the counter delta.
+  ASSERT_EQ(FileServer::get_length(f.ppc, f.machine.cpu(0), client,
+                                   f.bob->ep(), fid, &len),
+            Status::kOk);
+  const auto before = f.snap(0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(FileServer::get_length(f.ppc, f.machine.cpu(0), client,
+                                     f.bob->ep(), fid, &len),
+              Status::kOk);
+    EXPECT_EQ(len, 12345u);
+  }
+  const auto delta = f.snap(0).delta(before);
+  EXPECT_EQ(delta.get(obs::Counter::kLocksTaken), 0u);
+  EXPECT_EQ(delta.get(obs::Counter::kReplReads), 10u);
+  EXPECT_EQ(delta.get(obs::Counter::kReplSeqRetries), 0u);
+  EXPECT_EQ(f.bob->lock_migrations(fid), 0u);
+}
+
+TEST(FileServerReplicated, WriteStillLocksAndPublishes) {
+  ReplFixture f;
+  const auto fid = f.bob->create_file(0, 100, /*owner=*/0);
+  Process& client = f.make_client(100, 0);
+  const auto before = f.snap(0);
+  ASSERT_EQ(FileServer::set_length(f.ppc, f.machine.cpu(0), client,
+                                   f.bob->ep(), fid, 555),
+            Status::kOk);
+  const auto delta = f.snap(0).delta(before);
+  EXPECT_GE(delta.get(obs::Counter::kLocksTaken), 1u);  // the per-file lock
+  // The writer paid one publish per CPU's update queue.
+  EXPECT_EQ(delta.get(obs::Counter::kReplInvalidations),
+            static_cast<std::uint64_t>(f.machine.config().num_cpus));
+  EXPECT_EQ(f.bob->length_of(fid), 555u);
+}
+
+TEST(FileServerReplicated, WriteBecomesVisibleAcrossCpus) {
+  ReplFixture f;
+  const auto fid = f.bob->create_file(0, 100, /*owner=*/0);
+  Process& writer = f.make_client(100, 0);
+  Process& reader = f.make_client(101, 1);
+  std::uint64_t len = 0;
+
+  // Prime CPU 1's replica, then park the writer far ahead in simulated
+  // time so the publish windows land well past the reader's clock.
+  ASSERT_EQ(FileServer::get_length(f.ppc, f.machine.cpu(1), reader,
+                                   f.bob->ep(), fid, &len),
+            Status::kOk);
+  EXPECT_EQ(len, 100u);
+  f.machine.cpu(0).mem().charge(sim::CostCategory::kServerTime, 100000);
+  ASSERT_EQ(FileServer::set_length(f.ppc, f.machine.cpu(0), writer,
+                                   f.bob->ep(), fid, 555),
+            Status::kOk);
+
+  // The reader's clock is still before the publish window: it sees the
+  // previous generation — consistent, bounded-stale, deterministic.
+  ASSERT_EQ(FileServer::get_length(f.ppc, f.machine.cpu(1), reader,
+                                   f.bob->ep(), fid, &len),
+            Status::kOk);
+  EXPECT_EQ(len, 100u);
+
+  // Once its clock passes the writer's publish, the update applies.
+  f.machine.cpu(1).mem().idle_until(f.machine.cpu(0).now());
+  ASSERT_EQ(FileServer::get_length(f.ppc, f.machine.cpu(1), reader,
+                                   f.bob->ep(), fid, &len),
+            Status::kOk);
+  EXPECT_EQ(len, 555u);
+}
+
+TEST(FileServerReplicated, ReadEofCheckUsesReplica) {
+  ReplFixture f;
+  const auto fid = f.bob->create_file(0, 100);
+  Process& client = f.make_client(100, 0);
+  std::uint32_t got = 0;
+  ASSERT_EQ(FileServer::read(f.ppc, f.machine.cpu(0), client, f.bob->ep(),
+                             fid, 80, 50, &got),
+            Status::kOk);
+  EXPECT_EQ(got, 20u);  // clamped at EOF, via the replica's length
+  const auto before = f.snap(0);
+  ASSERT_EQ(FileServer::read(f.ppc, f.machine.cpu(0), client, f.bob->ep(),
+                             fid, 0, 10, &got),
+            Status::kOk);
+  EXPECT_EQ(got, 10u);
+  EXPECT_EQ(f.snap(0).delta(before).get(obs::Counter::kLocksTaken), 0u);
 }
 
 }  // namespace
