@@ -30,6 +30,14 @@ enum class Status : std::uint8_t {
   kShutdown,
   /// Malformed request (bad opcode, bad arguments).
   kInvalidArgument,
+  /// The caller's deadline expired before the call completed; the caller
+  /// abandoned the wait (the in-flight cell is reclaimed safely, but the
+  /// handler may or may not have executed — timed-out-RPC semantics).
+  kDeadlineExceeded,
+  /// Admission control shed the call (target queue over its watermark) or
+  /// the bounded ring-full backoff budget ran out. The call never started;
+  /// retrying later is safe.
+  kOverloaded,
 };
 
 /// Human-readable code name, for logs and test diagnostics.
@@ -45,6 +53,8 @@ constexpr const char* to_string(Status s) {
     case Status::kServerError: return "ServerError";
     case Status::kShutdown: return "Shutdown";
     case Status::kInvalidArgument: return "InvalidArgument";
+    case Status::kDeadlineExceeded: return "DeadlineExceeded";
+    case Status::kOverloaded: return "Overloaded";
   }
   return "?";
 }

@@ -75,6 +75,13 @@ enum class Counter : std::uint32_t {
   kReplInvalidations,   // replica updates propagated by a writer
   kReplFallbackLocked,  // reads that gave up retrying and took the master lock
 
+  // -- robustness: fault injection, deadlines, overload shedding --
+  kFaultsInjected,      // failpoints that fired on this slot's paths
+  kDeadlineExceeded,    // calls abandoned because their deadline expired
+  kCallsShed,           // calls rejected by admission control (watermark)
+  kRetries,             // ring-full re-post attempts on the sync xcall path
+  kBackoffCycles,       // cpu_relax spins burned in ring-full backoff
+
   kCount
 };
 
@@ -119,6 +126,11 @@ constexpr const char* counter_name(Counter c) {
     case Counter::kReplSeqRetries: return "repl_seq_retries";
     case Counter::kReplInvalidations: return "repl_invalidations";
     case Counter::kReplFallbackLocked: return "repl_fallback_locked";
+    case Counter::kFaultsInjected: return "faults_injected";
+    case Counter::kDeadlineExceeded: return "deadline_exceeded";
+    case Counter::kCallsShed: return "calls_shed";
+    case Counter::kRetries: return "retries";
+    case Counter::kBackoffCycles: return "backoff_cycles";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -39,6 +39,9 @@ enum class TraceEvent : std::uint16_t {
   kXcallBatch,        // arg = cells drained in the batch (target-side)
   kReplPublish,       // arg = replicated object id (writer-side propagate)
   kReplPull,          // arg = replicated object id (owner refreshed replica)
+  kFaultInject,       // arg = site-local tag (fault injection fired)
+  kDeadlineExceeded,  // arg = target slot (caller abandoned the wait)
+  kCallShed,          // arg = target slot (admission control rejected)
   kCount
 };
 
@@ -64,6 +67,9 @@ constexpr const char* trace_event_name(TraceEvent e) {
     case TraceEvent::kXcallBatch: return "xcall_batch";
     case TraceEvent::kReplPublish: return "repl_publish";
     case TraceEvent::kReplPull: return "repl_pull";
+    case TraceEvent::kFaultInject: return "fault_inject";
+    case TraceEvent::kDeadlineExceeded: return "deadline_exceeded";
+    case TraceEvent::kCallShed: return "call_shed";
     case TraceEvent::kCount: break;
   }
   return "unknown";

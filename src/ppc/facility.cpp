@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "fault/failpoints.h"
 #include "kernel/address_space.h"
 #include "obs/trace.h"
 #include "kernel/cpu.h"
@@ -660,6 +661,22 @@ Status PpcFacility::call(Cpu& cpu, Process& caller, EntryPointId id,
   cpu.counters().inc(obs::Counter::kCallsSync);
   HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
                    obs::TraceEvent::kCallEnter, id);
+  // Fault seam: pretend Frank's redirect could not produce a worker or CD
+  // (§4.5.6 exhaustion) — the sim analogue of rt.worker.exhausted. Must
+  // unwind exactly like the lookup-failure path above.
+  if (HPPC_FAULT_POINT("ppc.call.frank_exhausted")) {
+    cpu.counters().inc(obs::Counter::kFaultsInjected);
+    HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
+                     obs::TraceEvent::kFaultInject, id);
+    set_rc(regs, Status::kOutOfResources);
+    if (user_caller) {
+      mem.exec(stub->restore, CostCategory::kUserSaveRestore);
+      mem.load(caller.user_stack(), cal_.user_reg_bytes,
+               user_ctx_of(*caller.address_space()),
+               CostCategory::kUserSaveRestore);
+    }
+    return Status::kOutOfResources;
+  }
   Worker* w = acquire_worker(cpu, *ep);
   CallDescriptor* cd = acquire_cd(cpu, *w);
   cd->set_caller(&caller);

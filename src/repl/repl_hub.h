@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/failpoints.h"
 #include "obs/trace.h"
 #include "ppc/regs.h"
 #include "repl/replicated.h"
@@ -106,6 +107,14 @@ class ReplHub {
     // Clear the flag BEFORE pulling: a write that lands during the pull
     // posts a fresh nudge instead of being swallowed.
     e.pending[slot].store(false, std::memory_order_release);
+    // Fault seam: stretch the window between flag-clear and pull (the
+    // failpoint burns its delay budget) so races that hide in that gap —
+    // a write landing mid-pull — get hit deterministically under chaos.
+    if (HPPC_FAULT_POINT("repl.pull.delay")) {
+      ctx.runtime().slot_counters(slot).inc(obs::Counter::kFaultsInjected);
+      HPPC_TRACE_EVENT(ctx.runtime().trace_ring(slot), obs::host_trace_now(),
+                       slot, obs::TraceEvent::kFaultInject, regs[0]);
+    }
     e.pull(slot);
     HPPC_TRACE_EVENT(ctx.runtime().trace_ring(slot), obs::host_trace_now(),
                      slot, obs::TraceEvent::kReplPull, regs[0]);

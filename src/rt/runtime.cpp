@@ -1,5 +1,8 @@
 #include "rt/runtime.h"
 
+#include "common/tsc.h"
+#include "fault/failpoints.h"
+
 namespace hppc::rt {
 
 using ppc::rc_of;
@@ -177,16 +180,43 @@ Status Runtime::execute_on_slot(Slot& slot, SlotId slot_id, Service& svc,
   if constexpr (kObserved) {
     HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
                      obs::TraceEvent::kCallEnter, svc.id);
+    // Fault seams for the resource-acquisition half of the call body:
+    // simulate the worker pool (then the CD pool) being exhausted past even
+    // Frank's reach — the §4.5.6 failure mode — without perturbing the real
+    // pools.
+    if (HPPC_FAULT_POINT("rt.worker.exhausted") ||
+        HPPC_FAULT_POINT("rt.cd.exhausted")) {
+      slot.counters.inc(obs::Counter::kFaultsInjected);
+      HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
+                       obs::TraceEvent::kFaultInject, svc.id);
+      set_rc(regs, Status::kOutOfResources);
+      return Status::kOutOfResources;
+    }
   }
   RtWorker* w = acquire_worker<kObserved>(slot, svc);
   RtCd* cd = acquire_cd<kObserved>(slot, *w);
   w->active_cd = cd;
 
-  RtCtx ctx(*this, slot_id, *w, caller);
-  // Invoked by reference: self-replacement (§4.5.3) is staged in the worker
-  // and committed below, so no per-call std::function copy is needed.
-  w->handler()(ctx, regs);
-  if (w->has_pending_handler()) w->commit_pending_handler();
+  bool aborted = false;
+  if constexpr (kObserved) {
+    // Simulated handler abort (§4.5.2 in-flight failure): the worker and CD
+    // were acquired, the handler never runs, resources are released below.
+    if (HPPC_FAULT_POINT("rt.handler.abort")) {
+      slot.counters.inc(obs::Counter::kFaultsInjected);
+      HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
+                       obs::TraceEvent::kFaultInject, svc.id);
+      set_rc(regs, Status::kCallAborted);
+      aborted = true;
+    }
+  }
+  if (!aborted) {
+    RtCtx ctx(*this, slot_id, *w, caller);
+    // Invoked by reference: self-replacement (§4.5.3) is staged in the
+    // worker and committed below, so no per-call std::function copy is
+    // needed.
+    w->handler()(ctx, regs);
+    if (w->has_pending_handler()) w->commit_pending_handler();
+  }
 
   release(slot, svc, w, cd);
   if constexpr (kObserved) {
@@ -220,12 +250,29 @@ Status Runtime::call_impl(SlotId slot_id, ProgramId caller, EntryPointId id,
   // for hold_cd_hits), then the shared slot-local call body.
   if constexpr (kObserved) {
     slot.counters.inc(obs::Counter::kCallsSync);
+    // Pure-delay seam (the failpoint burns its armed cpu_relax budget
+    // before returning true): models a preempted or cache-cold caller.
+    if (HPPC_FAULT_POINT("rt.call.delay")) {
+      slot.counters.inc(obs::Counter::kFaultsInjected);
+      HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
+                       obs::TraceEvent::kFaultInject, id);
+    }
   }
   return execute_on_slot<kObserved>(slot, slot_id, *svc, caller, regs);
 }
 
 Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
                      RegSet& regs) {
+  return call_impl<true>(slot_id, caller, id, regs);
+}
+
+Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
+                     RegSet& regs, const CallOptions& opts) {
+  // A same-slot call executes inline on the calling thread: there is no
+  // queue to shed from and no wait to abandon, so the options are inert
+  // here (see header). Kept as a distinct overload so generic callers can
+  // address both paths uniformly.
+  (void)opts;
   return call_impl<true>(slot_id, caller, id, regs);
 }
 
@@ -267,15 +314,20 @@ SlotId Runtime::register_thread() {
 Status Runtime::execute_remote(Slot& slot, ProgramId caller, EntryPointId id,
                                RegSet& regs) {
   // Re-resolve: the service may have been killed between post and drain.
+  // The caller pre-screened the entry point before admitting the call, so
+  // a service that is gone (or hard-killed) *here* died while the call was
+  // in flight — that is the §4.5.2 abort case, reported as kCallAborted so
+  // a hard kill racing call_remote yields exactly {kOk, kCallAborted}.
+  // Soft kill keeps its distinct drain code.
   Service* svc = lookup(id);
   if (svc == nullptr) {
-    set_rc(regs, Status::kNoSuchEntryPoint);
-    return Status::kNoSuchEntryPoint;
+    set_rc(regs, Status::kCallAborted);
+    return Status::kCallAborted;
   }
   const SvcState st = svc->state.load(std::memory_order_acquire);
   if (st != SvcState::kActive) {
     const Status s = st == SvcState::kDraining ? Status::kEntryPointDraining
-                                               : Status::kNoSuchEntryPoint;
+                                               : Status::kCallAborted;
     set_rc(regs, s);
     return s;
   }
@@ -290,12 +342,38 @@ std::size_t Runtime::drain_ring(Slot& slot) {
   // cell to observe its payload, one book-keeping store per batch.
   const std::size_t n = slot.xcall.drain([this, &slot](XcallCell& cell) {
     if (cell.wait != nullptr) {
-      // Synchronous: reply into the caller's register file, then publish
+      XcallWait& w = *cell.wait;
+      // Abandoned cell: the caller's deadline expired and it left. Ack
+      // (setting kDoneBit so the owning slot can recycle the block) and
+      // skip execution — the §4.5.2 "caller died mid-call" drain path.
+      if (w.abandoned()) {
+        w.ack_abandoned();
+        slot.counters.inc(obs::Counter::kSharedLinesTouched);
+        return;
+      }
+      // Synchronous: reply into the caller's register file (stack waits)
+      // or the block's inline buffer (pooled deadline waits), then publish
       // completion (release) — one shared-line store, booked below.
-      RegSet& out = *cell.wait->regs;
+      RegSet& out = w.reply_target();
       out = cell.regs;
       const Status rc = execute_remote(slot, cell.caller, cell.ep, out);
-      cell.wait->complete(rc);
+      // Fault seams on the completion publish: a dropped completion (the
+      // caller MUST hold a deadline or it spins forever — chaos-only) and
+      // a delayed one (the failpoint burns its delay budget first).
+      if (HPPC_FAULT_POINT("rt.xcall.complete.drop")) {
+        slot.counters.inc(obs::Counter::kFaultsInjected);
+        HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
+                         slot.self_id, obs::TraceEvent::kFaultInject,
+                         cell.ep);
+        return;
+      }
+      if (HPPC_FAULT_POINT("rt.xcall.complete.delay")) {
+        slot.counters.inc(obs::Counter::kFaultsInjected);
+        HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
+                         slot.self_id, obs::TraceEvent::kFaultInject,
+                         cell.ep);
+      }
+      w.complete(rc);
       slot.counters.inc(obs::Counter::kSharedLinesTouched);
     } else {
       RegSet regs = cell.regs;  // fire-and-forget: results discarded
@@ -317,8 +395,48 @@ bool Runtime::help_drain(Slot& target) {
   return true;
 }
 
+XcallWait* Runtime::acquire_wait(Slot& me) {
+  // Reap zombies first: an abandoned block becomes recyclable once the
+  // server's final store (completion or abandonment ack) sets kDoneBit. A
+  // block whose server never answers (the dropped-completion failpoint)
+  // stays parked here — bounded by the number of drops, freed at ~Runtime.
+  XcallWait** prev = &me.wait_zombies;
+  while (XcallWait* z = *prev) {
+    if (z->server_finished()) {
+      *prev = z->next;
+      z->reset();
+      z->next = me.wait_free;
+      me.wait_free = z;
+    } else {
+      prev = &z->next;
+    }
+  }
+  XcallWait* w = me.wait_free;
+  if (w != nullptr) {
+    me.wait_free = w->next;
+    w->next = nullptr;
+    return w;
+  }
+  auto owned = std::make_unique<XcallWait>();
+  w = owned.get();
+  me.owned_waits.push_back(std::move(owned));
+  return w;
+}
+
+void Runtime::release_wait(Slot& me, XcallWait* w) {
+  w->reset();
+  w->next = me.wait_free;
+  me.wait_free = w;
+}
+
 Status Runtime::call_remote(SlotId caller_slot, SlotId target,
                             ProgramId caller, EntryPointId id, RegSet& regs) {
+  return call_remote(caller_slot, target, caller, id, regs, CallOptions{});
+}
+
+Status Runtime::call_remote(SlotId caller_slot, SlotId target,
+                            ProgramId caller, EntryPointId id, RegSet& regs,
+                            const CallOptions& opts) {
   HPPC_ASSERT(caller_slot < slots_.size());
   HPPC_ASSERT(target < slots_.size());
   if (target == caller_slot) return call(caller_slot, caller, id, regs);
@@ -340,6 +458,17 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
   Slot& me = *slots_[caller_slot];
   Slot& tgt = *slots_[target];
 
+  // Admission control: refuse at the door while the target's queue is over
+  // its watermark — in-flight cells keep draining, new calls are shed.
+  const std::uint32_t watermark = shed_watermark();
+  if (watermark != 0 && tgt.xcall.depth() >= watermark) {
+    me.counters.inc(obs::Counter::kCallsShed);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kCallShed, target);
+    set_rc(regs, Status::kOverloaded);
+    return Status::kOverloaded;
+  }
+
   // Adaptive fast path: the target is parked — take the gate and run the
   // call right here, against the target's pools (LRPC-style migration).
   // No context switch, no allocation; two shared RMWs (steal + release).
@@ -353,25 +482,117 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
     return rc;
   }
 
+  // Delay seam before the publish (models a caller preempted between claim
+  // and post); the ring-full seam forces the first post attempt to fail so
+  // tests can drive the overflow branch without 64 parked cells.
+  if (HPPC_FAULT_POINT("rt.xcall.post")) {
+    me.counters.inc(obs::Counter::kFaultsInjected);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kFaultInject, target);
+  }
+  bool force_full = false;
+  if (HPPC_FAULT_POINT("rt.xcall.ring_full")) {
+    me.counters.inc(obs::Counter::kFaultsInjected);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kFaultInject, target);
+    force_full = true;
+  }
+
+  // Deadline calls wait on a slot-pooled block (inline reply buffer): if
+  // the caller abandons, the server still holds a pointer into storage the
+  // Runtime owns. The no-deadline path keeps the legacy stack block —
+  // cache-hot for the spinner, zero pool traffic.
+  const bool deadlined = opts.deadline_cycles != 0;
+  const std::uint64_t deadline =
+      deadlined ? host_cycles() + opts.deadline_cycles : 0;
+  XcallWait stack_wait;
+  XcallWait* wait = &stack_wait;
+  if (deadlined) {
+    wait = acquire_wait(me);
+  } else {
+    stack_wait.regs = &regs;
+  }
+
   // Ring path: publish a cell (one CAS + one release store), then
-  // spin-then-yield on the completion word. If the ring is full, other
-  // waiters are ahead of us — help drain if the owner parks, else yield;
-  // never allocate on the synchronous path.
-  XcallWait wait;
-  wait.regs = &regs;
+  // spin-then-yield on the completion word. A full ring means other
+  // waiters are ahead of us; what happens next is the retry policy:
+  // kBlock helps/yields forever (legacy), kBackoff burns a doubling
+  // cpu_relax budget per round and gives up with kOverloaded, kFailFast
+  // gives up immediately. The deadline is also checked here — a call that
+  // cannot even be queued before it expires was still too late.
   bool booked_full = false;
-  while (!tgt.xcall.try_post(caller, id, regs, &wait)) {
+  std::uint32_t round = 0;
+  // The request payload is copied into the cell at post time, so passing
+  // the caller's regs is safe even for deadline calls — after an abandon
+  // the server only ever reads the cell's inline copy.
+  while (force_full || !tgt.xcall.try_post(caller, id, regs, wait)) {
+    force_full = false;
     if (!booked_full) {
       booked_full = true;
       me.counters.inc(obs::Counter::kXcallRingFull);
+    } else {
+      me.counters.inc(obs::Counter::kRetries);
     }
-    if (!help_drain(tgt)) std::this_thread::yield();
+    Status give_up = Status::kOk;
+    if (opts.retry == RetryPolicy::kFailFast) {
+      give_up = Status::kOverloaded;
+    } else if (opts.retry == RetryPolicy::kBackoff &&
+               round >= opts.backoff_rounds) {
+      give_up = Status::kOverloaded;
+    } else if (deadlined && host_cycles() >= deadline) {
+      give_up = Status::kDeadlineExceeded;
+    }
+    if (give_up != Status::kOk) {
+      // The cell was never published, so the wait block was never shared:
+      // a pooled block goes straight back to the free list.
+      if (deadlined) release_wait(me, wait);
+      if (give_up == Status::kDeadlineExceeded) {
+        me.counters.inc(obs::Counter::kDeadlineExceeded);
+        HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                         obs::TraceEvent::kDeadlineExceeded, target);
+      }
+      set_rc(regs, give_up);
+      return give_up;
+    }
+    if (opts.retry == RetryPolicy::kBackoff) {
+      // Exponential backoff off the contended line, then one help attempt.
+      const std::uint32_t spins = 1u << (round < 10 ? round : 10);
+      for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+      me.counters.inc(obs::Counter::kBackoffCycles, spins);
+      ++round;
+      if (!help_drain(tgt)) std::this_thread::yield();
+    } else {
+      ++round;
+      if (!help_drain(tgt)) std::this_thread::yield();
+    }
   }
   me.counters.inc(obs::Counter::kXcallPosts);
   me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
   HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                    obs::TraceEvent::kXcallPost, target);
-  return wait_complete(wait, [this, &tgt] { help_drain(tgt); });
+
+  if (!deadlined) {
+    return wait_complete(stack_wait, [this, &tgt] { help_drain(tgt); });
+  }
+
+  bool timed_out = false;
+  const Status rc = wait_complete_deadline(
+      *wait, deadline, [] { return host_cycles(); },
+      [this, &tgt] { help_drain(tgt); }, &timed_out);
+  if (timed_out) {
+    // Abandoned: the block stays on the zombie list until the server's
+    // drain acks it (or completes it — either sets kDoneBit).
+    wait->next = me.wait_zombies;
+    me.wait_zombies = wait;
+    me.counters.inc(obs::Counter::kDeadlineExceeded);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kDeadlineExceeded, target);
+    set_rc(regs, Status::kDeadlineExceeded);
+    return Status::kDeadlineExceeded;
+  }
+  regs = wait->reply;  // copy the reply out of the pooled block
+  release_wait(me, wait);
+  return rc;
 }
 
 Status Runtime::call_remote_async(SlotId caller_slot, SlotId target,
@@ -389,6 +610,15 @@ Status Runtime::call_remote_async(SlotId caller_slot, SlotId target,
   }
   Slot& me = *slots_[caller_slot];
   Slot& tgt = *slots_[target];
+  // Same admission check as the sync path: a fire-and-forget call adds to
+  // the very queue the watermark protects, so it is shed the same way.
+  const std::uint32_t watermark = shed_watermark();
+  if (watermark != 0 && tgt.xcall.depth() >= watermark) {
+    me.counters.inc(obs::Counter::kCallsShed);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kCallShed, target);
+    return Status::kOverloaded;
+  }
   if (tgt.xcall.try_post(caller, id, regs, /*wait=*/nullptr)) {
     me.counters.inc(obs::Counter::kXcallPosts);
     me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
@@ -537,6 +767,11 @@ obs::CounterSnapshot Runtime::snapshot() const {
 obs::TraceRing& Runtime::trace_ring(SlotId slot) {
   HPPC_ASSERT(slot < slots_.size());
   return slots_[slot]->trace_ring;
+}
+
+std::size_t Runtime::xcall_depth(SlotId slot) const {
+  HPPC_ASSERT(slot < slots_.size());
+  return slots_[slot]->xcall.depth();
 }
 
 std::size_t Runtime::pooled_workers(SlotId slot, EntryPointId id) const {

@@ -82,6 +82,36 @@ struct RtServiceConfig {
   std::uint32_t pool_target = 1;
 };
 
+/// What a synchronous cross-slot caller does when the target ring is full.
+enum class RetryPolicy : std::uint8_t {
+  /// Legacy behaviour: retry forever (help-drain the target when its owner
+  /// parks, otherwise yield). Never returns kOverloaded.
+  kBlock,
+  /// Bounded exponential backoff: burn a doubling cpu_relax budget per
+  /// round (booked as backoff_cycles), help-drain between rounds, and give
+  /// up with kOverloaded after `backoff_rounds` failed posts.
+  kBackoff,
+  /// Return kOverloaded on the first full ring, without waiting at all.
+  kFailFast,
+};
+
+/// Per-call knobs for Runtime::call / call_remote. The default-constructed
+/// value reproduces the legacy behaviour exactly (no deadline, block on a
+/// full ring), so existing callers see an identical hot path.
+struct CallOptions {
+  /// Relative deadline in host_cycles() ticks; 0 = no deadline. When it
+  /// expires before the call completes the caller abandons the wait and
+  /// gets kDeadlineExceeded — the handler may or may not have executed
+  /// (timed-out-RPC semantics); the in-flight cell is reclaimed safely.
+  /// Only meaningful for cross-slot calls: a same-slot call executes
+  /// inline on the calling thread and cannot be abandoned mid-handler.
+  std::uint64_t deadline_cycles = 0;
+  RetryPolicy retry = RetryPolicy::kBlock;
+  /// kBackoff only: failed post attempts before giving up. The spin budget
+  /// doubles each round (capped at 1024 cpu_relax rounds per attempt).
+  std::uint32_t backoff_rounds = 16;
+};
+
 /// A call descriptor: return info slot + the stack buffer (§2).
 struct RtCd {
   std::unique_ptr<std::byte[]> stack;  // one page
@@ -155,6 +185,13 @@ class Runtime {
   /// opcode+flags in and rc out. `caller` is the caller's program token.
   Status call(SlotId slot, ProgramId caller, EntryPointId id, RegSet& regs);
 
+  /// Same-slot call with per-call options. A local call executes the
+  /// handler inline, so the deadline/retry knobs have nothing to act on —
+  /// the overload exists so generic callers can pass one options struct to
+  /// either path (and so fault sites screen it like any other call).
+  Status call(SlotId slot, ProgramId caller, EntryPointId id, RegSet& regs,
+              const CallOptions& opts);
+
   /// The identical fast path with the per-call counter increments and
   /// trace hooks compiled out. Exists ONLY as the baseline for the
   /// observability-overhead bench (shipped-vs-stripped of the same code,
@@ -183,6 +220,17 @@ class Runtime {
   Status call_remote(SlotId caller_slot, SlotId target, ProgramId caller,
                      EntryPointId id, RegSet& regs);
 
+  /// call_remote with per-call robustness knobs: a relative deadline
+  /// (host_cycles ticks) after which the caller abandons the wait with
+  /// kDeadlineExceeded, and a retry policy for the ring-full case (block /
+  /// bounded backoff / fail fast — the latter two return kOverloaded when
+  /// the budget runs out). Deadline calls ride slot-pooled completion
+  /// blocks so an abandoned in-flight cell always points at storage that
+  /// outlives the caller's frame; the no-deadline path is byte-for-byte
+  /// the legacy stack-block path.
+  Status call_remote(SlotId caller_slot, SlotId target, ProgramId caller,
+                     EntryPointId id, RegSet& regs, const CallOptions& opts);
+
   /// Fire-and-forget cross-slot call: posted into the target's ring (or,
   /// if the ring is full, the legacy mailbox — the allocating overflow
   /// path) and executed at the target's next drain. Results discarded.
@@ -203,6 +251,21 @@ class Runtime {
   /// thread only; must not be mid-call.
   void enter_idle(SlotId slot);
   void exit_idle(SlotId slot);
+
+  // ----- overload shedding (admission control) -----
+
+  /// Arm per-slot admission control: a cross-slot call (sync or async)
+  /// whose target ring already holds >= `depth` undrained cells is shed
+  /// with kOverloaded instead of being queued — in-flight work keeps
+  /// draining, new work is refused at the door. 0 (the default) disables
+  /// shedding. The depth read is a racy two-load snapshot; an off-by-a-few
+  /// answer just moves the threshold by that much for one call.
+  void set_shed_watermark(std::uint32_t depth) {
+    shed_watermark_.store(depth, std::memory_order_relaxed);
+  }
+  std::uint32_t shed_watermark() const {
+    return shed_watermark_.load(std::memory_order_relaxed);
+  }
 
   /// Post a cross-slot action (host analogue of an IPI); it runs when the
   /// owning thread next polls. Control-plane path: allocates a mailbox
@@ -246,6 +309,12 @@ class Runtime {
 
   std::size_t pooled_workers(SlotId slot, EntryPointId id) const;
 
+  /// Racy snapshot of a slot's undrained ring depth (the quantity the shed
+  /// watermark compares against). Atomic cursor loads — safe from any
+  /// thread; tests use it to observe "a cell is parked" without racing the
+  /// slot's plain-store counters.
+  std::size_t xcall_depth(SlotId slot) const;
+
  private:
   friend class RtCtx;
 
@@ -283,6 +352,14 @@ class Runtime {
     std::vector<DeferredCall> deferred;
     std::vector<DeferredCall> deferred_scratch;  // reused across polls
     Mailbox<std::function<void()>> mailbox;
+    // Caller-side completion-block pool for deadline calls. Owned (and only
+    // linked/unlinked) by this slot's ownership holder; blocks live until
+    // the Runtime dies, so an abandoned server-visible block can never
+    // dangle. `wait_zombies` holds abandoned blocks whose server has not
+    // yet acked; they are reaped into `wait_free` on the next acquire.
+    XcallWait* wait_free = nullptr;
+    XcallWait* wait_zombies = nullptr;
+    std::vector<std::unique_ptr<XcallWait>> owned_waits;
     SlotGate gate;        // remote-CASed: keep off the hot members' lines
     XcallRing xcall;      // ring head/cells are internally line-aligned
   };
@@ -320,6 +397,10 @@ class Runtime {
   /// ring, and hand it back. Closes the "owner parked after I posted"
   /// race without blocking primitives. Returns true if it drained.
   bool help_drain(Slot& target);
+  /// Caller-slot completion-block pool (deadline calls only). Reaps acked
+  /// zombies, then recycles or grows. Caller-slot-owner thread only.
+  XcallWait* acquire_wait(Slot& me);
+  void release_wait(Slot& me, XcallWait* w);
 
   SlotRegistry registry_;
   bool pin_threads_;
@@ -328,6 +409,7 @@ class Runtime {
   std::vector<std::unique_ptr<Service>> owned_services_;
   std::mutex bind_mutex_;  // slow path only
   obs::SharedCounters shared_;
+  std::atomic<std::uint32_t> shed_watermark_{0};  // 0 = shedding disabled
   EntryPointId next_ep_ = 8;
 };
 

@@ -58,18 +58,71 @@ namespace hppc::rt {
 // callers.
 using ::hppc::cpu_relax;
 
-/// Caller-side completion block for a synchronous cross-slot call. Lives
-/// on the caller's stack (cache-hot for the spinner); the server writes
-/// the reply registers, then release-stores kDoneBit|Status.
+/// Caller-side completion block for a synchronous cross-slot call. The
+/// default (no-deadline) path keeps it on the caller's stack (cache-hot
+/// for the spinner) with `regs` pointing at the caller's register file;
+/// deadline calls use slot-pooled blocks with `regs == nullptr` and the
+/// reply landing in the inline `reply` buffer, so a caller that abandons
+/// the wait leaves the server a target that stays valid forever.
+///
+/// The done word is a tiny state machine:
+///   0                      — pending
+///   kAbandonedBit          — caller's deadline expired; it left (only
+///                            pooled blocks ever reach this state)
+///   kDoneBit | status      — server completed (reply valid)
+///   kDoneBit|kAbandonedBit|status — server acknowledged an abandoned cell
+///                            without executing it (block is recyclable)
+/// The caller abandons with a CAS from 0, so it can never erase a
+/// completion; the server's final store always sets kDoneBit, so an
+/// abandoned block always becomes reclaimable once its cell drains.
 struct XcallWait {
   static constexpr std::uint32_t kDoneBit = 0x100;
+  static constexpr std::uint32_t kAbandonedBit = 0x200;
 
   std::atomic<std::uint32_t> done{0};
-  ppc::RegSet* regs = nullptr;  // caller's in/out register file
+  ppc::RegSet* regs = nullptr;  // caller's in/out register file (stack waits)
+  XcallWait* next = nullptr;    // caller-slot pool link (pooled waits)
+  ppc::RegSet reply{};          // inline reply buffer (pooled waits)
+
+  /// Where the server writes the request/reply registers.
+  ppc::RegSet& reply_target() { return regs != nullptr ? *regs : reply; }
 
   void complete(Status rc) {
     done.store(kDoneBit | static_cast<std::uint32_t>(rc),
                std::memory_order_release);
+  }
+
+  /// Server side, before executing: an abandoned cell is acknowledged
+  /// (kDoneBit set so the owner can recycle the block) and skipped.
+  bool abandoned() const {
+    return (done.load(std::memory_order_acquire) & kAbandonedBit) != 0;
+  }
+  void ack_abandoned() {
+    done.store(kDoneBit | kAbandonedBit |
+                   static_cast<std::uint32_t>(Status::kCallAborted),
+               std::memory_order_release);
+  }
+
+  /// Caller side, on deadline expiry. True: the wait is abandoned and the
+  /// caller may leave (the block must survive until the server acks).
+  /// False: the server completed first — the caller takes the real result.
+  bool try_abandon() {
+    std::uint32_t expect = 0;
+    return done.compare_exchange_strong(expect, kAbandonedBit,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+  }
+
+  /// Owner-side recycling check: the server's final store (completion or
+  /// abandonment ack) has landed and nobody else will touch the block.
+  bool server_finished() const {
+    return (done.load(std::memory_order_acquire) & kDoneBit) != 0;
+  }
+
+  void reset() {
+    done.store(0, std::memory_order_relaxed);
+    regs = nullptr;
+    next = nullptr;
   }
 };
 
@@ -161,6 +214,15 @@ class XcallRing {
            dequeue_pos_.load(std::memory_order_relaxed);
   }
 
+  /// Approximate queue depth (racy snapshot of the two cursors). Admission
+  /// control compares it against a watermark; an off-by-a-few answer just
+  /// moves the shedding threshold by that much for one call.
+  std::size_t depth() const {
+    const std::uint64_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::uint64_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    return enq > deq ? static_cast<std::size_t>(enq - deq) : 0;
+  }
+
  private:
   // Producer-shared and consumer-private positions on separate lines so
   // remote CAS traffic never collides with the drain cursor.
@@ -245,6 +307,40 @@ Status wait_complete(XcallWait& wait, Helper&& help) {
       const std::uint32_t v = wait.done.load(std::memory_order_acquire);
       if (v != 0) return static_cast<Status>(v & 0xFFu);
       cpu_relax();
+    }
+    help();
+    const std::uint32_t v = wait.done.load(std::memory_order_acquire);
+    if (v != 0) return static_cast<Status>(v & 0xFFu);
+    std::this_thread::yield();
+  }
+}
+
+/// Deadline variant: the same spin-then-yield loop, but each yield round
+/// checks `now()` against `deadline` and, on expiry, tries to abandon the
+/// wait. Returns the completion status with `*timed_out == false`, or —
+/// when the abandon CAS wins — Status::kDeadlineExceeded with
+/// `*timed_out == true` (the caller must treat `wait` as in flight until
+/// the server acks). A completion that races the expiry wins: the caller
+/// takes the real result rather than reporting a deadline it missed by
+/// nanoseconds.
+template <typename Helper, typename Clock>
+Status wait_complete_deadline(XcallWait& wait, std::uint64_t deadline,
+                              Clock&& now, Helper&& help, bool* timed_out) {
+  constexpr int kSpins = 96;
+  *timed_out = false;
+  for (;;) {
+    for (int i = 0; i < kSpins; ++i) {
+      const std::uint32_t v = wait.done.load(std::memory_order_acquire);
+      if (v != 0) return static_cast<Status>(v & 0xFFu);
+      cpu_relax();
+    }
+    if (now() >= deadline) {
+      if (wait.try_abandon()) {
+        *timed_out = true;
+        return Status::kDeadlineExceeded;
+      }
+      // Lost to the server: the result is (or is about to be) published.
+      return wait_complete(wait, help);
     }
     help();
     const std::uint32_t v = wait.done.load(std::memory_order_acquire);

@@ -3,8 +3,13 @@
 // machine quiesces with all invariants intact.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
+#include "fault/failpoints.h"
 #include "kernel/machine.h"
 #include "ppc/facility.h"
+#include "rt/runtime.h"
 
 namespace hppc {
 namespace {
@@ -153,6 +158,89 @@ TEST(KillUnderTraffic, ExchangeUnderLoadSwitchesVersionsAtomically) {
     if (v == 2) crossed = true;
     if (crossed) EXPECT_EQ(v, 2u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Host runtime: hard kill racing call_remote
+// ---------------------------------------------------------------------------
+
+// A hard kill racing a cross-slot call that was already admitted (its cell
+// parked in the target ring, pre-screen passed) must resolve to exactly
+// kCallAborted or kOk — never a hang, never a stale execution against dead
+// service state. In fault-injection builds the completion-delay failpoint
+// stretches the execute→complete window, so the kill also races the reply
+// publish, not just the drain.
+TEST(KillUnderTraffic, RtHardKillRacingCallRemoteAbortsOrCompletes) {
+#if defined(HPPC_FAULT_INJECTION) && HPPC_FAULT_INJECTION
+  ASSERT_TRUE(fault::arm("rt.xcall.complete.delay", "prob=0.5,delay=20000"));
+#endif
+  int aborted = 0, completed = 0;
+  for (int iter = 0; iter < 12; ++iter) {
+    rt::Runtime rt(3);
+    const rt::SlotId me = rt.register_thread();
+    ASSERT_EQ(me, 0u);
+    const EntryPointId ep =
+        rt.bind({.name = "victim"}, 0, [](rt::RtCtx&, rt::RegSet& regs) {
+          regs[1] = regs[0] + 1;
+          ppc::set_rc(regs, Status::kOk);
+        });
+
+    // The target's owner holds its gate but drains only when told to, so
+    // the caller's cell provably parks before the kill lands.
+    std::atomic<bool> drain{false};
+    std::atomic<bool> owner_up{false};
+    std::atomic<Status> result{Status::kInvalidArgument};
+    std::thread owner([&] {
+      const rt::SlotId s = rt.register_thread();
+      owner_up.store(true, std::memory_order_release);
+      while (!drain.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      // Keep polling until the caller resolved: the depth handshake can
+      // observe a claimed-but-not-yet-published cell, and a single early
+      // empty poll must not strand it.
+      while (result.load(std::memory_order_acquire) ==
+             Status::kInvalidArgument) {
+        rt.poll(s);
+        std::this_thread::yield();
+      }
+    });
+    while (!owner_up.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    std::thread caller([&] {
+      const rt::SlotId s = rt.register_thread();
+      rt::RegSet r{};
+      r[0] = 7;
+      const Status st = rt.call_remote(s, 1, /*caller=*/2, ep, r);
+      if (st == Status::kOk) {
+        EXPECT_EQ(r[1], 8u);
+      }
+      result.store(st, std::memory_order_release);
+    });
+
+    // Admitted: the cell is visible in the ring (atomic cursor reads).
+    while (rt.xcall_depth(1) == 0) std::this_thread::yield();
+    // Release the drain and kill concurrently: on some iterations the
+    // drain wins (kOk), on others the kill does (kCallAborted).
+    drain.store(true, std::memory_order_release);
+    if (iter % 2 == 0) std::this_thread::yield();
+    ASSERT_EQ(rt.hard_kill(ep), Status::kOk);
+
+    caller.join();
+    owner.join();
+    const Status st = result.load(std::memory_order_acquire);
+    ASSERT_TRUE(st == Status::kOk || st == Status::kCallAborted)
+        << "iter " << iter << ": " << to_string(st);
+    (st == Status::kOk ? completed : aborted)++;
+  }
+#if defined(HPPC_FAULT_INJECTION) && HPPC_FAULT_INJECTION
+  fault::disarm("rt.xcall.complete.delay");
+#endif
+  // Twelve races must produce at least one resolution of some kind; both
+  // outcomes are legal, a hang is the only failure (and shows up as a
+  // test timeout).
+  EXPECT_EQ(aborted + completed, 12);
 }
 
 }  // namespace

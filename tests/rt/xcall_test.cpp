@@ -387,5 +387,182 @@ TEST(CallRemote, MultiCallerStress) {
             std::uint64_t{kCallers} * kCallsEach);
 }
 
+// ---------------------------------------------------------------------------
+// Robustness: ring-full accounting, deadlines, backoff, shedding
+// ---------------------------------------------------------------------------
+
+// Pin slot 1's gate to kOwner without ever draining: posts park in the
+// ring until it fills, making the overflow branches deterministic.
+class StuckOwner {
+ public:
+  explicit StuckOwner(Runtime& rt) {
+    thread_ = std::thread([this, &rt] {
+      const SlotId s = rt.register_thread();
+      EXPECT_EQ(s, 1u);
+      up_.store(true, std::memory_order_release);
+      while (!release_.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      // Drain everything that parked while we were stuck, so abandoned
+      // cells get acked and the runtime quiesces before destruction; then
+      // park the gate so later remote calls can direct-execute instead of
+      // posting into a ring nobody will ever drain again.
+      while (rt.poll(s) > 0) {
+      }
+      rt.enter_idle(s);
+    });
+    while (!up_.load(std::memory_order_acquire)) std::this_thread::yield();
+  }
+  void release_and_join() {
+    release_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+  std::atomic<bool> up_{false};
+  std::atomic<bool> release_{false};
+};
+
+TEST(CallRemote, SyncRingFullBranchesBookTheCounter) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  StuckOwner owner(rt);
+
+  // Fill the ring with async posts (counted 0 times: they all fit) ...
+  for (std::size_t i = 0; i < XcallRing::kCapacity; ++i) {
+    ASSERT_EQ(rt.call_remote_async(me, 1, 1, ep, make_regs(i)), Status::kOk);
+  }
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kXcallRingFull), 0u);
+
+  // ... then hit the full ring on every post variant. Async: overflow to
+  // the mailbox, one ring_full + one alloc each. Sync fail-fast: ring_full
+  // booked even though the call never waits.
+  ASSERT_EQ(rt.call_remote_async(me, 1, 1, ep, make_regs(0)), Status::kOk);
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kXcallRingFull), 1u);
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs), 1u);
+
+  CallOptions fail_fast;
+  fail_fast.retry = RetryPolicy::kFailFast;
+  ppc::RegSet r = make_regs(1);
+  EXPECT_EQ(rt.call_remote(me, 1, 1, ep, r, fail_fast), Status::kOverloaded);
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kXcallRingFull), 2u);
+
+  // Bounded backoff: books ring_full once, retries, burns backoff cycles,
+  // then gives up — the owner never drains, so the ring stays full.
+  CallOptions backoff;
+  backoff.retry = RetryPolicy::kBackoff;
+  backoff.backoff_rounds = 4;
+  r = make_regs(1);
+  EXPECT_EQ(rt.call_remote(me, 1, 1, ep, r, backoff), Status::kOverloaded);
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kXcallRingFull), 3u);
+  EXPECT_GE(rt.counters(me).get(obs::Counter::kRetries), 4u);
+  EXPECT_GT(rt.counters(me).get(obs::Counter::kBackoffCycles), 0u);
+
+  owner.release_and_join();
+}
+
+TEST(CallRemote, DeadlineExceededOnStuckOwner) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  StuckOwner owner(rt);
+
+  CallOptions opts;
+  opts.deadline_cycles = 200'000;  // expires long before the owner wakes
+  ppc::RegSet r = make_regs(1);
+  const Status s = rt.call_remote(me, 1, 1, ep, r, opts);
+  EXPECT_EQ(s, Status::kDeadlineExceeded);
+  EXPECT_EQ(ppc::rc_of(r), Status::kDeadlineExceeded);
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kDeadlineExceeded), 1u);
+
+  // The abandoned cell is still in the ring; when the owner finally
+  // drains, it must be acked and skipped — then fresh calls work.
+  owner.release_and_join();
+  r = make_regs(5);
+  EXPECT_EQ(rt.call_remote(me, 1, 1, ep, r), Status::kOk);
+  EXPECT_EQ(r[1], 6u);
+  // Exactly one remote call executed: the abandoned one was skipped.
+  EXPECT_EQ(rt.counters(1).get(obs::Counter::kCallsRemote), 1u);
+}
+
+TEST(CallRemote, DeadlineCallCompletesNormallyOnLiveServer) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    const SlotId s = rt.register_thread();
+    rt.serve(s, stop);
+  });
+  CallOptions opts;
+  opts.deadline_cycles = 500'000'000;  // effectively infinite
+  for (Word i = 0; i < 200; ++i) {
+    ppc::RegSet r = make_regs(i);
+    ASSERT_EQ(rt.call_remote(me, 1, 1, ep, r, opts), Status::kOk);
+    ASSERT_EQ(r[1], i + 1);  // the reply round-trips the pooled block
+  }
+  stop.store(true, std::memory_order_release);
+  server.join();
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kDeadlineExceeded), 0u);
+  // The pooled-wait path is still allocation-free once warm: one block
+  // serves all 200 calls.
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs), 0u);
+}
+
+TEST(CallRemote, ShedsAtWatermark) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  StuckOwner owner(rt);
+  rt.set_shed_watermark(8);
+
+  // Fill to the watermark with async posts, then watch both variants shed.
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(rt.call_remote_async(me, 1, 1, ep, make_regs(i)), Status::kOk);
+  }
+  EXPECT_EQ(rt.call_remote_async(me, 1, 1, ep, make_regs(9)),
+            Status::kOverloaded);
+  ppc::RegSet r = make_regs(9);
+  EXPECT_EQ(rt.call_remote(me, 1, 1, ep, r), Status::kOverloaded);
+  EXPECT_EQ(ppc::rc_of(r), Status::kOverloaded);
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kCallsShed), 2u);
+  // Shed calls never entered the queue and never touched the mailbox.
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs), 0u);
+
+  // Draining the backlog reopens admission.
+  rt.set_shed_watermark(0);
+  owner.release_and_join();
+  rt.set_shed_watermark(8);
+  r = make_regs(3);
+  EXPECT_EQ(rt.call_remote(me, 1, 1, ep, r), Status::kOk);
+  EXPECT_EQ(r[1], 4u);
+}
+
+TEST(CallRemote, HardKillWhileCellParkedAbortsInFlight) {
+  Runtime rt(3);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  StuckOwner owner(rt);
+
+  // Park a sync call's cell in the stuck owner's ring, then hard-kill the
+  // service before the drain: §4.5.2 demands the in-flight call abort.
+  std::atomic<Status> result{Status::kOk};
+  std::thread caller([&] {
+    const SlotId s = rt.register_thread();
+    ppc::RegSet r = make_regs(1);
+    result.store(rt.call_remote(s, 1, 2, ep, r), std::memory_order_release);
+  });
+  // Deterministic ordering: the kill happens only once the cell is visibly
+  // parked (atomic ring-cursor reads — no race with the caller's stores),
+  // which also means the caller passed its pre-screen while alive.
+  while (rt.xcall_depth(1) == 0) std::this_thread::yield();
+  ASSERT_EQ(rt.hard_kill(ep), Status::kOk);
+  owner.release_and_join();  // drain: re-resolve fails -> kCallAborted
+  caller.join();
+  EXPECT_EQ(result.load(), Status::kCallAborted);
+}
+
 }  // namespace
 }  // namespace hppc::rt
