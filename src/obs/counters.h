@@ -82,6 +82,13 @@ enum class Counter : std::uint32_t {
   kRetries,             // ring-full re-post attempts on the sync xcall path
   kBackoffCycles,       // cpu_relax spins burned in ring-full backoff
 
+  // -- batched submission, ready-mask scheduling, adaptive waiters --
+  kXcallBatchPosts,     // vectored ring submissions (one doorbell each)
+  kXcallCellsPerBatch,  // cells carried by those submissions (sum)
+  kReadyMaskSkips,      // doorbell stores skipped: target bit already set
+  kWaiterParks,         // sync waiters that parked on the completion word
+  kWaiterKicks,         // completions that woke a parked waiter
+
   kCount
 };
 
@@ -131,6 +138,11 @@ constexpr const char* counter_name(Counter c) {
     case Counter::kCallsShed: return "calls_shed";
     case Counter::kRetries: return "retries";
     case Counter::kBackoffCycles: return "backoff_cycles";
+    case Counter::kXcallBatchPosts: return "xcall_batch_posts";
+    case Counter::kXcallCellsPerBatch: return "xcall_cells_per_batch";
+    case Counter::kReadyMaskSkips: return "ready_mask_skips";
+    case Counter::kWaiterParks: return "waiter_parks";
+    case Counter::kWaiterKicks: return "waiter_kicks";
     case Counter::kCount: break;
   }
   return "unknown";

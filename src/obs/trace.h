@@ -42,6 +42,9 @@ enum class TraceEvent : std::uint16_t {
   kFaultInject,       // arg = site-local tag (fault injection fired)
   kDeadlineExceeded,  // arg = target slot (caller abandoned the wait)
   kCallShed,          // arg = target slot (admission control rejected)
+  kXcallBatchPost,    // arg = cells published by one vectored submission
+  kWaiterPark,        // arg = target slot (caller parked on its wait word)
+  kWaiterKick,        // arg = entry point (completion woke a parked waiter)
   kCount
 };
 
@@ -70,6 +73,9 @@ constexpr const char* trace_event_name(TraceEvent e) {
     case TraceEvent::kFaultInject: return "fault_inject";
     case TraceEvent::kDeadlineExceeded: return "deadline_exceeded";
     case TraceEvent::kCallShed: return "call_shed";
+    case TraceEvent::kXcallBatchPost: return "xcall_batch_post";
+    case TraceEvent::kWaiterPark: return "waiter_park";
+    case TraceEvent::kWaiterKick: return "waiter_kick";
     case TraceEvent::kCount: break;
   }
   return "unknown";

@@ -17,8 +17,10 @@
 #include <array>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "common/assert.h"
 #include "repl/repl_hub.h"
 #include "repl/replicated.h"
 #include "rt/dispatch.h"
@@ -137,6 +139,87 @@ class KvService {
       return std::nullopt;
     }
     return r[1];
+  }
+
+  /// Chunk stride of the vectored stubs: one chunk = one stack RegSet
+  /// array, one batched submission (one claim CAS + one doorbell).
+  static constexpr std::size_t kBatchChunk = 16;
+
+  /// Vectored write: store keys[i] → values[i] into `owner_slot`'s shard
+  /// through call_remote_batch, so a burst of M puts pays ~M/kBatchChunk
+  /// doorbells instead of M ring round trips. Zero heap allocations.
+  /// Returns the first non-kOk per-call status (kOk if all stored).
+  Status multi_put(SlotId caller_slot, SlotId owner_slot, ProgramId caller,
+                   std::span<const Word> keys, std::span<const Word> values) {
+    HPPC_ASSERT(keys.size() == values.size());
+    Status overall = Status::kOk;
+    std::array<RegSet, kBatchChunk> regs;
+    for (std::size_t pos = 0; pos < keys.size(); pos += kBatchChunk) {
+      const std::size_t n = std::min(kBatchChunk, keys.size() - pos);
+      for (std::size_t k = 0; k < n; ++k) {
+        regs[k] = RegSet{};
+        regs[k][0] = keys[pos + k];
+        regs[k][1] = values[pos + k];
+        ppc::set_op(regs[k], kKvPut);
+      }
+      const Status s = rt_.call_remote_batch(
+          caller_slot, owner_slot, caller, ep_,
+          std::span<RegSet>(regs.data(), n));
+      if (overall == Status::kOk && s != Status::kOk) overall = s;
+    }
+    return overall;
+  }
+
+  /// Vectored read: out[i] = value of keys[i] (nullopt on miss). Keys the
+  /// caller's replicated hot-set replica already holds are answered
+  /// locally; only the misses ride the batched xcall. Returns the number
+  /// of keys found. `out.size()` must be >= `keys.size()`.
+  std::size_t multi_get(SlotId caller_slot, SlotId owner_slot,
+                        ProgramId caller, std::span<const Word> keys,
+                        std::span<std::optional<Word>> out) {
+    HPPC_ASSERT(out.size() >= keys.size());
+    std::size_t hits = 0;
+    std::array<RegSet, kBatchChunk> regs;
+    std::array<std::size_t, kBatchChunk> origin;
+    std::size_t pending = 0;
+    auto flush = [&] {
+      if (pending == 0) return;
+      rt_.call_remote_batch(caller_slot, owner_slot, caller, ep_,
+                            std::span<RegSet>(regs.data(), pending));
+      for (std::size_t k = 0; k < pending; ++k) {
+        if (ppc::rc_of(regs[k]) == Status::kOk) {
+          out[origin[k]] = regs[k][1];
+          ++hits;
+        } else {
+          out[origin[k]] = std::nullopt;
+        }
+      }
+      pending = 0;
+    };
+    for (std::size_t idx = 0; idx < keys.size(); ++idx) {
+      if (hot_ != nullptr) {
+        // One replica read per key keeps the probe lock-free and local;
+        // hot hits never touch the ring at all.
+        const HotSet h = hot_->read(caller_slot);
+        bool hit = false;
+        for (std::uint32_t j = 0; j < hot_cap_; ++j) {
+          if (h.e[j].used != 0 && h.e[j].key == keys[idx]) {
+            out[idx] = h.e[j].value;
+            ++hits;
+            hit = true;
+            break;
+          }
+        }
+        if (hit) continue;
+      }
+      regs[pending] = RegSet{};
+      regs[pending][0] = keys[idx];
+      ppc::set_op(regs[pending], kKvGet);
+      origin[pending] = idx;
+      if (++pending == kBatchChunk) flush();
+    }
+    flush();
+    return hits;
   }
 
  private:

@@ -1,5 +1,7 @@
 #include "rt/runtime.h"
 
+#include <bit>
+
 #include "common/tsc.h"
 #include "fault/failpoints.h"
 
@@ -32,10 +34,63 @@ Status RtCtx::call(EntryPointId id, RegSet& regs) {
 
 Runtime::Runtime(std::uint32_t slots, bool pin_threads)
     : registry_(slots), pin_threads_(pin_threads), slots_(registry_.capacity()) {
-  for (SlotId s = 0; s < slots_.size(); ++s) slots_[s]->self_id = s;
+  for (SlotId s = 0; s < slots_.size(); ++s) {
+    slots_[s]->self_id = s;
+    slots_[s]->rings = std::make_unique<XcallRing[]>(registry_.capacity());
+  }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() { shutdown(); }
+
+std::size_t Runtime::shutdown() {
+  // Quiescent by contract: this thread is the only one touching any slot,
+  // so it may assume ownership of every ring and pool without gates.
+  //
+  // Pass 1 — empty every ring without executing. A sync cell still parked
+  // here means its caller is gone (quiescence), so completing it with
+  // kCallAborted is a store nobody reads; an abandoned cell is acked
+  // exactly as a live drain would. After this pass no server-side
+  // reference to any XcallWait block exists anywhere in the runtime.
+  for (auto& sp : slots_) {
+    Slot& slot = *sp;
+    for (std::uint32_t src = 0; src < registry_.capacity(); ++src) {
+      slot.rings[src].drain([](XcallCell& cell) {
+        if (cell.wait == nullptr) return;
+        if (cell.wait->abandoned()) {
+          cell.wait->ack_abandoned();
+        } else {
+          cell.wait->complete(Status::kCallAborted);
+        }
+      });
+    }
+    slot.ready_mask.store(0, std::memory_order_relaxed);
+  }
+  // Pass 2 — reap the zombie lists. Blocks whose server acked above (or
+  // long ago) are recyclable as usual; blocks orphaned by a ring that was
+  // permanently killed (dropped completion, owner never drained) are now
+  // unreachable from any ring, so reclaiming them is safe too.
+  std::size_t reaped = 0;
+  for (auto& sp : slots_) {
+    Slot& slot = *sp;
+    while (XcallWait* z = slot.wait_zombies) {
+      slot.wait_zombies = z->next;
+      z->reset();
+      z->next = slot.wait_free;
+      slot.wait_free = z;
+      ++reaped;
+    }
+    // The reclamation invariant: every block the slot ever allocated is
+    // back on its free list. A leak here means a wait escaped both the
+    // normal recycle path and the sweep above.
+    std::size_t free_count = 0;
+    for (XcallWait* w = slot.wait_free; w != nullptr; w = w->next) {
+      ++free_count;
+    }
+    HPPC_ASSERT_MSG(free_count == slot.owned_waits.size(),
+                    "XcallWait blocks leaked past the teardown sweep");
+  }
+  return reaped;
+}
 
 EntryPointId Runtime::bind(RtServiceConfig cfg, ProgramId program,
                            RtHandler initial_handler) {
@@ -337,10 +392,10 @@ Status Runtime::execute_remote(Slot& slot, ProgramId caller, EntryPointId id,
   return execute_on_slot<true>(slot, slot.self_id, *svc, caller, regs);
 }
 
-std::size_t Runtime::drain_ring(Slot& slot) {
+std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
   // One batch: every cell published before the first gap, one acquire per
   // cell to observe its payload, one book-keeping store per batch.
-  const std::size_t n = slot.xcall.drain([this, &slot](XcallCell& cell) {
+  const std::size_t n = ring.drain([this, &slot](XcallCell& cell) {
     if (cell.wait != nullptr) {
       XcallWait& w = *cell.wait;
       // Abandoned cell: the caller's deadline expired and it left. Ack
@@ -351,11 +406,28 @@ std::size_t Runtime::drain_ring(Slot& slot) {
         slot.counters.inc(obs::Counter::kSharedLinesTouched);
         return;
       }
-      // Synchronous: reply into the caller's register file (stack waits)
-      // or the block's inline buffer (pooled deadline waits), then publish
-      // completion (release) — one shared-line store, booked below.
       RegSet& out = w.reply_target();
       out = cell.regs;
+      // A sync cell that drained past its deadline is not executed late:
+      // the caller is abandoning (or about to) — fail it instead of
+      // burning a worker on a result nobody can use. If the caller's
+      // abandon CAS lands between the check above and the exchange below,
+      // the exchange still sets kDoneBit, so the block stays reclaimable.
+      if (cell.deadline != 0 && host_cycles() >= cell.deadline) {
+        set_rc(out, Status::kDeadlineExceeded);
+        if (w.complete(Status::kDeadlineExceeded)) {
+          slot.counters.inc(obs::Counter::kWaiterKicks);
+        }
+        slot.counters.inc(obs::Counter::kDeadlineExceeded);
+        slot.counters.inc(obs::Counter::kSharedLinesTouched);
+        HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
+                         slot.self_id, obs::TraceEvent::kDeadlineExceeded,
+                         cell.ep);
+        return;
+      }
+      // Synchronous: reply into the caller's register file (stack waits)
+      // or the block's inline buffer (pooled deadline waits), then publish
+      // completion (release exchange) — one shared-line RMW, booked below.
       const Status rc = execute_remote(slot, cell.caller, cell.ep, out);
       // Fault seams on the completion publish: a dropped completion (the
       // caller MUST hold a deadline or it spins forever — chaos-only) and
@@ -373,10 +445,26 @@ std::size_t Runtime::drain_ring(Slot& slot) {
                          slot.self_id, obs::TraceEvent::kFaultInject,
                          cell.ep);
       }
-      w.complete(rc);
+      if (w.complete(rc)) {
+        // The completing exchange found the parked bit: we just futex-woke
+        // a waiter that gave up its timeslice to us.
+        slot.counters.inc(obs::Counter::kWaiterKicks);
+        HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
+                         slot.self_id, obs::TraceEvent::kWaiterKick,
+                         cell.ep);
+      }
       slot.counters.inc(obs::Counter::kSharedLinesTouched);
     } else {
-      RegSet regs = cell.regs;  // fire-and-forget: results discarded
+      // Fire-and-forget. An expired deadline is the kCallerDied-style
+      // skip: drop the cell at drain time instead of executing it late.
+      if (cell.deadline != 0 && host_cycles() >= cell.deadline) {
+        slot.counters.inc(obs::Counter::kDeadlineExceeded);
+        HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
+                         slot.self_id, obs::TraceEvent::kDeadlineExceeded,
+                         cell.ep);
+        return;
+      }
+      RegSet regs = cell.regs;  // results discarded
       execute_remote(slot, cell.caller, cell.ep, regs);
     }
   });
@@ -388,9 +476,73 @@ std::size_t Runtime::drain_ring(Slot& slot) {
   return n;
 }
 
-bool Runtime::help_drain(Slot& target) {
+std::size_t Runtime::drain_ready(Slot& slot) {
+  // One acquire exchange claims every doorbell rung so far; the acquire
+  // pairs with the producers' release fetch_or, so a flagged ring's cells
+  // are visible. Bits we consume but whose ring refills mid-drain are
+  // re-armed below — the consumer never strands a cell behind a bit a
+  // producer believes is still set.
+  std::uint64_t ready = slot.ready_mask.exchange(0, std::memory_order_acquire);
+  if (ready == 0) return 0;
+  const std::uint32_t nslots = registry_.capacity();
+  std::size_t done = 0;
+  while (ready != 0) {
+    const auto b = static_cast<std::uint32_t>(std::countr_zero(ready));
+    ready &= ready - 1;
+    // Bit 63 aliases every producer at or beyond the mask width.
+    const std::uint32_t last = (b == 63 && nslots > 64) ? nslots - 1 : b;
+    for (std::uint32_t src = b; src <= last && src < nslots; ++src) {
+      done += drain_ring(slot, slot.rings[src]);
+      if (slot.rings[src].has_pending()) {
+        slot.ready_mask.fetch_or(doorbell_bit(src),
+                                 std::memory_order_relaxed);
+      }
+    }
+  }
+  return done;
+}
+
+std::size_t Runtime::drain_all(Slot& slot) {
+  // Full O(nslots) sweep: the periodic backstop that makes a lost doorbell
+  // a latency blip instead of a hang. Clears the mask first so a bit for a
+  // ring this sweep is about to drain anyway is not left rung.
+  slot.ready_mask.exchange(0, std::memory_order_acquire);
+  std::size_t done = 0;
+  for (std::uint32_t src = 0; src < registry_.capacity(); ++src) {
+    done += drain_ring(slot, slot.rings[src]);
+    if (slot.rings[src].has_pending()) {
+      slot.ready_mask.fetch_or(doorbell_bit(src), std::memory_order_relaxed);
+    }
+  }
+  return done;
+}
+
+void Runtime::ring_doorbell(Slot& me, Slot& tgt, SlotId src) {
+  // Doorbell coalescing: while the bit is already set the consumer is
+  // guaranteed to visit the ring (or re-arm the bit itself), so the post
+  // can skip the shared-line RMW entirely — that is what lets a burst of
+  // posts cost ~one cross-slot line transfer instead of one each.
+  const std::uint64_t bit = doorbell_bit(src);
+  if ((tgt.ready_mask.load(std::memory_order_relaxed) & bit) != 0) {
+    me.counters.inc(obs::Counter::kReadyMaskSkips);
+    return;
+  }
+  tgt.ready_mask.fetch_or(bit, std::memory_order_release);
+}
+
+bool Runtime::any_ring_pending(const Slot& slot) const {
+  for (std::uint32_t src = 0; src < registry_.capacity(); ++src) {
+    if (slot.rings[src].has_pending()) return true;
+  }
+  return false;
+}
+
+bool Runtime::help_drain(Slot& target, SlotId self) {
   if (!target.gate.try_steal()) return false;
-  drain_ring(target);
+  drain_ready(target);
+  // Always sweep our own channel: a waiter rescuing its own call must not
+  // depend on its doorbell having survived the set/clear race.
+  drain_ring(target, target.rings[self]);
   target.gate.release_steal();
   return true;
 }
@@ -461,7 +613,7 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
   // Admission control: refuse at the door while the target's queue is over
   // its watermark — in-flight cells keep draining, new calls are shed.
   const std::uint32_t watermark = shed_watermark();
-  if (watermark != 0 && tgt.xcall.depth() >= watermark) {
+  if (watermark != 0 && xcall_depth(target) >= watermark) {
     me.counters.inc(obs::Counter::kCallsShed);
     HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                      obs::TraceEvent::kCallShed, target);
@@ -477,7 +629,7 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
     tgt.counters.inc(obs::Counter::kXcallDirect);
     const Status rc = execute_remote(tgt, caller, id, regs);
     // Help while we hold the slot: retire anything ring-queued behind us.
-    drain_ring(tgt);
+    drain_ready(tgt);
     tgt.gate.release_steal();
     return rc;
   }
@@ -524,8 +676,10 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
   std::uint32_t round = 0;
   // The request payload is copied into the cell at post time, so passing
   // the caller's regs is safe even for deadline calls — after an abandon
-  // the server only ever reads the cell's inline copy.
-  while (force_full || !tgt.xcall.try_post(caller, id, regs, wait)) {
+  // the server only ever reads the cell's inline copy. The deadline rides
+  // in the cell too, so a drain that reaches it late refuses to execute.
+  XcallRing& ring = tgt.rings[caller_slot];
+  while (force_full || !ring.try_post(caller, id, regs, wait, deadline)) {
     force_full = false;
     if (!booked_full) {
       booked_full = true;
@@ -560,25 +714,58 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
       for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
       me.counters.inc(obs::Counter::kBackoffCycles, spins);
       ++round;
-      if (!help_drain(tgt)) std::this_thread::yield();
+      if (!help_drain(tgt, caller_slot)) std::this_thread::yield();
     } else {
       ++round;
-      if (!help_drain(tgt)) std::this_thread::yield();
+      if (!help_drain(tgt, caller_slot)) std::this_thread::yield();
     }
   }
+  ring_doorbell(me, tgt, caller_slot);
   me.counters.inc(obs::Counter::kXcallPosts);
   me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
   HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                    obs::TraceEvent::kXcallPost, target);
 
   if (!deadlined) {
-    return wait_complete(stack_wait, [this, &tgt] { help_drain(tgt); });
+    // Spin→yield→park ladder. The park failpoints: "rt.xcall.park.now"
+    // collapses the yield phase so tests can drive the park/kick protocol
+    // deterministically; "rt.xcall.park" is a delay seam inside the park
+    // decision itself (fires between the park bookkeeping and the CAS,
+    // widening the park-vs-complete race window for the chaos soak).
+    // Adaptive yield budget: other producers' doorbells pending at the
+    // target mean our cell sits behind a queue spanning multiple drain
+    // passes — park after one courtesy round instead of churning the
+    // scheduler for the whole ladder. Alone, keep the long ladder (the
+    // server is at most one pass away and a park would only add a wakeup).
+    int yield_rounds = (tgt.ready_mask.load(std::memory_order_relaxed) &
+                        ~doorbell_bit(caller_slot)) != 0
+                           ? kWaitYieldRoundsContended
+                           : kWaitYieldRounds;
+    if (HPPC_FAULT_POINT("rt.xcall.park.now")) {
+      me.counters.inc(obs::Counter::kFaultsInjected);
+      yield_rounds = 0;
+    }
+    return wait_complete(
+        stack_wait, yield_rounds,
+        [this, &tgt, caller_slot] { help_drain(tgt, caller_slot); },
+        [this, &me, caller_slot, target] {
+          me.counters.inc(obs::Counter::kWaiterParks);
+          HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                           obs::TraceEvent::kWaiterPark, target);
+          if (HPPC_FAULT_POINT("rt.xcall.park")) {
+            me.counters.inc(obs::Counter::kFaultsInjected);
+            HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(),
+                             caller_slot, obs::TraceEvent::kFaultInject,
+                             target);
+          }
+        });
   }
 
   bool timed_out = false;
   const Status rc = wait_complete_deadline(
       *wait, deadline, [] { return host_cycles(); },
-      [this, &tgt] { help_drain(tgt); }, &timed_out);
+      [this, &tgt, caller_slot] { help_drain(tgt, caller_slot); },
+      &timed_out);
   if (timed_out) {
     // Abandoned: the block stays on the zombie list until the server's
     // drain acks it (or completes it — either sets kDoneBit).
@@ -598,6 +785,13 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
 Status Runtime::call_remote_async(SlotId caller_slot, SlotId target,
                                   ProgramId caller, EntryPointId id,
                                   RegSet regs) {
+  return call_remote_async(caller_slot, target, caller, id, regs,
+                           CallOptions{});
+}
+
+Status Runtime::call_remote_async(SlotId caller_slot, SlotId target,
+                                  ProgramId caller, EntryPointId id,
+                                  RegSet regs, const CallOptions& opts) {
   HPPC_ASSERT(caller_slot < slots_.size());
   HPPC_ASSERT(target < slots_.size());
   Service* svc = lookup(id);
@@ -613,26 +807,221 @@ Status Runtime::call_remote_async(SlotId caller_slot, SlotId target,
   // Same admission check as the sync path: a fire-and-forget call adds to
   // the very queue the watermark protects, so it is shed the same way.
   const std::uint32_t watermark = shed_watermark();
-  if (watermark != 0 && tgt.xcall.depth() >= watermark) {
+  if (watermark != 0 && xcall_depth(target) >= watermark) {
     me.counters.inc(obs::Counter::kCallsShed);
     HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                      obs::TraceEvent::kCallShed, target);
     return Status::kOverloaded;
   }
-  if (tgt.xcall.try_post(caller, id, regs, /*wait=*/nullptr)) {
+  // An async deadline is absolute-ized here and carried in the cell: with
+  // no waiter to rescue the call, expiry is enforced by the DRAIN — a cell
+  // reached late is dropped (deadline_exceeded on the target) rather than
+  // executed late.
+  const std::uint64_t deadline =
+      opts.deadline_cycles != 0 ? host_cycles() + opts.deadline_cycles : 0;
+  if (tgt.rings[caller_slot].try_post(caller, id, regs, /*wait=*/nullptr,
+                                      deadline)) {
+    ring_doorbell(me, tgt, caller_slot);
     me.counters.inc(obs::Counter::kXcallPosts);
     me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
     HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                      obs::TraceEvent::kXcallPost, target);
     return Status::kOk;
   }
-  // Overflow: a fire-and-forget caller cannot wait for space, so this rare
-  // case rides the legacy allocating mailbox (and is booked as such).
   me.counters.inc(obs::Counter::kXcallRingFull);
-  post(target, [this, target, caller, id, regs]() mutable {
-    execute_remote(*slots_[target], caller, id, regs);
+  if (opts.retry == RetryPolicy::kFailFast) return Status::kOverloaded;
+  // Overflow: a fire-and-forget caller cannot wait for space, so this rare
+  // case rides the legacy allocating mailbox (and is booked as such). The
+  // deadline still holds — the drain lambda re-checks it before executing.
+  post(target, [this, target, caller, id, regs, deadline]() mutable {
+    Slot& slot = *slots_[target];
+    if (deadline != 0 && host_cycles() >= deadline) {
+      slot.counters.inc(obs::Counter::kDeadlineExceeded);
+      HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot.self_id,
+                       obs::TraceEvent::kDeadlineExceeded, id);
+      return;
+    }
+    execute_remote(slot, caller, id, regs);
   });
   return Status::kOk;
+}
+
+Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
+                                  ProgramId caller, EntryPointId id,
+                                  std::span<RegSet> batch) {
+  return call_remote_batch(caller_slot, target, caller, id, batch,
+                           CallOptions{});
+}
+
+Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
+                                  ProgramId caller, EntryPointId id,
+                                  std::span<RegSet> batch,
+                                  const CallOptions& opts) {
+  HPPC_ASSERT(caller_slot < slots_.size());
+  HPPC_ASSERT(target < slots_.size());
+  if (batch.empty()) return Status::kOk;
+  Status overall = Status::kOk;
+  const auto fold = [&overall](Status s) {
+    if (overall == Status::kOk && s != Status::kOk) overall = s;
+  };
+  if (target == caller_slot) {
+    for (RegSet& regs : batch) fold(call(caller_slot, caller, id, regs));
+    return overall;
+  }
+
+  // Screen once for the whole batch, same as call_remote.
+  Service* svc = lookup(id);
+  if (svc == nullptr) {
+    for (RegSet& regs : batch) set_rc(regs, Status::kNoSuchEntryPoint);
+    return Status::kNoSuchEntryPoint;
+  }
+  const SvcState st = svc->state.load(std::memory_order_acquire);
+  if (st != SvcState::kActive) {
+    const Status s = st == SvcState::kDraining ? Status::kEntryPointDraining
+                                               : Status::kNoSuchEntryPoint;
+    for (RegSet& regs : batch) set_rc(regs, s);
+    return s;
+  }
+
+  Slot& me = *slots_[caller_slot];
+  Slot& tgt = *slots_[target];
+  const std::uint32_t watermark = shed_watermark();
+  if (watermark != 0 && xcall_depth(target) >= watermark) {
+    me.counters.inc(obs::Counter::kCallsShed, batch.size());
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kCallShed, target);
+    for (RegSet& regs : batch) set_rc(regs, Status::kOverloaded);
+    return Status::kOverloaded;
+  }
+
+  const bool deadlined = opts.deadline_cycles != 0;
+  const std::uint64_t deadline =
+      deadlined ? host_cycles() + opts.deadline_cycles : 0;
+  XcallRing& ring = tgt.rings[caller_slot];
+
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    // Direct path: one gate steal covers every call still unsubmitted —
+    // the batched analogue of the LRPC migration fast path.
+    if (tgt.gate.try_steal()) {
+      me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
+      tgt.counters.inc(obs::Counter::kXcallDirect, batch.size() - i);
+      for (; i < batch.size(); ++i) {
+        fold(execute_remote(tgt, caller, id, batch[i]));
+      }
+      drain_ready(tgt);
+      tgt.gate.release_steal();
+      break;
+    }
+
+    // Ring path: claim a chunk with one CAS, publish with one release
+    // store, ring one doorbell. No-deadline completion blocks live on this
+    // frame — zero heap allocations regardless of batch size; deadline
+    // chunks ride slot-pooled blocks exactly like call_remote, so an
+    // abandoned cell always points at storage that outlives this frame.
+    std::array<XcallWait, XcallRing::kCapacity> waits;
+    std::array<XcallWait*, XcallRing::kCapacity> wait_ptrs;
+    const std::size_t want = std::min(batch.size() - i, wait_ptrs.size());
+    for (std::size_t k = 0; k < want; ++k) {
+      if (deadlined) {
+        wait_ptrs[k] = acquire_wait(me);
+      } else {
+        waits[k].regs = &batch[i + k];
+        wait_ptrs[k] = &waits[k];
+      }
+    }
+    // Delay seam between claim intent and publish: models a producer
+    // preempted mid-batch, so the soak exercises consumers observing a
+    // claimed-but-unpublished run behind a published one.
+    if (HPPC_FAULT_POINT("rt.xcall.batch.post")) {
+      me.counters.inc(obs::Counter::kFaultsInjected);
+      HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                       obs::TraceEvent::kFaultInject, target);
+    }
+    const std::size_t posted = ring.try_post_many(
+        caller, id, &batch[i], wait_ptrs.data(), want, deadline);
+    if (deadlined) {
+      // Unpublished pooled blocks were never shared: straight back.
+      for (std::size_t k = posted; k < want; ++k) {
+        release_wait(me, wait_ptrs[k]);
+      }
+    }
+    if (posted == 0) {
+      me.counters.inc(obs::Counter::kXcallRingFull);
+      if (opts.retry == RetryPolicy::kFailFast ||
+          (deadlined && host_cycles() >= deadline)) {
+        const Status s = opts.retry == RetryPolicy::kFailFast
+                             ? Status::kOverloaded
+                             : Status::kDeadlineExceeded;
+        if (s == Status::kDeadlineExceeded) {
+          me.counters.inc(obs::Counter::kDeadlineExceeded);
+        }
+        for (; i < batch.size(); ++i) set_rc(batch[i], s);
+        fold(s);
+        break;
+      }
+      me.counters.inc(obs::Counter::kRetries);
+      if (!help_drain(tgt, caller_slot)) std::this_thread::yield();
+      continue;
+    }
+    ring_doorbell(me, tgt, caller_slot);
+    me.counters.inc(obs::Counter::kXcallPosts, posted);
+    me.counters.inc(obs::Counter::kXcallBatchPosts);
+    me.counters.inc(obs::Counter::kXcallCellsPerBatch, posted);
+    me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kXcallBatchPost,
+                     static_cast<std::uint32_t>(posted));
+
+    // Collect the chunk. Replies land directly in the caller's RegSets
+    // (stack-wait style); the first waits dominate the wall time, later
+    // ones are usually already complete by the time we look.
+    // Same adaptive cue as call_remote, judged once per chunk: with other
+    // producers queued ahead, collect by parking instead of yelling.
+    const int yield_rounds =
+        (tgt.ready_mask.load(std::memory_order_relaxed) &
+         ~doorbell_bit(caller_slot)) != 0
+            ? kWaitYieldRoundsContended
+            : kWaitYieldRounds;
+    for (std::size_t k = 0; k < posted; ++k) {
+      if (!deadlined) {
+        fold(wait_complete(
+            waits[k], yield_rounds,
+            [this, &tgt, caller_slot] { help_drain(tgt, caller_slot); },
+            [this, &me, caller_slot, target] {
+              me.counters.inc(obs::Counter::kWaiterParks);
+              HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(),
+                               caller_slot, obs::TraceEvent::kWaiterPark,
+                               target);
+            }));
+        continue;
+      }
+      // Deadline chunk: the same abandon protocol as call_remote, per
+      // cell. An abandoned pooled block goes to the zombie list (the
+      // server acks it at drain); a completed one hands its inline reply
+      // back and is recycled.
+      bool timed_out = false;
+      const Status s = wait_complete_deadline(
+          *wait_ptrs[k], deadline, [] { return host_cycles(); },
+          [this, &tgt, caller_slot] { help_drain(tgt, caller_slot); },
+          &timed_out);
+      if (timed_out) {
+        wait_ptrs[k]->next = me.wait_zombies;
+        me.wait_zombies = wait_ptrs[k];
+        me.counters.inc(obs::Counter::kDeadlineExceeded);
+        HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                         obs::TraceEvent::kDeadlineExceeded, target);
+        set_rc(batch[i + k], Status::kDeadlineExceeded);
+        fold(Status::kDeadlineExceeded);
+      } else {
+        batch[i + k] = wait_ptrs[k]->reply;
+        release_wait(me, wait_ptrs[k]);
+        fold(s);
+      }
+    }
+    i += posted;
+  }
+  return overall;
 }
 
 void Runtime::enter_idle(SlotId slot_id) {
@@ -653,10 +1042,18 @@ std::size_t Runtime::serve(SlotId slot_id, const std::atomic<bool>& stop) {
     total += poll(slot_id);
     enter_idle(slot_id);
     // Parked: remote callers direct-execute (or help-drain) through the
-    // gate; we only need to wake for control-plane mailbox posts, ring
-    // cells published while we were still kOwner, or stop.
+    // gate; we only need to wake for control-plane mailbox posts, a rung
+    // doorbell, or stop. The idle test is O(1) — one mask load, one
+    // mailbox head load — with a periodic full ring scan as the backstop
+    // for a doorbell lost to the benign set/clear race.
+    std::uint32_t idle_rounds = 0;
     while (!stop.load(std::memory_order_acquire) &&
-           !slot.xcall.has_pending() && slot.mailbox.empty()) {
+           slot.ready_mask.load(std::memory_order_relaxed) == 0 &&
+           slot.mailbox.empty()) {
+      if (++idle_rounds >= 256) {
+        idle_rounds = 0;
+        if (any_ring_pending(slot)) break;
+      }
       std::this_thread::yield();
     }
     exit_idle(slot_id);
@@ -676,7 +1073,15 @@ std::size_t Runtime::poll(SlotId slot_id) {
     slot.counters.inc(obs::Counter::kMailboxDrains);
     fn();
   });
-  done += drain_ring(slot);
+  // Ready-mask scheduling: drain only the producer rings whose doorbell is
+  // rung — idle polls cost one exchange, busy ones O(popcount) — with a
+  // full scan every kPollScanPeriod-th poll as the lost-doorbell backstop.
+  if (++slot.polls_since_scan >= kPollScanPeriod) {
+    slot.polls_since_scan = 0;
+    done += drain_all(slot);
+  } else {
+    done += drain_ready(slot);
+  }
   std::vector<DeferredCall>& pending = slot.deferred_scratch;
   pending.swap(slot.deferred);  // async calls made below land in deferred
   for (auto& d : pending) {
@@ -771,7 +1176,11 @@ obs::TraceRing& Runtime::trace_ring(SlotId slot) {
 
 std::size_t Runtime::xcall_depth(SlotId slot) const {
   HPPC_ASSERT(slot < slots_.size());
-  return slots_[slot]->xcall.depth();
+  std::size_t depth = 0;
+  for (std::uint32_t src = 0; src < registry_.capacity(); ++src) {
+    depth += slots_[slot]->rings[src].depth();
+  }
+  return depth;
 }
 
 std::size_t Runtime::pooled_workers(SlotId slot, EntryPointId id) const {

@@ -156,6 +156,17 @@ class Runtime {
   explicit Runtime(std::uint32_t slots = 0, bool pin_threads = false);
   ~Runtime();
 
+  /// Teardown sweep (idempotent; also run by the destructor). Caller must
+  /// guarantee quiescence: no thread is posting, polling, or waiting.
+  /// Drains every ring without executing — abandoned cells are acked,
+  /// never-abandoned sync cells completed with kCallAborted — then reaps
+  /// every zombie XcallWait block: once all rings are empty no server can
+  /// ever touch a block again, so even blocks orphaned by a permanently
+  /// killed ring (e.g. a dropped-completion fault on an owner that never
+  /// drained) are reclaimable. Asserts the pool is fully reclaimed.
+  /// Returns the number of zombie blocks reaped.
+  std::size_t shutdown();
+
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
@@ -231,11 +242,42 @@ class Runtime {
   Status call_remote(SlotId caller_slot, SlotId target, ProgramId caller,
                      EntryPointId id, RegSet& regs, const CallOptions& opts);
 
+  /// Batched synchronous cross-slot PPC: submit every RegSet in `batch`
+  /// against `target` and wait for all of them. On an idle target one gate
+  /// steal direct-executes the whole batch; otherwise the batch is posted
+  /// in chunks of up to XcallRing::kCapacity cells, each chunk claimed
+  /// with ONE CAS and published with ONE release store + ONE doorbell
+  /// (see try_post_many) — a burst of M calls costs ~1 cross-slot line
+  /// transfer instead of M. Per-call results land in each RegSet's rc
+  /// word; the return value is the first non-kOk rc (kOk if all passed).
+  /// Zero heap allocations: completion blocks live on this stack frame.
+  Status call_remote_batch(SlotId caller_slot, SlotId target,
+                           ProgramId caller, EntryPointId id,
+                           std::span<RegSet> batch);
+
+  /// call_remote_batch with per-call options: a deadline (applies to the
+  /// whole batch; carried in every cell so the server also refuses to
+  /// execute expired cells late) rides slot-pooled completion blocks, and
+  /// the retry policy governs each chunk post exactly as in call_remote.
+  Status call_remote_batch(SlotId caller_slot, SlotId target,
+                           ProgramId caller, EntryPointId id,
+                           std::span<RegSet> batch, const CallOptions& opts);
+
   /// Fire-and-forget cross-slot call: posted into the target's ring (or,
   /// if the ring is full, the legacy mailbox — the allocating overflow
   /// path) and executed at the target's next drain. Results discarded.
   Status call_remote_async(SlotId caller_slot, SlotId target,
                            ProgramId caller, EntryPointId id, RegSet regs);
+
+  /// call_remote_async with options. Only the deadline acts here: it is
+  /// carried in the posted cell (and checked by the mailbox overflow
+  /// lambda), and a cell that drains after its deadline is dropped —
+  /// counted as deadline_exceeded on the target slot — instead of being
+  /// executed late. kFailFast additionally turns the ring-full overflow
+  /// into an immediate kOverloaded instead of an allocating mailbox post.
+  Status call_remote_async(SlotId caller_slot, SlotId target,
+                           ProgramId caller, EntryPointId id, RegSet regs,
+                           const CallOptions& opts);
 
   /// Drain this slot's ring (one batch), mailbox, and deferred/async
   /// queue. Owner thread only. Returns the number of actions performed.
@@ -361,8 +403,30 @@ class Runtime {
     XcallWait* wait_zombies = nullptr;
     std::vector<std::unique_ptr<XcallWait>> owned_waits;
     SlotGate gate;        // remote-CASed: keep off the hot members' lines
-    XcallRing xcall;      // ring head/cells are internally line-aligned
+    // Per-producer xcall channels, indexed by the PRODUCER's slot id: each
+    // (src, dst) pair gets its own ring, so concurrent posters to one slot
+    // never CAS the same enqueue cursor (the rings stay MPSC internally
+    // because layers like repl::ReplHub post with a shared caller slot).
+    // Allocated once at construction; XcallRing is immovable, hence the
+    // raw-array form rather than a vector.
+    std::unique_ptr<XcallRing[]> rings;
+    // The doorbell word. Bit b = min(src, 63) set means "rings[src] may
+    // hold undrained cells" — producers set it (release) on post iff they
+    // saw it clear; the consumer exchanges it to 0 (acquire) and drains
+    // exactly the flagged rings, re-arming any ring it leaves non-empty.
+    // Idle poll is one load; drain work is O(popcount), not O(nslots).
+    // Liveness backstop for the benign set/clear race (producer skips the
+    // store just as the consumer clears the bit): every kPollScanPeriod-th
+    // poll does a full scan, and helpers always drain their own channel.
+    alignas(kHostCacheLine) std::atomic<std::uint64_t> ready_mask{0};
+    std::uint32_t polls_since_scan = 0;  // consumer-private rescan ticker
   };
+
+  static constexpr std::uint32_t kPollScanPeriod = 64;
+  /// Producers at or beyond the mask width share the last doorbell bit.
+  static std::uint64_t doorbell_bit(SlotId src) {
+    return 1ull << (src < 63 ? src : 63);
+  }
 
   Service* lookup(EntryPointId id) const {
     if (id >= kMaxEntryPoints) return nullptr;
@@ -390,13 +454,28 @@ class Runtime {
   /// the calling thread): re-checks service state, books calls_remote.
   Status execute_remote(Slot& slot, ProgramId caller, EntryPointId id,
                         RegSet& regs);
-  /// Drain one ring batch on `slot` (ownership held). Books xcall_batches
-  /// and completes sync cells.
-  std::size_t drain_ring(Slot& slot);
+  /// Drain one batch of one producer ring on `slot` (ownership held).
+  /// Books xcall_batches, drops/fails expired-deadline cells, completes
+  /// sync cells (kicking parked waiters).
+  std::size_t drain_ring(Slot& slot, XcallRing& ring);
+  /// Mask-guided drain (ownership held): exchange the doorbell word to 0
+  /// and drain exactly the flagged producer rings, re-arming any left
+  /// non-empty. O(1) when idle, O(popcount) when not.
+  std::size_t drain_ready(Slot& slot);
+  /// Full-scan drain of every producer ring (ownership held): the
+  /// periodic liveness backstop for lost doorbells, and the teardown path.
+  std::size_t drain_all(Slot& slot);
+  /// Producer-side doorbell: flag `src`'s ring in `tgt`'s ready mask,
+  /// skipping the shared-line store when the bit is already set
+  /// (doorbell coalescing, booked as ready_mask_skips on `me`).
+  void ring_doorbell(Slot& me, Slot& tgt, SlotId src);
+  /// Racy any-ring-pending scan, for serve()'s periodic idle recheck.
+  bool any_ring_pending(const Slot& slot) const;
   /// Waiter-side progress: if `target`'s gate is idle, steal it, drain its
-  /// ring, and hand it back. Closes the "owner parked after I posted"
-  /// race without blocking primitives. Returns true if it drained.
-  bool help_drain(Slot& target);
+  /// flagged rings — plus the helper's OWN channel unconditionally, which
+  /// makes a waiter's rescue independent of doorbell races — and hand the
+  /// gate back. Returns true if it drained.
+  bool help_drain(Slot& target, SlotId self);
   /// Caller-slot completion-block pool (deadline calls only). Reaps acked
   /// zombies, then recycles or grows. Caller-slot-owner thread only.
   XcallWait* acquire_wait(Slot& me);

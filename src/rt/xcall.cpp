@@ -31,4 +31,15 @@ static_assert(sizeof(XcallRing) >=
 // (the wait loop unpacks it with `v & 0xFF`).
 static_assert(sizeof(Status) == 1 && XcallWait::kDoneBit > 0xFFu);
 
+// The three state bits of the completion word must be distinct and all
+// clear of the status byte: the park CAS (0→kParkedBit), the abandon CAS
+// (0→kAbandonedBit), and the completing exchange (→kDoneBit|status) each
+// need to be able to tell exactly which transition they raced with.
+static_assert((XcallWait::kParkedBit &
+               (XcallWait::kDoneBit | XcallWait::kAbandonedBit | 0xFFu)) == 0);
+
+// The cell deadline is plain payload: published before the seq release
+// store, read by the consumer after its acquire — same discipline as regs.
+static_assert(std::is_trivially_copyable_v<decltype(XcallCell::deadline)>);
+
 }  // namespace hppc::rt

@@ -33,10 +33,20 @@
 //
 //   XcallWait  — the caller-side completion block for synchronous calls:
 //                one atomic word (0 while pending, 0x100|Status when
-//                done) spun on with an adaptive spin-then-yield loop.
+//                done) waited on with an adaptive spin→yield→park ladder.
+//                A waiter that exhausts its yield budget parks on the word
+//                (C++20 atomic wait); the completing server's exchange sees
+//                the parked bit and kicks it with one notify.
 //
-// A warm cross-slot call — direct or ring — performs ZERO heap
-// allocations; the `mailbox_allocs` counter exists to assert that.
+// Batched submission: try_post_many() claims N contiguous cells with ONE
+// CAS and publishes the whole run with ONE release store (the batch
+// doorbell) — cells after the first are published with relaxed stores, and
+// the consumer's in-order acquire of the run's first cell carries the
+// happens-before edge for all of them.
+//
+// A warm cross-slot call — direct or ring, single or batched — performs
+// ZERO heap allocations; the `mailbox_allocs` counter exists to assert
+// that.
 #pragma once
 
 #include <array>
@@ -66,18 +76,23 @@ using ::hppc::cpu_relax;
 /// the wait leaves the server a target that stays valid forever.
 ///
 /// The done word is a tiny state machine:
-///   0                      — pending
+///   0                      — pending (caller spinning or yielding)
+///   kParkedBit             — pending, caller parked on the word (only
+///                            no-deadline waiters ever park)
 ///   kAbandonedBit          — caller's deadline expired; it left (only
 ///                            pooled blocks ever reach this state)
 ///   kDoneBit | status      — server completed (reply valid)
 ///   kDoneBit|kAbandonedBit|status — server acknowledged an abandoned cell
 ///                            without executing it (block is recyclable)
 /// The caller abandons with a CAS from 0, so it can never erase a
-/// completion; the server's final store always sets kDoneBit, so an
+/// completion; the caller parks with a CAS from 0, so it can never park
+/// over one; the server's final exchange always sets kDoneBit and observes
+/// the parked bit it replaces, so a parked waiter is always kicked and an
 /// abandoned block always becomes reclaimable once its cell drains.
 struct XcallWait {
   static constexpr std::uint32_t kDoneBit = 0x100;
   static constexpr std::uint32_t kAbandonedBit = 0x200;
+  static constexpr std::uint32_t kParkedBit = 0x400;
 
   std::atomic<std::uint32_t> done{0};
   ppc::RegSet* regs = nullptr;  // caller's in/out register file (stack waits)
@@ -87,9 +102,20 @@ struct XcallWait {
   /// Where the server writes the request/reply registers.
   ppc::RegSet& reply_target() { return regs != nullptr ? *regs : reply; }
 
-  void complete(Status rc) {
-    done.store(kDoneBit | static_cast<std::uint32_t>(rc),
-               std::memory_order_release);
+  /// Server side: publish the result. The exchange (not a plain store)
+  /// closes the park race — a waiter parks by CAS 0→kParkedBit, so either
+  /// its CAS loses to this exchange and it sees the result without
+  /// sleeping, or this exchange observes the parked bit and kicks it.
+  /// Returns true when a parked waiter was woken (for the kick counter).
+  bool complete(Status rc) {
+    const std::uint32_t prev =
+        done.exchange(kDoneBit | static_cast<std::uint32_t>(rc),
+                      std::memory_order_acq_rel);
+    if ((prev & kParkedBit) != 0) {
+      done.notify_one();
+      return true;
+    }
+    return false;
   }
 
   /// Server side, before executing: an abandoned cell is acknowledged
@@ -129,10 +155,14 @@ struct XcallWait {
 /// One ring cell: exactly one cache line. `seq` is the Vyukov sequence
 /// (cell i starts at i; a producer claiming position p publishes p+1; the
 /// consumer retires it to p+capacity). `wait == nullptr` marks a
-/// fire-and-forget (async) cell.
+/// fire-and-forget (async) cell. `deadline` is an absolute host_cycles()
+/// tick (0 = none): a cell that drains after its deadline is not executed
+/// late — the server drops it (async) or completes it with
+/// kDeadlineExceeded (sync), booking deadline_exceeded either way.
 struct alignas(kHostCacheLine) XcallCell {
   std::atomic<std::uint64_t> seq{0};
   XcallWait* wait = nullptr;
+  std::uint64_t deadline = 0;
   ppc::RegSet regs{};  // inline request payload — no indirection, no alloc
   ProgramId caller = 0;
   EntryPointId ep = 0;
@@ -162,7 +192,7 @@ class XcallRing {
   /// Returns false when the ring is full (the caller takes the overflow
   /// path); never blocks, never allocates.
   bool try_post(ProgramId caller, EntryPointId ep, const ppc::RegSet& regs,
-                XcallWait* wait) {
+                XcallWait* wait, std::uint64_t deadline = 0) {
     std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     XcallCell* cell;
     for (;;) {
@@ -185,8 +215,62 @@ class XcallRing {
     cell->ep = ep;
     cell->regs = regs;
     cell->wait = wait;
+    cell->deadline = deadline;
     cell->seq.store(pos + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Any thread. Vectored post: claims up to `n` contiguous cells with ONE
+  /// CAS on the enqueue cursor and publishes the whole run with ONE release
+  /// store — the batch doorbell. Cells after the run's first are published
+  /// with relaxed seq stores; that is sound because the single consumer
+  /// drains strictly in order, so it only reads cell k after its acquire of
+  /// cell 0's seq, which synchronizes-with the release below and the
+  /// relaxed stores sequenced before it.
+  ///
+  /// The claim is validated against the run's LAST cell: the consumer
+  /// retires cells in order, so `cells[pos+m-1].seq == pos+m-1` implies the
+  /// whole run [pos, pos+m) is free. On a busy ring the attempted run is
+  /// halved until it fits. Returns the number of cells posted (0 = ring
+  /// full); a short count is not an error — the caller re-submits the tail.
+  ///
+  /// `waits[i]` may be null per cell (fire-and-forget); `waits == nullptr`
+  /// means every cell is fire-and-forget.
+  std::size_t try_post_many(ProgramId caller, EntryPointId ep,
+                            const ppc::RegSet* regs,
+                            XcallWait* const* waits, std::size_t n,
+                            std::uint64_t deadline = 0) {
+    if (n == 0) return 0;
+    if (n > kCapacity) n = kCapacity;
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    std::size_t m;
+    for (;;) {
+      m = n;
+      while (m > 0) {
+        const XcallCell& last = cells_[(pos + m - 1) & (kCapacity - 1)];
+        if (last.seq.load(std::memory_order_acquire) == pos + m - 1) break;
+        m >>= 1;  // run not free at this length — try a shorter one
+      }
+      if (m == 0) return 0;
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + m,
+                                             std::memory_order_relaxed)) {
+        break;  // claimed [pos, pos+m)
+      }
+      // CAS reloaded pos: another producer moved the cursor; revalidate.
+    }
+    // Fill back to front so the run's first cell — the one the consumer's
+    // drain cursor is waiting on — is published last, with release.
+    for (std::size_t i = m; i-- > 0;) {
+      XcallCell& cell = cells_[(pos + i) & (kCapacity - 1)];
+      cell.caller = caller;
+      cell.ep = ep;
+      cell.regs = regs[i];
+      cell.wait = waits != nullptr ? waits[i] : nullptr;
+      cell.deadline = deadline;
+      cell.seq.store(pos + i + 1, i == 0 ? std::memory_order_release
+                                         : std::memory_order_relaxed);
+    }
+    return m;
   }
 
   /// Ownership holder only. Consumes every ready cell in one batch —
@@ -293,25 +377,77 @@ class SlotGate {
   std::atomic<std::uint32_t> state_{kIdle};
 };
 
-/// Adaptive completion wait: spin briefly (the multi-core happy path,
-/// where the server replies within the spin window), then yield the CPU so
-/// a time-sliced server can run. `Helper` is invoked once per yield round
-/// and lets the waiter make progress itself — Runtime uses it to steal an
-/// idle target slot and drain its ring, which closes the "owner parked
-/// after I posted" race without any blocking primitive.
-template <typename Helper>
-Status wait_complete(XcallWait& wait, Helper&& help) {
+/// Yield rounds a no-deadline waiter burns (helping once per round) before
+/// it parks on the completion word. Each round is a spin window plus a
+/// help attempt, so by the time a waiter parks it has given the server a
+/// long cooperative window AND tried to drain the target itself — parking
+/// only happens when someone else demonstrably holds the slot.
+inline constexpr int kWaitYieldRounds = 64;
+
+/// The contended budget: when the target's ready mask already shows OTHER
+/// producers' doorbells at post time, the owner has a queue in front of
+/// our cell and the expected wait spans several drain passes — burning the
+/// full yield ladder would just churn the scheduler (acutely so when
+/// callers outnumber CPUs). One courtesy round, then park and let the
+/// completing server's kick pay the single wakeup.
+inline constexpr int kWaitYieldRoundsContended = 1;
+
+/// Adaptive completion wait — the spin→yield→park ladder:
+///
+///   spin   96 cpu_relax polls of the done word (the multi-core happy
+///          path, where the server replies within the spin window);
+///   yield  up to `yield_rounds` rounds of help() + sched yield, so a
+///          time-sliced server can run and an idle target can be drained
+///          by the waiter itself (`help` steals the gate and drains);
+///   park   CAS the done word 0→kParkedBit and block in the C++20 atomic
+///          wait until the server's completing exchange — which observes
+///          the parked bit it replaced — kicks us with notify_one().
+///
+/// `on_park` runs once per park attempt, before blocking (counters/trace/
+/// failpoints). Deadline waiters must NOT use this path (atomic wait has
+/// no timeout); they stay on wait_complete_deadline's spin+yield loop.
+/// The park CAS is from 0 only, so a parker can never erase a completion
+/// or an abandonment; completion checks mask kDoneBit, so a stale parked
+/// bit observed after a spurious wake never reads as a result.
+template <typename Helper, typename OnPark>
+Status wait_complete(XcallWait& wait, int yield_rounds, Helper&& help,
+                     OnPark&& on_park) {
   constexpr int kSpins = 96;
-  for (;;) {
+  for (int round = 0;; ++round) {
     for (int i = 0; i < kSpins; ++i) {
       const std::uint32_t v = wait.done.load(std::memory_order_acquire);
-      if (v != 0) return static_cast<Status>(v & 0xFFu);
+      if ((v & XcallWait::kDoneBit) != 0) {
+        return static_cast<Status>(v & 0xFFu);
+      }
       cpu_relax();
     }
     help();
     const std::uint32_t v = wait.done.load(std::memory_order_acquire);
-    if (v != 0) return static_cast<Status>(v & 0xFFu);
-    std::this_thread::yield();
+    if ((v & XcallWait::kDoneBit) != 0) return static_cast<Status>(v & 0xFFu);
+    if (round < yield_rounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Ladder exhausted: park. By now we have posted our cell and rung the
+    // doorbell, so the slot's current ownership holder (owner poll/serve,
+    // or a helping thief) is guaranteed to reach it and kick us.
+    on_park();
+    for (;;) {
+      std::uint32_t cur = wait.done.load(std::memory_order_acquire);
+      if ((cur & XcallWait::kDoneBit) != 0) {
+        return static_cast<Status>(cur & 0xFFu);
+      }
+      if (cur == 0 &&
+          !wait.done.compare_exchange_strong(cur, XcallWait::kParkedBit,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        continue;  // completion raced in under us — re-examine
+      }
+      // Blocks while the word still reads kParkedBit; the server's
+      // completing exchange changes it and notifies. Spurious wakes just
+      // re-run the loop.
+      wait.done.wait(XcallWait::kParkedBit, std::memory_order_acquire);
+    }
   }
 }
 
@@ -340,7 +476,8 @@ Status wait_complete_deadline(XcallWait& wait, std::uint64_t deadline,
         return Status::kDeadlineExceeded;
       }
       // Lost to the server: the result is (or is about to be) published.
-      return wait_complete(wait, help);
+      // Spin it out (never park — the completing exchange is imminent).
+      return wait_complete(wait, /*yield_rounds=*/1 << 20, help, [] {});
     }
     help();
     const std::uint32_t v = wait.done.load(std::memory_order_acquire);

@@ -7,9 +7,11 @@
 // branches for races the happy path never executes.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <iterator>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -35,6 +37,7 @@ struct ChaosPoint {
 constexpr ChaosPoint kSchedule[] = {
     {"rt.xcall.ring_full", "prob=0.2"},
     {"rt.xcall.post", "delay=200"},
+    {"rt.xcall.batch.post", "prob=0.3,delay=300"},
     {"rt.xcall.complete.delay", "prob=0.3,delay=2000"},
     {"rt.xcall.complete.drop", "prob=0.02"},
     {"rt.worker.exhausted", "prob=0.05"},
@@ -42,6 +45,16 @@ constexpr ChaosPoint kSchedule[] = {
     {"rt.call.delay", "prob=0.1,delay=500"},
 };
 constexpr std::size_t kSchedulePoints = std::size(kSchedule);
+
+// The park seams sit on the NO-deadline wait ladder, which the randomized
+// phase never walks (every soak call carries a deadline so injected drops
+// cannot hang it). They get their own deterministic phase after the chaos
+// stops: force every wait to park, against a still-live server, where a
+// lost kick would hang the test.
+constexpr ChaosPoint kParkSchedule[] = {
+    {"rt.xcall.park.now", "always"},
+    {"rt.xcall.park", "always,delay=200"},
+};
 
 bool allowed_status(Status s) {
   switch (s) {
@@ -148,6 +161,23 @@ TEST(ChaosSoak, RandomFailpointScheduleUnderTrafficNeverHangsOrCorrupts) {
           const Status as = rt.call_remote_async(my, 0, my, ep, r);
           if (as != Status::kOk && !allowed_status(as)) bad_status.fetch_add(1);
         }
+        if (i % 16 == 0) {
+          // Batched flank: the vectored-post seam (rt.xcall.batch.post)
+          // under the same deadline umbrella — per-cell rc must stay inside
+          // the documented set and payloads must stay intact.
+          std::array<rt::RegSet, 4> b{};
+          for (Word k = 0; k < b.size(); ++k) b[k][0] = i + k;
+          const Status bs = rt.call_remote_batch(
+              my, 0, my, ep, std::span<rt::RegSet>(b), opts);
+          if (!allowed_status(bs)) bad_status.fetch_add(1);
+          for (Word k = 0; k < b.size(); ++k) {
+            const Status cs = ppc::rc_of(b[k]);
+            if (!allowed_status(cs)) bad_status.fetch_add(1);
+            if (cs == Status::kOk && b[k][1] != i + k + 1) {
+              bad_payload.fetch_add(1);
+            }
+          }
+        }
       }
     });
   }
@@ -157,8 +187,22 @@ TEST(ChaosSoak, RandomFailpointScheduleUnderTrafficNeverHangsOrCorrupts) {
   chaos.join();
   fault::disarm_all();
 
-  // Quiesce: with every point disarmed the system must be fully healthy.
+  // Deterministic park phase: only the park seams armed, server still
+  // polling. Every call must post, park, and be kicked awake with the
+  // right answer — a lost kick hangs right here.
   const rt::SlotId me = rt.register_thread();
+  for (const ChaosPoint& p : kParkSchedule) {
+    ASSERT_TRUE(fault::arm(p.name, p.spec)) << p.name;
+  }
+  for (Word i = 0; i < 16; ++i) {
+    rt::RegSet r{};
+    r[0] = i;
+    ASSERT_EQ(rt.call_remote(me, 0, /*caller=*/me, ep, r), Status::kOk);
+    ASSERT_EQ(r[1], i + 1);
+  }
+  fault::disarm_all();
+
+  // Quiesce: with every point disarmed the system must be fully healthy.
   for (int i = 0; i < 16; ++i) {
     rt::RegSet r{};
     r[0] = 100;
@@ -181,6 +225,13 @@ TEST(ChaosSoak, RandomFailpointScheduleUnderTrafficNeverHangsOrCorrupts) {
     if (fp.evaluations() > 0) ++points_evaluated;
   }
   EXPECT_GE(points_evaluated, 5u);
+  // The park phase must have actually walked the ladder's parked branch.
+  for (const ChaosPoint& p : kParkSchedule) {
+    SCOPED_TRACE(p.name);
+    EXPECT_GT(fault::injected(p.name), 0u);
+  }
+  EXPECT_GT(rt.snapshot().get(obs::Counter::kWaiterParks), 0u);
+  EXPECT_GT(rt.snapshot().get(obs::Counter::kWaiterKicks), 0u);
 }
 
 #else

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <map>
+#include <optional>
 #include <thread>
+#include <vector>
 
 namespace hppc::rt {
 namespace {
@@ -157,6 +160,101 @@ TEST(KvService, RemoteGetAgainstServingOwner) {
   owner.join();
   // The shard now lives on slot 1 regardless of which path executed.
   EXPECT_FALSE(kv.get(me, 1, 0).has_value());
+}
+
+TEST(KvService, MultiPutMultiGetRideBatchedXcalls) {
+  // 50 puts then 60 gets (10 of them misses) against a busy-polling
+  // owner: every chunk must ride the vectored ring path, so the caller's
+  // own counters show coalesced doorbells — ceil(50/16) + ceil(60/16)
+  // batch posts carrying one cell per key — and zero mailbox traffic.
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  KvService kv(rt);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> up{false};
+  std::thread owner([&] {
+    const SlotId s = rt.register_thread();
+    up.store(true, std::memory_order_release);
+    while (!stop.load(std::memory_order_acquire)) {
+      if (rt.poll(s) == 0) std::this_thread::yield();
+    }
+  });
+  while (!up.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  constexpr std::size_t kPuts = 50;
+  constexpr std::size_t kGets = 60;
+  std::vector<Word> keys(kPuts), values(kPuts);
+  for (std::size_t i = 0; i < kPuts; ++i) {
+    keys[i] = 1000 + i;
+    values[i] = 10 * i + 1;
+  }
+  const auto before = rt.slot_snapshot(me);
+  ASSERT_EQ(kv.multi_put(me, /*owner_slot=*/1, /*caller=*/1, keys, values),
+            Status::kOk);
+
+  std::vector<Word> probe(kGets);
+  for (std::size_t i = 0; i < kGets; ++i) probe[i] = 1000 + i;  // last 10 miss
+  std::vector<std::optional<Word>> out(kGets);
+  EXPECT_EQ(kv.multi_get(me, 1, 1, probe, out), kPuts);
+  const auto delta = rt.slot_snapshot(me).delta(before);
+  stop.store(true, std::memory_order_release);
+  owner.join();
+
+  for (std::size_t i = 0; i < kPuts; ++i) {
+    ASSERT_TRUE(out[i].has_value()) << "key " << probe[i];
+    EXPECT_EQ(*out[i], values[i]);
+  }
+  for (std::size_t i = kPuts; i < kGets; ++i) {
+    EXPECT_FALSE(out[i].has_value()) << "key " << probe[i];
+  }
+  EXPECT_EQ(delta.get(obs::Counter::kXcallBatchPosts), 4u + 4u);
+  EXPECT_EQ(delta.get(obs::Counter::kXcallCellsPerBatch), kPuts + kGets);
+  EXPECT_EQ(delta.get(obs::Counter::kXcallDirect), 0u);
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs), 0u);
+}
+
+TEST(KvService, MultiGetAnswersHotKeysLocallyAndBatchesOnlyMisses) {
+  // With the replicated hot set on, multi_get probes each key's replica
+  // first: hot keys never touch the ring, so a probe list that is half
+  // hot costs doorbells only for the cold half.
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  KvService::Config cfg;
+  cfg.replicated_hot_capacity = 8;
+  KvService kv(rt, cfg);
+  // Two hot keys, direct-executed on the unregistered owner's shard;
+  // write-through admits them, and the poll drains our refresh nudge.
+  ASSERT_EQ(kv.put_remote(me, 1, 1, 5, 500), Status::kOk);
+  ASSERT_EQ(kv.put_remote(me, 1, 1, 6, 600), Status::kOk);
+  rt.poll(me);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> up{false};
+  std::thread owner([&] {
+    const SlotId s = rt.register_thread();
+    up.store(true, std::memory_order_release);
+    while (!stop.load(std::memory_order_acquire)) {
+      if (rt.poll(s) == 0) std::this_thread::yield();
+    }
+  });
+  while (!up.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  const std::array<Word, 4> probe = {5, 6, 7, 8};  // 2 hot, 2 misses
+  std::array<std::optional<Word>, 4> out;
+  const auto before = rt.slot_snapshot(me);
+  EXPECT_EQ(kv.multi_get(me, 1, 1, probe, out), 2u);
+  const auto delta = rt.slot_snapshot(me).delta(before);
+  stop.store(true, std::memory_order_release);
+  owner.join();
+
+  EXPECT_EQ(*out[0], 500u);
+  EXPECT_EQ(*out[1], 600u);
+  EXPECT_FALSE(out[2].has_value());
+  EXPECT_FALSE(out[3].has_value());
+  // One doorbell, two cells: only the cold keys rode the ring.
+  EXPECT_EQ(delta.get(obs::Counter::kXcallBatchPosts), 1u);
+  EXPECT_EQ(delta.get(obs::Counter::kXcallCellsPerBatch), 2u);
+  EXPECT_GT(delta.get(obs::Counter::kReplReads), 0u);
 }
 
 TEST(KvService, ReplicatedHotGetServesLocally) {

@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "fault/failpoints.h"
 #include "ppc/regs.h"
 #include "rt/runtime.h"
 
@@ -539,6 +542,385 @@ TEST(CallRemote, ShedsAtWatermark) {
   EXPECT_EQ(rt.call_remote(me, 1, 1, ep, r), Status::kOk);
   EXPECT_EQ(r[1], 4u);
 }
+
+// ---------------------------------------------------------------------------
+// Batched submission: try_post_many at ring level, call_remote_batch above
+// ---------------------------------------------------------------------------
+
+TEST(XcallRing, BatchPostPublishesContiguousRunInOrder) {
+  XcallRing ring;
+  std::array<ppc::RegSet, 10> regs{};
+  for (Word i = 0; i < regs.size(); ++i) regs[i][0] = 100 + i;
+  ASSERT_EQ(ring.try_post_many(/*caller=*/3, /*ep=*/7, regs.data(),
+                               /*waits=*/nullptr, regs.size()),
+            regs.size());
+  Word expect = 100;
+  const std::size_t n = ring.drain([&](XcallCell& c) {
+    EXPECT_EQ(c.caller, 3u);
+    EXPECT_EQ(c.ep, 7u);
+    EXPECT_EQ(c.wait, nullptr);
+    EXPECT_EQ(c.regs[0], expect++);
+  });
+  EXPECT_EQ(n, regs.size());
+  EXPECT_FALSE(ring.has_pending());
+}
+
+TEST(XcallRing, BatchSpansRingWrap) {
+  XcallRing ring;
+  // Advance both cursors to 60 so a 16-cell batch claims [60, 76): the run
+  // crosses the index wrap, where "contiguous" means contiguous positions,
+  // not contiguous array slots.
+  for (Word i = 0; i < 60; ++i) {
+    ASSERT_TRUE(ring.try_post(1, 1, make_regs(i), nullptr));
+  }
+  ring.drain([](XcallCell&) {});
+  std::array<ppc::RegSet, 16> regs{};
+  for (Word i = 0; i < regs.size(); ++i) regs[i][0] = i;
+  ASSERT_EQ(ring.try_post_many(1, 1, regs.data(), nullptr, regs.size()),
+            regs.size());
+  Word expect = 0;
+  EXPECT_EQ(ring.drain([&](XcallCell& c) { EXPECT_EQ(c.regs[0], expect++); }),
+            regs.size());
+  EXPECT_EQ(expect, 16u);
+}
+
+TEST(XcallRing, BatchClaimHalvesNearFullAndReturnsZeroWhenFull) {
+  XcallRing ring;
+  // 59 occupied, 5 free: a 16-run fails its last-cell check, so does 8;
+  // 4 fits. The halving never claims cells it cannot publish.
+  for (std::size_t i = 0; i < 59; ++i) {
+    ASSERT_TRUE(ring.try_post(1, 1, make_regs(i), nullptr));
+  }
+  std::array<ppc::RegSet, 16> regs{};
+  EXPECT_EQ(ring.try_post_many(1, 1, regs.data(), nullptr, regs.size()), 4u);
+  EXPECT_EQ(ring.try_post_many(1, 1, regs.data(), nullptr, regs.size()), 1u);
+  EXPECT_EQ(ring.try_post_many(1, 1, regs.data(), nullptr, regs.size()), 0u);
+  EXPECT_EQ(ring.drain([](XcallCell&) {}), XcallRing::kCapacity);
+}
+
+TEST(XcallRing, ConcurrentBatchAndSinglePostsKeepPerProducerFifo) {
+  // Two vectored producers race two single-cell producers on one ring; the
+  // consumer must still observe every producer's cells in that producer's
+  // submission order (batch runs are claimed atomically, so a run can never
+  // interleave with itself). TSan sweeps the relaxed-publish protocol here.
+  XcallRing ring;
+  constexpr Word kPerProducer = 4000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {  // batch producers
+    producers.emplace_back([&, p] {
+      std::array<ppc::RegSet, 8> regs{};
+      Word next = 0;
+      while (next < kPerProducer) {
+        const std::size_t want =
+            std::min<std::size_t>(regs.size(), kPerProducer - next);
+        for (std::size_t i = 0; i < want; ++i) regs[i][0] = next + i;
+        const std::size_t posted = ring.try_post_many(
+            static_cast<ProgramId>(p), 1, regs.data(), nullptr, want);
+        next += posted;
+        if (posted == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (int p = 2; p < 4; ++p) {  // single-cell producers
+    producers.emplace_back([&, p] {
+      for (Word i = 0; i < kPerProducer; ++i) {
+        while (!ring.try_post(static_cast<ProgramId>(p), 1, make_regs(i),
+                              nullptr)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::array<Word, 4> next_from{};
+  std::size_t total = 0;
+  while (total < 4 * kPerProducer) {
+    const std::size_t n = ring.drain([&](XcallCell& c) {
+      ASSERT_LT(c.caller, 4u);
+      EXPECT_EQ(c.regs[0], next_from[c.caller]++);
+    });
+    total += n;
+    if (n == 0) std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+  for (Word n : next_from) EXPECT_EQ(n, kPerProducer);
+}
+
+TEST(CallRemoteBatch, DirectExecutesWholeBatchOnIdleSlot) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  std::array<RegSet, 8> batch{};
+  for (Word i = 0; i < batch.size(); ++i) batch[i][0] = i;
+  ASSERT_EQ(rt.call_remote_batch(me, 1, /*caller=*/1, ep, batch), Status::kOk);
+  for (Word i = 0; i < batch.size(); ++i) EXPECT_EQ(batch[i][1], i + 1);
+  // One gate steal covered the whole batch: no ring traffic at all.
+  EXPECT_EQ(rt.counters(1).get(obs::Counter::kXcallDirect), 8u);
+  EXPECT_EQ(rt.counters(0).get(obs::Counter::kXcallPosts), 0u);
+  EXPECT_EQ(rt.counters(0).get(obs::Counter::kXcallBatchPosts), 0u);
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs), 0u);
+}
+
+TEST(CallRemoteBatch, SameSlotDegeneratesToLocalCalls) {
+  Runtime rt(1);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  std::array<RegSet, 4> batch{};
+  for (Word i = 0; i < batch.size(); ++i) batch[i][0] = 10 + i;
+  ASSERT_EQ(rt.call_remote_batch(me, me, 1, ep, batch), Status::kOk);
+  for (Word i = 0; i < batch.size(); ++i) EXPECT_EQ(batch[i][1], 11 + i);
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kCallsSync), 4u);
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kCallsRemote), 0u);
+}
+
+TEST(CallRemoteBatch, ScreensDeadServiceOncePerBatch) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  ASSERT_EQ(rt.soft_kill(ep), Status::kOk);
+  std::array<RegSet, 3> batch{};
+  EXPECT_EQ(rt.call_remote_batch(me, 1, 1, ep, batch),
+            Status::kEntryPointDraining);
+  for (const RegSet& r : batch) {
+    EXPECT_EQ(ppc::rc_of(r), Status::kEntryPointDraining);
+  }
+  EXPECT_EQ(rt.call_remote_batch(me, 1, 1, kInvalidEntryPoint, batch),
+            Status::kNoSuchEntryPoint);
+}
+
+TEST(CallRemoteBatch, RingPathChunksLargeBatchAcrossDoorbells) {
+  // A batch bigger than the ring must be split into at least two vectored
+  // posts (two doorbells), with every reply landing in its own RegSet.
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> owner_up{false};
+  std::thread owner([&] {
+    const SlotId s = rt.register_thread();
+    owner_up.store(true, std::memory_order_release);
+    while (!stop.load(std::memory_order_acquire)) {
+      if (rt.poll(s) == 0) std::this_thread::yield();
+    }
+  });
+  while (!owner_up.load(std::memory_order_acquire)) std::this_thread::yield();
+  constexpr std::size_t kBatch = XcallRing::kCapacity + 36;
+  std::vector<RegSet> batch(kBatch);
+  for (Word i = 0; i < kBatch; ++i) batch[i][0] = i;
+  ASSERT_EQ(rt.call_remote_batch(me, 1, 1, ep,
+                                 std::span<RegSet>(batch.data(), kBatch)),
+            Status::kOk);
+  stop.store(true, std::memory_order_release);
+  owner.join();
+  for (Word i = 0; i < kBatch; ++i) ASSERT_EQ(batch[i][1], i + 1);
+  const auto& c = rt.counters(0);
+  EXPECT_EQ(c.get(obs::Counter::kXcallPosts), kBatch);
+  EXPECT_GE(c.get(obs::Counter::kXcallBatchPosts), 2u);
+  EXPECT_EQ(c.get(obs::Counter::kXcallCellsPerBatch), kBatch);
+  EXPECT_EQ(rt.counters(1).get(obs::Counter::kCallsRemote), kBatch);
+  EXPECT_EQ(rt.counters(1).get(obs::Counter::kXcallDirect), 0u);
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs), 0u);
+}
+
+TEST(CallRemoteBatch, WarmBatchesTakeNoLocksAndNeverAllocate) {
+  // The acceptance invariant for the whole feature: a warm batched post
+  // cycle touches no lock and allocates nothing. The owner thread is live
+  // here, so only this thread's slot block and the (atomic) shared block
+  // may be read — both are race-free while the owner keeps polling.
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> owner_up{false};
+  std::thread owner([&] {
+    const SlotId s = rt.register_thread();
+    owner_up.store(true, std::memory_order_release);
+    while (!stop.load(std::memory_order_acquire)) {
+      if (rt.poll(s) == 0) std::this_thread::yield();
+    }
+  });
+  while (!owner_up.load(std::memory_order_acquire)) std::this_thread::yield();
+  std::array<RegSet, 16> batch{};
+  auto run_batch = [&] {
+    for (Word i = 0; i < batch.size(); ++i) batch[i][0] = i;
+    ASSERT_EQ(rt.call_remote_batch(me, 1, 1, ep, batch), Status::kOk);
+  };
+  for (int warm = 0; warm < 4; ++warm) run_batch();
+  const auto before_me = rt.slot_snapshot(me);
+  const std::uint64_t before_allocs =
+      rt.shared_counters().get(obs::Counter::kMailboxAllocs);
+  const std::uint64_t before_locks =
+      rt.shared_counters().get(obs::Counter::kLocksTaken);
+  constexpr std::uint64_t kRounds = 64;
+  for (std::uint64_t r = 0; r < kRounds; ++r) run_batch();
+  const auto delta = rt.slot_snapshot(me).delta(before_me);
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kMailboxAllocs),
+            before_allocs);
+  EXPECT_EQ(rt.shared_counters().get(obs::Counter::kLocksTaken), before_locks);
+  EXPECT_EQ(delta.get(obs::Counter::kLocksTaken), 0u);
+  // Every warm batch is one claim + one doorbell: 16 cells per vectored
+  // post, no ring-full retries anywhere.
+  EXPECT_EQ(delta.get(obs::Counter::kXcallBatchPosts), kRounds);
+  EXPECT_EQ(delta.get(obs::Counter::kXcallCellsPerBatch), kRounds * 16);
+  EXPECT_EQ(delta.get(obs::Counter::kXcallPosts), kRounds * 16);
+  EXPECT_EQ(delta.get(obs::Counter::kXcallRingFull), 0u);
+  stop.store(true, std::memory_order_release);
+  owner.join();
+}
+
+TEST(CallRemoteBatch, DeadlineExpiresOnStuckOwnerAndBlocksAreReaped) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  StuckOwner owner(rt);
+
+  CallOptions opts;
+  opts.deadline_cycles = 200'000;
+  std::array<RegSet, 4> batch{};
+  for (Word i = 0; i < batch.size(); ++i) batch[i][0] = i;
+  EXPECT_EQ(rt.call_remote_batch(me, 1, 1, ep, batch, opts),
+            Status::kDeadlineExceeded);
+  for (const RegSet& r : batch) {
+    EXPECT_EQ(ppc::rc_of(r), Status::kDeadlineExceeded);
+  }
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kDeadlineExceeded), 4u);
+  EXPECT_EQ(rt.counters(me).get(obs::Counter::kXcallBatchPosts), 1u);
+
+  // The four abandoned pooled blocks ride the zombie list until the owner's
+  // drain acks them; after that the teardown sweep must reap all four.
+  owner.release_and_join();
+  EXPECT_EQ(rt.shutdown(), 4u);
+  EXPECT_EQ(rt.shutdown(), 0u);  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// Ready-mask scheduling, async cell deadlines, teardown sweep, park/kick
+// ---------------------------------------------------------------------------
+
+TEST(ReadyMask, ManyProducersOnePollingConsumerLoseNothing) {
+  // Four producers set doorbell bits while the consumer batch-clears them:
+  // the set-vs-clear race is benign by design (re-arm + periodic full scan),
+  // so every posted call must execute exactly once. TSan target.
+  Runtime rt(5);
+  std::atomic<Word> hits{0};
+  const EntryPointId ep =
+      rt.bind({.name = "tally"}, 0, [&](RtCtx&, ppc::RegSet& r) {
+        hits.fetch_add(r[0], std::memory_order_relaxed);
+        ppc::set_rc(r, Status::kOk);
+      });
+  std::atomic<bool> stop{false};
+  std::atomic<bool> owner_up{false};
+  std::thread owner([&] {
+    const SlotId s = rt.register_thread();
+    EXPECT_EQ(s, 0u);
+    owner_up.store(true, std::memory_order_release);
+    while (!stop.load(std::memory_order_acquire)) {
+      if (rt.poll(s) == 0) std::this_thread::yield();
+    }
+  });
+  while (!owner_up.load(std::memory_order_acquire)) std::this_thread::yield();
+  constexpr Word kEach = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      const SlotId my = rt.register_thread();
+      for (Word i = 0; i < kEach; ++i) {
+        ASSERT_EQ(rt.call_remote_async(my, 0, my, ep, make_regs(1)),
+                  Status::kOk);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (hits.load(std::memory_order_relaxed) < 4 * kEach) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  owner.join();
+  EXPECT_EQ(hits.load(), 4 * kEach);
+  EXPECT_EQ(rt.counters(0).get(obs::Counter::kCallsRemote), 4 * kEach);
+}
+
+TEST(CallRemoteAsync, ExpiredDeadlineCellIsDroppedAtDrain) {
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  std::atomic<int> hits{0};
+  const EntryPointId ep =
+      rt.bind({.name = "tally"}, 0, [&](RtCtx&, ppc::RegSet& r) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+        ppc::set_rc(r, Status::kOk);
+      });
+  StuckOwner owner(rt);
+  CallOptions opts;
+  opts.deadline_cycles = 100'000;  // expires long before the owner drains
+  ASSERT_EQ(rt.call_remote_async(me, 1, 1, ep, make_regs(1), opts),
+            Status::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  owner.release_and_join();  // drain reaches the cell after its deadline
+  EXPECT_EQ(hits.load(), 0);
+  EXPECT_EQ(rt.counters(1).get(obs::Counter::kDeadlineExceeded), 1u);
+  EXPECT_EQ(rt.counters(1).get(obs::Counter::kCallsRemote), 0u);
+}
+
+TEST(Shutdown, ReapsZombieWaitsFromPermanentlyStuckRing) {
+  // The regression the sweep exists for: a ring whose owner died holding
+  // the gate (hard-killed, never drains again) strands the abandoned
+  // block — unreachable by the normal ack path forever. shutdown() must
+  // reclaim it anyway, and its pool assert must hold.
+  Runtime rt(2);
+  const SlotId me = rt.register_thread();
+  const EntryPointId ep = bind_adder(rt);
+  std::thread dead_owner([&] {
+    const SlotId s = rt.register_thread();
+    EXPECT_EQ(s, 1u);
+    // Exit still holding kOwner: the slot is permanently stuck.
+  });
+  dead_owner.join();
+  CallOptions opts;
+  opts.deadline_cycles = 200'000;
+  ppc::RegSet r = make_regs(1);
+  EXPECT_EQ(rt.call_remote(me, 1, 1, ep, r, opts), Status::kDeadlineExceeded);
+  // The abandoned block is a zombie nobody will ever ack.
+  EXPECT_EQ(rt.shutdown(), 1u);
+  EXPECT_EQ(rt.shutdown(), 0u);
+}
+
+#if defined(HPPC_FAULT_INJECTION) && HPPC_FAULT_INJECTION
+TEST(CallRemote, ForcedParkIsKickedByCompletingServer) {
+  // "rt.xcall.park.now" collapses the yield phase, so every ring-path wait
+  // goes straight to the park CAS; the owner's drain must then observe the
+  // parked bit and kick the waiter — the test hangs if the kick is lost.
+  ASSERT_TRUE(fault::arm("rt.xcall.park.now", "always"));
+  {
+    Runtime rt(2);
+    const SlotId me = rt.register_thread();
+    const EntryPointId ep = bind_adder(rt);
+    std::atomic<bool> stop{false};
+    std::atomic<bool> owner_up{false};
+    std::thread owner([&] {
+      const SlotId s = rt.register_thread();
+      owner_up.store(true, std::memory_order_release);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (rt.poll(s) == 0) std::this_thread::yield();
+      }
+    });
+    while (!owner_up.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    for (Word i = 0; i < 32; ++i) {
+      ppc::RegSet r = make_regs(i);
+      ASSERT_EQ(rt.call_remote(me, 1, 1, ep, r), Status::kOk);
+      ASSERT_EQ(r[1], i + 1);
+    }
+    stop.store(true, std::memory_order_release);
+    owner.join();
+    EXPECT_GE(rt.counters(0).get(obs::Counter::kWaiterParks), 1u);
+    EXPECT_GE(rt.counters(1).get(obs::Counter::kWaiterKicks), 1u);
+    // A kick only ever answers a park.
+    EXPECT_LE(rt.counters(1).get(obs::Counter::kWaiterKicks),
+              rt.counters(0).get(obs::Counter::kWaiterParks));
+  }
+  fault::disarm("rt.xcall.park.now");
+}
+#endif  // HPPC_FAULT_INJECTION
 
 TEST(CallRemote, HardKillWhileCellParkedAbortsInFlight) {
   Runtime rt(3);
