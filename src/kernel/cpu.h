@@ -15,6 +15,7 @@
 #include "common/intrusive_list.h"
 #include "common/types.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/trace.h"
 #include "sim/memctx.h"
 #include "kernel/process.h"
@@ -83,6 +84,12 @@ class Cpu {
   obs::SlotCounters& counters() { return counters_; }
   const obs::SlotCounters& counters() const { return counters_; }
 
+  /// Per-CPU latency histograms, same single-writer discipline as the
+  /// counter block. Values are SIMULATED cycles (cpu.now() deltas), so the
+  /// distributions are deterministic for a given schedule.
+  obs::SlotHistograms& histograms() { return hists_; }
+  const obs::SlotHistograms& histograms() const { return hists_; }
+
   /// Bounded event-trace ring for this CPU (written only under HPPC_TRACE).
   obs::TraceRing& trace_ring() { return trace_ring_; }
   const obs::TraceRing& trace_ring() const { return trace_ring_; }
@@ -107,6 +114,7 @@ class Cpu {
   SimAddr rq_addr_ = kInvalidAddr;
   void* ppc_state_ = nullptr;
   obs::SlotCounters counters_;
+  obs::SlotHistograms hists_;
   obs::TraceRing trace_ring_;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
 };

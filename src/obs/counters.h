@@ -1,9 +1,12 @@
 // Per-slot observability counters, built the same way the facility itself
-// is built (§2): every hot-path increment is a plain store into a fixed-id,
-// cache-line-aligned block owned by exactly one slot (one rt thread slot or
-// one simulated kernel::Cpu). Nothing on the fast path is atomic, locked,
-// or shared; blocks are merged only at snapshot time, the same way
-// RunningStats::merge folds per-stream moments.
+// is built (§2): every hot-path increment is a single-writer store into a
+// fixed-id, cache-line-aligned block owned by exactly one slot (one rt
+// thread slot or one simulated kernel::Cpu). Nothing on the fast path is
+// an RMW, a lock, or a store to a line another slot writes; the relaxed
+// load+store pair compiles to the same add-to-memory a plain store did,
+// while letting a live observer read each word race-free. Blocks are
+// merged only at snapshot time, the same way RunningStats::merge folds
+// per-stream moments.
 //
 // The two headline counters — kLocksTaken and kSharedLinesTouched — exist
 // to turn the paper's central claim ("in the common case the fast path
@@ -16,6 +19,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 
 #include "common/cacheline.h"
 
@@ -89,6 +93,11 @@ enum class Counter : std::uint32_t {
   kWaiterParks,         // sync waiters that parked on the completion word
   kWaiterKicks,         // completions that woke a parked waiter
 
+  // -- telemetry: drain accounting, trace degradation, snapshot exports --
+  kXcallCellsDrained,   // ring cells retired by drains (the drain-rate source)
+  kTraceDrops,          // spans dropped instead of blocking the call path
+  kTelemetrySnaps,      // Runtime::telemetry() snapshots taken
+
   kCount
 };
 
@@ -143,10 +152,35 @@ constexpr const char* counter_name(Counter c) {
     case Counter::kReadyMaskSkips: return "ready_mask_skips";
     case Counter::kWaiterParks: return "waiter_parks";
     case Counter::kWaiterKicks: return "waiter_kicks";
+    case Counter::kXcallCellsDrained: return "xcall_cells_drained";
+    case Counter::kTraceDrops: return "trace_drops";
+    case Counter::kTelemetrySnaps: return "telemetry_snaps";
     case Counter::kCount: break;
   }
   return "unknown";
 }
+
+/// Constexpr string equality for the compile-time name-exhaustiveness
+/// checks here and in trace.h/histogram.h: a counter (or event, or
+/// histogram) added without a name must break the build, not emit blank
+/// keys into BENCH JSON.
+constexpr bool obs_name_eq(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    if (*a != *b) return false;
+  }
+  return *a == *b;
+}
+
+namespace detail {
+template <std::size_t... I>
+constexpr bool all_counters_named(std::index_sequence<I...>) {
+  return (!obs_name_eq(counter_name(static_cast<Counter>(I)), "unknown") &&
+          ...);
+}
+}  // namespace detail
+static_assert(
+    detail::all_counters_named(std::make_index_sequence<kNumCounters>{}),
+    "every Counter value needs a counter_name() case");
 
 /// A merged, point-in-time view of one or more counter blocks. Plain value
 /// type: snapshots can be subtracted to get per-phase deltas.
@@ -177,24 +211,34 @@ struct CounterSnapshot {
   bool operator==(const CounterSnapshot&) const = default;
 };
 
-/// The per-slot block. Single writer (the owning slot/CPU); plain stores
-/// only. Aligned so adjacent slots' blocks never share a cache line.
+/// The per-slot block. Single writer (the owning slot/CPU). Increments are
+/// single-writer relaxed stores — a load+store pair, NOT a fetch_add: with
+/// one writer per block no RMW is needed and no line is contended (x86
+/// codegen is the same plain add the block always used), but a concurrent
+/// observer (Runtime::telemetry scraping a live system, the TSan merge
+/// tests) reads each word race-free. Aligned so adjacent slots' blocks
+/// never share a cache line.
 struct alignas(kHostCacheLine) SlotCounters {
-  std::array<std::uint64_t, kNumCounters> v{};
+  std::array<std::atomic<std::uint64_t>, kNumCounters> v{};
 
   void inc(Counter c, std::uint64_t n = 1) {
-    v[static_cast<std::size_t>(c)] += n;
+    std::atomic<std::uint64_t>& a = v[static_cast<std::size_t>(c)];
+    a.store(a.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
   }
 
   std::uint64_t get(Counter c) const {
-    return v[static_cast<std::size_t>(c)];
+    return v[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
   }
 
-  void reset() { v.fill(0); }
+  void reset() {
+    for (auto& a : v) a.store(0, std::memory_order_relaxed);
+  }
 
   CounterSnapshot snapshot() const {
     CounterSnapshot s;
-    s.v = v;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      s.v[i] = v[i].load(std::memory_order_relaxed);
+    }
     return s;
   }
 };

@@ -1,0 +1,122 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+
+namespace hppc::obs {
+
+namespace {
+
+double safe_div(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+/// Histogram ticks -> nanoseconds (ticks are host cycles or sim cycles;
+/// cycles_per_ns <= 0 means "already raw / uncalibrated", export as-is).
+double ticks_to_ns(double ticks, double cycles_per_ns) {
+  return cycles_per_ns > 0.0 ? ticks / cycles_per_ns : ticks;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+void append_field(std::string& out, const char* key, double v, bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  out += key;
+  out += "\":";
+  append_double(out, v);
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t v,
+                  bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+SlotSeries derive_slot_series(const SlotWindow& w) {
+  SlotSeries s;
+  s.slot = w.slot;
+  s.calls = w.counters.get(Counter::kCallsSync) +
+            w.counters.get(Counter::kCallsAsync) +
+            w.counters.get(Counter::kCallsRemote);
+  s.drained_cells = w.counters.get(Counter::kXcallCellsDrained);
+  s.drain_batches = w.counters.get(Counter::kXcallBatches);
+  s.drain_rate_per_sec =
+      safe_div(static_cast<double>(s.drained_cells), w.window_s);
+  s.mean_drain_batch = safe_div(static_cast<double>(s.drained_cells),
+                                static_cast<double>(s.drain_batches));
+  s.occupancy_ewma = w.occupancy_ewma;
+  s.est_queue_delay_ns =
+      safe_div(w.occupancy_ewma, s.drain_rate_per_sec) * 1e9;
+  s.rtt_remote_p50_ns =
+      ticks_to_ns(w.hists.quantile(Hist::kRttRemote, 0.50), w.cycles_per_ns);
+  s.rtt_remote_p99_ns =
+      ticks_to_ns(w.hists.quantile(Hist::kRttRemote, 0.99), w.cycles_per_ns);
+  s.wakeup_p99_ns =
+      ticks_to_ns(w.hists.quantile(Hist::kWakeup, 0.99), w.cycles_per_ns);
+  s.trace_drops = w.counters.get(Counter::kTraceDrops);
+  return s;
+}
+
+Telemetry derive_telemetry(const std::vector<SlotWindow>& windows) {
+  Telemetry t;
+  for (const SlotWindow& w : windows) {
+    if (w.window_s > t.window_s) t.window_s = w.window_s;
+    SlotSeries s = derive_slot_series(w);
+    t.total_drained_cells += s.drained_cells;
+    t.total_occupancy_ewma += s.occupancy_ewma;
+    t.slots.push_back(s);
+  }
+  t.total_drain_rate_per_sec =
+      safe_div(static_cast<double>(t.total_drained_cells), t.window_s);
+  t.est_queue_delay_ns =
+      safe_div(t.total_occupancy_ewma, t.total_drain_rate_per_sec) * 1e9;
+  return t;
+}
+
+std::string telemetry_to_json(const Telemetry& t) {
+  std::string out = "{\"window_s\":";
+  append_double(out, t.window_s);
+  out += ",\"totals\":{";
+  {
+    bool first = true;
+    append_field(out, "drained_cells", t.total_drained_cells, first);
+    append_field(out, "drain_rate_per_sec", t.total_drain_rate_per_sec,
+                 first);
+    append_field(out, "occupancy_ewma", t.total_occupancy_ewma, first);
+    append_field(out, "est_queue_delay_ns", t.est_queue_delay_ns, first);
+  }
+  out += "},\"slots\":[";
+  bool first_slot = true;
+  for (const SlotSeries& s : t.slots) {
+    if (!first_slot) out += ',';
+    first_slot = false;
+    out += '{';
+    bool first = true;
+    append_field(out, "slot", static_cast<std::uint64_t>(s.slot), first);
+    append_field(out, "calls", s.calls, first);
+    append_field(out, "drained_cells", s.drained_cells, first);
+    append_field(out, "drain_batches", s.drain_batches, first);
+    append_field(out, "drain_rate_per_sec", s.drain_rate_per_sec, first);
+    append_field(out, "mean_drain_batch", s.mean_drain_batch, first);
+    append_field(out, "occupancy_ewma", s.occupancy_ewma, first);
+    append_field(out, "est_queue_delay_ns", s.est_queue_delay_ns, first);
+    append_field(out, "rtt_remote_p50_ns", s.rtt_remote_p50_ns, first);
+    append_field(out, "rtt_remote_p99_ns", s.rtt_remote_p99_ns, first);
+    append_field(out, "wakeup_p99_ns", s.wakeup_p99_ns, first);
+    append_field(out, "trace_drops", s.trace_drops, first);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hppc::obs

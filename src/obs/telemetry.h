@@ -1,0 +1,76 @@
+// Continuous-telemetry derivation: folds per-slot counter and histogram
+// deltas into the derived series the future self-tuning controller (and a
+// human with `watch`) actually wants — drain rate, ring-occupancy EWMA,
+// estimated queueing delay, RTT/wakeup quantiles in nanoseconds.
+//
+// The derivation functions here are PURE: they take snapshot deltas plus
+// observer-sampled occupancy and clock calibration, and never touch a
+// Runtime. Runtime::telemetry() owns the stateful part (remembering the
+// previous snapshots, sampling ring depth, calibrating cycles-per-ns) and
+// feeds windows in; tests feed synthetic windows and check the arithmetic.
+//
+// Queueing delay is Little's law applied to the xcall ring: with L the
+// occupancy EWMA (cells waiting) and lambda the measured drain rate
+// (cells/sec, which equals throughput in a stable window), the expected
+// wait is W = L / lambda. That is exactly the sensor pair the ROADMAP's
+// adaptive drain/backoff items need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/histogram.h"
+
+namespace hppc::obs {
+
+/// Raw inputs for one slot over one observation window. Counter/histogram
+/// fields are DELTAS over the window (current minus previous snapshot);
+/// occupancy_ewma and cycles_per_ns are observer-side samples.
+struct SlotWindow {
+  std::uint32_t slot = 0;
+  double window_s = 0.0;       // wall-clock seconds the deltas cover
+  double cycles_per_ns = 1.0;  // histogram tick -> ns conversion (<=0: raw)
+  double occupancy_ewma = 0.0; // EWMA of summed inbound ring depth (cells)
+  CounterSnapshot counters;
+  HistSnapshot hists;
+};
+
+/// Derived per-slot series for one window.
+struct SlotSeries {
+  std::uint32_t slot = 0;
+  std::uint64_t calls = 0;            // sync + async + remote executed here
+  std::uint64_t drained_cells = 0;    // ring cells retired by this slot
+  std::uint64_t drain_batches = 0;    // non-empty drain sweeps
+  double drain_rate_per_sec = 0.0;    // drained_cells / window
+  double mean_drain_batch = 0.0;      // drained_cells / drain_batches
+  double occupancy_ewma = 0.0;        // pass-through of the sampled EWMA
+  double est_queue_delay_ns = 0.0;    // Little: occupancy / drain_rate
+  double rtt_remote_p50_ns = 0.0;     // from Hist::kRttRemote
+  double rtt_remote_p99_ns = 0.0;
+  double wakeup_p99_ns = 0.0;         // from Hist::kWakeup (park -> kick)
+  std::uint64_t trace_drops = 0;      // spans dropped under pressure
+};
+
+/// One full telemetry snapshot: every slot's series plus fleet totals.
+struct Telemetry {
+  double window_s = 0.0;
+  std::vector<SlotSeries> slots;
+  // Fleet aggregates (sums of the per-slot inputs, re-derived rates).
+  std::uint64_t total_drained_cells = 0;
+  double total_drain_rate_per_sec = 0.0;
+  double total_occupancy_ewma = 0.0;
+  double est_queue_delay_ns = 0.0;  // Little's law on the fleet totals
+};
+
+/// Derive one slot's series from its window. Pure.
+SlotSeries derive_slot_series(const SlotWindow& w);
+
+/// Derive the full snapshot (per-slot series + fleet totals). Pure.
+Telemetry derive_telemetry(const std::vector<SlotWindow>& windows);
+
+/// JSON export, one object: {"window_s":..,"totals":{..},"slots":[{..}..]}.
+std::string telemetry_to_json(const Telemetry& t);
+
+}  // namespace hppc::obs

@@ -36,14 +36,58 @@ std::string trace_to_chrome_json(const std::vector<NamedRing>& rings,
     for (const TraceRecord& r : nr.ring->snapshot()) {
       if (!first) out += ',';
       first = false;
+      const auto ev = static_cast<TraceEvent>(r.event);
+      if (ev == TraceEvent::kSpanBegin || ev == TraceEvent::kSpanEnd) {
+        // Nestable async events keyed by trace id: Perfetto/chrome stack
+        // "b"/"e" pairs with the same (cat, id, name) and draw the whole
+        // request as one flow across tids. The begin record's arg is the
+        // SpanKind, which names the slice; the matching end record names
+        // itself by span id alone (matched by the viewer via id+name is
+        // not required for nestable events — only cat+id scope them).
+        const bool begin = ev == TraceEvent::kSpanBegin;
+        out += "{\"name\":\"";
+        out += begin ? span_kind_name(static_cast<SpanKind>(r.arg)) : "span";
+        out += "\",\"cat\":\"hppc\",\"ph\":\"";
+        out += begin ? 'b' : 'e';
+        out += "\",\"id\":\"0x";
+        char idbuf[24];
+        std::snprintf(idbuf, sizeof idbuf, "%llx",
+                      static_cast<unsigned long long>(r.trace_id));
+        out += idbuf;
+        out += "\",\"pid\":0,\"tid\":";
+        out += std::to_string(r.slot);
+        out += ",\"ts\":";
+        append_double(out, static_cast<double>(r.ts) / ts_per_us);
+        out += ",\"args\":{\"span\":";
+        out += std::to_string(r.span);
+        out += ",\"parent\":";
+        out += std::to_string(r.parent);
+        if (!begin) {
+          out += ",\"status\":";
+          out += std::to_string(r.arg);
+        }
+        out += ",\"ring\":\"";
+        out += nr.label;
+        out += "\"}}";
+        continue;
+      }
       out += "{\"name\":\"";
-      out += trace_event_name(static_cast<TraceEvent>(r.event));
+      out += trace_event_name(ev);
       out += "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":";
       out += std::to_string(r.slot);
       out += ",\"ts\":";
       append_double(out, static_cast<double>(r.ts) / ts_per_us);
       out += ",\"args\":{\"arg\":";
       out += std::to_string(r.arg);
+      if (r.trace_id != 0) {
+        char idbuf[24];
+        std::snprintf(idbuf, sizeof idbuf, "\"0x%llx\"",
+                      static_cast<unsigned long long>(r.trace_id));
+        out += ",\"trace_id\":";
+        out += idbuf;
+        out += ",\"span\":";
+        out += std::to_string(r.span);
+      }
       out += ",\"ring\":\"";
       out += nr.label;
       out += "\"}}";
@@ -77,6 +121,12 @@ std::string trace_to_json(const std::vector<NamedRing>& rings) {
       out += trace_event_name(static_cast<TraceEvent>(r.event));
       out += "\",\"arg\":";
       out += std::to_string(r.arg);
+      out += ",\"trace_id\":";
+      out += std::to_string(r.trace_id);
+      out += ",\"span\":";
+      out += std::to_string(r.span);
+      out += ",\"parent\":";
+      out += std::to_string(r.parent);
       out += '}';
     }
     out += "]}";

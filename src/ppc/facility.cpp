@@ -632,6 +632,7 @@ void PpcFacility::complete_call(Cpu& cpu, EntryPoint& ep, Worker& w,
 Status PpcFacility::call(Cpu& cpu, Process& caller, EntryPointId id,
                          RegSet& regs) {
   auto& mem = cpu.mem();
+  const Cycles call_t0 = cpu.now();
   const bool user_caller = !caller.address_space()->supervisor();
   const UserStubText* stub = nullptr;
 
@@ -713,6 +714,9 @@ Status PpcFacility::call(Cpu& cpu, Process& caller, EntryPointId id,
   HPPC_TRACE_EVENT(cpu.trace_ring(), cpu.now(), cpu.id(),
                    obs::TraceEvent::kCallExit,
                    static_cast<Word>(rc_of(regs)));
+  // Whole-call latency in simulated cycles — deterministic per schedule, so
+  // the distribution doubles as a regression oracle for the cost model.
+  cpu.histograms().record(obs::Hist::kRttSync, cpu.now() - call_t0);
   return rc_of(regs);
 }
 

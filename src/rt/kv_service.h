@@ -128,7 +128,10 @@ class KvService {
     if (hot_ != nullptr) {
       const HotSet h = hot_->read(caller_slot);
       for (std::uint32_t i = 0; i < hot_cap_; ++i) {
-        if (h.e[i].used != 0 && h.e[i].key == key) return h.e[i].value;
+        if (h.e[i].used != 0 && h.e[i].key == key) {
+          note_repl_hit(caller_slot, key);
+          return h.e[i].value;
+        }
       }
     }
     RegSet r;
@@ -207,6 +210,7 @@ class KvService {
             out[idx] = h.e[j].value;
             ++hits;
             hit = true;
+            note_repl_hit(caller_slot, keys[idx]);
             break;
           }
         }
@@ -243,6 +247,25 @@ class KvService {
     std::uint32_t n = 0;
     std::array<HotEntry, kKvHotSetCapacity> e{};
   };
+
+  /// Ctx-carrying breadcrumb for a replica answer: the one hop a remote-get
+  /// trace would otherwise lose entirely (no ring, no server span). Shows up
+  /// in the chrome export as an instant on the caller's track tagged with
+  /// the live trace id.
+  void note_repl_hit(SlotId caller_slot, Word key) {
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    const obs::TraceCtx ctx = rt_.trace_ctx(caller_slot);
+    if (!ctx.traced()) return;
+    rt_.trace_ring(caller_slot)
+        .record_span(obs::host_trace_now(),
+                     static_cast<std::uint16_t>(caller_slot),
+                     obs::TraceEvent::kReplHit, static_cast<std::uint32_t>(key),
+                     ctx.trace_id, ctx.span_id, 0);
+#else
+    (void)caller_slot;
+    (void)key;
+#endif
+  }
 
   void hot_put(std::uint32_t writer_slot, Word key, Word value) {
     hot_->write(writer_slot, [&](HotSet& h) {

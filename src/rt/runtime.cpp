@@ -225,9 +225,10 @@ void Runtime::release(Slot& slot, Service& svc, RtWorker* w, RtCd* cd) {
   }
 }
 
-template <bool kObserved>
+template <ObsLevel kLevel>
 Status Runtime::execute_on_slot(Slot& slot, SlotId slot_id, Service& svc,
                                 ProgramId caller, RegSet& regs) {
+  constexpr bool kObserved = kLevel != ObsLevel::kStripped;
   // The shared call body: everything below is slot-local under the current
   // ownership — no atomics, no locks. Pool-hit and CD-recycle tallies are
   // derived at snapshot time from the slow-path counters instead of being
@@ -282,7 +283,7 @@ Status Runtime::execute_on_slot(Slot& slot, SlotId slot_id, Service& svc,
   return rc_of(regs);
 }
 
-template <bool kObserved>
+template <ObsLevel kLevel>
 Status Runtime::call_impl(SlotId slot_id, ProgramId caller, EntryPointId id,
                           RegSet& regs) {
   HPPC_ASSERT(slot_id < slots_.size());
@@ -303,7 +304,7 @@ Status Runtime::call_impl(SlotId slot_id, ProgramId caller, EntryPointId id,
 
   // Fast path: one plain store (calls_sync; hold-CD services pay a second
   // for hold_cd_hits), then the shared slot-local call body.
-  if constexpr (kObserved) {
+  if constexpr (kLevel != ObsLevel::kStripped) {
     slot.counters.inc(obs::Counter::kCallsSync);
     // Pure-delay seam (the failpoint burns its armed cpu_relax budget
     // before returning true): models a preempted or cache-cold caller.
@@ -313,12 +314,39 @@ Status Runtime::call_impl(SlotId slot_id, ProgramId caller, EntryPointId id,
                        obs::TraceEvent::kFaultInject, id);
     }
   }
-  return execute_on_slot<kObserved>(slot, slot_id, *svc, caller, regs);
+  if constexpr (kLevel == ObsLevel::kFull) {
+    // Full observability adds one tsc pair + one histogram store per call.
+    const std::uint64_t t0 = host_cycles();
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    // Request-scoped span: if the slot is executing under a trace (root
+    // installed by trace_begin, or a remote/async context restored around
+    // us), this call is a child span of it. Swapping cur_trace around the
+    // handler makes nested RtCtx::call chains parent correctly.
+    const obs::TraceCtx saved = slot.cur_trace;
+    std::uint32_t span = 0;
+    if (saved.traced()) {
+      span = begin_span(slot, obs::SpanKind::kLocalCall, saved.trace_id,
+                        saved.span_id);
+      if (span != 0) slot.cur_trace.span_id = span;
+    }
+#endif
+    const Status rc =
+        execute_on_slot<kLevel>(slot, slot_id, *svc, caller, regs);
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    if (saved.traced()) {
+      slot.cur_trace = saved;
+      end_span(slot, saved.trace_id, span, saved.span_id, rc);
+    }
+#endif
+    slot.hists.record(obs::Hist::kRttSync, host_cycles() - t0);
+    return rc;
+  }
+  return execute_on_slot<kLevel>(slot, slot_id, *svc, caller, regs);
 }
 
 Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
                      RegSet& regs) {
-  return call_impl<true>(slot_id, caller, id, regs);
+  return call_impl<ObsLevel::kFull>(slot_id, caller, id, regs);
 }
 
 Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
@@ -328,13 +356,20 @@ Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
   // here (see header). Kept as a distinct overload so generic callers can
   // address both paths uniformly.
   (void)opts;
-  return call_impl<true>(slot_id, caller, id, regs);
+  return call_impl<ObsLevel::kFull>(slot_id, caller, id, regs);
 }
 
 Status Runtime::call_unobserved_for_benchmark(SlotId slot_id,
                                               ProgramId caller,
                                               EntryPointId id, RegSet& regs) {
-  return call_impl<false>(slot_id, caller, id, regs);
+  return call_impl<ObsLevel::kStripped>(slot_id, caller, id, regs);
+}
+
+Status Runtime::call_counters_only_for_benchmark(SlotId slot_id,
+                                                 ProgramId caller,
+                                                 EntryPointId id,
+                                                 RegSet& regs) {
+  return call_impl<ObsLevel::kCounters>(slot_id, caller, id, regs);
 }
 
 Status Runtime::call_async(SlotId slot_id, ProgramId caller, EntryPointId id,
@@ -349,7 +384,10 @@ Status Runtime::call_async(SlotId slot_id, ProgramId caller, EntryPointId id,
   slot.counters.inc(obs::Counter::kCallsAsync);
   HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
                    obs::TraceEvent::kAsyncEnqueue, id);
-  slot.deferred.push_back(DeferredCall{caller, id, regs});
+  DeferredCall d{caller, id, regs};
+  d.enqueue_tsc = host_cycles();  // poll() turns this into kRttAsync
+  d.tctx = slot.cur_trace;        // request context rides the deferral
+  slot.deferred.push_back(d);
   return Status::kOk;
 }
 
@@ -389,13 +427,40 @@ Status Runtime::execute_remote(Slot& slot, ProgramId caller, EntryPointId id,
   slot.counters.inc(obs::Counter::kCallsRemote);
   HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot.self_id,
                    obs::TraceEvent::kRemoteCall, id);
-  return execute_on_slot<true>(slot, slot.self_id, *svc, caller, regs);
+  return execute_on_slot<ObsLevel::kFull>(slot, slot.self_id, *svc, caller,
+                                          regs);
 }
 
 std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
+  // Execute one cell's request under the request context it carried across
+  // the ring (trace builds): a kServerExec span parented to the caller's
+  // post span, with cur_trace swapped so nested calls inside the handler
+  // parent to it in turn.
+  const auto run_cell = [this, &slot](const XcallCell& cell,
+                                      RegSet& out) -> Status {
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    const obs::TraceCtx cctx = cell.tctx;
+    const obs::TraceCtx saved = slot.cur_trace;
+    std::uint32_t span = 0;
+    if (cctx.traced()) {
+      span = begin_span(slot, obs::SpanKind::kServerExec, cctx.trace_id,
+                        cctx.span_id);
+      slot.cur_trace = cctx;
+      if (span != 0) slot.cur_trace.span_id = span;
+    }
+#endif
+    const Status rc = execute_remote(slot, cell.caller, cell.ep, out);
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    if (cctx.traced()) {
+      slot.cur_trace = saved;
+      end_span(slot, cctx.trace_id, span, cctx.span_id, rc);
+    }
+#endif
+    return rc;
+  };
   // One batch: every cell published before the first gap, one acquire per
   // cell to observe its payload, one book-keeping store per batch.
-  const std::size_t n = ring.drain([this, &slot](XcallCell& cell) {
+  const std::size_t n = ring.drain([this, &slot, &run_cell](XcallCell& cell) {
     if (cell.wait != nullptr) {
       XcallWait& w = *cell.wait;
       // Abandoned cell: the caller's deadline expired and it left. Ack
@@ -428,7 +493,7 @@ std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
       // Synchronous: reply into the caller's register file (stack waits)
       // or the block's inline buffer (pooled deadline waits), then publish
       // completion (release exchange) — one shared-line RMW, booked below.
-      const Status rc = execute_remote(slot, cell.caller, cell.ep, out);
+      const Status rc = run_cell(cell, out);
       // Fault seams on the completion publish: a dropped completion (the
       // caller MUST hold a deadline or it spins forever — chaos-only) and
       // a delayed one (the failpoint burns its delay budget first).
@@ -449,9 +514,15 @@ std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
         // The completing exchange found the parked bit: we just futex-woke
         // a waiter that gave up its timeslice to us.
         slot.counters.inc(obs::Counter::kWaiterKicks);
-        HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
-                         slot.self_id, obs::TraceEvent::kWaiterKick,
-                         cell.ep);
+#if defined(HPPC_TRACE) && HPPC_TRACE
+        // The kick instant carries the cell's request ids so the exported
+        // trace shows WHICH call's completion woke the parked waiter.
+        slot.trace_ring.record_span(
+            obs::host_trace_now(),
+            static_cast<std::uint16_t>(slot.self_id),
+            obs::TraceEvent::kWaiterKick, cell.ep, cell.tctx.trace_id,
+            cell.tctx.span_id, 0);
+#endif
       }
       slot.counters.inc(obs::Counter::kSharedLinesTouched);
     } else {
@@ -465,11 +536,16 @@ std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
         return;
       }
       RegSet regs = cell.regs;  // results discarded
-      execute_remote(slot, cell.caller, cell.ep, regs);
+      run_cell(cell, regs);
     }
   });
   if (n > 0) {
+    // Drain accounting: xcall_cells_drained is the telemetry layer's
+    // drain-rate source; the batch-size histogram shows how well doorbell
+    // coalescing is amortizing cross-slot transfers.
     slot.counters.inc(obs::Counter::kXcallBatches);
+    slot.counters.inc(obs::Counter::kXcallCellsDrained, n);
+    slot.hists.record(obs::Hist::kDrainBatch, n);
     HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot.self_id,
                      obs::TraceEvent::kXcallBatch, n);
   }
@@ -621,16 +697,40 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
     return Status::kOverloaded;
   }
 
+  const std::uint64_t rtt_t0 = host_cycles();
+
   // Adaptive fast path: the target is parked — take the gate and run the
   // call right here, against the target's pools (LRPC-style migration).
   // No context switch, no allocation; two shared RMWs (steal + release).
   if (tgt.gate.try_steal()) {
     me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
     tgt.counters.inc(obs::Counter::kXcallDirect);
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    // Direct execution crosses slots without crossing the ring: the span
+    // lives on the caller's ring, and the stolen slot executes under the
+    // caller's context (hop bumped) so nested spans parent correctly.
+    const obs::TraceCtx parent = me.cur_trace;
+    const obs::TraceCtx saved_tgt = tgt.cur_trace;
+    std::uint32_t span = 0;
+    if (parent.traced()) {
+      span = begin_span(me, obs::SpanKind::kRemoteDirect, parent.trace_id,
+                        parent.span_id);
+      tgt.cur_trace = parent;
+      if (span != 0) tgt.cur_trace.span_id = span;
+      ++tgt.cur_trace.hop;
+    }
+#endif
     const Status rc = execute_remote(tgt, caller, id, regs);
     // Help while we hold the slot: retire anything ring-queued behind us.
     drain_ready(tgt);
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    if (parent.traced()) {
+      tgt.cur_trace = saved_tgt;
+      end_span(me, parent.trace_id, span, parent.span_id, rc);
+    }
+#endif
     tgt.gate.release_steal();
+    me.hists.record(obs::Hist::kRttRemote, host_cycles() - rtt_t0);
     return rc;
   }
 
@@ -649,6 +749,24 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
                      obs::TraceEvent::kFaultInject, target);
     force_full = true;
   }
+
+#if defined(HPPC_TRACE) && HPPC_TRACE
+  // Ring path: mint the caller-side span now (it must ride in the cell) —
+  // every return below, success or give-up, closes it.
+  const obs::TraceCtx parent = me.cur_trace;
+  obs::TraceCtx post_ctx{};
+  std::uint32_t span = 0;
+  if (parent.traced()) {
+    span = begin_span(me, obs::SpanKind::kRemoteCall, parent.trace_id,
+                      parent.span_id);
+    post_ctx = parent;
+    if (span != 0) post_ctx.span_id = span;
+    ++post_ctx.hop;
+  }
+  const obs::TraceCtx* post_ctx_ptr = &post_ctx;
+#else
+  const obs::TraceCtx* post_ctx_ptr = nullptr;
+#endif
 
   // Deadline calls wait on a slot-pooled block (inline reply buffer): if
   // the caller abandons, the server still holds a pointer into storage the
@@ -679,7 +797,8 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
   // the server only ever reads the cell's inline copy. The deadline rides
   // in the cell too, so a drain that reaches it late refuses to execute.
   XcallRing& ring = tgt.rings[caller_slot];
-  while (force_full || !ring.try_post(caller, id, regs, wait, deadline)) {
+  while (force_full ||
+         !ring.try_post(caller, id, regs, wait, deadline, post_ctx_ptr)) {
     force_full = false;
     if (!booked_full) {
       booked_full = true;
@@ -705,6 +824,11 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
         HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                          obs::TraceEvent::kDeadlineExceeded, target);
       }
+#if defined(HPPC_TRACE) && HPPC_TRACE
+      if (parent.traced()) {
+        end_span(me, parent.trace_id, span, parent.span_id, give_up);
+      }
+#endif
       set_rc(regs, give_up);
       return give_up;
     }
@@ -725,6 +849,7 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
   me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
   HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                    obs::TraceEvent::kXcallPost, target);
+  const std::uint64_t post_t = host_cycles();  // publish -> completion
 
   if (!deadlined) {
     // Spin→yield→park ladder. The park failpoints: "rt.xcall.park.now"
@@ -745,11 +870,13 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
       me.counters.inc(obs::Counter::kFaultsInjected);
       yield_rounds = 0;
     }
-    return wait_complete(
+    std::uint64_t park_t = 0;  // stamped at park, read after the kick
+    const Status rc = wait_complete(
         stack_wait, yield_rounds,
         [this, &tgt, caller_slot] { help_drain(tgt, caller_slot); },
-        [this, &me, caller_slot, target] {
+        [this, &me, &park_t, caller_slot, target] {
           me.counters.inc(obs::Counter::kWaiterParks);
+          park_t = host_cycles();
           HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                            obs::TraceEvent::kWaiterPark, target);
           if (HPPC_FAULT_POINT("rt.xcall.park")) {
@@ -759,6 +886,16 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
                              target);
           }
         });
+    const std::uint64_t done_t = host_cycles();
+    me.hists.record(obs::Hist::kRingWait, done_t - post_t);
+    if (park_t != 0) me.hists.record(obs::Hist::kWakeup, done_t - park_t);
+    me.hists.record(obs::Hist::kRttRemote, done_t - rtt_t0);
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    if (parent.traced()) {
+      end_span(me, parent.trace_id, span, parent.span_id, rc);
+    }
+#endif
+    return rc;
   }
 
   bool timed_out = false;
@@ -766,6 +903,9 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
       *wait, deadline, [] { return host_cycles(); },
       [this, &tgt, caller_slot] { help_drain(tgt, caller_slot); },
       &timed_out);
+  const std::uint64_t done_t = host_cycles();
+  me.hists.record(obs::Hist::kRingWait, done_t - post_t);
+  me.hists.record(obs::Hist::kRttDeadlined, done_t - rtt_t0);
   if (timed_out) {
     // Abandoned: the block stays on the zombie list until the server's
     // drain acks it (or completes it — either sets kDoneBit).
@@ -774,11 +914,22 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
     me.counters.inc(obs::Counter::kDeadlineExceeded);
     HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                      obs::TraceEvent::kDeadlineExceeded, target);
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    if (parent.traced()) {
+      end_span(me, parent.trace_id, span, parent.span_id,
+               Status::kDeadlineExceeded);
+    }
+#endif
     set_rc(regs, Status::kDeadlineExceeded);
     return Status::kDeadlineExceeded;
   }
   regs = wait->reply;  // copy the reply out of the pooled block
   release_wait(me, wait);
+#if defined(HPPC_TRACE) && HPPC_TRACE
+  if (parent.traced()) {
+    end_span(me, parent.trace_id, span, parent.span_id, rc);
+  }
+#endif
   return rc;
 }
 
@@ -819,8 +970,18 @@ Status Runtime::call_remote_async(SlotId caller_slot, SlotId target,
   // executed late.
   const std::uint64_t deadline =
       opts.deadline_cycles != 0 ? host_cycles() + opts.deadline_cycles : 0;
+#if defined(HPPC_TRACE) && HPPC_TRACE
+  // Fire-and-forget: no caller-side span (nothing to close), but the
+  // context still rides the cell so the server-side execution parents to
+  // the caller's current span.
+  obs::TraceCtx post_ctx = me.cur_trace;
+  if (post_ctx.traced()) ++post_ctx.hop;
+  const obs::TraceCtx* post_ctx_ptr = &post_ctx;
+#else
+  const obs::TraceCtx* post_ctx_ptr = nullptr;
+#endif
   if (tgt.rings[caller_slot].try_post(caller, id, regs, /*wait=*/nullptr,
-                                      deadline)) {
+                                      deadline, post_ctx_ptr)) {
     ring_doorbell(me, tgt, caller_slot);
     me.counters.inc(obs::Counter::kXcallPosts);
     me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
@@ -899,6 +1060,26 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
       deadlined ? host_cycles() + opts.deadline_cycles : 0;
   XcallRing& ring = tgt.rings[caller_slot];
 
+#if defined(HPPC_TRACE) && HPPC_TRACE
+  // One span covers the whole batch; it rides in every chunk's cells, so
+  // each server-side kServerExec span parents to it — the exported trace
+  // shows one batch slice on the caller fanning into N executions on the
+  // server slot.
+  const obs::TraceCtx parent = me.cur_trace;
+  obs::TraceCtx post_ctx{};
+  std::uint32_t span = 0;
+  if (parent.traced()) {
+    span = begin_span(me, obs::SpanKind::kBatch, parent.trace_id,
+                      parent.span_id);
+    post_ctx = parent;
+    if (span != 0) post_ctx.span_id = span;
+    ++post_ctx.hop;
+  }
+  const obs::TraceCtx* post_ctx_ptr = &post_ctx;
+#else
+  const obs::TraceCtx* post_ctx_ptr = nullptr;
+#endif
+
   std::size_t i = 0;
   while (i < batch.size()) {
     // Direct path: one gate steal covers every call still unsubmitted —
@@ -906,10 +1087,17 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
     if (tgt.gate.try_steal()) {
       me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
       tgt.counters.inc(obs::Counter::kXcallDirect, batch.size() - i);
+#if defined(HPPC_TRACE) && HPPC_TRACE
+      const obs::TraceCtx saved_tgt = tgt.cur_trace;
+      if (parent.traced()) tgt.cur_trace = post_ctx;
+#endif
       for (; i < batch.size(); ++i) {
         fold(execute_remote(tgt, caller, id, batch[i]));
       }
       drain_ready(tgt);
+#if defined(HPPC_TRACE) && HPPC_TRACE
+      if (parent.traced()) tgt.cur_trace = saved_tgt;
+#endif
       tgt.gate.release_steal();
       break;
     }
@@ -919,6 +1107,7 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
     // frame — zero heap allocations regardless of batch size; deadline
     // chunks ride slot-pooled blocks exactly like call_remote, so an
     // abandoned cell always points at storage that outlives this frame.
+    const std::uint64_t chunk_t0 = host_cycles();
     std::array<XcallWait, XcallRing::kCapacity> waits;
     std::array<XcallWait*, XcallRing::kCapacity> wait_ptrs;
     const std::size_t want = std::min(batch.size() - i, wait_ptrs.size());
@@ -939,7 +1128,8 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
                        obs::TraceEvent::kFaultInject, target);
     }
     const std::size_t posted = ring.try_post_many(
-        caller, id, &batch[i], wait_ptrs.data(), want, deadline);
+        caller, id, &batch[i], wait_ptrs.data(), want, deadline,
+        post_ctx_ptr);
     if (deadlined) {
       // Unpublished pooled blocks were never shared: straight back.
       for (std::size_t k = posted; k < want; ++k) {
@@ -985,15 +1175,20 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
             : kWaitYieldRounds;
     for (std::size_t k = 0; k < posted; ++k) {
       if (!deadlined) {
+        std::uint64_t park_t = 0;
         fold(wait_complete(
             waits[k], yield_rounds,
             [this, &tgt, caller_slot] { help_drain(tgt, caller_slot); },
-            [this, &me, caller_slot, target] {
+            [this, &me, &park_t, caller_slot, target] {
               me.counters.inc(obs::Counter::kWaiterParks);
+              park_t = host_cycles();
               HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(),
                                caller_slot, obs::TraceEvent::kWaiterPark,
                                target);
             }));
+        if (park_t != 0) {
+          me.hists.record(obs::Hist::kWakeup, host_cycles() - park_t);
+        }
         continue;
       }
       // Deadline chunk: the same abandon protocol as call_remote, per
@@ -1019,8 +1214,16 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
         fold(s);
       }
     }
+    // Whole-chunk RTT (post through last collection): the per-class entry
+    // for the batched path, in the same units as kRttRemote.
+    me.hists.record(obs::Hist::kRttBatched, host_cycles() - chunk_t0);
     i += posted;
   }
+#if defined(HPPC_TRACE) && HPPC_TRACE
+  if (parent.traced()) {
+    end_span(me, parent.trace_id, span, parent.span_id, overall);
+  }
+#endif
   return overall;
 }
 
@@ -1086,7 +1289,29 @@ std::size_t Runtime::poll(SlotId slot_id) {
   pending.swap(slot.deferred);  // async calls made below land in deferred
   for (auto& d : pending) {
     RegSet regs = d.regs;
+    // Queueing delay first (enqueue -> execution start), then execute
+    // under the context the call was enqueued with, so the async span
+    // parents to the caller's span even though it runs a poll later.
+    if (d.enqueue_tsc != 0) {
+      slot.hists.record(obs::Hist::kRttAsync, host_cycles() - d.enqueue_tsc);
+    }
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    const obs::TraceCtx saved = slot.cur_trace;
+    std::uint32_t aspan = 0;
+    if (d.tctx.traced()) {
+      aspan = begin_span(slot, obs::SpanKind::kAsyncExec, d.tctx.trace_id,
+                         d.tctx.span_id);
+      slot.cur_trace = d.tctx;
+      if (aspan != 0) slot.cur_trace.span_id = aspan;
+    }
+#endif
     call(slot_id, d.caller, d.id, regs);  // results discarded (§4.4 async)
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    if (d.tctx.traced()) {
+      slot.cur_trace = saved;
+      end_span(slot, d.tctx.trace_id, aspan, d.tctx.span_id, rc_of(regs));
+    }
+#endif
     ++done;
   }
   pending.clear();  // keep capacity for the next poll
@@ -1172,6 +1397,181 @@ obs::CounterSnapshot Runtime::snapshot() const {
 obs::TraceRing& Runtime::trace_ring(SlotId slot) {
   HPPC_ASSERT(slot < slots_.size());
   return slots_[slot]->trace_ring;
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing
+// ---------------------------------------------------------------------------
+
+std::uint32_t Runtime::begin_span(Slot& slot, obs::SpanKind kind,
+                                  std::uint64_t trace_id,
+                                  std::uint32_t parent) {
+#if defined(HPPC_TRACE) && HPPC_TRACE
+  // Degradation seam: a span that cannot be recorded is DROPPED (booked in
+  // trace_drops, id 0 so downstream emission elides) — the call path never
+  // blocks or fails on tracing's behalf.
+  if (HPPC_FAULT_POINT("rt.trace.drop")) {
+    slot.counters.inc(obs::Counter::kTraceDrops);
+    slot.counters.inc(obs::Counter::kFaultsInjected);
+    return 0;
+  }
+  // Slot-tagged span ids: two slots minting concurrently never collide,
+  // and 0 stays reserved for "no span".
+  std::uint32_t id = (slot.self_id << 24) | (slot.next_span++ & 0xFFFFFFu);
+  if (id == 0) id = (slot.self_id << 24) | (slot.next_span++ & 0xFFFFFFu);
+  slot.trace_ring.record_span(obs::host_trace_now(),
+                              static_cast<std::uint16_t>(slot.self_id),
+                              obs::TraceEvent::kSpanBegin,
+                              static_cast<std::uint32_t>(kind), trace_id, id,
+                              parent);
+  return id;
+#else
+  (void)slot;
+  (void)kind;
+  (void)trace_id;
+  (void)parent;
+  return 0;
+#endif
+}
+
+void Runtime::end_span(Slot& slot, std::uint64_t trace_id, std::uint32_t span,
+                       std::uint32_t parent, Status rc) {
+#if defined(HPPC_TRACE) && HPPC_TRACE
+  if (span == 0) return;  // dropped at begin — nothing to close
+  slot.trace_ring.record_span(obs::host_trace_now(),
+                              static_cast<std::uint16_t>(slot.self_id),
+                              obs::TraceEvent::kSpanEnd,
+                              static_cast<std::uint32_t>(rc), trace_id, span,
+                              parent);
+#else
+  (void)slot;
+  (void)trace_id;
+  (void)span;
+  (void)parent;
+  (void)rc;
+#endif
+}
+
+obs::TraceCtx Runtime::trace_begin(SlotId slot_id) {
+  HPPC_ASSERT(slot_id < slots_.size());
+#if defined(HPPC_TRACE) && HPPC_TRACE
+  Slot& slot = *slots_[slot_id];
+  obs::TraceCtx ctx;
+  // Trace ids only need to be unique across concurrently-live traces; the
+  // tsc sampled at root creation, salted with the slot id, is plenty (and
+  // the |1 keeps 0 meaning "untraced" forever).
+  ctx.trace_id = (host_cycles() << 8) | ((slot_id & 0x7Fu) << 1) | 1u;
+  ctx.span_id = begin_span(slot, obs::SpanKind::kRoot, ctx.trace_id, 0);
+  slot.cur_trace = ctx;
+  return ctx;
+#else
+  (void)slot_id;
+  return {};
+#endif
+}
+
+void Runtime::trace_end(SlotId slot_id, Status rc) {
+  HPPC_ASSERT(slot_id < slots_.size());
+  Slot& slot = *slots_[slot_id];
+#if defined(HPPC_TRACE) && HPPC_TRACE
+  if (slot.cur_trace.traced()) {
+    end_span(slot, slot.cur_trace.trace_id, slot.cur_trace.span_id, 0, rc);
+  }
+#else
+  (void)rc;
+#endif
+  slot.cur_trace = obs::TraceCtx{};
+}
+
+void Runtime::set_trace_ctx(SlotId slot_id, const obs::TraceCtx& ctx) {
+  HPPC_ASSERT(slot_id < slots_.size());
+  slots_[slot_id]->cur_trace = ctx;
+}
+
+obs::TraceCtx Runtime::trace_ctx(SlotId slot_id) const {
+  HPPC_ASSERT(slot_id < slots_.size());
+  return slots_[slot_id]->cur_trace;
+}
+
+// ---------------------------------------------------------------------------
+// Histograms & telemetry
+// ---------------------------------------------------------------------------
+
+const obs::SlotHistograms& Runtime::histograms(SlotId slot) const {
+  HPPC_ASSERT(slot < slots_.size());
+  return slots_[slot]->hists;
+}
+
+obs::SlotHistograms& Runtime::slot_histograms(SlotId slot) {
+  HPPC_ASSERT(slot < slots_.size());
+  return slots_[slot]->hists;
+}
+
+obs::HistSnapshot Runtime::hist_snapshot(SlotId slot) const {
+  HPPC_ASSERT(slot < slots_.size());
+  return slots_[slot]->hists.snapshot();
+}
+
+obs::HistSnapshot Runtime::hist_snapshot() const {
+  obs::HistSnapshot s;
+  for (const auto& slot : slots_) s.merge(slot->hists.snapshot());
+  return s;
+}
+
+obs::Telemetry Runtime::telemetry() {
+  // Export failpoint: the chaos soak arms this to verify a telemetry
+  // consumer failing mid-scrape degrades to an empty snapshot — derivation
+  // state is left untouched, the runtime never notices.
+  if (HPPC_FAULT_POINT("obs.export")) {
+    shared_.inc(obs::Counter::kFaultsInjected);
+    return obs::Telemetry{};
+  }
+  std::vector<obs::SlotWindow> windows;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_.mu);
+    const std::uint32_t n = registry_.capacity();
+    const std::uint64_t now_ns = obs::host_trace_now();
+    const std::uint64_t now_cy = host_cycles();
+    if (!telemetry_.primed) {
+      telemetry_.prev_counters.resize(n);
+      telemetry_.prev_hists.resize(n);
+      telemetry_.occ_ewma.assign(n, 0.0);
+    }
+    const bool have_window = telemetry_.primed && now_ns > telemetry_.prev_ns;
+    const double window_s =
+        have_window ? static_cast<double>(now_ns - telemetry_.prev_ns) * 1e-9
+                    : 0.0;
+    // Calibrate the histogram tick from this window's own clock pair (the
+    // hot paths record host_cycles() ticks; exports are in nanoseconds).
+    const double cycles_per_ns =
+        have_window ? static_cast<double>(now_cy - telemetry_.prev_cycles) /
+                          static_cast<double>(now_ns - telemetry_.prev_ns)
+                    : 0.0;
+    windows.reserve(n);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      obs::SlotWindow w;
+      w.slot = s;
+      w.window_s = window_s;
+      w.cycles_per_ns = cycles_per_ns;
+      // Observer-side occupancy EWMA, advanced once per scrape.
+      const auto depth = static_cast<double>(xcall_depth(s));
+      double& e = telemetry_.occ_ewma[s];
+      e = telemetry_.primed ? 0.25 * depth + 0.75 * e : depth;
+      w.occupancy_ewma = e;
+      const obs::CounterSnapshot cs = slots_[s]->counters.snapshot();
+      const obs::HistSnapshot hs = slots_[s]->hists.snapshot();
+      w.counters = cs.delta(telemetry_.prev_counters[s]);
+      w.hists = hs.delta(telemetry_.prev_hists[s]);
+      telemetry_.prev_counters[s] = cs;
+      telemetry_.prev_hists[s] = hs;
+      windows.push_back(w);
+    }
+    telemetry_.prev_ns = now_ns;
+    telemetry_.prev_cycles = now_cy;
+    telemetry_.primed = true;
+  }
+  shared_.inc(obs::Counter::kTelemetrySnaps);
+  return obs::derive_telemetry(windows);
 }
 
 std::size_t Runtime::xcall_depth(SlotId slot) const {

@@ -35,6 +35,8 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "ppc/regs.h"
 #include "rt/percpu.h"
@@ -80,6 +82,16 @@ struct RtServiceConfig {
   std::string name = "service";
   bool hold_cd = false;
   std::uint32_t pool_target = 1;
+};
+
+/// How much observability a call path carries. The shipped configuration
+/// is kFull: counters + histograms (+ trace hooks under HPPC_TRACE). The
+/// lower levels exist ONLY for the obs_overhead bench, which measures the
+/// marginal cost of each layer by differencing otherwise-identical paths.
+enum class ObsLevel : std::uint8_t {
+  kStripped,  // no counters, no histograms, no trace hooks
+  kCounters,  // counters only (the pre-histogram shipped path)
+  kFull,      // counters + histograms + trace hooks — what call() runs
 };
 
 /// What a synchronous cross-slot caller does when the target ring is full.
@@ -203,13 +215,19 @@ class Runtime {
   Status call(SlotId slot, ProgramId caller, EntryPointId id, RegSet& regs,
               const CallOptions& opts);
 
-  /// The identical fast path with the per-call counter increments and
-  /// trace hooks compiled out. Exists ONLY as the baseline for the
-  /// observability-overhead bench (shipped-vs-stripped of the same code,
-  /// so the measured difference is exactly what the instrumentation
+  /// The identical fast path with ALL instrumentation (counters,
+  /// histograms, trace hooks) compiled out. Exists ONLY as the baseline
+  /// for the observability-overhead bench (shipped-vs-stripped of the same
+  /// code, so the measured difference is exactly what the instrumentation
   /// costs). Never use this to serve real traffic.
   Status call_unobserved_for_benchmark(SlotId slot, ProgramId caller,
                                        EntryPointId id, RegSet& regs);
+
+  /// The fast path at ObsLevel::kCounters — counters on, histograms and
+  /// trace hooks off. The bench's middle rung: differencing this against
+  /// the two neighbours splits the counter cost from the histogram cost.
+  Status call_counters_only_for_benchmark(SlotId slot, ProgramId caller,
+                                          EntryPointId id, RegSet& regs);
 
   /// Asynchronous call: queued on this slot, executed at the next poll().
   Status call_async(SlotId slot, ProgramId caller, EntryPointId id,
@@ -315,6 +333,44 @@ class Runtime {
   /// on call_remote, which does not.
   void post(SlotId target, std::function<void()> fn);
 
+  // ----- request tracing (spans recorded only under HPPC_TRACE) -----
+
+  /// Start a new trace rooted at `slot`: mints a trace id, installs the
+  /// context as the slot's current one (subsequent calls from this slot
+  /// become spans of it), and emits the root kSpanBegin. In non-trace
+  /// builds this returns an untraced (zeroed) context and records nothing.
+  /// Owner thread only.
+  obs::TraceCtx trace_begin(SlotId slot);
+
+  /// End the trace started by trace_begin (emits the root kSpanEnd and
+  /// clears the slot's current context). Owner thread only.
+  void trace_end(SlotId slot, Status rc = Status::kOk);
+
+  /// Install / read the slot's current request context (propagation across
+  /// layers that carry their own context, e.g. tests). Owner thread only.
+  void set_trace_ctx(SlotId slot, const obs::TraceCtx& ctx);
+  obs::TraceCtx trace_ctx(SlotId slot) const;
+
+  // ----- histograms & telemetry -----
+
+  /// The slot's always-on latency histogram block (single writer: the
+  /// slot's ownership holder; racy-but-race-free reads for observers).
+  const obs::SlotHistograms& histograms(SlotId slot) const;
+  obs::SlotHistograms& slot_histograms(SlotId slot);
+
+  /// One slot's histogram snapshot / the merge across all slots.
+  obs::HistSnapshot hist_snapshot(SlotId slot) const;
+  obs::HistSnapshot hist_snapshot() const;
+
+  /// Continuous-telemetry snapshot: per-slot counter/histogram deltas since
+  /// the previous telemetry() call folded into derived series (drain rate,
+  /// ring-occupancy EWMA, estimated queueing delay — see obs/telemetry.h).
+  /// The first call primes the baseline and reports a zero-length window.
+  /// Safe from any thread (reads are racy-but-race-free; the derivation
+  /// state itself is mutex-guarded — this is an observer path, not a fast
+  /// path). Serialize with telemetry_to_json() for export.
+  obs::Telemetry telemetry();
+
   // ----- introspection -----
 
   /// Legacy summary view, derived from the counter block below.
@@ -374,6 +430,8 @@ class Runtime {
     ProgramId caller;
     EntryPointId id;
     RegSet regs;
+    std::uint64_t enqueue_tsc = 0;  // host_cycles() at call_async time
+    obs::TraceCtx tctx{};           // request context at enqueue time
   };
 
   /// Everything one slot owns. Only the slot's current ownership holder —
@@ -388,7 +446,15 @@ class Runtime {
     std::array<RtWorker*, kMaxEntryPoints> worker_pool{};
     RtCd* cd_pool = nullptr;
     obs::SlotCounters counters;
+    obs::SlotHistograms hists;
     obs::TraceRing trace_ring;
+    // Request-tracing state: the context the slot is currently executing
+    // under (installed by trace_begin / restored around remote and async
+    // execution) and the slot-local span-id allocator. Span ids are only
+    // unique within a trace; 0 is "no span" everywhere, and the high bits
+    // carry the slot id so two slots minting concurrently never collide.
+    obs::TraceCtx cur_trace;
+    std::uint32_t next_span = 1;
     std::vector<std::unique_ptr<RtWorker>> owned_workers;
     std::vector<std::unique_ptr<RtCd>> owned_cds;
     std::vector<DeferredCall> deferred;
@@ -433,7 +499,7 @@ class Runtime {
     return services_[id].load(std::memory_order_acquire);
   }
 
-  template <bool kObserved>
+  template <ObsLevel kLevel>
   Status call_impl(SlotId slot, ProgramId caller, EntryPointId id,
                    RegSet& regs);
   template <bool kObserved>
@@ -447,7 +513,7 @@ class Runtime {
   /// The call body shared by the same-slot fast path and both remote
   /// execution modes: worker/CD acquire, handler, release. Caller has
   /// already resolved the service and booked the per-variant counter.
-  template <bool kObserved>
+  template <ObsLevel kLevel>
   Status execute_on_slot(Slot& slot, SlotId slot_id, Service& svc,
                          ProgramId caller, RegSet& regs);
   /// Execute one ring cell / remote request on `slot` (ownership held by
@@ -481,6 +547,28 @@ class Runtime {
   XcallWait* acquire_wait(Slot& me);
   void release_wait(Slot& me, XcallWait* w);
 
+  /// Span bookkeeping (trace builds; no-ops otherwise). begin_span mints a
+  /// span id on `slot`, emits kSpanBegin into its ring, and carries the
+  /// rt.trace.drop failpoint — a dropped span returns id 0 (books
+  /// trace_drops) and everything downstream of it quietly elides.
+  std::uint32_t begin_span(Slot& slot, obs::SpanKind kind,
+                           std::uint64_t trace_id, std::uint32_t parent);
+  void end_span(Slot& slot, std::uint64_t trace_id, std::uint32_t span,
+                std::uint32_t parent, Status rc);
+
+  /// Observer-side telemetry state: previous snapshots and the occupancy
+  /// EWMAs, advanced once per telemetry() call. Mutex-guarded — telemetry
+  /// is an observer path; the fast path never touches this.
+  struct TelemetryState {
+    std::mutex mu;
+    bool primed = false;
+    std::uint64_t prev_ns = 0;
+    std::uint64_t prev_cycles = 0;
+    std::vector<obs::CounterSnapshot> prev_counters;
+    std::vector<obs::HistSnapshot> prev_hists;
+    std::vector<double> occ_ewma;
+  };
+
   SlotRegistry registry_;
   bool pin_threads_;
   std::vector<CacheAligned<Slot>> slots_;
@@ -489,6 +577,7 @@ class Runtime {
   std::mutex bind_mutex_;  // slow path only
   obs::SharedCounters shared_;
   std::atomic<std::uint32_t> shed_watermark_{0};  // 0 = shedding disabled
+  TelemetryState telemetry_;
   EntryPointId next_ep_ = 8;
 };
 

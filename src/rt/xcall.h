@@ -59,6 +59,7 @@
 #include "common/cpu_relax.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/trace.h"
 #include "ppc/regs.h"
 
 namespace hppc::rt {
@@ -152,13 +153,19 @@ struct XcallWait {
   }
 };
 
-/// One ring cell: exactly one cache line. `seq` is the Vyukov sequence
-/// (cell i starts at i; a producer claiming position p publishes p+1; the
-/// consumer retires it to p+capacity). `wait == nullptr` marks a
-/// fire-and-forget (async) cell. `deadline` is an absolute host_cycles()
-/// tick (0 = none): a cell that drains after its deadline is not executed
-/// late — the server drops it (async) or completes it with
+/// One ring cell: exactly one cache line in shipped builds. `seq` is the
+/// Vyukov sequence (cell i starts at i; a producer claiming position p
+/// publishes p+1; the consumer retires it to p+capacity). `wait == nullptr`
+/// marks a fire-and-forget (async) cell. `deadline` is an absolute
+/// host_cycles() tick (0 = none): a cell that drains after its deadline is
+/// not executed late — the server drops it (async) or completes it with
 /// kDeadlineExceeded (sync), booking deadline_exceeded either way.
+///
+/// Trace builds (HPPC_TRACE=1) carry the request's TraceCtx inline in the
+/// cell — that is how a span crosses the ring to the server slot. The 16
+/// extra bytes push the cell to two cache lines (alignas rounds 80 up to
+/// 128); shipped builds stay exactly one line, so tracing's cost never
+/// leaks into the configuration the paper's numbers come from.
 struct alignas(kHostCacheLine) XcallCell {
   std::atomic<std::uint64_t> seq{0};
   XcallWait* wait = nullptr;
@@ -166,9 +173,16 @@ struct alignas(kHostCacheLine) XcallCell {
   ppc::RegSet regs{};  // inline request payload — no indirection, no alloc
   ProgramId caller = 0;
   EntryPointId ep = 0;
+#if defined(HPPC_TRACE) && HPPC_TRACE
+  obs::TraceCtx tctx{};  // request context riding the cell across slots
+#endif
 };
 static_assert(sizeof(XcallCell) % kHostCacheLine == 0,
               "cells must tile cache lines exactly");
+#if !defined(HPPC_TRACE) || !HPPC_TRACE
+static_assert(sizeof(XcallCell) == kHostCacheLine,
+              "shipped-build cells must stay exactly one cache line");
+#endif
 
 /// Bounded MPSC ring channel. Any thread posts; only the slot's current
 /// ownership holder (owner thread, or a remote thread that won the
@@ -190,9 +204,11 @@ class XcallRing {
 
   /// Any thread. One CAS to claim a cell, one release store to publish.
   /// Returns false when the ring is full (the caller takes the overflow
-  /// path); never blocks, never allocates.
+  /// path); never blocks, never allocates. `tctx` (trace builds only)
+  /// rides the cell to the consumer; ignored in shipped builds.
   bool try_post(ProgramId caller, EntryPointId ep, const ppc::RegSet& regs,
-                XcallWait* wait, std::uint64_t deadline = 0) {
+                XcallWait* wait, std::uint64_t deadline = 0,
+                const obs::TraceCtx* tctx = nullptr) {
     std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     XcallCell* cell;
     for (;;) {
@@ -216,6 +232,11 @@ class XcallRing {
     cell->regs = regs;
     cell->wait = wait;
     cell->deadline = deadline;
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    cell->tctx = tctx != nullptr ? *tctx : obs::TraceCtx{};
+#else
+    (void)tctx;
+#endif
     cell->seq.store(pos + 1, std::memory_order_release);
     return true;
   }
@@ -235,11 +256,13 @@ class XcallRing {
   /// full); a short count is not an error — the caller re-submits the tail.
   ///
   /// `waits[i]` may be null per cell (fire-and-forget); `waits == nullptr`
-  /// means every cell is fire-and-forget.
+  /// means every cell is fire-and-forget. One `tctx` covers the whole run
+  /// (a batch is one span; the server parents each cell's execution to it).
   std::size_t try_post_many(ProgramId caller, EntryPointId ep,
                             const ppc::RegSet* regs,
                             XcallWait* const* waits, std::size_t n,
-                            std::uint64_t deadline = 0) {
+                            std::uint64_t deadline = 0,
+                            const obs::TraceCtx* tctx = nullptr) {
     if (n == 0) return 0;
     if (n > kCapacity) n = kCapacity;
     std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
@@ -267,6 +290,11 @@ class XcallRing {
       cell.regs = regs[i];
       cell.wait = waits != nullptr ? waits[i] : nullptr;
       cell.deadline = deadline;
+#if defined(HPPC_TRACE) && HPPC_TRACE
+      cell.tctx = tctx != nullptr ? *tctx : obs::TraceCtx{};
+#else
+      (void)tctx;
+#endif
       cell.seq.store(pos + i + 1, i == 0 ? std::memory_order_release
                                          : std::memory_order_relaxed);
     }

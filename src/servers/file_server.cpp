@@ -132,6 +132,14 @@ void FileServer::publish_record(ServerCtx& ctx, File& f) {
 }
 
 void FileServer::handler(ServerCtx& ctx, RegSet& regs) {
+  // Server-side execution latency in simulated cycles: what the handler
+  // itself cost, exclusive of the PPC entry/exit machinery around it.
+  const Cycles t0 = ctx.cpu().now();
+  dispatch_op(ctx, regs);
+  ctx.cpu().histograms().record(obs::Hist::kServerExec, ctx.cpu().now() - t0);
+}
+
+void FileServer::dispatch_op(ServerCtx& ctx, RegSet& regs) {
   switch (opcode_of(regs)) {
     case kFileGetLength: {
       File* f = file_for(regs);

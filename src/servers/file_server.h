@@ -124,6 +124,7 @@ class FileServer {
   };
 
   void handler(ppc::ServerCtx& ctx, ppc::RegSet& regs);
+  void dispatch_op(ppc::ServerCtx& ctx, ppc::RegSet& regs);
   File* file_for(ppc::RegSet& regs);  // sets rc on failure
   void locked_record_access(ppc::ServerCtx& ctx, File& f, bool is_store);
   /// Lock-free replicated read of the record block (replicate_read_path).

@@ -18,6 +18,7 @@
 #include "common/prng.h"
 #include "fault/failpoints.h"
 #include "obs/counters.h"
+#include "obs/telemetry.h"
 #include "ppc/regs.h"
 #include "rt/runtime.h"
 
@@ -43,6 +44,14 @@ constexpr ChaosPoint kSchedule[] = {
     {"rt.worker.exhausted", "prob=0.05"},
     {"rt.handler.abort", "prob=0.05"},
     {"rt.call.delay", "prob=0.1,delay=500"},
+    // Telemetry export failure: a scrape that fires this must degrade to an
+    // empty snapshot, never block or corrupt the windowed state.
+    {"obs.export", "prob=0.5"},
+#if defined(HPPC_TRACE) && HPPC_TRACE
+    // Span-drop seam: a trace that cannot record degrades by dropping the
+    // span (booked in trace_drops) — calls never fail on tracing's behalf.
+    {"rt.trace.drop", "prob=0.3"},
+#endif
 };
 constexpr std::size_t kSchedulePoints = std::size(kSchedule);
 
@@ -114,6 +123,8 @@ TEST(ChaosSoak, RandomFailpointScheduleUnderTrafficNeverHangsOrCorrupts) {
   }
   {
     const rt::SlotId my = rt.register_thread();
+    rt.trace_begin(my);  // trace builds: every call below mints spans, so
+                         // the rt.trace.drop seam is provably evaluated
     for (Word i = 0; i < 64; ++i) {
       rt::RegSet r{};
       r[0] = i;
@@ -124,7 +135,14 @@ TEST(ChaosSoak, RandomFailpointScheduleUnderTrafficNeverHangsOrCorrupts) {
       const Status ls = rt.call(my, my, ep, r, opts);  // rt.call.delay seam
       if (!allowed_status(ls)) bad_status.fetch_add(1);
       if (ls == Status::kOk && r[1] != i + 1) bad_payload.fetch_add(1);
+      // Telemetry scrape with obs.export armed: either a real snapshot
+      // (one series per slot) or the degraded empty one — nothing else.
+      const obs::Telemetry t = rt.telemetry();
+      if (!t.slots.empty() && t.slots.size() != rt.slots()) {
+        bad_payload.fetch_add(1);
+      }
     }
+    rt.trace_end(my);
   }
 
   // The chaos controller: every few hundred microseconds, re-roll which
@@ -150,7 +168,16 @@ TEST(ChaosSoak, RandomFailpointScheduleUnderTrafficNeverHangsOrCorrupts) {
   for (int c = 0; c < kCallers; ++c) {
     callers.emplace_back([&, c] {
       const rt::SlotId my = rt.register_thread();
+      rt.trace_begin(my);
       for (Word i = 0; i < kCallsEach; ++i) {
+        if (i % 64 == 0) {
+          // Telemetry under live chaos: the scrape must never hang or
+          // produce a malformed snapshot, whatever the armed seams do.
+          const obs::Telemetry t = rt.telemetry();
+          if (!t.slots.empty() && t.slots.size() != rt.slots()) {
+            bad_payload.fetch_add(1);
+          }
+        }
         rt::RegSet r{};
         r[0] = i;
         const Status s = rt.call_remote(my, 0, /*caller=*/my, ep, r, opts);
@@ -179,6 +206,7 @@ TEST(ChaosSoak, RandomFailpointScheduleUnderTrafficNeverHangsOrCorrupts) {
           }
         }
       }
+      rt.trace_end(my);
     });
   }
   for (auto& t : callers) t.join();
@@ -232,6 +260,15 @@ TEST(ChaosSoak, RandomFailpointScheduleUnderTrafficNeverHangsOrCorrupts) {
   }
   EXPECT_GT(rt.snapshot().get(obs::Counter::kWaiterParks), 0u);
   EXPECT_GT(rt.snapshot().get(obs::Counter::kWaiterKicks), 0u);
+#if defined(HPPC_TRACE) && HPPC_TRACE
+  // The drop seam really dropped spans, the drops were booked, and the
+  // traced traffic still completed (checked by bad_status above): tracing
+  // degrades by losing spans, never by failing calls.
+  EXPECT_GT(rt.snapshot().get(obs::Counter::kTraceDrops), 0u);
+#endif
+  // obs.export degraded at least one scrape, and no scrape ever blocked
+  // (the callers would have counted a malformed snapshot or hung).
+  EXPECT_GT(fault::injected("obs.export"), 0u);
 }
 
 #else

@@ -1,0 +1,222 @@
+// The histogram layer's contract: log2 bucket geometry, snapshot
+// merge/delta algebra matching the counter discipline, quantile behaviour,
+// and — under TSan — that concurrent per-slot writers plus a live
+// snapshotting reader are race-free and lose nothing once the writers join.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/histogram.h"
+
+namespace hppc {
+namespace {
+
+using obs::Hist;
+using obs::HistSnapshot;
+using obs::SlotHistograms;
+
+// ---------------------------------------------------------------------------
+// Bucket geometry
+// ---------------------------------------------------------------------------
+
+TEST(HistBuckets, Log2GeometryHoldsAtTheEdges) {
+  EXPECT_EQ(obs::hist_bucket_of(0), 0u);
+  EXPECT_EQ(obs::hist_bucket_of(1), 1u);
+  EXPECT_EQ(obs::hist_bucket_of(2), 2u);
+  EXPECT_EQ(obs::hist_bucket_of(3), 2u);
+  EXPECT_EQ(obs::hist_bucket_of(4), 3u);
+  EXPECT_EQ(obs::hist_bucket_of((1ull << 62) - 1), 62u);
+  // The top bucket is open-ended: everything with bit_width >= 63 lands
+  // there instead of indexing out of range.
+  EXPECT_EQ(obs::hist_bucket_of(1ull << 62), obs::kHistBuckets - 1);
+  EXPECT_EQ(obs::hist_bucket_of(~0ull), obs::kHistBuckets - 1);
+}
+
+TEST(HistBuckets, EveryValueFallsInsideItsBucketBounds) {
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 7ull, 8ull, 1000ull,
+                          65535ull, 65536ull, (1ull << 40) + 17}) {
+    const std::size_t b = obs::hist_bucket_of(v);
+    EXPECT_GE(v, obs::hist_bucket_lo(b)) << v;
+    if (b < obs::kHistBuckets - 1) {
+      EXPECT_LT(v, obs::hist_bucket_hi(b)) << v;
+    }
+  }
+}
+
+TEST(HistBuckets, EveryHistHasAName) {
+  for (std::size_t i = 0; i < obs::kNumHists; ++i) {
+    EXPECT_STRNE(obs::hist_name(static_cast<Hist>(i)), "unknown");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Record / snapshot / merge / delta
+// ---------------------------------------------------------------------------
+
+TEST(Histograms, RecordCountsPerBucketAndPerHist) {
+  SlotHistograms h;
+  h.record(Hist::kRttSync, 0);
+  h.record(Hist::kRttSync, 5);   // bucket 3
+  h.record(Hist::kRttSync, 6);   // bucket 3
+  h.record(Hist::kRingWait, 100);
+  EXPECT_EQ(h.count(Hist::kRttSync), 3u);
+  EXPECT_EQ(h.count(Hist::kRingWait), 1u);
+  EXPECT_EQ(h.count(Hist::kWakeup), 0u);
+  const HistSnapshot s = h.snapshot();
+  EXPECT_EQ(s.b[static_cast<std::size_t>(Hist::kRttSync)][0], 1u);
+  EXPECT_EQ(s.b[static_cast<std::size_t>(Hist::kRttSync)][3], 2u);
+}
+
+TEST(Histograms, MergeIsBucketwiseSum) {
+  SlotHistograms a;
+  SlotHistograms b;
+  a.record(Hist::kDrainBatch, 4);
+  a.record(Hist::kDrainBatch, 4);
+  b.record(Hist::kDrainBatch, 4);
+  b.record(Hist::kServerExec, 9);
+  HistSnapshot m = a.snapshot();
+  m.merge(b.snapshot());
+  EXPECT_EQ(m.count(Hist::kDrainBatch), 3u);
+  EXPECT_EQ(m.count(Hist::kServerExec), 1u);
+}
+
+TEST(Histograms, DeltaSaturatesLikeCounters) {
+  SlotHistograms h;
+  h.record(Hist::kRttRemote, 10);
+  const HistSnapshot early = h.snapshot();
+  h.record(Hist::kRttRemote, 10);
+  h.record(Hist::kRttRemote, 1000);
+  const HistSnapshot late = h.snapshot();
+  const HistSnapshot d = late.delta(early);
+  EXPECT_EQ(d.count(Hist::kRttRemote), 2u);
+  // Reversed order saturates at zero instead of wrapping.
+  EXPECT_EQ(early.delta(late).count(Hist::kRttRemote), 0u);
+}
+
+TEST(Histograms, ResetClearsEverything) {
+  SlotHistograms h;
+  h.record(Hist::kRttAsync, 42);
+  h.reset();
+  EXPECT_EQ(h.snapshot(), HistSnapshot{});
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles
+// ---------------------------------------------------------------------------
+
+TEST(Histograms, QuantileIsExactForSingleBucketData) {
+  SlotHistograms h;
+  for (int i = 0; i < 100; ++i) h.record(Hist::kWakeup, 0);
+  // Everything in bucket 0 ([0, 1)): any quantile lands inside it.
+  const HistSnapshot s = h.snapshot();
+  EXPECT_GE(s.quantile(Hist::kWakeup, 0.5), 0.0);
+  EXPECT_LT(s.quantile(Hist::kWakeup, 0.99), 1.0);
+}
+
+TEST(Histograms, QuantileRespectsBucketOrdering) {
+  SlotHistograms h;
+  for (int i = 0; i < 90; ++i) h.record(Hist::kRttSync, 100);    // bucket 7
+  for (int i = 0; i < 10; ++i) h.record(Hist::kRttSync, 10000);  // bucket 14
+  const HistSnapshot s = h.snapshot();
+  const double p50 = s.quantile(Hist::kRttSync, 0.50);
+  const double p99 = s.quantile(Hist::kRttSync, 0.99);
+  // p50 must sit in the low bucket's range, p99 in the high one's; the
+  // factor-of-two bucket width is the advertised error bound.
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LT(p50, 128.0);
+  EXPECT_GE(p99, 8192.0);
+  EXPECT_LT(p99, 16384.0);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(Histograms, QuantileAndMeanOfEmptyAreZero) {
+  const HistSnapshot s;
+  EXPECT_EQ(s.quantile(Hist::kRttSync, 0.5), 0.0);
+  EXPECT_EQ(s.mean(Hist::kRttSync), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the TSan tests): per-slot single writers + live reader
+// ---------------------------------------------------------------------------
+
+TEST(HistogramsConcurrency, PerSlotWritersMergeToExactSum) {
+  // N writer threads, each the single writer of its OWN block (the per-slot
+  // discipline), while a reader merges live snapshots the whole time. TSan
+  // must stay quiet, and after the join the merged total must equal the sum
+  // of per-slot deltas — nothing torn, nothing lost.
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 50'000;
+  std::vector<SlotHistograms> blocks(kWriters);
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      HistSnapshot live;
+      for (const auto& blk : blocks) live.merge(blk.snapshot());
+      // Monotone sanity only — the live view may be mid-update.
+      EXPECT_LE(live.count(Hist::kRttSync),
+                static_cast<std::uint64_t>(kWriters) * kPerWriter);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        blocks[w].record(Hist::kRttSync,
+                         static_cast<std::uint64_t>(i) * (w + 1));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  HistSnapshot total;
+  for (const auto& blk : blocks) total.merge(blk.snapshot());
+  EXPECT_EQ(total.count(Hist::kRttSync),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+}
+
+TEST(CountersConcurrency, SlotWritersAndLiveSnapshotsAgreeAfterJoin) {
+  // Same shape for the counter blocks: concurrent CounterSnapshot merges
+  // against live single-writer increments must be TSan-clean, and the final
+  // merge must equal the sum of per-slot deltas.
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 100'000;
+  std::vector<obs::SlotCounters> blocks(kWriters);
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::CounterSnapshot live;
+      for (const auto& blk : blocks) live.merge(blk.snapshot());
+      EXPECT_LE(live.get(obs::Counter::kCallsSync),
+                static_cast<std::uint64_t>(kWriters) * kPerWriter);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        blocks[w].inc(obs::Counter::kCallsSync);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  obs::CounterSnapshot total;
+  for (const auto& blk : blocks) total.merge(blk.snapshot());
+  EXPECT_EQ(total.get(obs::Counter::kCallsSync),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+}
+
+}  // namespace
+}  // namespace hppc

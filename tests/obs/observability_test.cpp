@@ -13,6 +13,7 @@
 #include "kernel/machine.h"
 #include "obs/bench_metrics.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "ppc/facility.h"
@@ -128,6 +129,75 @@ TEST(ZeroContention, WarmNullPpcOnHostRuntime) {
             static_cast<std::uint64_t>(kCalls));
   EXPECT_EQ(delta.get(Counter::kCdRecycles),
             static_cast<std::uint64_t>(kCalls));
+}
+
+TEST(ZeroContention, HostHistogramsAreOnAndLockFree) {
+  // Runtime::call is the full-instrumentation path: the RTT histogram is
+  // always on. The warm invariant must hold regardless — a histogram record
+  // is a single-writer store on an owned line, never a lock — and every
+  // warm call must land exactly one rtt_sync sample.
+  rt::Runtime rt(1);
+  const rt::SlotId slot = rt.register_thread();
+  const EntryPointId ep = rt.bind(
+      {.name = "null"}, 700,
+      [](rt::RtCtx&, ppc::RegSet& regs) { ppc::set_rc(regs, Status::kOk); });
+
+  ppc::RegSet regs;
+  ppc::set_op(regs, 1);
+  ASSERT_EQ(rt.call(slot, 1, ep, regs), Status::kOk);  // warmup
+
+  const CounterSnapshot warm = rt.snapshot();
+  const obs::HistSnapshot hwarm = rt.hist_snapshot(slot);
+  constexpr int kCalls = 100;
+  for (int i = 0; i < kCalls; ++i) {
+    ppc::set_op(regs, 1);
+    ASSERT_EQ(rt.call(slot, 1, ep, regs), Status::kOk);
+  }
+  const CounterSnapshot delta = rt.snapshot().delta(warm);
+  const obs::HistSnapshot hdelta = rt.hist_snapshot(slot).delta(hwarm);
+
+  EXPECT_EQ(delta.get(Counter::kLocksTaken), 0u);
+  EXPECT_EQ(delta.get(Counter::kSharedLinesTouched), 0u);
+  EXPECT_EQ(hdelta.count(obs::Hist::kRttSync),
+            static_cast<std::uint64_t>(kCalls));
+}
+
+TEST(ZeroContention, SimHistogramsRecordDeterministicCycles) {
+  // The facility's warm path records whole-call latency in SIMULATED
+  // cycles: same schedule, same distribution, and the samples never charge
+  // the simulated clock (the call cost is unchanged by observation).
+  kernel::Machine machine(sim::hector_config(1));
+  ppc::PpcFacility facility(machine);
+  auto& server_as = machine.create_address_space(700, 0);
+  const EntryPointId ep =
+      facility.bind({.name = "null"}, &server_as, 700,
+                    [](ppc::ServerCtx&, ppc::RegSet& r) {
+                      ppc::set_rc(r, Status::kOk);
+                    });
+  auto& as = machine.create_address_space(100, 0);
+  kernel::Process& client = machine.create_process(100, &as, "client", 0);
+
+  ppc::RegSet regs;
+  ppc::set_op(regs, 1);
+  ASSERT_EQ(facility.call(machine.cpu(0), client, ep, regs), Status::kOk);
+
+  const obs::HistSnapshot warm = machine.cpu(0).histograms().snapshot();
+  constexpr int kCalls = 50;
+  for (int i = 0; i < kCalls; ++i) {
+    ppc::set_op(regs, 1);
+    ASSERT_EQ(facility.call(machine.cpu(0), client, ep, regs), Status::kOk);
+  }
+  const obs::HistSnapshot delta =
+      machine.cpu(0).histograms().snapshot().delta(warm);
+  EXPECT_EQ(delta.count(obs::Hist::kRttSync),
+            static_cast<std::uint64_t>(kCalls));
+  // Identical warm calls cost identical simulated cycles: exactly one
+  // bucket is populated.
+  int populated = 0;
+  for (std::uint64_t c : delta.b[static_cast<std::size_t>(obs::Hist::kRttSync)]) {
+    populated += c != 0;
+  }
+  EXPECT_EQ(populated, 1);
 }
 
 TEST(ZeroContention, HostHoldCdServiceCountsHits) {

@@ -1,0 +1,139 @@
+// The telemetry derivation layer, tested as pure functions: synthetic
+// SlotWindows in, checked drain-rate / queueing-delay / quantile series
+// out, plus the JSON shape the exporter promises.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/telemetry.h"
+
+namespace hppc {
+namespace {
+
+using obs::Counter;
+using obs::Hist;
+using obs::SlotWindow;
+
+SlotWindow make_window(std::uint32_t slot, double window_s) {
+  SlotWindow w;
+  w.slot = slot;
+  w.window_s = window_s;
+  return w;
+}
+
+void set_counter(SlotWindow& w, Counter c, std::uint64_t v) {
+  w.counters.v[static_cast<std::size_t>(c)] = v;
+}
+
+TEST(Telemetry, DrainRateIsCellsOverWindow) {
+  SlotWindow w = make_window(0, 2.0);
+  set_counter(w, Counter::kXcallCellsDrained, 1000);
+  set_counter(w, Counter::kXcallBatches, 250);
+  const obs::SlotSeries s = obs::derive_slot_series(w);
+  EXPECT_DOUBLE_EQ(s.drain_rate_per_sec, 500.0);
+  EXPECT_DOUBLE_EQ(s.mean_drain_batch, 4.0);
+}
+
+TEST(Telemetry, QueueDelayIsLittlesLaw) {
+  // occupancy 4 cells at 1000 cells/s drained -> 4 ms of queueing.
+  SlotWindow w = make_window(0, 1.0);
+  set_counter(w, Counter::kXcallCellsDrained, 1000);
+  w.occupancy_ewma = 4.0;
+  const obs::SlotSeries s = obs::derive_slot_series(w);
+  EXPECT_NEAR(s.est_queue_delay_ns, 4e6, 1.0);
+}
+
+TEST(Telemetry, EmptyWindowDerivesAllZeros) {
+  const obs::SlotSeries s = obs::derive_slot_series(make_window(3, 0.0));
+  EXPECT_EQ(s.slot, 3u);
+  EXPECT_EQ(s.calls, 0u);
+  EXPECT_DOUBLE_EQ(s.drain_rate_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(s.est_queue_delay_ns, 0.0);
+  EXPECT_DOUBLE_EQ(s.rtt_remote_p50_ns, 0.0);
+}
+
+TEST(Telemetry, CallsSumAllClasses) {
+  SlotWindow w = make_window(0, 1.0);
+  set_counter(w, Counter::kCallsSync, 10);
+  set_counter(w, Counter::kCallsAsync, 20);
+  set_counter(w, Counter::kCallsRemote, 30);
+  EXPECT_EQ(obs::derive_slot_series(w).calls, 60u);
+}
+
+TEST(Telemetry, QuantilesCalibrateCyclesToNanoseconds) {
+  SlotWindow w = make_window(0, 1.0);
+  w.cycles_per_ns = 2.0;  // 2 GHz
+  // All samples in bucket 11: [1024, 2048) cycles -> [512, 1024) ns.
+  for (int i = 0; i < 100; ++i) {
+    w.hists.b[static_cast<std::size_t>(Hist::kRttRemote)][11] += 1;
+  }
+  const obs::SlotSeries s = obs::derive_slot_series(w);
+  EXPECT_GE(s.rtt_remote_p50_ns, 512.0);
+  EXPECT_LT(s.rtt_remote_p50_ns, 1024.0);
+}
+
+TEST(Telemetry, UncalibratedTicksExportRaw) {
+  SlotWindow w = make_window(0, 1.0);
+  w.cycles_per_ns = 0.0;  // no calibration -> raw ticks
+  for (int i = 0; i < 100; ++i) {
+    w.hists.b[static_cast<std::size_t>(Hist::kRttRemote)][11] += 1;
+  }
+  const obs::SlotSeries s = obs::derive_slot_series(w);
+  EXPECT_GE(s.rtt_remote_p50_ns, 1024.0);
+  EXPECT_LT(s.rtt_remote_p50_ns, 2048.0);
+}
+
+TEST(Telemetry, FleetTotalsSumSlotsAndReapplyLittlesLaw) {
+  std::vector<SlotWindow> ws;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    SlotWindow w = make_window(s, 1.0);
+    set_counter(w, Counter::kXcallCellsDrained, 500);
+    w.occupancy_ewma = 1.0;
+    ws.push_back(w);
+  }
+  const obs::Telemetry t = obs::derive_telemetry(ws);
+  ASSERT_EQ(t.slots.size(), 2u);
+  EXPECT_EQ(t.total_drained_cells, 1000u);
+  EXPECT_DOUBLE_EQ(t.total_drain_rate_per_sec, 1000.0);
+  EXPECT_DOUBLE_EQ(t.total_occupancy_ewma, 2.0);
+  EXPECT_NEAR(t.est_queue_delay_ns, 2e6, 1.0);
+}
+
+TEST(Telemetry, TraceDropsRideTheSeries) {
+  SlotWindow w = make_window(0, 1.0);
+  set_counter(w, Counter::kTraceDrops, 7);
+  EXPECT_EQ(obs::derive_slot_series(w).trace_drops, 7u);
+}
+
+TEST(Telemetry, JsonExportCarriesEveryPromisedField) {
+  std::vector<SlotWindow> ws;
+  SlotWindow w = make_window(0, 1.0);
+  set_counter(w, Counter::kXcallCellsDrained, 100);
+  set_counter(w, Counter::kCallsSync, 5);
+  w.occupancy_ewma = 0.5;
+  ws.push_back(w);
+  const std::string json = obs::telemetry_to_json(obs::derive_telemetry(ws));
+  for (const char* field :
+       {"\"window_s\":", "\"totals\":", "\"drained_cells\":",
+        "\"drain_rate_per_sec\":", "\"occupancy_ewma\":",
+        "\"est_queue_delay_ns\":", "\"slots\":", "\"slot\":", "\"calls\":",
+        "\"drain_batches\":", "\"mean_drain_batch\":",
+        "\"rtt_remote_p50_ns\":", "\"rtt_remote_p99_ns\":",
+        "\"wakeup_p99_ns\":", "\"trace_drops\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field << "\n" << json;
+  }
+  // Structural sanity: braces and brackets balance.
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+}  // namespace
+}  // namespace hppc

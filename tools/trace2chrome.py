@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Convert an hppc raw trace dump to Chrome/Perfetto trace-event JSON.
+
+Input is the `obs::trace_to_json` format::
+
+    {"rings": {"<label>": {"total_recorded": N,
+                           "records": [{"ts":..., "slot":..., "event":"...",
+                                        "arg":..., "trace_id":..., "span":...,
+                                        "parent":...}, ...]}, ...}}
+
+Output is a `{"traceEvents": [...]}` document: span_begin/span_end records
+become nestable async "b"/"e" pairs keyed by the hex trace id (one stacked
+track per request, flowing across slot tids); every other record becomes a
+thread-scoped instant, tagged with its trace id when it carried one.
+
+Usage:
+    trace2chrome.py [--check] [--ts-per-us N] [input.json [output.json]]
+
+With --check the tool validates the span graph instead of (as well as)
+converting: for every trace id, each span_begin must have exactly one
+matching span_end at a later-or-equal timestamp, parent links must resolve
+to a span seen in the same trace (or 0 = root), and the parent graph must
+be acyclic. Exit status 1 on any violation, with one line per problem.
+Dropped spans (id 0) never appear in the dump, so they cannot trip the
+checker — degradation is invisible here by design and booked in the
+`trace_drops` counter instead.
+"""
+
+import argparse
+import json
+import sys
+
+SPAN_KINDS = [
+    "root", "local_call", "remote_call", "remote_direct", "batch",
+    "server_exec", "async_exec",
+]
+
+
+def span_kind_name(arg):
+    return SPAN_KINDS[arg] if 0 <= arg < len(SPAN_KINDS) else f"kind{arg}"
+
+
+def iter_records(doc):
+    for label, ring in doc.get("rings", {}).items():
+        for rec in ring.get("records", []):
+            yield label, rec
+
+
+def convert(doc, ts_per_us):
+    events = []
+    for label, r in iter_records(doc):
+        ts = r["ts"] / ts_per_us
+        if r["event"] in ("span_begin", "span_end"):
+            begin = r["event"] == "span_begin"
+            args = {"span": r["span"], "parent": r["parent"], "ring": label}
+            if not begin:
+                args["status"] = r["arg"]
+            events.append({
+                "name": span_kind_name(r["arg"]) if begin else "span",
+                "cat": "hppc",
+                "ph": "b" if begin else "e",
+                "id": f"0x{r['trace_id']:x}",
+                "pid": 0,
+                "tid": r["slot"],
+                "ts": ts,
+                "args": args,
+            })
+            continue
+        args = {"arg": r["arg"], "ring": label}
+        if r.get("trace_id", 0):
+            args["trace_id"] = f"0x{r['trace_id']:x}"
+            args["span"] = r["span"]
+        events.append({
+            "name": r["event"],
+            "ph": "i",
+            "s": "t",
+            "pid": 0,
+            "tid": r["slot"],
+            "ts": ts,
+            "args": args,
+        })
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events}
+
+
+def check(doc):
+    """Validate span begin/end pairing and parent-link structure.
+
+    Returns a list of problem strings (empty = clean).
+    """
+    problems = []
+    # trace_id -> span -> record info
+    begins = {}
+    ends = {}
+    for label, r in iter_records(doc):
+        if r["event"] == "span_begin":
+            per = begins.setdefault(r["trace_id"], {})
+            if r["span"] in per:
+                problems.append(
+                    f"trace 0x{r['trace_id']:x}: span {r['span']} begun twice")
+            per[r["span"]] = r
+        elif r["event"] == "span_end":
+            per = ends.setdefault(r["trace_id"], {})
+            if r["span"] in per:
+                problems.append(
+                    f"trace 0x{r['trace_id']:x}: span {r['span']} ended twice")
+            per[r["span"]] = r
+
+    traced = sorted(set(begins) | set(ends))
+    if not traced:
+        problems.append("no spans found in trace dump")
+    for tid in traced:
+        b = begins.get(tid, {})
+        e = ends.get(tid, {})
+        for span, rec in b.items():
+            if span == 0:
+                problems.append(f"trace 0x{tid:x}: span id 0 recorded")
+            if span not in e:
+                problems.append(
+                    f"trace 0x{tid:x}: span {span} "
+                    f"({span_kind_name(rec['arg'])}) never ended")
+            elif e[span]["ts"] < rec["ts"]:
+                problems.append(
+                    f"trace 0x{tid:x}: span {span} ends before it begins")
+        for span in e:
+            if span not in b:
+                problems.append(
+                    f"trace 0x{tid:x}: span {span} ended but never begun")
+        # Parent completeness: every non-root parent must be a begun span of
+        # the same trace.
+        for span, rec in b.items():
+            parent = rec["parent"]
+            if parent != 0 and parent not in b:
+                problems.append(
+                    f"trace 0x{tid:x}: span {span} parent {parent} "
+                    "not present in trace")
+        # Acyclicity: walk each span's parent chain; a chain longer than the
+        # span population means a cycle.
+        for span in b:
+            seen = set()
+            cur = span
+            while cur != 0 and cur in b:
+                if cur in seen:
+                    problems.append(
+                        f"trace 0x{tid:x}: parent cycle through span {cur}")
+                    break
+                seen.add(cur)
+                cur = b[cur]["parent"]
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("input", nargs="?", default="-",
+                    help="raw trace JSON (default: stdin)")
+    ap.add_argument("output", nargs="?", default="-",
+                    help="chrome trace JSON (default: stdout)")
+    ap.add_argument("--check", action="store_true",
+                    help="validate span pairing and parent links")
+    ap.add_argument("--ts-per-us", type=float, default=1000.0,
+                    help="raw timestamp ticks per microsecond "
+                         "(default 1000: host nanosecond stamps)")
+    args = ap.parse_args()
+
+    if args.input == "-":
+        doc = json.load(sys.stdin)
+    else:
+        with open(args.input) as f:
+            doc = json.load(f)
+
+    if args.check:
+        problems = check(doc)
+        for p in problems:
+            print(f"trace2chrome: {p}", file=sys.stderr)
+        if problems:
+            return 1
+        spans = sum(1 for _, r in iter_records(doc)
+                    if r["event"] == "span_begin")
+        traces = len({r["trace_id"] for _, r in iter_records(doc)
+                      if r["event"] == "span_begin"})
+        print(f"trace2chrome: OK ({spans} spans across {traces} traces)")
+        return 0
+
+    out = convert(doc, args.ts_per_us)
+    if args.output == "-":
+        json.dump(out, sys.stdout, indent=1)
+        print()
+    else:
+        with open(args.output, "w") as f:
+            json.dump(out, f, indent=1)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
