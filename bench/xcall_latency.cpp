@@ -81,6 +81,14 @@ EntryPointId bind_null(rt::Runtime& rt) {
   });
 }
 
+/// The frame-ABI null service: a raw function pointer, no worker, no CD —
+/// the Figure-4 register contract with nothing in the way.
+rt::FrameServiceId bind_null_frame(rt::Runtime& rt) {
+  return rt.bind_frame(
+      700, [](void*, rt::FrameCtx&, rt::CallFrame&) { return Status::kOk; },
+      nullptr);
+}
+
 }  // namespace
 
 int main() {
@@ -245,6 +253,53 @@ int main() {
     if (b == 1) batched_mean_b1 = mean;
     if (b == 16) batched_mean_b16 = mean;
     if (b == 64) batched_mean_b64 = mean;
+    stop.store(true, std::memory_order_release);
+    owner.join();
+  }
+
+  // 7. The frame ABI on the same two shapes. frame_rtt_direct repeats (1)
+  // through the Figure-4 register contract: the packed op word indexes a
+  // flat table of raw function pointers, so the call skips the Service
+  // lookup, the worker/CD acquisition, the std::function dispatch, and the
+  // per-call histogram of the typed path. The batched rows repeat the
+  // b16/b64 ring measurements with the whole request inlined in each 64 B
+  // cell. The frame_abi_speedup_* scalars compare frame vs typed within
+  // THIS run — same machine, same clock path — which is what the CI gate
+  // asserts on.
+  double frame_direct_mean = 0;
+  {
+    rt::Runtime rt_(2);
+    const rt::SlotId me_ = rt_.register_thread();
+    const rt::FrameServiceId svc = bind_null_frame(rt_);
+    rt::CallFrame f = rt::make_frame(svc, 1);
+    bench("frame_rtt_direct", [&] { rt_.call_remote_frame(me_, 1, 1, f); });
+    frame_direct_mean = dists.back().dist.mean();
+  }
+  double frame_batched_mean_b16 = 0;
+  double frame_batched_mean_b64 = 0;
+  for (const int b : {16, 64}) {
+    rt::Runtime rt_(2);
+    const rt::SlotId me_ = rt_.register_thread();
+    const rt::FrameServiceId svc = bind_null_frame(rt_);
+    std::atomic<bool> stop{false};
+    std::atomic<bool> up{false};
+    std::thread owner([&] {
+      const rt::SlotId s = rt_.register_thread();
+      up.store(true, std::memory_order_release);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (rt_.poll(s) == 0) std::this_thread::yield();
+      }
+    });
+    while (!up.load(std::memory_order_acquire)) std::this_thread::yield();
+    std::vector<rt::CallFrame> batch(static_cast<std::size_t>(b));
+    bench_n("frame_batched_rtt_per_call_b" + std::to_string(b), b, [&] {
+      for (rt::CallFrame& f : batch) f = rt::make_frame(svc, 1);
+      rt_.call_remote_frame_batch(
+          me_, 1, 1, std::span<rt::CallFrame>(batch.data(), batch.size()));
+    });
+    const double mean = dists.back().dist.mean();
+    if (b == 16) frame_batched_mean_b16 = mean;
+    if (b == 64) frame_batched_mean_b64 = mean;
     stop.store(true, std::memory_order_release);
     owner.join();
   }
@@ -436,6 +491,40 @@ int main() {
               static_cast<unsigned long long>(
                   bdelta.get(obs::Counter::kXcallRingFull)));
 
+  // Frame warm-phase audit on the same single-threaded shape as the typed
+  // one: 1000 warm frame calls touch no lock, no heap, no mailbox, and no
+  // worker machinery — each books exactly one calls_frame. The arena
+  // gauges ride along as scalars: every hot structure the calls used
+  // (rings, histogram blocks, CD stacks, wait pools) came out of the
+  // node-local arena, and placement verification found zero off-node
+  // pages (on a hugepage-less container the chunks fall back to 4 K —
+  // arena_hugepage_fallbacks records that, and the calls are oblivious).
+  rt::Runtime faudit(2);
+  const rt::SlotId fme = faudit.register_thread();
+  const rt::FrameServiceId fsvc = bind_null_frame(faudit);
+  rt::CallFrame ff = rt::make_frame(fsvc, 1);
+  for (int i = 0; i < 32; ++i) faudit.call_remote_frame(fme, 1, 1, ff);
+  const obs::CounterSnapshot fwarm = faudit.snapshot();
+  for (int i = 0; i < 1000; ++i) faudit.call_remote_frame(fme, 1, 1, ff);
+  const obs::CounterSnapshot fdelta = faudit.snapshot().delta(fwarm);
+  const mem::ArenaStats astats = faudit.arena_stats();
+  std::printf("frame warm-phase audit over 1000 cross-slot frame calls: "
+              "calls_frame=%llu locks_taken=%llu mailbox_allocs=%llu "
+              "workers_created=%llu | arena: reserved=%llu B hugepages=%llu "
+              "fallbacks=%llu node_mismatch=%llu\n",
+              static_cast<unsigned long long>(
+                  fdelta.get(obs::Counter::kCallsFrame)),
+              static_cast<unsigned long long>(
+                  fdelta.get(obs::Counter::kLocksTaken)),
+              static_cast<unsigned long long>(
+                  fdelta.get(obs::Counter::kMailboxAllocs)),
+              static_cast<unsigned long long>(
+                  fdelta.get(obs::Counter::kWorkersCreated)),
+              static_cast<unsigned long long>(astats.bytes_reserved),
+              static_cast<unsigned long long>(astats.hugepages),
+              static_cast<unsigned long long>(astats.hugepage_fallbacks),
+              static_cast<unsigned long long>(astats.node_mismatches));
+
   std::printf("speedup vs msg queue: direct %.1fx, served %.1fx, "
               "ring/polling %.1fx\n",
               msgq_mean / direct_mean, msgq_mean / served_mean,
@@ -461,6 +550,20 @@ int main() {
   report.scalar("batched_speedup_b16", batched_mean_b1 / batched_mean_b16);
   report.scalar("batched_speedup_b64", batched_mean_b1 / batched_mean_b64);
   report.scalar("throughput_scaling_16v1", tput_rate_16 / tput_rate_1);
+  // Frame ABI vs the typed path, same run: the CI gate requires >= 1.
+  report.scalar("frame_abi_speedup_direct", direct_mean / frame_direct_mean);
+  report.scalar("frame_abi_speedup_b16",
+                batched_mean_b16 / frame_batched_mean_b16);
+  report.scalar("frame_abi_speedup_b64",
+                batched_mean_b64 / frame_batched_mean_b64);
+  // Arena gauges at audit end (absolute values, not deltas).
+  report.scalar("arena_bytes_reserved",
+                static_cast<double>(astats.bytes_reserved));
+  report.scalar("arena_hugepages", static_cast<double>(astats.hugepages));
+  report.scalar("arena_hugepage_fallbacks",
+                static_cast<double>(astats.hugepage_fallbacks));
+  report.scalar("arena_node_mismatch",
+                static_cast<double>(astats.node_mismatches));
   for (const ThroughputRow& r : tput) {
     report.row("throughput_vs_callers")
         .cell("callers", r.callers)
@@ -473,6 +576,7 @@ int main() {
   }
   report.counters("xcall_warm_phase", delta);
   report.counters("xcall_batch_warm_phase", bdelta);
+  report.counters("frame_warm_phase", fdelta);
   if (!report.write()) return 1;
   return 0;
 }

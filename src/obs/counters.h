@@ -98,6 +98,12 @@ enum class Counter : std::uint32_t {
   kTraceDrops,          // spans dropped instead of blocking the call path
   kTelemetrySnaps,      // Runtime::telemetry() snapshots taken
 
+  // -- frame ABI (Figure 4 register contract) + node-local arena gauges --
+  kCallsFrame,          // frame-ABI calls executed (any path: local/direct/ring)
+  kArenaBytesReserved,  // gauge: bytes mmap'd into the runtime arena
+  kArenaHugepages,      // gauge: explicit hugepages backing arena chunks
+  kArenaNodeMismatch,   // gauge: arena pages found resident off their node
+
   kCount
 };
 
@@ -155,6 +161,10 @@ constexpr const char* counter_name(Counter c) {
     case Counter::kXcallCellsDrained: return "xcall_cells_drained";
     case Counter::kTraceDrops: return "trace_drops";
     case Counter::kTelemetrySnaps: return "telemetry_snaps";
+    case Counter::kCallsFrame: return "calls_frame";
+    case Counter::kArenaBytesReserved: return "arena_bytes_reserved";
+    case Counter::kArenaHugepages: return "arena_hugepages";
+    case Counter::kArenaNodeMismatch: return "arena_node_mismatch";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -42,6 +42,7 @@
 
 #include "common/cacheline.h"
 #include "common/cpu_relax.h"
+#include "mem/arena.h"
 #include "obs/counters.h"
 
 namespace hppc::repl {
@@ -70,13 +71,30 @@ class Replicated {
       std::uint32_t writer_slot, std::uint32_t target_slot,
       std::uint64_t version)>;
 
-  explicit Replicated(std::uint32_t slots, T initial = T{})
+  /// Maps a slot to the NUMA node its replica should live on (defaults to
+  /// node 0 for every slot; Runtime passes its slot-striping).
+  using NodeOf = std::function<NodeId(std::uint32_t slot)>;
+
+  /// Without an arena, replicas live in one heap array (cache-line aligned,
+  /// first-touch placement). With one, each slot's replica is arena-placed
+  /// on `node_of(slot)` — the read path's seqlock line is then node-local
+  /// to its single reader, matching the paper's per-processor discipline.
+  explicit Replicated(std::uint32_t slots, T initial = T{},
+                      mem::Arena* arena = nullptr, NodeOf node_of = {})
       : master_(initial),
         slots_(slots),
-        replicas_(std::make_unique<Replica[]>(slots)),
+        replicas_(slots, nullptr),
         counters_(slots, nullptr) {
+    if (arena != nullptr) {
+      for (std::uint32_t s = 0; s < slots_; ++s) {
+        replicas_[s] = arena->create<Replica>(node_of ? node_of(s) : 0);
+      }
+    } else {
+      heap_ = std::make_unique<Replica[]>(slots);
+      for (std::uint32_t s = 0; s < slots_; ++s) replicas_[s] = &heap_[s];
+    }
     for (std::uint32_t s = 0; s < slots_; ++s) {
-      store_words(replicas_[s], initial, /*version=*/0);
+      store_words(*replicas_[s], initial, /*version=*/0);
     }
   }
 
@@ -102,7 +120,7 @@ class Replicated {
   /// the counter booking stays single-writer. Never blocks on a writer for
   /// more than the retry bound; the fallback takes the master mutex.
   T read(std::uint32_t slot) {
-    Replica& r = replicas_[slot];
+    Replica& r = *replicas_[slot];
     obs::SlotCounters* c = counters_[slot];
     std::uint64_t retries = 0;
     for (int attempt = 0; attempt < kMaxSeqRetries; ++attempt) {
@@ -154,7 +172,7 @@ class Replicated {
     std::uint64_t published = 0;
     std::uint64_t remote_lines = 0;
     if (writer_slot != kNoSlot) {
-      store_words(replicas_[writer_slot], master_, v);
+      store_words(*replicas_[writer_slot], master_, v);
       ++published;
     }
     for (std::uint32_t s = 0; s < slots_; ++s) {
@@ -162,7 +180,7 @@ class Replicated {
       if (propagator_) {
         propagator_(writer_slot, s, v);  // ReplHub books the ring traffic
       } else {
-        store_words(replicas_[s], master_, v);
+        store_words(*replicas_[s], master_, v);
         ++remote_lines;  // inline publish writes another slot's line
       }
       ++published;
@@ -186,7 +204,7 @@ class Replicated {
       counters_[slot]->inc(obs::Counter::kLocksTaken);
     }
     std::lock_guard<std::mutex> lock(master_mutex_);
-    store_words(replicas_[slot], master_,
+    store_words(*replicas_[slot], master_,
                 version_.load(std::memory_order_relaxed));
   }
 
@@ -197,7 +215,7 @@ class Replicated {
 
   /// The version a slot's replica last applied.
   std::uint64_t replica_version(std::uint32_t slot) const {
-    return replicas_[slot].version.load(std::memory_order_relaxed);
+    return replicas_[slot]->version.load(std::memory_order_relaxed);
   }
 
  private:
@@ -232,7 +250,8 @@ class Replicated {
   T master_;
   std::atomic<std::uint64_t> version_{0};
   std::uint32_t slots_;
-  std::unique_ptr<Replica[]> replicas_;
+  std::vector<Replica*> replicas_;  // arena- or heap_-backed
+  std::unique_ptr<Replica[]> heap_;   // fallback storage (no arena)
   std::vector<obs::SlotCounters*> counters_;
   Propagator propagator_;
 };
@@ -242,11 +261,11 @@ class Replicated {
 struct ReplicatedTestAccess {
   template <typename T>
   static void begin_stall(Replicated<T>& r, std::uint32_t slot) {
-    r.replicas_[slot].seq.fetch_add(1, std::memory_order_release);
+    r.replicas_[slot]->seq.fetch_add(1, std::memory_order_release);
   }
   template <typename T>
   static void end_stall(Replicated<T>& r, std::uint32_t slot) {
-    r.replicas_[slot].seq.fetch_add(1, std::memory_order_release);
+    r.replicas_[slot]->seq.fetch_add(1, std::memory_order_release);
   }
 };
 

@@ -1,0 +1,174 @@
+// The Figure-4 call ABI: 8 words in, the same 8 words out, one packed
+// opcode|flags|service word — the paper's PPC register contract lifted to
+// a first-class call frame.
+//
+// The typed-handler path (Runtime::bind / Runtime::call) resolves a
+// Service*, acquires a worker and a CD, and invokes a std::function —
+// three pointer chases and a heap-backed callable between the caller and
+// the handler. A CallFrame call does none of that: the packed op word
+// indexes a flat table of raw function pointers, the 8 payload words are
+// the whole argument/result surface, and a cross-slot frame call inlines
+// the entire request in the 64-byte XcallCell (the op word rides the
+// cell's spare 8-byte lane; the payload rides the cell's inline RegSet).
+// No std::function, no worker/CD acquisition, no heap touch, no pointer
+// chase past the one table load on the warm path.
+//
+// Calls whose payload exceeds the 8 words do NOT grow the frame: they set
+// kFrameFlagSg and spend two payload words on a pointer to a caller-owned
+// FrameSg descriptor block — scatter/gather segments that the handler
+// resolves through the bulk-data side path (servers/frame_bulk.h), the
+// host analogue of the paper's §4.2 copy-server channel. The frame itself
+// stays 8 words; only the descriptors' bytes move, and only once.
+//
+// Packed op word (64-bit):
+//   [63:48] reserved (zero)
+//   [47:32] service  — FrameServiceId, index into the runtime's frame table
+//   [31:16] opcode   — service-defined operation number   -+
+//   [15: 8] flags    — service-defined modifier bits       +- identical to
+//   [ 7: 0] rc       — return code (Status), out only     -+  ppc::op_flags
+// The low 32 bits are bit-for-bit the legacy regs[kOpWord] layout, so the
+// compatibility shim (Runtime::bind_frame_shim) forwards them unmodified.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ppc/regs.h"
+#include "rt/percpu.h"
+
+namespace hppc::rt {
+
+class Runtime;
+
+/// The packed opcode|flags|service word.
+using FrameWord = std::uint64_t;
+
+/// Index into the runtime's frame-service table. Dense, starting at 0.
+using FrameServiceId = std::uint32_t;
+
+inline constexpr std::size_t kMaxFrameServices = 256;
+inline constexpr FrameServiceId kInvalidFrameService = ~FrameServiceId{0};
+
+// -- op word packing -------------------------------------------------------
+
+constexpr FrameWord frame_op(FrameServiceId service, Word opcode,
+                             Word flags = 0) {
+  return (static_cast<FrameWord>(service & 0xFFFFu) << 32) |
+         ppc::op_flags(opcode, flags);
+}
+
+constexpr FrameServiceId frame_service_of(FrameWord op) {
+  return static_cast<FrameServiceId>((op >> 32) & 0xFFFFu);
+}
+constexpr Word frame_opflags_of(FrameWord op) {  // the legacy 32-bit word
+  return static_cast<Word>(op);
+}
+constexpr Word frame_opcode_of(FrameWord op) {
+  return ppc::opcode_of(frame_opflags_of(op));
+}
+constexpr Word frame_flags_of(FrameWord op) {
+  return ppc::flags_of(frame_opflags_of(op));
+}
+constexpr Status frame_rc_of(FrameWord op) {
+  return ppc::rc_of(frame_opflags_of(op));
+}
+constexpr FrameWord frame_with_rc(FrameWord op, Status rc) {
+  return (op & ~FrameWord{0xFFu}) | static_cast<FrameWord>(rc);
+}
+constexpr FrameWord frame_with_flags(FrameWord op, Word flags) {
+  return (op & ~(FrameWord{0xFFu} << 8)) |
+         (static_cast<FrameWord>(flags & 0xFFu) << 8);
+}
+
+// -- the call frame --------------------------------------------------------
+
+/// Figure 4 as a value type: the packed op word plus the 8 in/out words.
+/// `w` is entirely the application's — unlike the legacy RegSet, no word is
+/// stolen for the opcode (it travels in `op`), so a frame call carries a
+/// full 8 words of payload each way.
+struct CallFrame {
+  FrameWord op = 0;
+  std::array<Word, kPpcWords> w{};
+
+  bool operator==(const CallFrame&) const = default;
+};
+static_assert(sizeof(CallFrame) == sizeof(FrameWord) + sizeof(ppc::RegSet),
+              "a frame must inline into one XcallCell");
+
+inline CallFrame make_frame(FrameServiceId service, Word opcode,
+                            Word flags = 0) {
+  CallFrame f;
+  f.op = frame_op(service, opcode, flags);
+  return f;
+}
+
+// -- scatter/gather spill (the >8-word side path) ---------------------------
+
+/// Flag bit: w[0..1] carry a pointer to a caller-owned FrameSg block.
+inline constexpr Word kFrameFlagSg = 0x01;
+
+/// One gather segment (request payload, read by the handler).
+struct SgSeg {
+  const void* base = nullptr;
+  std::uint32_t len = 0;
+};
+
+/// One scatter segment (reply payload, written by the handler).
+struct SgMutSeg {
+  void* base = nullptr;
+  std::uint32_t len = 0;
+};
+
+/// The descriptor block a spilled call points its frame at. Caller-owned;
+/// must outlive the call (synchronous frame calls guarantee that by
+/// construction — the caller's frame is alive until the reply lands).
+struct FrameSg {
+  const SgSeg* in = nullptr;
+  std::uint32_t n_in = 0;
+  const SgMutSeg* out = nullptr;
+  std::uint32_t n_out = 0;
+};
+
+/// Attach a descriptor block: burns w[0] and w[1] on the pointer and sets
+/// kFrameFlagSg. w[2..7] stay free for inline arguments.
+inline void frame_attach_sg(CallFrame& f, const FrameSg* sg) {
+  const auto p = reinterpret_cast<std::uintptr_t>(sg);
+  f.w[0] = static_cast<Word>(p);
+  f.w[1] = static_cast<Word>(static_cast<std::uint64_t>(p) >> 32);
+  f.op = frame_with_flags(f.op, frame_flags_of(f.op) | kFrameFlagSg);
+}
+
+inline bool frame_has_sg(const CallFrame& f) {
+  return (frame_flags_of(f.op) & kFrameFlagSg) != 0;
+}
+
+/// Handler side: resolve the descriptor block (nullptr when the flag is
+/// clear — an 8-word call has no spill).
+inline const FrameSg* frame_sg(const CallFrame& f) {
+  if (!frame_has_sg(f)) return nullptr;
+  const std::uint64_t p = static_cast<std::uint64_t>(f.w[0]) |
+                          (static_cast<std::uint64_t>(f.w[1]) << 32);
+  return reinterpret_cast<const FrameSg*>(static_cast<std::uintptr_t>(p));
+}
+
+// -- handler contract ------------------------------------------------------
+
+/// What a frame handler sees. No worker, no CD, no per-call stack: frame
+/// handlers run to completion on the calling/draining thread and use their
+/// service's own state (`self`).
+struct FrameCtx {
+  Runtime* rt = nullptr;
+  SlotId slot = 0;        // the slot being executed on
+  ProgramId caller = 0;   // the caller's program token (§4.1)
+};
+
+/// A frame handler: a raw function pointer — no std::function, nothing to
+/// copy or chase on the warm path. `self` is the pointer registered at
+/// bind_frame time; `f` is in/out (mutate f.w in place for the reply; the
+/// returned Status is packed into f.op's rc byte by the runtime).
+using FrameFn = Status (*)(void* self, FrameCtx& ctx, CallFrame& f);
+
+}  // namespace hppc::rt

@@ -17,7 +17,7 @@ using ppc::set_rc;
 std::span<std::byte> RtCtx::stack() {
   RtCd* cd = worker_.active_cd;
   HPPC_ASSERT_MSG(cd != nullptr, "stack() outside a call");
-  return {cd->stack.get(), kPageSize};
+  return {cd->stack, kPageSize};
 }
 
 void RtCtx::set_worker_handler(std::function<void(RtCtx&, RegSet&)> h) {
@@ -34,9 +34,17 @@ Status RtCtx::call(EntryPointId id, RegSet& regs) {
 
 Runtime::Runtime(std::uint32_t slots, bool pin_threads)
     : registry_(slots), pin_threads_(pin_threads), slots_(registry_.capacity()) {
-  for (SlotId s = 0; s < slots_.size(); ++s) {
-    slots_[s]->self_id = s;
-    slots_[s]->rings = std::make_unique<XcallRing[]>(registry_.capacity());
+  // Deliberate placement, not first-touch accident: every slot's hot
+  // structures — its ring cells and its histogram block here; CD stacks
+  // and wait blocks as they are pooled — come from the arena pool of the
+  // slot's own node, so the warm path's stores stay on local memory.
+  const std::uint32_t cap = registry_.capacity();
+  for (SlotId s = 0; s < cap; ++s) {
+    Slot& slot = *slots_[s];
+    slot.self_id = s;
+    slot.node = node_of_slot(s);
+    slot.rings = arena_.create_array<XcallRing>(slot.node, cap);
+    slot.hists = arena_.create<obs::SlotHistograms>(slot.node);
   }
 }
 
@@ -201,10 +209,12 @@ RtCd* Runtime::acquire_cd(Slot& slot, RtWorker& w) {
     slot.counters.inc(obs::Counter::kCdsCreated);
     slot.counters.inc(obs::Counter::kSlowPathEntries);
   }
-  auto owned = std::make_unique<RtCd>();
-  owned->stack = std::make_unique<std::byte[]>(kPageSize);
-  cd = owned.get();
-  slot.owned_cds.push_back(std::move(owned));
+  // Pool growth (slow path): descriptor and stack both land on the slot's
+  // node. Page alignment keeps each stack to whole local pages.
+  cd = arena_.create<RtCd>(slot.node);
+  cd->stack =
+      static_cast<std::byte*>(arena_.allocate(slot.node, kPageSize, kPageSize));
+  slot.owned_cds.push_back(cd);
   return cd;
 }
 
@@ -338,7 +348,7 @@ Status Runtime::call_impl(SlotId slot_id, ProgramId caller, EntryPointId id,
       end_span(slot, saved.trace_id, span, saved.span_id, rc);
     }
 #endif
-    slot.hists.record(obs::Hist::kRttSync, host_cycles() - t0);
+    slot.hists->record(obs::Hist::kRttSync, host_cycles() - t0);
     return rc;
   }
   return execute_on_slot<kLevel>(slot, slot_id, *svc, caller, regs);
@@ -461,6 +471,30 @@ std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
   // One batch: every cell published before the first gap, one acquire per
   // cell to observe its payload, one book-keeping store per batch.
   const std::size_t n = ring.drain([this, &slot, &run_cell](XcallCell& cell) {
+    // Frame cells first: their `deadline` lane carries the packed op word,
+    // so nothing below this branch may interpret it as a tick count.
+    if (cell_is_frame(cell)) {
+      CallFrame f = cell_frame(cell);
+      if (cell.wait != nullptr) {
+        XcallWait& w = *cell.wait;
+        // Frame calls carry no deadline, so a live caller never abandons;
+        // this is the shutdown/chaos path keeping the block reclaimable.
+        if (w.abandoned()) {
+          w.ack_abandoned();
+          slot.counters.inc(obs::Counter::kSharedLinesTouched);
+          return;
+        }
+        const Status rc = execute_frame(slot, cell.caller, f);
+        w.reply_target().w = f.w;
+        if (w.complete(rc)) {
+          slot.counters.inc(obs::Counter::kWaiterKicks);
+        }
+        slot.counters.inc(obs::Counter::kSharedLinesTouched);
+      } else {
+        execute_frame(slot, cell.caller, f);  // fire-and-forget frame
+      }
+      return;
+    }
     if (cell.wait != nullptr) {
       XcallWait& w = *cell.wait;
       // Abandoned cell: the caller's deadline expired and it left. Ack
@@ -545,7 +579,7 @@ std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
     // coalescing is amortizing cross-slot transfers.
     slot.counters.inc(obs::Counter::kXcallBatches);
     slot.counters.inc(obs::Counter::kXcallCellsDrained, n);
-    slot.hists.record(obs::Hist::kDrainBatch, n);
+    slot.hists->record(obs::Hist::kDrainBatch, n);
     HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot.self_id,
                      obs::TraceEvent::kXcallBatch, n);
   }
@@ -645,9 +679,10 @@ XcallWait* Runtime::acquire_wait(Slot& me) {
     w->next = nullptr;
     return w;
   }
-  auto owned = std::make_unique<XcallWait>();
-  w = owned.get();
-  me.owned_waits.push_back(std::move(owned));
+  // Pool growth (slow path): the block lives on the caller slot's node —
+  // the spinner polls it far more often than the server stores to it.
+  w = arena_.create<XcallWait>(me.node);
+  me.owned_waits.push_back(w);
   return w;
 }
 
@@ -655,6 +690,231 @@ void Runtime::release_wait(Slot& me, XcallWait* w) {
   w->reset();
   w->next = me.wait_free;
   me.wait_free = w;
+}
+
+// ---------------------------------------------------------------------------
+// The frame ABI (Figure 4 register contract)
+// ---------------------------------------------------------------------------
+
+FrameServiceId Runtime::bind_frame(ProgramId program, FrameFn fn,
+                                   void* self) {
+  HPPC_ASSERT(fn != nullptr);
+  shared_.inc(obs::Counter::kBinds);
+  shared_.inc(obs::Counter::kLocksTaken);
+  shared_.inc(obs::Counter::kSharedLinesTouched);
+  std::lock_guard<std::mutex> lock(bind_mutex_);
+  HPPC_ASSERT_MSG(next_frame_service_ < kMaxFrameServices,
+                  "out of frame services");
+  const FrameServiceId id = next_frame_service_++;
+  FrameService& fs = frame_services_[id];
+  // self/program are plain members: published by the fn release-store and
+  // immutable afterwards (unbind only clears fn).
+  fs.self = self;
+  fs.program = program;
+  fs.fn.store(fn, std::memory_order_release);
+  return id;
+}
+
+Status Runtime::frame_shim_fn(void* self, FrameCtx& ctx, CallFrame& f) {
+  auto* shim = static_cast<FrameShim*>(self);
+  // The op word's low half IS the legacy opflags word; w[0..6] map onto
+  // regs[0..6]. w[7] has no legacy equivalent and passes through.
+  RegSet regs;
+  for (std::size_t i = 0; i < ppc::kOpWord; ++i) regs[i] = f.w[i];
+  regs[ppc::kOpWord] = frame_opflags_of(f.op);
+  const Status rc = shim->rt->call(ctx.slot, ctx.caller, shim->ep, regs);
+  for (std::size_t i = 0; i < ppc::kOpWord; ++i) f.w[i] = regs[i];
+  return rc;
+}
+
+FrameServiceId Runtime::bind_frame_shim(EntryPointId legacy) {
+  // The shim record is immutable after construction and must outlive every
+  // call through it: arena storage, freed with the runtime.
+  auto* shim = arena_.create<FrameShim>(/*node=*/0);
+  shim->rt = this;
+  shim->ep = legacy;
+  return bind_frame(/*program=*/0, &Runtime::frame_shim_fn, shim);
+}
+
+Status Runtime::unbind_frame(FrameServiceId id) {
+  if (id >= kMaxFrameServices) return Status::kNoSuchEntryPoint;
+  shared_.inc(obs::Counter::kSharedLinesTouched);
+  if (frame_services_[id].fn.exchange(nullptr, std::memory_order_acq_rel) ==
+      nullptr) {
+    return Status::kNoSuchEntryPoint;
+  }
+  return Status::kOk;
+}
+
+Status Runtime::execute_frame(Slot& slot, ProgramId caller, CallFrame& f) {
+  const FrameServiceId id = frame_service_of(f.op);
+  const FrameFn fn = id < kMaxFrameServices
+                         ? frame_services_[id].fn.load(std::memory_order_acquire)
+                         : nullptr;
+  if (fn == nullptr) {
+    f.op = frame_with_rc(f.op, Status::kNoSuchEntryPoint);
+    return Status::kNoSuchEntryPoint;
+  }
+  // The entire observed cost beyond the handler: one single-writer counter
+  // store. No worker, no CD, no histogram, no trace hook — this is the
+  // lane the Figure-2 numbers are chased on.
+  slot.counters.inc(obs::Counter::kCallsFrame);
+  FrameCtx ctx{this, slot.self_id, caller};
+  const Status rc = fn(frame_services_[id].self, ctx, f);
+  f.op = frame_with_rc(f.op, rc);
+  return rc;
+}
+
+Status Runtime::call_frame(SlotId slot_id, ProgramId caller, CallFrame& f) {
+  HPPC_ASSERT(slot_id < slots_.size());
+  return execute_frame(*slots_[slot_id], caller, f);
+}
+
+Status Runtime::call_remote_frame(SlotId caller_slot, SlotId target,
+                                  ProgramId caller, CallFrame& f) {
+  HPPC_ASSERT(caller_slot < slots_.size());
+  HPPC_ASSERT(target < slots_.size());
+  if (target == caller_slot) return call_frame(caller_slot, caller, f);
+
+  // Screen before touching the target (same contract as call_remote): an
+  // unbound service fails here, not after a cell is in flight.
+  const FrameServiceId id = frame_service_of(f.op);
+  if (id >= kMaxFrameServices ||
+      frame_services_[id].fn.load(std::memory_order_acquire) == nullptr) {
+    f.op = frame_with_rc(f.op, Status::kNoSuchEntryPoint);
+    return Status::kNoSuchEntryPoint;
+  }
+
+  Slot& me = *slots_[caller_slot];
+  Slot& tgt = *slots_[target];
+
+  // Admission control, same relaxed-read watermark as the typed path.
+  const std::uint32_t watermark = shed_watermark();
+  if (watermark != 0 && xcall_depth(target) >= watermark) {
+    me.counters.inc(obs::Counter::kCallsShed);
+    f.op = frame_with_rc(f.op, Status::kOverloaded);
+    return Status::kOverloaded;
+  }
+
+  // Idle target: LRPC-style direct execution under the gate.
+  if (tgt.gate.try_steal()) {
+    me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
+    tgt.counters.inc(obs::Counter::kXcallDirect);
+    const Status rc = execute_frame(tgt, caller, f);
+    drain_ready(tgt);
+    tgt.gate.release_steal();
+    return rc;
+  }
+
+  // Ring path: the whole request inlines in one cell. The reply lands in
+  // a stack RegSet (cache-hot for the spinner) and is copied into f.w.
+  RegSet reply;
+  XcallWait wait;
+  wait.regs = &reply;
+  XcallRing& ring = tgt.rings[caller_slot];
+  while (!ring.try_post_frame(caller, f, &wait)) {
+    me.counters.inc(obs::Counter::kXcallRingFull);
+    if (!help_drain(tgt, caller_slot)) std::this_thread::yield();
+  }
+  ring_doorbell(me, tgt, caller_slot);
+  me.counters.inc(obs::Counter::kXcallPosts);
+  me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
+
+  const int yield_rounds = (tgt.ready_mask.load(std::memory_order_relaxed) &
+                            ~doorbell_bit(caller_slot)) != 0
+                               ? kWaitYieldRoundsContended
+                               : kWaitYieldRounds;
+  const Status rc = wait_complete(
+      wait, yield_rounds,
+      [this, &tgt, caller_slot] { help_drain(tgt, caller_slot); },
+      [&me] { me.counters.inc(obs::Counter::kWaiterParks); });
+  f.w = reply.w;
+  f.op = frame_with_rc(f.op, rc);
+  return rc;
+}
+
+Status Runtime::call_remote_frame_batch(SlotId caller_slot, SlotId target,
+                                        ProgramId caller,
+                                        std::span<CallFrame> batch) {
+  HPPC_ASSERT(caller_slot < slots_.size());
+  HPPC_ASSERT(target < slots_.size());
+  if (batch.empty()) return Status::kOk;
+  Status overall = Status::kOk;
+  const auto fold = [&overall](Status s) {
+    if (overall == Status::kOk && s != Status::kOk) overall = s;
+  };
+  if (target == caller_slot) {
+    for (CallFrame& f : batch) fold(call_frame(caller_slot, caller, f));
+    return overall;
+  }
+
+  Slot& me = *slots_[caller_slot];
+  Slot& tgt = *slots_[target];
+  const std::uint32_t watermark = shed_watermark();
+  if (watermark != 0 && xcall_depth(target) >= watermark) {
+    me.counters.inc(obs::Counter::kCallsShed, batch.size());
+    for (CallFrame& f : batch) {
+      f.op = frame_with_rc(f.op, Status::kOverloaded);
+    }
+    return Status::kOverloaded;
+  }
+
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    // One gate steal covers every frame still unsubmitted.
+    if (tgt.gate.try_steal()) {
+      me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
+      tgt.counters.inc(obs::Counter::kXcallDirect, batch.size() - i);
+      for (; i < batch.size(); ++i) {
+        fold(execute_frame(tgt, caller, batch[i]));
+      }
+      drain_ready(tgt);
+      tgt.gate.release_steal();
+      break;
+    }
+
+    // Chunk post: one CAS claims the run, one release store + one doorbell
+    // publish it. Completion blocks and reply buffers live on this frame —
+    // zero heap allocations regardless of batch size.
+    std::array<XcallWait, XcallRing::kCapacity> waits;
+    std::array<XcallWait*, XcallRing::kCapacity> wait_ptrs;
+    std::array<RegSet, XcallRing::kCapacity> replies;
+    const std::size_t want = std::min(batch.size() - i, wait_ptrs.size());
+    for (std::size_t k = 0; k < want; ++k) {
+      waits[k].regs = &replies[k];
+      wait_ptrs[k] = &waits[k];
+    }
+    XcallRing& ring = tgt.rings[caller_slot];
+    const std::size_t posted =
+        ring.try_post_frames(caller, &batch[i], wait_ptrs.data(), want);
+    if (posted == 0) {
+      me.counters.inc(obs::Counter::kXcallRingFull);
+      if (!help_drain(tgt, caller_slot)) std::this_thread::yield();
+      continue;
+    }
+    ring_doorbell(me, tgt, caller_slot);
+    me.counters.inc(obs::Counter::kXcallPosts, posted);
+    me.counters.inc(obs::Counter::kXcallBatchPosts);
+    me.counters.inc(obs::Counter::kXcallCellsPerBatch, posted);
+    me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
+
+    const int yield_rounds =
+        (tgt.ready_mask.load(std::memory_order_relaxed) &
+         ~doorbell_bit(caller_slot)) != 0
+            ? kWaitYieldRoundsContended
+            : kWaitYieldRounds;
+    for (std::size_t k = 0; k < posted; ++k) {
+      const Status s = wait_complete(
+          waits[k], yield_rounds,
+          [this, &tgt, caller_slot] { help_drain(tgt, caller_slot); },
+          [&me] { me.counters.inc(obs::Counter::kWaiterParks); });
+      fold(s);
+      batch[i + k].w = replies[k].w;
+      batch[i + k].op = frame_with_rc(batch[i + k].op, s);
+    }
+    i += posted;
+  }
+  return overall;
 }
 
 Status Runtime::call_remote(SlotId caller_slot, SlotId target,
@@ -730,7 +990,7 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
     }
 #endif
     tgt.gate.release_steal();
-    me.hists.record(obs::Hist::kRttRemote, host_cycles() - rtt_t0);
+    me.hists->record(obs::Hist::kRttRemote, host_cycles() - rtt_t0);
     return rc;
   }
 
@@ -887,9 +1147,9 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
           }
         });
     const std::uint64_t done_t = host_cycles();
-    me.hists.record(obs::Hist::kRingWait, done_t - post_t);
-    if (park_t != 0) me.hists.record(obs::Hist::kWakeup, done_t - park_t);
-    me.hists.record(obs::Hist::kRttRemote, done_t - rtt_t0);
+    me.hists->record(obs::Hist::kRingWait, done_t - post_t);
+    if (park_t != 0) me.hists->record(obs::Hist::kWakeup, done_t - park_t);
+    me.hists->record(obs::Hist::kRttRemote, done_t - rtt_t0);
 #if defined(HPPC_TRACE) && HPPC_TRACE
     if (parent.traced()) {
       end_span(me, parent.trace_id, span, parent.span_id, rc);
@@ -904,8 +1164,8 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
       [this, &tgt, caller_slot] { help_drain(tgt, caller_slot); },
       &timed_out);
   const std::uint64_t done_t = host_cycles();
-  me.hists.record(obs::Hist::kRingWait, done_t - post_t);
-  me.hists.record(obs::Hist::kRttDeadlined, done_t - rtt_t0);
+  me.hists->record(obs::Hist::kRingWait, done_t - post_t);
+  me.hists->record(obs::Hist::kRttDeadlined, done_t - rtt_t0);
   if (timed_out) {
     // Abandoned: the block stays on the zombie list until the server's
     // drain acks it (or completes it — either sets kDoneBit).
@@ -1187,7 +1447,7 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
                                target);
             }));
         if (park_t != 0) {
-          me.hists.record(obs::Hist::kWakeup, host_cycles() - park_t);
+          me.hists->record(obs::Hist::kWakeup, host_cycles() - park_t);
         }
         continue;
       }
@@ -1216,7 +1476,7 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
     }
     // Whole-chunk RTT (post through last collection): the per-class entry
     // for the batched path, in the same units as kRttRemote.
-    me.hists.record(obs::Hist::kRttBatched, host_cycles() - chunk_t0);
+    me.hists->record(obs::Hist::kRttBatched, host_cycles() - chunk_t0);
     i += posted;
   }
 #if defined(HPPC_TRACE) && HPPC_TRACE
@@ -1293,7 +1553,7 @@ std::size_t Runtime::poll(SlotId slot_id) {
     // under the context the call was enqueued with, so the async span
     // parents to the caller's span even though it runs a poll later.
     if (d.enqueue_tsc != 0) {
-      slot.hists.record(obs::Hist::kRttAsync, host_cycles() - d.enqueue_tsc);
+      slot.hists->record(obs::Hist::kRttAsync, host_cycles() - d.enqueue_tsc);
     }
 #if defined(HPPC_TRACE) && HPPC_TRACE
     const obs::TraceCtx saved = slot.cur_trace;
@@ -1391,6 +1651,14 @@ obs::CounterSnapshot Runtime::snapshot() const {
     derive_pool_counters(per);
     s.merge(per);
   }
+  // Arena gauges: point-in-time values overlaid (not summed) — the arena is
+  // runtime-wide, not per-slot, so merging would double-count.
+  const mem::ArenaStats a = arena_.stats();
+  s.v[static_cast<std::size_t>(obs::Counter::kArenaBytesReserved)] =
+      a.bytes_reserved;
+  s.v[static_cast<std::size_t>(obs::Counter::kArenaHugepages)] = a.hugepages;
+  s.v[static_cast<std::size_t>(obs::Counter::kArenaNodeMismatch)] =
+      a.node_mismatches;
   return s;
 }
 
@@ -1499,22 +1767,22 @@ obs::TraceCtx Runtime::trace_ctx(SlotId slot_id) const {
 
 const obs::SlotHistograms& Runtime::histograms(SlotId slot) const {
   HPPC_ASSERT(slot < slots_.size());
-  return slots_[slot]->hists;
+  return *slots_[slot]->hists;
 }
 
 obs::SlotHistograms& Runtime::slot_histograms(SlotId slot) {
   HPPC_ASSERT(slot < slots_.size());
-  return slots_[slot]->hists;
+  return *slots_[slot]->hists;
 }
 
 obs::HistSnapshot Runtime::hist_snapshot(SlotId slot) const {
   HPPC_ASSERT(slot < slots_.size());
-  return slots_[slot]->hists.snapshot();
+  return slots_[slot]->hists->snapshot();
 }
 
 obs::HistSnapshot Runtime::hist_snapshot() const {
   obs::HistSnapshot s;
-  for (const auto& slot : slots_) s.merge(slot->hists.snapshot());
+  for (const auto& slot : slots_) s.merge(slot->hists->snapshot());
   return s;
 }
 
@@ -1559,7 +1827,7 @@ obs::Telemetry Runtime::telemetry() {
       e = telemetry_.primed ? 0.25 * depth + 0.75 * e : depth;
       w.occupancy_ewma = e;
       const obs::CounterSnapshot cs = slots_[s]->counters.snapshot();
-      const obs::HistSnapshot hs = slots_[s]->hists.snapshot();
+      const obs::HistSnapshot hs = slots_[s]->hists->snapshot();
       w.counters = cs.delta(telemetry_.prev_counters[s]);
       w.hists = hs.delta(telemetry_.prev_hists[s]);
       telemetry_.prev_counters[s] = cs;

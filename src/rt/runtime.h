@@ -34,11 +34,13 @@
 #include "common/cacheline.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "mem/arena.h"
 #include "obs/counters.h"
 #include "obs/histogram.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "ppc/regs.h"
+#include "rt/frame_abi.h"
 #include "rt/percpu.h"
 #include "rt/xcall.h"
 
@@ -124,10 +126,13 @@ struct CallOptions {
   std::uint32_t backoff_rounds = 16;
 };
 
-/// A call descriptor: return info slot + the stack buffer (§2).
+/// A call descriptor: return info slot + the stack buffer (§2). Both the
+/// descriptor and its one-page stack live in the runtime arena, on the
+/// owning slot's NUMA node; the arena reclaims the storage wholesale at
+/// Runtime destruction (RtCd is trivially destructible by design).
 struct RtCd {
-  std::unique_ptr<std::byte[]> stack;  // one page
-  RtCd* next = nullptr;                // slot-local free list
+  std::byte* stack = nullptr;  // one arena page, node-local
+  RtCd* next = nullptr;        // slot-local free list
 };
 
 class RtWorker {
@@ -297,6 +302,72 @@ class Runtime {
                            ProgramId caller, EntryPointId id, RegSet regs,
                            const CallOptions& opts);
 
+  // ----- the frame ABI (Figure 4 register contract) -----
+  //
+  // The lean call lane: a CallFrame carries 8 words each way plus the
+  // packed opcode|flags|service word, resolved through a flat table of raw
+  // function pointers — no Service lookup, no worker/CD acquisition, no
+  // std::function, no per-call histogram. Cross-slot frame calls inline
+  // the whole request in the 64 B XcallCell. Frame calls carry no
+  // deadline and no trace span (the cell lanes those would use carry the
+  // op word instead); callers that need those knobs use the typed path.
+
+  /// Register a frame service: `fn` is invoked with `self` on every call.
+  /// `self` must outlive the runtime (or the service's last call). Slow
+  /// path, internally locked.
+  FrameServiceId bind_frame(ProgramId program, FrameFn fn, void* self);
+
+  /// Compatibility shim: expose a legacy typed entry point through the
+  /// frame table so callers migrate incrementally. The shim forwards
+  /// w[0..6] as regs[0..6] and the op word's low half as regs[kOpWord]
+  /// (the layouts are bit-identical), runs the full typed path — worker,
+  /// CD, histograms and all — and copies regs[0..6] back. w[7] passes
+  /// through untouched: the legacy ABI only ever had 7 payload words.
+  FrameServiceId bind_frame_shim(EntryPointId legacy);
+
+  /// Unbind: subsequent frame calls to `id` fail with kNoSuchEntryPoint;
+  /// in-flight cells drain with the same status. The table slot is not
+  /// reused.
+  Status unbind_frame(FrameServiceId id);
+
+  /// Same-slot frame call: one acquire load of the table entry, one
+  /// indirect call, one counter store. Replies in f.w; rc packed into
+  /// f.op's rc byte (also returned).
+  Status call_frame(SlotId slot, ProgramId caller, CallFrame& f);
+
+  /// Synchronous cross-slot frame call. Adaptive exactly like
+  /// call_remote: direct-executes under a gate steal when the target is
+  /// idle, else inlines the frame in a ring cell and spin-then-yields on
+  /// the completion word. Zero heap allocations on either path.
+  Status call_remote_frame(SlotId caller_slot, SlotId target,
+                           ProgramId caller, CallFrame& f);
+
+  /// Batched cross-slot frame calls: chunks of up to XcallRing::kCapacity
+  /// cells, each chunk claimed with ONE CAS and published with ONE release
+  /// store + ONE doorbell. Frames in one batch may carry different op
+  /// words. Per-frame rc lands in each frame's op word; returns the first
+  /// non-kOk rc.
+  Status call_remote_frame_batch(SlotId caller_slot, SlotId target,
+                                 ProgramId caller,
+                                 std::span<CallFrame> batch);
+
+  // ----- the memory arena (node-local placement) -----
+
+  /// The runtime's hugepage-first, node-local arena. Every hot per-slot
+  /// structure — rings, CD stacks, wait blocks, histogram blocks — lives
+  /// here, on its slot's node. Layers above (KvService's replicated hot
+  /// set) may co-locate their own slot structures through this.
+  mem::Arena& arena() { return arena_; }
+
+  /// Arena gauges (also overlaid into snapshot() as the arena_* counters).
+  mem::ArenaStats arena_stats() const { return arena_.stats(); }
+
+  /// The node a slot's structures are placed on: slots stripe round-robin
+  /// across the visible NUMA nodes (with pinned threads, slot s runs on
+  /// CPU s % ncpus, which Linux enumerates node-major on the sane
+  /// topologies we target — see docs/MEMORY.md).
+  NodeId node_of_slot(SlotId slot) const { return slot % arena_.nodes(); }
+
   /// Drain this slot's ring (one batch), mailbox, and deferred/async
   /// queue. Owner thread only. Returns the number of actions performed.
   std::size_t poll(SlotId slot);
@@ -320,6 +391,16 @@ class Runtime {
   /// draining, new work is refused at the door. 0 (the default) disables
   /// shedding. The depth read is a racy two-load snapshot; an off-by-a-few
   /// answer just moves the threshold by that much for one call.
+  ///
+  /// Concurrency contract: any thread may retune the watermark while
+  /// callers are admitting. Both sides use memory_order_relaxed on an
+  /// atomic word — deliberately. The watermark is a tuning knob, not a
+  /// synchronization point: an admission check that reads the old value
+  /// for one more call is exactly as correct as one that raced the store
+  /// the other way, and no other state is published through this word, so
+  /// no ordering stronger than relaxed buys anything. The atomic (rather
+  /// than a plain word) is what makes the torn-read impossible and the
+  /// intent visible to TSan.
   void set_shed_watermark(std::uint32_t depth) {
     shed_watermark_.store(depth, std::memory_order_relaxed);
   }
@@ -442,11 +523,15 @@ class Runtime {
   /// carries the slot state with it.
   struct Slot {
     SlotId self_id = 0;  // set once at construction; used by trace hooks
+    NodeId node = 0;     // the NUMA node this slot's structures live on
     // Per-service worker pools, indexed by entry-point id (sparse).
     std::array<RtWorker*, kMaxEntryPoints> worker_pool{};
     RtCd* cd_pool = nullptr;
     obs::SlotCounters counters;
-    obs::SlotHistograms hists;
+    // The latency histogram block, arena-placed on this slot's node (it is
+    // written on every observed call — keeping it node-local keeps the
+    // histogram store off the interconnect).
+    obs::SlotHistograms* hists = nullptr;
     obs::TraceRing trace_ring;
     // Request-tracing state: the context the slot is currently executing
     // under (installed by trace_begin / restored around remote and async
@@ -456,7 +541,9 @@ class Runtime {
     obs::TraceCtx cur_trace;
     std::uint32_t next_span = 1;
     std::vector<std::unique_ptr<RtWorker>> owned_workers;
-    std::vector<std::unique_ptr<RtCd>> owned_cds;
+    // CDs (and their stacks) are arena-placed on this slot's node; the
+    // vector only tracks them for introspection — storage is the arena's.
+    std::vector<RtCd*> owned_cds;
     std::vector<DeferredCall> deferred;
     std::vector<DeferredCall> deferred_scratch;  // reused across polls
     Mailbox<std::function<void()>> mailbox;
@@ -467,15 +554,19 @@ class Runtime {
     // yet acked; they are reaped into `wait_free` on the next acquire.
     XcallWait* wait_free = nullptr;
     XcallWait* wait_zombies = nullptr;
-    std::vector<std::unique_ptr<XcallWait>> owned_waits;
+    // Arena-placed on this slot's node (storage is the arena's); the
+    // vector's size is the pool-conservation invariant shutdown() asserts.
+    std::vector<XcallWait*> owned_waits;
     SlotGate gate;        // remote-CASed: keep off the hot members' lines
     // Per-producer xcall channels, indexed by the PRODUCER's slot id: each
     // (src, dst) pair gets its own ring, so concurrent posters to one slot
     // never CAS the same enqueue cursor (the rings stay MPSC internally
     // because layers like repl::ReplHub post with a shared caller slot).
-    // Allocated once at construction; XcallRing is immovable, hence the
-    // raw-array form rather than a vector.
-    std::unique_ptr<XcallRing[]> rings;
+    // Allocated once at construction from the arena, on this slot's node:
+    // the consumer-side cells of every (src, this) channel sit in the
+    // consumer's local memory — the paper's "structures live on the
+    // processor's own station" rule applied to the ring layer.
+    XcallRing* rings = nullptr;
     // The doorbell word. Bit b = min(src, 63) set means "rings[src] may
     // hold undrained cells" — producers set it (release) on post iff they
     // saw it clear; the consumer exchanges it to 0 (acquire) and drains
@@ -498,6 +589,30 @@ class Runtime {
     if (id >= kMaxEntryPoints) return nullptr;
     return services_[id].load(std::memory_order_acquire);
   }
+
+  /// One frame-table entry. `self`/`program` are written before the fn
+  /// release-store at bind time and never change afterwards, so a caller's
+  /// fn acquire-load licenses the plain reads — one load on the warm path.
+  struct FrameService {
+    std::atomic<FrameFn> fn{nullptr};
+    void* self = nullptr;
+    ProgramId program = 0;
+  };
+
+  /// Shim record for bind_frame_shim (arena-allocated; trivially
+  /// destructible).
+  struct FrameShim {
+    Runtime* rt = nullptr;
+    EntryPointId ep = kInvalidEntryPoint;
+  };
+
+  static Status frame_shim_fn(void* self, FrameCtx& ctx, CallFrame& f);
+
+  /// The shared frame call body (same-slot fast path, direct execution
+  /// under a gate steal, and ring-cell drain all funnel here): one table
+  /// load, one indirect call, one counter store. Ownership of `slot` is
+  /// held by the calling thread.
+  Status execute_frame(Slot& slot, ProgramId caller, CallFrame& f);
 
   template <ObsLevel kLevel>
   Status call_impl(SlotId slot, ProgramId caller, EntryPointId id,
@@ -571,8 +686,13 @@ class Runtime {
 
   SlotRegistry registry_;
   bool pin_threads_;
+  // Declared before slots_ so it outlives them: every slot's rings, CDs,
+  // wait blocks and histogram block point into this arena.
+  mem::Arena arena_;
   std::vector<CacheAligned<Slot>> slots_;
   std::array<std::atomic<Service*>, kMaxEntryPoints> services_{};
+  std::array<FrameService, kMaxFrameServices> frame_services_{};
+  std::uint32_t next_frame_service_ = 0;  // under bind_mutex_
   std::vector<std::unique_ptr<Service>> owned_services_;
   std::mutex bind_mutex_;  // slow path only
   obs::SharedCounters shared_;

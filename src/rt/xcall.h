@@ -61,6 +61,7 @@
 #include "common/types.h"
 #include "obs/trace.h"
 #include "ppc/regs.h"
+#include "rt/frame_abi.h"
 
 namespace hppc::rt {
 
@@ -184,6 +185,29 @@ static_assert(sizeof(XcallCell) == kHostCacheLine,
               "shipped-build cells must stay exactly one cache line");
 #endif
 
+/// Frame-cell marker. An `ep` with this bit set carries a Figure-4
+/// CallFrame inlined in the cell instead of a typed-handler request:
+///   ep       = kFrameCellEp | FrameServiceId   (frame-table index)
+///   deadline = the 64-bit packed op word       (frame cells carry no
+///              deadline — the field is repurposed as the op lane)
+///   regs     = the frame's 8 payload words
+/// Legacy entry points are bounded by kMaxEntryPoints (1024), so the top
+/// bit can never collide with a real id. The consumer checks this bit
+/// FIRST and never interprets a frame cell's `deadline` as a tick count.
+inline constexpr EntryPointId kFrameCellEp = 0x80000000u;
+
+inline bool cell_is_frame(const XcallCell& cell) {
+  return (cell.ep & kFrameCellEp) != 0;
+}
+
+/// Rebuild the CallFrame a frame cell carries (consumer side).
+inline CallFrame cell_frame(const XcallCell& cell) {
+  CallFrame f;
+  f.op = cell.deadline;
+  f.w = cell.regs.w;
+  return f;
+}
+
 /// Bounded MPSC ring channel. Any thread posts; only the slot's current
 /// ownership holder (owner thread, or a remote thread that won the
 /// SlotGate) drains. Capacity is a compile-time power of two so the index
@@ -290,6 +314,58 @@ class XcallRing {
       cell.regs = regs[i];
       cell.wait = waits != nullptr ? waits[i] : nullptr;
       cell.deadline = deadline;
+#if defined(HPPC_TRACE) && HPPC_TRACE
+      cell.tctx = tctx != nullptr ? *tctx : obs::TraceCtx{};
+#else
+      (void)tctx;
+#endif
+      cell.seq.store(pos + i + 1, i == 0 ? std::memory_order_release
+                                         : std::memory_order_relaxed);
+    }
+    return m;
+  }
+
+  /// Any thread. Publish one Figure-4 frame call: the whole request —
+  /// packed op word plus all 8 payload words — inlines in the cell (see
+  /// kFrameCellEp for the lane assignment). Same claim/publish protocol
+  /// and same failure contract as try_post.
+  bool try_post_frame(ProgramId caller, const CallFrame& f, XcallWait* wait,
+                      const obs::TraceCtx* tctx = nullptr) {
+    return try_post(caller, kFrameCellEp | frame_service_of(f.op),
+                    ppc::RegSet{f.w}, wait, /*deadline=*/f.op, tctx);
+  }
+
+  /// Any thread. Vectored frame post: the frame analogue of try_post_many
+  /// (one CAS claims the run, one release store publishes it), except each
+  /// cell carries its own op word — frames in one batch may target
+  /// different opcodes (and even different frame services).
+  std::size_t try_post_frames(ProgramId caller, const CallFrame* frames,
+                              XcallWait* const* waits, std::size_t n,
+                              const obs::TraceCtx* tctx = nullptr) {
+    if (n == 0) return 0;
+    if (n > kCapacity) n = kCapacity;
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    std::size_t m;
+    for (;;) {
+      m = n;
+      while (m > 0) {
+        const XcallCell& last = cells_[(pos + m - 1) & (kCapacity - 1)];
+        if (last.seq.load(std::memory_order_acquire) == pos + m - 1) break;
+        m >>= 1;
+      }
+      if (m == 0) return 0;
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + m,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    for (std::size_t i = m; i-- > 0;) {
+      XcallCell& cell = cells_[(pos + i) & (kCapacity - 1)];
+      cell.caller = caller;
+      cell.ep = kFrameCellEp | frame_service_of(frames[i].op);
+      cell.regs.w = frames[i].w;
+      cell.wait = waits != nullptr ? waits[i] : nullptr;
+      cell.deadline = frames[i].op;  // the op lane, not a deadline
 #if defined(HPPC_TRACE) && HPPC_TRACE
       cell.tctx = tctx != nullptr ? *tctx : obs::TraceCtx{};
 #else

@@ -1,0 +1,114 @@
+// The frame ABI's bulk-data side path — the host-runtime analogue of the
+// CopyServer (§4.2).
+//
+// A CallFrame carries exactly 8 words each way; payloads past that do not
+// grow the frame. Instead the caller sets kFrameFlagSg and points w[0..1]
+// at a FrameSg descriptor block naming gather segments (request bytes the
+// handler may read) and scatter segments (reply ranges the handler may
+// write). That is the same shape as the paper's grant: the descriptors ARE
+// the permission — the handler touches exactly the ranges the caller
+// enumerated, nothing else, and the bytes move once, directly between the
+// caller's buffers and the service's own memory. No intermediate kernel
+// buffer, no second copy.
+//
+// Synchronous frame calls make the lifetime rule trivial: the caller's
+// stack frame (and therefore every segment it described) outlives the call
+// by construction. Handlers for one-way (fire-and-forget) frames must not
+// accept SG spills — there is no reply edge to sequence the caller's
+// reclaim against; post bulk payloads through a synchronous call first.
+//
+// Helpers here are deliberately memcpy-thin. A service that wants a
+// node-local staging area allocates one FrameBulkStage per slot from the
+// runtime arena so the gather target sits on the slot that will chew on it.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#include "common/assert.h"
+#include "mem/arena.h"
+#include "rt/frame_abi.h"
+
+namespace hppc::servers {
+
+/// Total request bytes across the gather segments.
+inline std::size_t sg_total_in(const rt::FrameSg& sg) {
+  std::size_t n = 0;
+  for (std::uint32_t i = 0; i < sg.n_in; ++i) n += sg.in[i].len;
+  return n;
+}
+
+/// Total reply capacity across the scatter segments.
+inline std::size_t sg_total_out(const rt::FrameSg& sg) {
+  std::size_t n = 0;
+  for (std::uint32_t i = 0; i < sg.n_out; ++i) n += sg.out[i].len;
+  return n;
+}
+
+/// Gather the request: concatenate the in-segments into [dst, dst+cap).
+/// Returns bytes copied; stops (without overrun) when dst is full — the
+/// caller checks against sg_total_in when truncation must be an error.
+inline std::size_t sg_gather(const rt::FrameSg& sg, void* dst,
+                             std::size_t cap) {
+  std::size_t off = 0;
+  for (std::uint32_t i = 0; i < sg.n_in && off < cap; ++i) {
+    const rt::SgSeg& seg = sg.in[i];
+    const std::size_t n = seg.len < cap - off ? seg.len : cap - off;
+    std::memcpy(static_cast<std::byte*>(dst) + off, seg.base, n);
+    off += n;
+  }
+  return off;
+}
+
+/// Scatter the reply: spread [src, src+len) across the out-segments in
+/// order. Returns bytes placed; stops when the segments are full.
+inline std::size_t sg_scatter(const rt::FrameSg& sg, const void* src,
+                              std::size_t len) {
+  std::size_t off = 0;
+  for (std::uint32_t i = 0; i < sg.n_out && off < len; ++i) {
+    const rt::SgMutSeg& seg = sg.out[i];
+    const std::size_t n = seg.len < len - off ? seg.len : len - off;
+    std::memcpy(seg.base, static_cast<const std::byte*>(src) + off, n);
+    off += n;
+  }
+  return off;
+}
+
+/// A node-local staging buffer for services that transform bulk payloads
+/// rather than streaming them: gather lands the request on the serving
+/// slot's own node, the handler works in place, scatter sends the result
+/// back. Arena-backed; create one per slot at service construction.
+class FrameBulkStage {
+ public:
+  FrameBulkStage(mem::Arena& arena, NodeId node, std::size_t capacity)
+      : buf_(static_cast<std::byte*>(
+            arena.allocate(node, capacity, alignof(std::max_align_t)))),
+        cap_(capacity) {}
+
+  FrameBulkStage(const FrameBulkStage&) = delete;
+  FrameBulkStage& operator=(const FrameBulkStage&) = delete;
+
+  std::byte* data() { return buf_; }
+  std::size_t capacity() const { return cap_; }
+
+  /// Gather a spilled frame's request into the stage. Fails (returns
+  /// false) when the payload exceeds the stage — the handler should answer
+  /// kOutOfResources rather than truncate silently.
+  bool gather(const rt::FrameSg& sg, std::size_t* len) {
+    if (sg_total_in(sg) > cap_) return false;
+    *len = sg_gather(sg, buf_, cap_);
+    return true;
+  }
+
+  /// Scatter [data(), data()+len) back through the frame's out-segments.
+  std::size_t scatter(const rt::FrameSg& sg, std::size_t len) {
+    HPPC_ASSERT(len <= cap_);
+    return sg_scatter(sg, buf_, len);
+  }
+
+ private:
+  std::byte* buf_;  // arena storage: freed wholesale with the arena
+  std::size_t cap_;
+};
+
+}  // namespace hppc::servers
