@@ -66,25 +66,26 @@ struct PhaseTally {
   std::uint64_t attempted = 0;
 };
 
-/// Run `kCallers` paced callers against the busy-polled slot 0 for
+/// Run `n_callers` paced callers against the busy-polled slot 0 for
 /// `kPhaseSeconds`. `interval_ns` == 0 means closed loop (no pacing).
 /// Completed-call latencies land in `lat` (merged at thread exit) — the
 /// bounded-tail evidence: shedding keeps the p99.9 of the calls that ARE
 /// admitted from growing with offered load.
 PhaseTally run_phase(rt::Runtime& rt, EntryPointId ep, double interval_ns,
-                     const rt::CallOptions& opts, Percentiles* lat) {
+                     const rt::CallOptions& opts, Percentiles* lat,
+                     int n_callers = kCallers) {
   std::atomic<std::uint64_t> ok{0}, shed{0}, expired{0}, attempted{0};
   std::mutex lat_mu;
   std::vector<std::thread> threads;
-  for (int c = 0; c < kCallers; ++c) {
+  for (int c = 0; c < n_callers; ++c) {
     threads.emplace_back([&, c] {
       const rt::SlotId my = rt.register_thread();
       const double t_end = now_ns() + kPhaseSeconds * 1e9;
-      // Per-caller pacing: each caller offers 1/kCallers of the target
+      // Per-caller pacing: each caller offers 1/n_callers of the target
       // rate. Debt does not accumulate — a caller that falls behind
       // resumes from "now" rather than bursting, so the offered rate is
       // capped at the target instead of oscillating around it.
-      double next = now_ns() + interval_ns * c / kCallers;  // desynchronize
+      double next = now_ns() + interval_ns * c / n_callers;  // desynchronize
       std::uint64_t n_ok = 0, n_shed = 0, n_expired = 0, n_att = 0;
       std::vector<double> my_lat;
       ppc::RegSet regs;
@@ -130,8 +131,9 @@ PhaseTally run_phase(rt::Runtime& rt, EntryPointId ep, double interval_ns,
 int main() {
   // Slot registration is per-thread and monotonic, and every phase spawns
   // fresh caller threads: one owner + kCallers slots for each of the five
-  // phases (probe + four offered-load multiples).
-  rt::Runtime rt(1 + kCallers * 5);
+  // classless phases (probe + four offered-load multiples), plus one
+  // generator slot for each of the two traffic-class probe phases.
+  rt::Runtime rt(1 + kCallers * 5 + 2);
   static_assert(kShedWatermark < kCallers,
                 "sync callers cap queue depth at kCallers; a higher "
                 "watermark would never shed");
@@ -199,9 +201,100 @@ int main() {
         m, r.offered, r.completed, r.shed, r.expired,
         r.lat.count() > 0 ? r.lat.p999() : 0.0);
   }
+  const obs::CounterSnapshot delta = rt.snapshot().delta(before);
+
+  // ----- traffic classes: interactive latency under bulk overload -----
+  //
+  // Per-class watermarks: interactive keeps the classless depth, bulk
+  // sheds at depth 2. One generator thread paces an interactive probe
+  // stream at 1/4 of peak; in the loaded phase it additionally fires a
+  // burst of bulk fire-and-forget calls before every probe, lifting the
+  // total offered load to ~2x peak through the SAME served slot. Both
+  // phases have identical thread topology — on a one-CPU runner that is
+  // the only way the latency delta measures the runtime's drain policy
+  // rather than the host scheduler — so what the gated ratio isolates is
+  // exactly the claim: interactive-first drain ordering plus the shallow
+  // bulk watermark keep the interactive p99.9 flat (within 1.5x of the
+  // unloaded baseline, gated in CI) while the bulk class absorbs the
+  // shedding at the admission door.
+  rt.set_shed_watermark(rt::TrafficClass::kInteractive, kShedWatermark);
+  rt.set_shed_watermark(rt::TrafficClass::kBulk, 2);
+  const double inter_rate = 0.25 * peak;
+  const double inter_interval_ns = 1e9 / inter_rate;
+  const int kBulkBurst = 7;  // per probe: ~1.75x peak of bulk offered
+  rt::CallOptions inter_opts = opts;  // interactive is the default class
+  rt::CallOptions bulk_opts = opts;
+  bulk_opts.traffic_class = rt::TrafficClass::kBulk;
+
+  // One phase of the paced probe loop: `burst` bulk asyncs ahead of every
+  // measured interactive call (0 = unloaded baseline).
+  const auto run_probe = [&](int burst, Percentiles* lat, PhaseTally* inter,
+                             PhaseTally* bulk) {
+    std::thread gen([&, burst] {
+      const rt::SlotId my = rt.register_thread();
+      const double t_end = now_ns() + kPhaseSeconds * 1e9;
+      double next = now_ns();
+      ppc::RegSet regs;
+      while (true) {
+        const double now = now_ns();
+        if (now >= t_end) break;
+        if (now < next) {
+          std::this_thread::yield();
+          continue;
+        }
+        next = (now - next > 4 * inter_interval_ns) ? now
+                                                    : next + inter_interval_ns;
+        for (int b = 0; b < burst; ++b) {
+          ppc::set_op(regs, 1);
+          ++bulk->attempted;
+          switch (rt.call_remote_async(my, 0, my, ep, regs, bulk_opts)) {
+            case Status::kOk: ++bulk->ok; break;
+            case Status::kOverloaded: ++bulk->shed; break;
+            case Status::kDeadlineExceeded: ++bulk->expired; break;
+            default: break;
+          }
+        }
+        ppc::set_op(regs, 1);
+        ++inter->attempted;
+        const double t0 = now_ns();
+        switch (rt.call_remote(my, 0, my, ep, regs, inter_opts)) {
+          case Status::kOk:
+            ++inter->ok;
+            lat->add(now_ns() - t0);
+            break;
+          case Status::kOverloaded: ++inter->shed; break;
+          case Status::kDeadlineExceeded: ++inter->expired; break;
+          default: break;
+        }
+      }
+    });
+    gen.join();
+  };
+
+  Percentiles inter_lat_unloaded;
+  PhaseTally inter_unloaded{}, bulk_unloaded{};
+  run_probe(0, &inter_lat_unloaded, &inter_unloaded, &bulk_unloaded);
+
+  const obs::CounterSnapshot before_mixed = rt.snapshot();
+  Percentiles inter_lat_2x;
+  PhaseTally inter_2x{}, bulk_2x{};
+  run_probe(kBulkBurst, &inter_lat_2x, &inter_2x, &bulk_2x);
+  const obs::CounterSnapshot class_delta = rt.snapshot().delta(before_mixed);
+
   stop.store(true, std::memory_order_release);
   owner.join();
-  const obs::CounterSnapshot delta = rt.snapshot().delta(before);
+
+  const double inter_p999_unloaded =
+      inter_lat_unloaded.count() > 0 ? inter_lat_unloaded.p999() : 0;
+  const double inter_p999_2x =
+      inter_lat_2x.count() > 0 ? inter_lat_2x.p999() : 0;
+  const double inter_p999_ratio =
+      inter_p999_unloaded > 0 ? inter_p999_2x / inter_p999_unloaded : 0;
+  const double bulk_shed_rate = bulk_2x.shed / kPhaseSeconds;
+  std::printf(
+      "interactive p999 %8.0f ns unloaded -> %8.0f ns under 2x mixed load "
+      "(%.2fx); bulk shed %9.0f/s\n",
+      inter_p999_unloaded, inter_p999_2x, inter_p999_ratio, bulk_shed_rate);
 
   const double ratio = peak > 0 ? completed_at_2x / peak : 0;
   std::printf("degradation at 2x offered load: %.0f%% of peak "
@@ -215,6 +308,10 @@ int main() {
   report.scalar("peak_calls_per_sec", peak);
   report.scalar("completed_at_2x_per_sec", completed_at_2x);
   report.scalar("throughput_retention_at_2x", ratio);
+  report.scalar("interactive_p999_unloaded_ns", inter_p999_unloaded);
+  report.scalar("interactive_p999_at_2x_ns", inter_p999_2x);
+  report.scalar("interactive_p999_ratio_at_2x", inter_p999_ratio);
+  report.scalar("bulk_shed_at_2x_per_sec", bulk_shed_rate);
   for (const RowOut& r : rows) {
     report.row("degradation")
         .cell("offered_multiple", r.multiple)
@@ -224,7 +321,27 @@ int main() {
         .cell("deadline_expired_per_sec", r.expired);
     if (r.lat.count() > 0) report.series(r.label, r.lat);
   }
+  // Per-class curves: one row per (phase, class); latency series for the
+  // interactive stream in both phases (bulk is fire-and-forget, so its
+  // story is the admission tallies, not a latency curve).
+  const auto class_row = [&](const char* table, const PhaseTally& t) {
+    report.row(table)
+        .cell("offered_per_sec", t.attempted / kPhaseSeconds)
+        .cell("completed_per_sec", t.ok / kPhaseSeconds)
+        .cell("shed_per_sec", t.shed / kPhaseSeconds)
+        .cell("deadline_expired_per_sec", t.expired / kPhaseSeconds);
+  };
+  class_row("interactive_unloaded", inter_unloaded);
+  class_row("interactive_at_2x", inter_2x);
+  class_row("bulk_at_2x", bulk_2x);
+  if (inter_lat_unloaded.count() > 0) {
+    report.series("latency_ns_interactive_unloaded", inter_lat_unloaded);
+  }
+  if (inter_lat_2x.count() > 0) {
+    report.series("latency_ns_interactive_2x", inter_lat_2x);
+  }
   report.counters("overload_phases", delta);
+  report.counters("class_phases", class_delta);
   if (!report.write()) return 1;
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "kernel/machine.h"
 
+#include "fault/failpoints.h"
 #include "sim/cost.h"
 
 namespace hppc::kernel {
@@ -94,7 +95,16 @@ void Machine::post_ipi(Cpu& sender, CpuId target,
   sender.counters().inc(obs::Counter::kSharedLinesTouched);
   sender.mem().access_uncached(sim::node_base(cfg_.node_of_cpu(target)),
                                sim::CostCategory::kPpcKernel);
-  post_event(target, sender.now() + cfg_.ipi_latency_cycles, std::move(fn));
+  // Fault seam: a delayed interconnect delivery. Models a saturated or
+  // misrouted IPI — the chaos soak uses it to stretch remote-dispatch
+  // latency past deadlines without touching the PPC facility itself.
+  Cycles extra = 0;
+  if (HPPC_FAULT_POINT("kernel.ipi.delay")) {
+    sender.counters().inc(obs::Counter::kFaultsInjected);
+    extra = 10 * cfg_.ipi_latency_cycles;
+  }
+  post_event(target, sender.now() + cfg_.ipi_latency_cycles + extra,
+             std::move(fn));
 }
 
 Machine::NextAction Machine::next_action() {

@@ -1,5 +1,6 @@
 #include "msg/gateway.h"
 
+#include "fault/failpoints.h"
 #include "obs/trace.h"
 
 namespace hppc::msg {
@@ -21,6 +22,14 @@ PpcMsgGateway::PpcMsgGateway(ppc::PpcFacility& ppc, MsgFacility& msgs,
 }
 
 void PpcMsgGateway::handler(ServerCtx& ctx, RegSet& regs) {
+  // Fault seam: the gateway refuses instead of forwarding — models a
+  // legacy server whose message queue is full. The caller sees a clean
+  // kOverloaded on the PPC side rather than a hang on the message side.
+  if (HPPC_FAULT_POINT("msg.gateway.reject")) {
+    ctx.cpu().counters().inc(obs::Counter::kFaultsInjected);
+    set_rc(regs, Status::kOverloaded);
+    return;
+  }
   ++forwarded_;
   ctx.cpu().counters().inc(obs::Counter::kGatewayForwards);
   HPPC_TRACE_EVENT(ctx.cpu().trace_ring(), ctx.cpu().now(), ctx.cpu().id(),

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "fault/failpoints.h"
+
 namespace hppc::naming {
 
 using ppc::RegSet;
@@ -55,6 +57,13 @@ void NameServer::handler(ServerCtx& ctx, RegSet& regs) {
   }
   switch (opcode_of(regs)) {
     case kNameRegister: {
+      // Fault seam: the binding table is "full" — models slot exhaustion
+      // so clients exercise their register-failure path.
+      if (HPPC_FAULT_POINT("naming.register.exhausted")) {
+        ctx.cpu().counters().inc(obs::Counter::kFaultsInjected);
+        set_rc(regs, Status::kOutOfResources);
+        return;
+      }
       const EntryPointId ep = regs[6];
       touch_bucket(ctx, name, /*is_store=*/true);
       ctx.work(30);
@@ -65,6 +74,13 @@ void NameServer::handler(ServerCtx& ctx, RegSet& regs) {
       return;
     }
     case kNameLookup: {
+      // Fault seam: a forced miss — models a stale client racing an
+      // unregister, independent of actual table contents.
+      if (HPPC_FAULT_POINT("naming.lookup.miss")) {
+        ctx.cpu().counters().inc(obs::Counter::kFaultsInjected);
+        set_rc(regs, Status::kNoSuchEntryPoint);
+        return;
+      }
       touch_bucket(ctx, name, /*is_store=*/false);
       ctx.work(24);
       auto it = table_.find(name);

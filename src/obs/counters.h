@@ -104,6 +104,14 @@ enum class Counter : std::uint32_t {
   kArenaHugepages,      // gauge: explicit hugepages backing arena chunks
   kArenaNodeMismatch,   // gauge: arena pages found resident off their node
 
+  // -- request context: budgets, cancellation, traffic classes --
+  kCallsBulk,           // calls admitted carrying TrafficClass::kBulk
+  kCallsShedBulk,       // of kCallsShed, how many were bulk-class
+  kCallsCancelled,      // calls refused/aborted because their token fired
+  kCancelRequests,      // Runtime::cancel() invocations
+  kDeadlineInherited,   // calls whose binding budget came from the ambient ctx
+  kBulkDrainsDeferred,  // drain passes where bulk waited behind interactive
+
   kCount
 };
 
@@ -165,6 +173,12 @@ constexpr const char* counter_name(Counter c) {
     case Counter::kArenaBytesReserved: return "arena_bytes_reserved";
     case Counter::kArenaHugepages: return "arena_hugepages";
     case Counter::kArenaNodeMismatch: return "arena_node_mismatch";
+    case Counter::kCallsBulk: return "calls_bulk";
+    case Counter::kCallsShedBulk: return "calls_shed_bulk";
+    case Counter::kCallsCancelled: return "calls_cancelled";
+    case Counter::kCancelRequests: return "cancel_requests";
+    case Counter::kDeadlineInherited: return "deadline_inherited";
+    case Counter::kBulkDrainsDeferred: return "bulk_drains_deferred";
     case Counter::kCount: break;
   }
   return "unknown";

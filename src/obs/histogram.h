@@ -47,6 +47,7 @@ enum class Hist : std::uint32_t {
   kDrainBatch,    // cells retired per non-empty ring drain batch (a count)
   kWakeup,        // park -> kick wakeup latency of a parked sync waiter
   kServerExec,    // server-side handler execution time (sim file server)
+  kRttBulk,       // end-to-end RTT of bulk-class remote calls (any path)
 
   kCount
 };
@@ -64,6 +65,7 @@ constexpr const char* hist_name(Hist h) {
     case Hist::kDrainBatch: return "drain_batch";
     case Hist::kWakeup: return "wakeup";
     case Hist::kServerExec: return "server_exec";
+    case Hist::kRttBulk: return "rtt_bulk";
     case Hist::kCount: break;
   }
   return "unknown";

@@ -99,6 +99,7 @@ enum class TraceEvent : std::uint16_t {
   kSpanBegin,         // arg = SpanKind; trace/span/parent ids carried
   kSpanEnd,           // arg = status code; trace/span ids carried
   kReplHit,           // arg = replicated object id (read served by replica)
+  kCallCancelled,     // arg = target slot/ep (cancel token fired on the call)
   kCount
 };
 
@@ -133,6 +134,7 @@ constexpr const char* trace_event_name(TraceEvent e) {
     case TraceEvent::kSpanBegin: return "span_begin";
     case TraceEvent::kSpanEnd: return "span_end";
     case TraceEvent::kReplHit: return "repl_hit";
+    case TraceEvent::kCallCancelled: return "call_cancelled";
     case TraceEvent::kCount: break;
   }
   return "unknown";

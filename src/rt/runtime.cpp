@@ -28,6 +28,10 @@ Status RtCtx::call(EntryPointId id, RegSet& regs) {
   return rt_.call(slot_, caller_, id, regs);
 }
 
+bool RtCtx::cancellation_requested() const {
+  return rt_.cancellation_requested(slot_);
+}
+
 // ---------------------------------------------------------------------------
 // Runtime
 // ---------------------------------------------------------------------------
@@ -46,6 +50,11 @@ Runtime::Runtime(std::uint32_t slots, bool pin_threads)
     slot.rings = arena_.create_array<XcallRing>(slot.node, cap);
     slot.hists = arena_.create<obs::SlotHistograms>(slot.node);
   }
+  // The cancel-flag pool (value-initialized: every flag starts clear).
+  // Heap, not arena: it is runtime-wide, not per-slot, and cold until a
+  // cancel actually lands.
+  cancel_flags_ =
+      std::make_unique<std::atomic<std::uint32_t>[]>(kMaxCancelTokens);
 }
 
 Runtime::~Runtime() { shutdown(); }
@@ -72,6 +81,7 @@ std::size_t Runtime::shutdown() {
       });
     }
     slot.ready_mask.store(0, std::memory_order_relaxed);
+    slot.bulk_ready_mask.store(0, std::memory_order_relaxed);
   }
   // Pass 2 — reap the zombie lists. Blocks whose server acked above (or
   // long ago) are recyclable as usual; blocks orphaned by a ring that was
@@ -312,6 +322,33 @@ Status Runtime::call_impl(SlotId slot_id, ProgramId caller, EntryPointId id,
     return s;
   }
 
+  // Ambient request screen — present at EVERY ObsLevel because it is call
+  // semantics, not instrumentation (the overhead gate differences paths
+  // that all share it). The warm no-context path pays two always-false
+  // compares against slot-local state; an expired or cancelled root
+  // request refuses every nested call in its tree right here, before a
+  // worker is touched.
+  const RequestCtx& req = slot.cur_req;
+  if (req.abs_deadline_cycles != 0 &&
+      host_cycles() >= req.abs_deadline_cycles) {
+    if constexpr (kLevel != ObsLevel::kStripped) {
+      slot.counters.inc(obs::Counter::kDeadlineExceeded);
+      HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
+                       obs::TraceEvent::kDeadlineExceeded, id);
+    }
+    set_rc(regs, Status::kDeadlineExceeded);
+    return Status::kDeadlineExceeded;
+  }
+  if (req.cancel_token != 0 && cancel_requested(req.cancel_token)) {
+    if constexpr (kLevel != ObsLevel::kStripped) {
+      slot.counters.inc(obs::Counter::kCallsCancelled);
+      HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot_id,
+                       obs::TraceEvent::kCallCancelled, id);
+    }
+    set_rc(regs, Status::kCallAborted);
+    return Status::kCallAborted;
+  }
+
   // Fast path: one plain store (calls_sync; hold-CD services pay a second
   // for hold_cd_hits), then the shared slot-local call body.
   if constexpr (kLevel != ObsLevel::kStripped) {
@@ -361,12 +398,30 @@ Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
 
 Status Runtime::call(SlotId slot_id, ProgramId caller, EntryPointId id,
                      RegSet& regs, const CallOptions& opts) {
-  // A same-slot call executes inline on the calling thread: there is no
-  // queue to shed from and no wait to abandon, so the options are inert
-  // here (see header). Kept as a distinct overload so generic callers can
-  // address both paths uniformly.
-  (void)opts;
-  return call_impl<ObsLevel::kFull>(slot_id, caller, id, regs);
+  // A same-slot call executes inline on the calling thread, so the retry
+  // knob has nothing to act on — but the deadline/cancel/class knobs do:
+  // they scope the ambient request context around the handler. The
+  // relative deadline folds into the inherited absolute budget (tighten,
+  // never extend — with_budget), nested calls the handler makes inherit
+  // the result, and call_impl's pre-execution screen enforces both the
+  // budget and the cancel flag.
+  HPPC_ASSERT(slot_id < slots_.size());
+  Slot& slot = *slots_[slot_id];
+  const RequestCtx saved = slot.cur_req;
+  RequestCtx eff = saved;
+  eff.abs_deadline_cycles = opts.with_budget(saved.abs_deadline_cycles);
+  if (opts.cancel_token != 0) eff.cancel_token = opts.cancel_token;
+  if (opts.traffic_class == TrafficClass::kBulk) {
+    eff.traffic_class = TrafficClass::kBulk;
+  }
+  if (saved.abs_deadline_cycles != 0 &&
+      eff.abs_deadline_cycles == saved.abs_deadline_cycles) {
+    slot.counters.inc(obs::Counter::kDeadlineInherited);
+  }
+  slot.cur_req = eff;
+  const Status rc = call_impl<ObsLevel::kFull>(slot_id, caller, id, regs);
+  slot.cur_req = saved;
+  return rc;
 }
 
 Status Runtime::call_unobserved_for_benchmark(SlotId slot_id,
@@ -396,7 +451,10 @@ Status Runtime::call_async(SlotId slot_id, ProgramId caller, EntryPointId id,
                    obs::TraceEvent::kAsyncEnqueue, id);
   DeferredCall d{caller, id, regs};
   d.enqueue_tsc = host_cycles();  // poll() turns this into kRttAsync
-  d.tctx = slot.cur_trace;        // request context rides the deferral
+  d.tctx = slot.cur_trace;        // trace context rides the deferral
+  d.rctx = slot.cur_req;          // ...and so does the request context:
+  // poll() re-installs it around the execution, where call_impl's screen
+  // drops the deferred call if the root expired or was cancelled meanwhile.
   slot.deferred.push_back(d);
   return Status::kOk;
 }
@@ -448,8 +506,23 @@ std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
   // parent to it in turn.
   const auto run_cell = [this, &slot](const XcallCell& cell,
                                       RegSet& out) -> Status {
+    // Install the request context the cell carried across the ring: the
+    // absolute budget rides the cell's deadline lane, the cancel-token
+    // index and traffic class ride the ep word's high lanes. Swapped in
+    // around the handler exactly like the trace context below — but
+    // unconditionally, in every build — so NESTED calls the handler makes
+    // inherit the root's budget and token. This is the hop the tentpole
+    // exists for: before it, an expired root died at the first xcall seam
+    // while downstream work kept burning cycles.
+    const RequestCtx saved_req = slot.cur_req;
+    RequestCtx req;
+    req.abs_deadline_cycles = cell.deadline;
+    req.cancel_token = cell_token_idx(cell.ep);
+    req.traffic_class = cell_is_bulk(cell.ep) ? TrafficClass::kBulk
+                                              : TrafficClass::kInteractive;
 #if defined(HPPC_TRACE) && HPPC_TRACE
     const obs::TraceCtx cctx = cell.tctx;
+    req.trace_id = cctx.trace_id;
     const obs::TraceCtx saved = slot.cur_trace;
     std::uint32_t span = 0;
     if (cctx.traced()) {
@@ -459,7 +532,10 @@ std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
       if (span != 0) slot.cur_trace.span_id = span;
     }
 #endif
-    const Status rc = execute_remote(slot, cell.caller, cell.ep, out);
+    slot.cur_req = req;
+    const Status rc =
+        execute_remote(slot, cell.caller, cell_ep(cell.ep), out);
+    slot.cur_req = saved_req;
 #if defined(HPPC_TRACE) && HPPC_TRACE
     if (cctx.traced()) {
       slot.cur_trace = saved;
@@ -521,7 +597,24 @@ std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
         slot.counters.inc(obs::Counter::kSharedLinesTouched);
         HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
                          slot.self_id, obs::TraceEvent::kDeadlineExceeded,
-                         cell.ep);
+                         cell_ep(cell.ep));
+        return;
+      }
+      // A cancelled cell is refused the same way: the root asked for the
+      // whole tree to stop, so an undrained cell completes kCallAborted
+      // instead of executing. The completion exchange kicks a parked
+      // caller exactly as a real result would.
+      if (const std::uint32_t tok = cell_token_idx(cell.ep);
+          tok != 0 && cancel_requested(tok)) {
+        set_rc(out, Status::kCallAborted);
+        if (w.complete(Status::kCallAborted)) {
+          slot.counters.inc(obs::Counter::kWaiterKicks);
+        }
+        slot.counters.inc(obs::Counter::kCallsCancelled);
+        slot.counters.inc(obs::Counter::kSharedLinesTouched);
+        HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
+                         slot.self_id, obs::TraceEvent::kCallCancelled,
+                         cell_ep(cell.ep));
         return;
       }
       // Synchronous: reply into the caller's register file (stack waits)
@@ -554,8 +647,8 @@ std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
         slot.trace_ring.record_span(
             obs::host_trace_now(),
             static_cast<std::uint16_t>(slot.self_id),
-            obs::TraceEvent::kWaiterKick, cell.ep, cell.tctx.trace_id,
-            cell.tctx.span_id, 0);
+            obs::TraceEvent::kWaiterKick, cell_ep(cell.ep),
+            cell.tctx.trace_id, cell.tctx.span_id, 0);
 #endif
       }
       slot.counters.inc(obs::Counter::kSharedLinesTouched);
@@ -566,7 +659,17 @@ std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
         slot.counters.inc(obs::Counter::kDeadlineExceeded);
         HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
                          slot.self_id, obs::TraceEvent::kDeadlineExceeded,
-                         cell.ep);
+                         cell_ep(cell.ep));
+        return;
+      }
+      // A cancelled fire-and-forget cell is simply dropped: nobody is
+      // waiting, and the root asked for the tree to stop.
+      if (const std::uint32_t tok = cell_token_idx(cell.ep);
+          tok != 0 && cancel_requested(tok)) {
+        slot.counters.inc(obs::Counter::kCallsCancelled);
+        HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
+                         slot.self_id, obs::TraceEvent::kCallCancelled,
+                         cell_ep(cell.ep));
         return;
       }
       RegSet regs = cell.regs;  // results discarded
@@ -586,13 +689,14 @@ std::size_t Runtime::drain_ring(Slot& slot, XcallRing& ring) {
   return n;
 }
 
-std::size_t Runtime::drain_ready(Slot& slot) {
+std::size_t Runtime::drain_mask(Slot& slot,
+                                std::atomic<std::uint64_t>& mask) {
   // One acquire exchange claims every doorbell rung so far; the acquire
   // pairs with the producers' release fetch_or, so a flagged ring's cells
   // are visible. Bits we consume but whose ring refills mid-drain are
   // re-armed below — the consumer never strands a cell behind a bit a
   // producer believes is still set.
-  std::uint64_t ready = slot.ready_mask.exchange(0, std::memory_order_acquire);
+  std::uint64_t ready = mask.exchange(0, std::memory_order_acquire);
   if (ready == 0) return 0;
   const std::uint32_t nslots = registry_.capacity();
   std::size_t done = 0;
@@ -604,19 +708,39 @@ std::size_t Runtime::drain_ready(Slot& slot) {
     for (std::uint32_t src = b; src <= last && src < nslots; ++src) {
       done += drain_ring(slot, slot.rings[src]);
       if (slot.rings[src].has_pending()) {
-        slot.ready_mask.fetch_or(doorbell_bit(src),
-                                 std::memory_order_relaxed);
+        mask.fetch_or(doorbell_bit(src), std::memory_order_relaxed);
       }
     }
   }
   return done;
 }
 
+std::size_t Runtime::drain_ready(Slot& slot) {
+  // Interactive-first drain ordering: the interactive doorbell word is
+  // served to empty before the bulk word is even consulted, so a slot
+  // with both classes queued retires the latency-sensitive work first.
+  // Starvation is bounded by the ring capacities: one drain_ready pass
+  // serves at most one batch per flagged interactive ring, then ALWAYS
+  // falls through to the bulk word.
+  std::size_t done = drain_mask(slot, slot.ready_mask);
+  if (slot.bulk_ready_mask.load(std::memory_order_relaxed) != 0) {
+    if (done != 0) {
+      // Bulk work sat queued while interactive doorbells were served.
+      slot.counters.inc(obs::Counter::kBulkDrainsDeferred);
+    }
+    done += drain_mask(slot, slot.bulk_ready_mask);
+  }
+  return done;
+}
+
 std::size_t Runtime::drain_all(Slot& slot) {
   // Full O(nslots) sweep: the periodic backstop that makes a lost doorbell
-  // a latency blip instead of a hang. Clears the mask first so a bit for a
-  // ring this sweep is about to drain anyway is not left rung.
+  // a latency blip instead of a hang. Clears the masks first so a bit for
+  // a ring this sweep is about to drain anyway is not left rung. Re-arms
+  // conservatively into the interactive mask (the sweep cannot know which
+  // class refilled a ring — promoting is the safe direction).
   slot.ready_mask.exchange(0, std::memory_order_acquire);
+  slot.bulk_ready_mask.exchange(0, std::memory_order_acquire);
   std::size_t done = 0;
   for (std::uint32_t src = 0; src < registry_.capacity(); ++src) {
     done += drain_ring(slot, slot.rings[src]);
@@ -627,17 +751,22 @@ std::size_t Runtime::drain_all(Slot& slot) {
   return done;
 }
 
-void Runtime::ring_doorbell(Slot& me, Slot& tgt, SlotId src) {
+void Runtime::ring_doorbell(Slot& me, Slot& tgt, SlotId src, bool bulk) {
   // Doorbell coalescing: while the bit is already set the consumer is
   // guaranteed to visit the ring (or re-arm the bit itself), so the post
   // can skip the shared-line RMW entirely — that is what lets a burst of
-  // posts cost ~one cross-slot line transfer instead of one each.
+  // posts cost ~one cross-slot line transfer instead of one each. Bulk
+  // posts ring the bulk word, which the consumer serves only after the
+  // interactive one — drain priority decided at the doorbell, free of
+  // per-cell cost.
+  std::atomic<std::uint64_t>& mask =
+      bulk ? tgt.bulk_ready_mask : tgt.ready_mask;
   const std::uint64_t bit = doorbell_bit(src);
-  if ((tgt.ready_mask.load(std::memory_order_relaxed) & bit) != 0) {
+  if ((mask.load(std::memory_order_relaxed) & bit) != 0) {
     me.counters.inc(obs::Counter::kReadyMaskSkips);
     return;
   }
-  tgt.ready_mask.fetch_or(bit, std::memory_order_release);
+  mask.fetch_or(bit, std::memory_order_release);
 }
 
 bool Runtime::any_ring_pending(const Slot& slot) const {
@@ -655,6 +784,73 @@ bool Runtime::help_drain(Slot& target, SlotId self) {
   drain_ring(target, target.rings[self]);
   target.gate.release_steal();
   return true;
+}
+
+CancelToken Runtime::cancel_token_create() {
+  // Wait-free monotonic allocation. Values whose pool-index lane is zero
+  // are skipped — 0 in the cell's token lane means "not cancellable", so
+  // no real token may alias it. The pool is generation-free: reuse needs
+  // kMaxCancelTokens intervening allocations, and a stale cancel on a
+  // recycled index is a benign spurious kCallAborted (see request_ctx.h).
+  std::uint32_t t;
+  do {
+    t = next_cancel_token_.fetch_add(1, std::memory_order_relaxed);
+  } while ((t & kCellTokenLaneMask) == 0);
+  cancel_flags_[t & kCellTokenLaneMask].store(0, std::memory_order_relaxed);
+  return t;
+}
+
+bool Runtime::cancel_requested(CancelToken token) const {
+  return token != 0 && cancel_flags_[token & kCellTokenLaneMask].load(
+                           std::memory_order_acquire) != 0;
+}
+
+void Runtime::cancel(CancelToken token) {
+  if (token == 0) return;
+  shared_.inc(obs::Counter::kCancelRequests);
+  shared_.inc(obs::Counter::kSharedLinesTouched);
+  // Raise the flag first: every seam (admission, drain, give-up loops,
+  // cooperative handler polls) observes it from here on.
+  cancel_flags_[token & kCellTokenLaneMask].store(1,
+                                                  std::memory_order_release);
+  if (HPPC_FAULT_POINT("rt.cancel.sweep")) {
+    // Delay seam between flag-raise and sweep: widens the window where a
+    // cancelled cell is still in a ring, so the soak exercises the
+    // drain-side kCallAborted path rather than only the sweep.
+    shared_.inc(obs::Counter::kFaultsInjected);
+  }
+  // Sweep: drain every slot's rings so matching in-flight cells complete
+  // (with kCallAborted, via the drain-side token check) instead of waiting
+  // for the server's next natural pass — this is what turns a cancel of a
+  // PARKED caller into a prompt kick. The existing abandon/complete CAS
+  // protocol does the lifetime work; the sweep only forces the drain.
+  for (auto& slot_ptr : slots_) {
+    Slot& slot = *slot_ptr;
+    if (!slot.gate.try_steal()) continue;  // owner will drain on its own
+    drain_all(slot);
+    slot.gate.release_steal();
+  }
+}
+
+bool Runtime::cancellation_requested(SlotId slot) const {
+  HPPC_ASSERT(slot < slots_.size());
+  const RequestCtx& req = slots_[slot]->cur_req;
+  return cancel_requested(req.cancel_token) || req.expired(host_cycles());
+}
+
+void Runtime::set_request_ctx(SlotId slot, const RequestCtx& ctx) {
+  HPPC_ASSERT(slot < slots_.size());
+  slots_[slot]->cur_req = ctx;
+}
+
+RequestCtx Runtime::request_ctx(SlotId slot) const {
+  HPPC_ASSERT(slot < slots_.size());
+  return slots_[slot]->cur_req;
+}
+
+void Runtime::clear_request_ctx(SlotId slot) {
+  HPPC_ASSERT(slot < slots_.size());
+  slots_[slot]->cur_req = RequestCtx{};
 }
 
 XcallWait* Runtime::acquire_wait(Slot& me) {
@@ -788,10 +984,31 @@ Status Runtime::call_remote_frame(SlotId caller_slot, SlotId target,
   Slot& me = *slots_[caller_slot];
   Slot& tgt = *slots_[target];
 
+  // Frame cells repurpose the cell's deadline field as the op lane, so a
+  // frame call cannot carry a budget or token in flight. The request
+  // context is therefore enforced at ADMISSION ONLY: an already-expired or
+  // cancelled root refuses here, but a frame that clears admission runs to
+  // completion even if the root expires mid-flight (documented contract in
+  // docs/XCALL.md). The traffic class does apply — it rides the doorbell,
+  // not the cell.
+  const RequestCtx ambient = me.cur_req;
+  if (ambient.expired(host_cycles())) {
+    me.counters.inc(obs::Counter::kDeadlineExceeded);
+    f.op = frame_with_rc(f.op, Status::kDeadlineExceeded);
+    return Status::kDeadlineExceeded;
+  }
+  if (ambient.cancel_token != 0 && cancel_requested(ambient.cancel_token)) {
+    me.counters.inc(obs::Counter::kCallsCancelled);
+    f.op = frame_with_rc(f.op, Status::kCallAborted);
+    return Status::kCallAborted;
+  }
+  const bool bulk = ambient.traffic_class == TrafficClass::kBulk;
+
   // Admission control, same relaxed-read watermark as the typed path.
-  const std::uint32_t watermark = shed_watermark();
+  const std::uint32_t watermark = shed_watermark(ambient.traffic_class);
   if (watermark != 0 && xcall_depth(target) >= watermark) {
     me.counters.inc(obs::Counter::kCallsShed);
+    if (bulk) me.counters.inc(obs::Counter::kCallsShedBulk);
     f.op = frame_with_rc(f.op, Status::kOverloaded);
     return Status::kOverloaded;
   }
@@ -816,7 +1033,7 @@ Status Runtime::call_remote_frame(SlotId caller_slot, SlotId target,
     me.counters.inc(obs::Counter::kXcallRingFull);
     if (!help_drain(tgt, caller_slot)) std::this_thread::yield();
   }
-  ring_doorbell(me, tgt, caller_slot);
+  ring_doorbell(me, tgt, caller_slot, bulk);
   me.counters.inc(obs::Counter::kXcallPosts);
   me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
 
@@ -850,9 +1067,28 @@ Status Runtime::call_remote_frame_batch(SlotId caller_slot, SlotId target,
 
   Slot& me = *slots_[caller_slot];
   Slot& tgt = *slots_[target];
-  const std::uint32_t watermark = shed_watermark();
+  // Same admission-only request-context contract as call_remote_frame:
+  // frame cells cannot carry the budget in flight, so the guard is here.
+  const RequestCtx ambient = me.cur_req;
+  if (ambient.expired(host_cycles())) {
+    me.counters.inc(obs::Counter::kDeadlineExceeded);
+    for (CallFrame& f : batch) {
+      f.op = frame_with_rc(f.op, Status::kDeadlineExceeded);
+    }
+    return Status::kDeadlineExceeded;
+  }
+  if (ambient.cancel_token != 0 && cancel_requested(ambient.cancel_token)) {
+    me.counters.inc(obs::Counter::kCallsCancelled, batch.size());
+    for (CallFrame& f : batch) {
+      f.op = frame_with_rc(f.op, Status::kCallAborted);
+    }
+    return Status::kCallAborted;
+  }
+  const bool bulk = ambient.traffic_class == TrafficClass::kBulk;
+  const std::uint32_t watermark = shed_watermark(ambient.traffic_class);
   if (watermark != 0 && xcall_depth(target) >= watermark) {
     me.counters.inc(obs::Counter::kCallsShed, batch.size());
+    if (bulk) me.counters.inc(obs::Counter::kCallsShedBulk, batch.size());
     for (CallFrame& f : batch) {
       f.op = frame_with_rc(f.op, Status::kOverloaded);
     }
@@ -892,7 +1128,7 @@ Status Runtime::call_remote_frame_batch(SlotId caller_slot, SlotId target,
       if (!help_drain(tgt, caller_slot)) std::this_thread::yield();
       continue;
     }
-    ring_doorbell(me, tgt, caller_slot);
+    ring_doorbell(me, tgt, caller_slot, bulk);
     me.counters.inc(obs::Counter::kXcallPosts, posted);
     me.counters.inc(obs::Counter::kXcallBatchPosts);
     me.counters.inc(obs::Counter::kXcallCellsPerBatch, posted);
@@ -946,16 +1182,54 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
   Slot& me = *slots_[caller_slot];
   Slot& tgt = *slots_[target];
 
+  // Fold the per-call knobs into the ambient request the caller is already
+  // executing under: the relative deadline converts to an absolute budget
+  // exactly once (with_budget) and clamps against the inherited one —
+  // tighten, never extend — while the token and class default to the
+  // ambient values so a context installed at the root rides every hop.
+  const RequestCtx ambient = me.cur_req;
+  const std::uint64_t deadline = opts.with_budget(ambient.abs_deadline_cycles);
+  const bool deadlined = deadline != 0;
+  const CancelToken token =
+      opts.cancel_token != 0 ? opts.cancel_token : ambient.cancel_token;
+  const bool bulk = opts.traffic_class == TrafficClass::kBulk ||
+                    ambient.traffic_class == TrafficClass::kBulk;
+  if (ambient.abs_deadline_cycles != 0 &&
+      deadline == ambient.abs_deadline_cycles) {
+    me.counters.inc(obs::Counter::kDeadlineInherited);
+  }
+
+  // Pre-admission screen: a call whose budget is already spent — or whose
+  // root was cancelled — never touches the target at all.
+  if (deadlined && host_cycles() >= deadline) {
+    me.counters.inc(obs::Counter::kDeadlineExceeded);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kDeadlineExceeded, target);
+    set_rc(regs, Status::kDeadlineExceeded);
+    return Status::kDeadlineExceeded;
+  }
+  if (token != 0 && cancel_requested(token)) {
+    me.counters.inc(obs::Counter::kCallsCancelled);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kCallCancelled, target);
+    set_rc(regs, Status::kCallAborted);
+    return Status::kCallAborted;
+  }
+
   // Admission control: refuse at the door while the target's queue is over
-  // its watermark — in-flight cells keep draining, new calls are shed.
-  const std::uint32_t watermark = shed_watermark();
+  // the CLASS's watermark — a lower bulk watermark makes bulk traffic
+  // absorb the shedding while interactive calls keep being admitted.
+  const std::uint32_t watermark = shed_watermark(
+      bulk ? TrafficClass::kBulk : TrafficClass::kInteractive);
   if (watermark != 0 && xcall_depth(target) >= watermark) {
     me.counters.inc(obs::Counter::kCallsShed);
+    if (bulk) me.counters.inc(obs::Counter::kCallsShedBulk);
     HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                      obs::TraceEvent::kCallShed, target);
     set_rc(regs, Status::kOverloaded);
     return Status::kOverloaded;
   }
+  if (bulk) me.counters.inc(obs::Counter::kCallsBulk);
 
   const std::uint64_t rtt_t0 = host_cycles();
 
@@ -980,7 +1254,19 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
       ++tgt.cur_trace.hop;
     }
 #endif
+    // Direct execution crosses slots without crossing the ring, so the
+    // request context is installed on the stolen slot by hand (the same
+    // save/restore the drain does for ring cells) — nested calls the
+    // handler makes still inherit the effective budget and token.
+    const RequestCtx saved_req = tgt.cur_req;
+    RequestCtx eff = ambient;
+    eff.abs_deadline_cycles = deadline;
+    eff.cancel_token = token;
+    eff.traffic_class =
+        bulk ? TrafficClass::kBulk : TrafficClass::kInteractive;
+    tgt.cur_req = eff;
     const Status rc = execute_remote(tgt, caller, id, regs);
+    tgt.cur_req = saved_req;
     // Help while we hold the slot: retire anything ring-queued behind us.
     drain_ready(tgt);
 #if defined(HPPC_TRACE) && HPPC_TRACE
@@ -991,6 +1277,7 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
 #endif
     tgt.gate.release_steal();
     me.hists->record(obs::Hist::kRttRemote, host_cycles() - rtt_t0);
+    if (bulk) me.hists->record(obs::Hist::kRttBulk, host_cycles() - rtt_t0);
     return rc;
   }
 
@@ -1032,9 +1319,6 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
   // the caller abandons, the server still holds a pointer into storage the
   // Runtime owns. The no-deadline path keeps the legacy stack block —
   // cache-hot for the spinner, zero pool traffic.
-  const bool deadlined = opts.deadline_cycles != 0;
-  const std::uint64_t deadline =
-      deadlined ? host_cycles() + opts.deadline_cycles : 0;
   XcallWait stack_wait;
   XcallWait* wait = &stack_wait;
   if (deadlined) {
@@ -1056,9 +1340,12 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
   // the caller's regs is safe even for deadline calls — after an abandon
   // the server only ever reads the cell's inline copy. The deadline rides
   // in the cell too, so a drain that reaches it late refuses to execute.
+  // The cancel token and traffic class ride the spare high bits of the ep
+  // word (the cell has no free bytes); the drain unpacks them.
+  const std::uint32_t wire_ep = cell_pack_ep(id, token, bulk);
   XcallRing& ring = tgt.rings[caller_slot];
   while (force_full ||
-         !ring.try_post(caller, id, regs, wait, deadline, post_ctx_ptr)) {
+         !ring.try_post(caller, wire_ep, regs, wait, deadline, post_ctx_ptr)) {
     force_full = false;
     if (!booked_full) {
       booked_full = true;
@@ -1074,6 +1361,8 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
       give_up = Status::kOverloaded;
     } else if (deadlined && host_cycles() >= deadline) {
       give_up = Status::kDeadlineExceeded;
+    } else if (token != 0 && cancel_requested(token)) {
+      give_up = Status::kCallAborted;
     }
     if (give_up != Status::kOk) {
       // The cell was never published, so the wait block was never shared:
@@ -1083,6 +1372,10 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
         me.counters.inc(obs::Counter::kDeadlineExceeded);
         HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                          obs::TraceEvent::kDeadlineExceeded, target);
+      } else if (give_up == Status::kCallAborted) {
+        me.counters.inc(obs::Counter::kCallsCancelled);
+        HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                         obs::TraceEvent::kCallCancelled, target);
       }
 #if defined(HPPC_TRACE) && HPPC_TRACE
       if (parent.traced()) {
@@ -1104,7 +1397,7 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
       if (!help_drain(tgt, caller_slot)) std::this_thread::yield();
     }
   }
-  ring_doorbell(me, tgt, caller_slot);
+  ring_doorbell(me, tgt, caller_slot, bulk);
   me.counters.inc(obs::Counter::kXcallPosts);
   me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
   HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
@@ -1150,6 +1443,7 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
     me.hists->record(obs::Hist::kRingWait, done_t - post_t);
     if (park_t != 0) me.hists->record(obs::Hist::kWakeup, done_t - park_t);
     me.hists->record(obs::Hist::kRttRemote, done_t - rtt_t0);
+    if (bulk) me.hists->record(obs::Hist::kRttBulk, done_t - rtt_t0);
 #if defined(HPPC_TRACE) && HPPC_TRACE
     if (parent.traced()) {
       end_span(me, parent.trace_id, span, parent.span_id, rc);
@@ -1166,6 +1460,7 @@ Status Runtime::call_remote(SlotId caller_slot, SlotId target,
   const std::uint64_t done_t = host_cycles();
   me.hists->record(obs::Hist::kRingWait, done_t - post_t);
   me.hists->record(obs::Hist::kRttDeadlined, done_t - rtt_t0);
+  if (bulk) me.hists->record(obs::Hist::kRttBulk, done_t - rtt_t0);
   if (timed_out) {
     // Abandoned: the block stays on the zombie list until the server's
     // drain acks it (or completes it — either sets kDoneBit).
@@ -1215,21 +1510,46 @@ Status Runtime::call_remote_async(SlotId caller_slot, SlotId target,
   }
   Slot& me = *slots_[caller_slot];
   Slot& tgt = *slots_[target];
+  // Fold the ambient request context: a fire-and-forget call is still part
+  // of the root request, so it carries the clamped inherited budget, the
+  // cancel token, and the traffic class. With no waiter to rescue the
+  // call, expiry is enforced by the DRAIN — a cell reached late is dropped
+  // (deadline_exceeded on the target) rather than executed late.
+  const RequestCtx ambient = me.cur_req;
+  const std::uint64_t deadline = opts.with_budget(ambient.abs_deadline_cycles);
+  const CancelToken token =
+      opts.cancel_token != 0 ? opts.cancel_token : ambient.cancel_token;
+  const bool bulk = opts.traffic_class == TrafficClass::kBulk ||
+                    ambient.traffic_class == TrafficClass::kBulk;
+  if (ambient.abs_deadline_cycles != 0 &&
+      deadline == ambient.abs_deadline_cycles) {
+    me.counters.inc(obs::Counter::kDeadlineInherited);
+  }
+  if (deadline != 0 && host_cycles() >= deadline) {
+    me.counters.inc(obs::Counter::kDeadlineExceeded);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kDeadlineExceeded, target);
+    return Status::kDeadlineExceeded;
+  }
+  if (token != 0 && cancel_requested(token)) {
+    me.counters.inc(obs::Counter::kCallsCancelled);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kCallCancelled, target);
+    return Status::kCallAborted;
+  }
   // Same admission check as the sync path: a fire-and-forget call adds to
-  // the very queue the watermark protects, so it is shed the same way.
-  const std::uint32_t watermark = shed_watermark();
+  // the very queue the watermark protects, so it is shed the same way —
+  // per class, bulk first.
+  const std::uint32_t watermark = shed_watermark(
+      bulk ? TrafficClass::kBulk : TrafficClass::kInteractive);
   if (watermark != 0 && xcall_depth(target) >= watermark) {
     me.counters.inc(obs::Counter::kCallsShed);
+    if (bulk) me.counters.inc(obs::Counter::kCallsShedBulk);
     HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                      obs::TraceEvent::kCallShed, target);
     return Status::kOverloaded;
   }
-  // An async deadline is absolute-ized here and carried in the cell: with
-  // no waiter to rescue the call, expiry is enforced by the DRAIN — a cell
-  // reached late is dropped (deadline_exceeded on the target) rather than
-  // executed late.
-  const std::uint64_t deadline =
-      opts.deadline_cycles != 0 ? host_cycles() + opts.deadline_cycles : 0;
+  if (bulk) me.counters.inc(obs::Counter::kCallsBulk);
 #if defined(HPPC_TRACE) && HPPC_TRACE
   // Fire-and-forget: no caller-side span (nothing to close), but the
   // context still rides the cell so the server-side execution parents to
@@ -1240,9 +1560,10 @@ Status Runtime::call_remote_async(SlotId caller_slot, SlotId target,
 #else
   const obs::TraceCtx* post_ctx_ptr = nullptr;
 #endif
-  if (tgt.rings[caller_slot].try_post(caller, id, regs, /*wait=*/nullptr,
-                                      deadline, post_ctx_ptr)) {
-    ring_doorbell(me, tgt, caller_slot);
+  if (tgt.rings[caller_slot].try_post(caller, cell_pack_ep(id, token, bulk),
+                                      regs, /*wait=*/nullptr, deadline,
+                                      post_ctx_ptr)) {
+    ring_doorbell(me, tgt, caller_slot, bulk);
     me.counters.inc(obs::Counter::kXcallPosts);
     me.counters.inc(obs::Counter::kSharedLinesTouched, 2);
     HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
@@ -1254,16 +1575,33 @@ Status Runtime::call_remote_async(SlotId caller_slot, SlotId target,
   // Overflow: a fire-and-forget caller cannot wait for space, so this rare
   // case rides the legacy allocating mailbox (and is booked as such). The
   // deadline still holds — the drain lambda re-checks it before executing.
-  post(target, [this, target, caller, id, regs, deadline]() mutable {
-    Slot& slot = *slots_[target];
-    if (deadline != 0 && host_cycles() >= deadline) {
-      slot.counters.inc(obs::Counter::kDeadlineExceeded);
-      HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(), slot.self_id,
-                       obs::TraceEvent::kDeadlineExceeded, id);
-      return;
-    }
-    execute_remote(slot, caller, id, regs);
-  });
+  post(target,
+       [this, target, caller, id, regs, deadline, token, bulk]() mutable {
+         Slot& slot = *slots_[target];
+         if (deadline != 0 && host_cycles() >= deadline) {
+           slot.counters.inc(obs::Counter::kDeadlineExceeded);
+           HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
+                            slot.self_id, obs::TraceEvent::kDeadlineExceeded,
+                            id);
+           return;
+         }
+         if (token != 0 && cancel_requested(token)) {
+           slot.counters.inc(obs::Counter::kCallsCancelled);
+           HPPC_TRACE_EVENT(slot.trace_ring, obs::host_trace_now(),
+                            slot.self_id, obs::TraceEvent::kCallCancelled,
+                            id);
+           return;
+         }
+         const RequestCtx saved_req = slot.cur_req;
+         RequestCtx req;
+         req.abs_deadline_cycles = deadline;
+         req.cancel_token = token;
+         req.traffic_class =
+             bulk ? TrafficClass::kBulk : TrafficClass::kInteractive;
+         slot.cur_req = req;
+         execute_remote(slot, caller, id, regs);
+         slot.cur_req = saved_req;
+       });
   return Status::kOk;
 }
 
@@ -1306,18 +1644,48 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
 
   Slot& me = *slots_[caller_slot];
   Slot& tgt = *slots_[target];
-  const std::uint32_t watermark = shed_watermark();
+  // Fold the ambient request context once for the whole batch (same rules
+  // as call_remote: clamp the budget, opts override the token, bulk is
+  // sticky from either side).
+  const RequestCtx ambient = me.cur_req;
+  const std::uint64_t deadline = opts.with_budget(ambient.abs_deadline_cycles);
+  const bool deadlined = deadline != 0;
+  const CancelToken token =
+      opts.cancel_token != 0 ? opts.cancel_token : ambient.cancel_token;
+  const bool bulk = opts.traffic_class == TrafficClass::kBulk ||
+                    ambient.traffic_class == TrafficClass::kBulk;
+  if (ambient.abs_deadline_cycles != 0 &&
+      deadline == ambient.abs_deadline_cycles) {
+    me.counters.inc(obs::Counter::kDeadlineInherited);
+  }
+  if (deadlined && host_cycles() >= deadline) {
+    me.counters.inc(obs::Counter::kDeadlineExceeded);
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kDeadlineExceeded, target);
+    for (RegSet& regs : batch) set_rc(regs, Status::kDeadlineExceeded);
+    return Status::kDeadlineExceeded;
+  }
+  if (token != 0 && cancel_requested(token)) {
+    me.counters.inc(obs::Counter::kCallsCancelled, batch.size());
+    HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                     obs::TraceEvent::kCallCancelled, target);
+    for (RegSet& regs : batch) set_rc(regs, Status::kCallAborted);
+    return Status::kCallAborted;
+  }
+
+  const std::uint32_t watermark = shed_watermark(
+      bulk ? TrafficClass::kBulk : TrafficClass::kInteractive);
   if (watermark != 0 && xcall_depth(target) >= watermark) {
     me.counters.inc(obs::Counter::kCallsShed, batch.size());
+    if (bulk) me.counters.inc(obs::Counter::kCallsShedBulk, batch.size());
     HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
                      obs::TraceEvent::kCallShed, target);
     for (RegSet& regs : batch) set_rc(regs, Status::kOverloaded);
     return Status::kOverloaded;
   }
+  if (bulk) me.counters.inc(obs::Counter::kCallsBulk, batch.size());
 
-  const bool deadlined = opts.deadline_cycles != 0;
-  const std::uint64_t deadline =
-      deadlined ? host_cycles() + opts.deadline_cycles : 0;
+  const std::uint32_t wire_ep = cell_pack_ep(id, token, bulk);
   XcallRing& ring = tgt.rings[caller_slot];
 
 #if defined(HPPC_TRACE) && HPPC_TRACE
@@ -1351,9 +1719,20 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
       const obs::TraceCtx saved_tgt = tgt.cur_trace;
       if (parent.traced()) tgt.cur_trace = post_ctx;
 #endif
+      // Install the effective request context on the stolen slot so the
+      // handlers' own nested calls inherit it (mirrors call_remote's
+      // direct path).
+      const RequestCtx saved_req = tgt.cur_req;
+      RequestCtx eff = ambient;
+      eff.abs_deadline_cycles = deadline;
+      eff.cancel_token = token;
+      eff.traffic_class =
+          bulk ? TrafficClass::kBulk : TrafficClass::kInteractive;
+      tgt.cur_req = eff;
       for (; i < batch.size(); ++i) {
         fold(execute_remote(tgt, caller, id, batch[i]));
       }
+      tgt.cur_req = saved_req;
       drain_ready(tgt);
 #if defined(HPPC_TRACE) && HPPC_TRACE
       if (parent.traced()) tgt.cur_trace = saved_tgt;
@@ -1388,7 +1767,7 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
                        obs::TraceEvent::kFaultInject, target);
     }
     const std::size_t posted = ring.try_post_many(
-        caller, id, &batch[i], wait_ptrs.data(), want, deadline,
+        caller, wire_ep, &batch[i], wait_ptrs.data(), want, deadline,
         post_ctx_ptr);
     if (deadlined) {
       // Unpublished pooled blocks were never shared: straight back.
@@ -1399,12 +1778,20 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
     if (posted == 0) {
       me.counters.inc(obs::Counter::kXcallRingFull);
       if (opts.retry == RetryPolicy::kFailFast ||
-          (deadlined && host_cycles() >= deadline)) {
-        const Status s = opts.retry == RetryPolicy::kFailFast
-                             ? Status::kOverloaded
-                             : Status::kDeadlineExceeded;
+          (deadlined && host_cycles() >= deadline) ||
+          (token != 0 && cancel_requested(token))) {
+        Status s = Status::kOverloaded;
+        if (opts.retry != RetryPolicy::kFailFast) {
+          s = (deadlined && host_cycles() >= deadline)
+                  ? Status::kDeadlineExceeded
+                  : Status::kCallAborted;
+        }
         if (s == Status::kDeadlineExceeded) {
           me.counters.inc(obs::Counter::kDeadlineExceeded);
+        } else if (s == Status::kCallAborted) {
+          me.counters.inc(obs::Counter::kCallsCancelled, batch.size() - i);
+          HPPC_TRACE_EVENT(me.trace_ring, obs::host_trace_now(), caller_slot,
+                           obs::TraceEvent::kCallCancelled, target);
         }
         for (; i < batch.size(); ++i) set_rc(batch[i], s);
         fold(s);
@@ -1414,7 +1801,7 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
       if (!help_drain(tgt, caller_slot)) std::this_thread::yield();
       continue;
     }
-    ring_doorbell(me, tgt, caller_slot);
+    ring_doorbell(me, tgt, caller_slot, bulk);
     me.counters.inc(obs::Counter::kXcallPosts, posted);
     me.counters.inc(obs::Counter::kXcallBatchPosts);
     me.counters.inc(obs::Counter::kXcallCellsPerBatch, posted);
@@ -1477,6 +1864,7 @@ Status Runtime::call_remote_batch(SlotId caller_slot, SlotId target,
     // Whole-chunk RTT (post through last collection): the per-class entry
     // for the batched path, in the same units as kRttRemote.
     me.hists->record(obs::Hist::kRttBatched, host_cycles() - chunk_t0);
+    if (bulk) me.hists->record(obs::Hist::kRttBulk, host_cycles() - chunk_t0);
     i += posted;
   }
 #if defined(HPPC_TRACE) && HPPC_TRACE
@@ -1512,6 +1900,7 @@ std::size_t Runtime::serve(SlotId slot_id, const std::atomic<bool>& stop) {
     std::uint32_t idle_rounds = 0;
     while (!stop.load(std::memory_order_acquire) &&
            slot.ready_mask.load(std::memory_order_relaxed) == 0 &&
+           slot.bulk_ready_mask.load(std::memory_order_relaxed) == 0 &&
            slot.mailbox.empty()) {
       if (++idle_rounds >= 256) {
         idle_rounds = 0;
@@ -1565,7 +1954,13 @@ std::size_t Runtime::poll(SlotId slot_id) {
       if (aspan != 0) slot.cur_trace.span_id = aspan;
     }
 #endif
+    // Execute under the request context the call was enqueued with: a
+    // root that expired or was cancelled since enqueue is refused by the
+    // screen inside call() instead of executing late.
+    const RequestCtx saved_req = slot.cur_req;
+    slot.cur_req = d.rctx;
     call(slot_id, d.caller, d.id, regs);  // results discarded (§4.4 async)
+    slot.cur_req = saved_req;
 #if defined(HPPC_TRACE) && HPPC_TRACE
     if (d.tctx.traced()) {
       slot.cur_trace = saved;

@@ -33,6 +33,7 @@
 
 #include "common/cacheline.h"
 #include "common/status.h"
+#include "common/tsc.h"
 #include "common/types.h"
 #include "mem/arena.h"
 #include "obs/counters.h"
@@ -42,6 +43,7 @@
 #include "ppc/regs.h"
 #include "rt/frame_abi.h"
 #include "rt/percpu.h"
+#include "rt/request_ctx.h"
 #include "rt/xcall.h"
 
 namespace hppc::rt {
@@ -70,6 +72,14 @@ class RtCtx {
 
   /// Nested call to another service from inside a handler.
   Status call(EntryPointId id, RegSet& regs);
+
+  /// Cooperative cancellation probe for long handlers: true when the
+  /// ambient request this handler is executing under has been cancelled or
+  /// its inherited deadline has expired. A handler that observes true
+  /// should abandon its remaining work and return promptly (the runtime
+  /// cannot preempt a running handler; the probe is how deep loops keep
+  /// the cancel latency bounded).
+  bool cancellation_requested() const;
 
  private:
   Runtime& rt_;
@@ -124,6 +134,25 @@ struct CallOptions {
   /// kBackoff only: failed post attempts before giving up. The spin budget
   /// doubles each round (capped at 1024 cpu_relax rounds per attempt).
   std::uint32_t backoff_rounds = 16;
+  /// Admission/drain priority (see rt/request_ctx.h). kBulk requests are
+  /// shed first when the target saturates (the bulk shed watermark) and
+  /// drained after interactive doorbells.
+  TrafficClass traffic_class = TrafficClass::kInteractive;
+  /// Cancel handle from Runtime::cancel_token_create(); 0 = not
+  /// cancellable. A cancelled call — and every nested call it makes —
+  /// completes with kCallAborted at the next seam.
+  CancelToken cancel_token = 0;
+
+  /// Resolve this call's absolute deadline against an inherited ambient
+  /// bound. Relative→absolute conversion happens exactly once, here (one
+  /// host_cycles() read, only when a relative deadline is set), and the
+  /// result is clamped so a nested call may tighten the root's budget but
+  /// never extend it. Returns 0 when neither side has a bound.
+  std::uint64_t with_budget(std::uint64_t inherited_abs) const {
+    const std::uint64_t mine =
+        deadline_cycles != 0 ? host_cycles() + deadline_cycles : 0;
+    return RequestCtx::clamp_deadline(inherited_abs, mine);
+  }
 };
 
 /// A call descriptor: return info slot + the stack buffer (§2). Both the
@@ -402,11 +431,70 @@ class Runtime {
   /// than a plain word) is what makes the torn-read impossible and the
   /// intent visible to TSan.
   void set_shed_watermark(std::uint32_t depth) {
-    shed_watermark_.store(depth, std::memory_order_relaxed);
+    for (auto& w : shed_watermark_) w.store(depth, std::memory_order_relaxed);
   }
   std::uint32_t shed_watermark() const {
-    return shed_watermark_.load(std::memory_order_relaxed);
+    return shed_watermark(TrafficClass::kInteractive);
   }
+
+  /// Per-class watermarks: give kBulk a LOWER depth than kInteractive and
+  /// bulk traffic absorbs the shedding first while interactive requests
+  /// keep being admitted — the criticality-aware degradation the overload
+  /// bench's per-class curves demonstrate. The classless setter above
+  /// retunes both (legacy behaviour).
+  void set_shed_watermark(TrafficClass cls, std::uint32_t depth) {
+    shed_watermark_[static_cast<std::size_t>(cls)].store(
+        depth, std::memory_order_relaxed);
+  }
+  std::uint32_t shed_watermark(TrafficClass cls) const {
+    return shed_watermark_[static_cast<std::size_t>(cls)].load(
+        std::memory_order_relaxed);
+  }
+
+  // ----- request contexts (deadline/cancel/class propagation) -----
+  //
+  // The ambient RequestCtx is the cross-cutting twin of the trace context:
+  // installed on a slot, it rides every call the slot makes — same-slot,
+  // remote, batched, async — through the xcall cell to the server slot,
+  // where it is re-installed around the handler so NESTED calls inherit
+  // it. CallOptions::deadline_cycles folds into the ambient budget under
+  // the remaining-budget clamp (tighten, never extend); every admission
+  // and drain seam checks the effective deadline (kDeadlineExceeded) and
+  // cancel flag (kCallAborted), so an expired or cancelled root request
+  // stops its whole tree at the next seam instead of executing late.
+
+  /// Allocate a cancel token. Tokens are handles into a fixed pool of
+  /// kMaxCancelTokens flags; allocation is wait-free (one fetch_add) and
+  /// clears the slot it maps to, so reuse after 2^14 intervening
+  /// allocations is benign-stale (documented in rt/request_ctx.h). Safe
+  /// from any thread.
+  CancelToken cancel_token_create();
+
+  /// Raise `token`'s cancel flag, then best-effort sweep: for every slot
+  /// whose gate is idle, steal it and drain its rings so already-posted
+  /// cells carrying the token complete kCallAborted NOW (via the normal
+  /// drain-side check) instead of at the owner's next poll. Cells on busy
+  /// slots are refused when their drain reaches them; parked callers are
+  /// kicked by that completion — the existing abandon/complete CAS
+  /// protocol does all the lifetime work. Safe from any thread.
+  void cancel(CancelToken token);
+
+  /// Has cancel() been called for this token? (0 is never cancelled.)
+  bool cancel_requested(CancelToken token) const;
+
+  /// Ambient probe: is the request `slot` is currently executing under
+  /// cancelled or past its deadline? Handlers reach this through
+  /// RtCtx::cancellation_requested(). Owner thread only.
+  bool cancellation_requested(SlotId slot) const;
+
+  /// Install / read / clear the slot's ambient request context directly
+  /// (root callers that want a context without threading CallOptions
+  /// through every stub; tests). Owner thread only. call/call_remote*
+  /// save and restore this around handler execution, so installing it
+  /// before a call tree and clearing it after is the whole discipline.
+  void set_request_ctx(SlotId slot, const RequestCtx& ctx);
+  RequestCtx request_ctx(SlotId slot) const;
+  void clear_request_ctx(SlotId slot);
 
   /// Post a cross-slot action (host analogue of an IPI); it runs when the
   /// owning thread next polls. Control-plane path: allocates a mailbox
@@ -512,7 +600,8 @@ class Runtime {
     EntryPointId id;
     RegSet regs;
     std::uint64_t enqueue_tsc = 0;  // host_cycles() at call_async time
-    obs::TraceCtx tctx{};           // request context at enqueue time
+    obs::TraceCtx tctx{};           // trace context at enqueue time
+    RequestCtx rctx{};              // request context at enqueue time
   };
 
   /// Everything one slot owns. Only the slot's current ownership holder —
@@ -540,6 +629,12 @@ class Runtime {
     // carry the slot id so two slots minting concurrently never collide.
     obs::TraceCtx cur_trace;
     std::uint32_t next_span = 1;
+    // The ambient request context (deadline/cancel/class) the slot is
+    // currently executing under. Same ownership discipline as cur_trace
+    // (saved/restored around remote and deferred execution), but unlike
+    // the trace context it is load-bearing in every build: nested calls
+    // read it to inherit the root's budget.
+    RequestCtx cur_req;
     std::vector<std::unique_ptr<RtWorker>> owned_workers;
     // CDs (and their stacks) are arena-placed on this slot's node; the
     // vector only tracks them for introspection — storage is the arena's.
@@ -576,6 +671,13 @@ class Runtime {
     // store just as the consumer clears the bit): every kPollScanPeriod-th
     // poll does a full scan, and helpers always drain their own channel.
     alignas(kHostCacheLine) std::atomic<std::uint64_t> ready_mask{0};
+    // The bulk doorbell word: producers posting kBulk-class cells ring
+    // this mask instead, and the consumer's drain serves it only after
+    // the interactive mask above is empty — interactive-first drain
+    // ordering without touching cells or rings. Same set/clear protocol
+    // and the same full-scan liveness backstop as ready_mask. Own line:
+    // bulk posters must not bounce the interactive doorbell's line.
+    alignas(kHostCacheLine) std::atomic<std::uint64_t> bulk_ready_mask{0};
     std::uint32_t polls_since_scan = 0;  // consumer-private rescan ticker
   };
 
@@ -639,17 +741,22 @@ class Runtime {
   /// Books xcall_batches, drops/fails expired-deadline cells, completes
   /// sync cells (kicking parked waiters).
   std::size_t drain_ring(Slot& slot, XcallRing& ring);
-  /// Mask-guided drain (ownership held): exchange the doorbell word to 0
+  /// Mask-guided drain (ownership held): exchange the doorbell words to 0
   /// and drain exactly the flagged producer rings, re-arming any left
-  /// non-empty. O(1) when idle, O(popcount) when not.
+  /// non-empty. Interactive doorbells are served to empty before the bulk
+  /// mask is consulted (books bulk_drains_deferred when bulk work had to
+  /// wait). O(1) when idle, O(popcount) when not.
   std::size_t drain_ready(Slot& slot);
+  /// One doorbell word's drain pass (the body drain_ready runs per class).
+  std::size_t drain_mask(Slot& slot, std::atomic<std::uint64_t>& mask);
   /// Full-scan drain of every producer ring (ownership held): the
   /// periodic liveness backstop for lost doorbells, and the teardown path.
   std::size_t drain_all(Slot& slot);
-  /// Producer-side doorbell: flag `src`'s ring in `tgt`'s ready mask,
-  /// skipping the shared-line store when the bit is already set
-  /// (doorbell coalescing, booked as ready_mask_skips on `me`).
-  void ring_doorbell(Slot& me, Slot& tgt, SlotId src);
+  /// Producer-side doorbell: flag `src`'s ring in `tgt`'s ready mask
+  /// (bulk_ready_mask when `bulk`), skipping the shared-line store when
+  /// the bit is already set (doorbell coalescing, booked as
+  /// ready_mask_skips on `me`).
+  void ring_doorbell(Slot& me, Slot& tgt, SlotId src, bool bulk = false);
   /// Racy any-ring-pending scan, for serve()'s periodic idle recheck.
   bool any_ring_pending(const Slot& slot) const;
   /// Waiter-side progress: if `target`'s gate is idle, steal it, drain its
@@ -696,7 +803,15 @@ class Runtime {
   std::vector<std::unique_ptr<Service>> owned_services_;
   std::mutex bind_mutex_;  // slow path only
   obs::SharedCounters shared_;
-  std::atomic<std::uint32_t> shed_watermark_{0};  // 0 = shedding disabled
+  // Per-class admission watermarks (0 = shedding disabled for the class).
+  std::array<std::atomic<std::uint32_t>, kNumTrafficClasses>
+      shed_watermark_{};
+  // The cancel-flag pool: token t maps to cancel_flags_[t % kMaxCancel-
+  // Tokens]. Fixed-size so a token index fits the cell ep lane and lookup
+  // is one relaxed load with no lifetime question. Allocated at
+  // construction (zeroed); next_cancel_token_ never hands out index 0.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> cancel_flags_;
+  std::atomic<std::uint32_t> next_cancel_token_{1};
   TelemetryState telemetry_;
   EntryPointId next_ep_ = 8;
 };

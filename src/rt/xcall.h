@@ -208,6 +208,49 @@ inline CallFrame cell_frame(const XcallCell& cell) {
   return f;
 }
 
+/// Request-context lanes in a typed (non-frame) cell's `ep` word. The cell
+/// is exactly one cache line with no spare bytes, so the context that must
+/// ride it — cancel-token index and traffic class — is packed into the ep
+/// word's unused high bits (the absolute deadline already has its own
+/// field). Layout, from the top:
+///
+///   bit  31      kFrameCellEp   frame-cell marker (frames carry NO request
+///                               context in flight — see docs/XCALL.md)
+///   bit  30      kCellBulkBit   traffic class (set = kBulk)
+///   bits 16..29  token index    cancel-flag pool index (14 bits, 0 = none)
+///   bits  0..15  entry point    the real EntryPointId
+///
+/// kMaxEntryPoints (1024) fits the low lane with room to spare; the
+/// static_assert below keeps the packing honest if that ever grows.
+inline constexpr EntryPointId kCellBulkBit = 0x40000000u;
+inline constexpr unsigned kCellTokenShift = 16;
+inline constexpr EntryPointId kCellTokenLaneMask = 0x3FFFu;  // 14 bits
+inline constexpr EntryPointId kCellEpMask = 0xFFFFu;
+
+/// Size of the runtime's cancel-flag pool: everything a cell's token lane
+/// can address. Tokens allocate monotonically and index mod this, so a
+/// stale cancel needs 2^14 intervening allocations to alias.
+inline constexpr std::uint32_t kMaxCancelTokens = kCellTokenLaneMask + 1;
+
+static_assert(kMaxEntryPoints <= kCellEpMask + 1,
+              "entry-point ids must fit the cell ep lane");
+
+inline EntryPointId cell_pack_ep(EntryPointId ep, std::uint32_t token_idx,
+                                 bool bulk) {
+  return ep | ((token_idx & kCellTokenLaneMask) << kCellTokenShift) |
+         (bulk ? kCellBulkBit : 0u);
+}
+
+inline EntryPointId cell_ep(EntryPointId wire) { return wire & kCellEpMask; }
+
+inline std::uint32_t cell_token_idx(EntryPointId wire) {
+  return (wire >> kCellTokenShift) & kCellTokenLaneMask;
+}
+
+inline bool cell_is_bulk(EntryPointId wire) {
+  return (wire & kCellBulkBit) != 0;
+}
+
 /// Bounded MPSC ring channel. Any thread posts; only the slot's current
 /// ownership holder (owner thread, or a remote thread that won the
 /// SlotGate) drains. Capacity is a compile-time power of two so the index

@@ -14,6 +14,7 @@
 
 #include "common/assert.h"
 #include "common/types.h"
+#include "fault/failpoints.h"
 #include "obs/counters.h"
 #include "sim/addr.h"
 #include "sim/cache.h"
@@ -148,7 +149,16 @@ class MemContext {
   /// Uncached access (device registers, lock words on a machine without
   /// hardware coherence): 10 cycles local plus the NUMA surcharge.
   void access_uncached(SimAddr addr, CostCategory cat) {
-    charge(cat, mc_.uncached_local_cycles + numa_surcharge(addr));
+    Cycles c = mc_.uncached_local_cycles + numa_surcharge(addr);
+    // Fault seam: an off-station uncached access (lock word, interrupt
+    // register) pays a pathological interconnect round trip — models a
+    // congested or degraded link. Injections are visible via
+    // fault::injected("sim.mem.remote_delay"); the cost lands on the same
+    // ledger category as the access itself.
+    if (numa_surcharge(addr) != 0 && HPPC_FAULT_POINT("sim.mem.remote_delay")) {
+      c += 100 * mc_.numa_hop_cycles;
+    }
+    charge(cat, c);
   }
 
   /// Execute a code region: one cycle per instruction (pipelined hits) plus
