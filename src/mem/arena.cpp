@@ -75,16 +75,36 @@ Arena::Arena(ArenaConfig cfg) : cfg_(cfg) {
   pools_ = std::vector<NodePool>(n);
 }
 
+Arena::Arena(std::byte* base, std::size_t bytes) {
+  // Segment-backed mode: one pool, pre-seeded with the caller's region as
+  // its only — unowned — chunk. cfg_ defaults are irrelevant here because
+  // map_chunk() is never reached (growth refuses below).
+  external_ = true;
+  pools_ = std::vector<NodePool>(1);
+  auto* chunk = new Chunk{};
+  chunk->base = base;
+  chunk->size = bytes;
+  chunk->owned = false;
+  NodePool& pool = pools_[0];
+  pool.chunks = chunk;
+  pool.cur = base;
+  pool.left = bytes;
+  bytes_reserved_.fetch_add(bytes, std::memory_order_relaxed);
+  chunks_.fetch_add(1, std::memory_order_relaxed);
+}
+
 Arena::~Arena() {
   for (NodePool& pool : pools_) {
     Chunk* c = pool.chunks;
     while (c != nullptr) {
       Chunk* next = c->next;
+      if (c->owned) {
 #ifdef __linux__
-      ::munmap(c->base, c->size);
+        ::munmap(c->base, c->size);
 #else
-      std::free(c->base);
+        std::free(c->base);
 #endif
+      }
       delete c;
       c = next;
     }
@@ -92,6 +112,12 @@ Arena::~Arena() {
 }
 
 Arena::Chunk* Arena::map_chunk(NodeId node, std::size_t min_bytes) {
+  // A segment-backed arena has exactly the storage it was constructed
+  // over: the segment's cross-process layout is fixed at creation, so
+  // growing past it can only produce private memory the other side will
+  // never see. Refuse instead.
+  if (external_) throw std::bad_alloc{};
+
   std::size_t want = min_bytes > cfg_.chunk_bytes ? min_bytes : cfg_.chunk_bytes;
 
 #ifdef __linux__

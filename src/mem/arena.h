@@ -62,6 +62,17 @@ struct ArenaConfig {
 class Arena {
  public:
   explicit Arena(ArenaConfig cfg = {});
+
+  /// Segment-backed mode: bump-allocate out of caller-provided storage —
+  /// an shm_open/mmap segment being laid out by its creating process is the
+  /// intended use (src/shm/ places ring banks, wait pools and peer tables
+  /// through this). One pool, no node striping, no growth: allocation past
+  /// `bytes` throws std::bad_alloc, and the destructor does NOT unmap the
+  /// region — its lifetime belongs to whoever mapped it. Everything else
+  /// (alignment, trivially-destructible-only create/create_array, stats)
+  /// behaves exactly like the anonymous-mapping mode.
+  Arena(std::byte* base, std::size_t bytes);
+
   ~Arena();
 
   Arena(const Arena&) = delete;
@@ -107,6 +118,7 @@ class Arena {
     std::byte* base = nullptr;
     std::size_t size = 0;
     bool huge = false;
+    bool owned = true;      // segment-backed chunks are never unmapped here
     Chunk* next = nullptr;  // intrusive list; heads live in NodePool
   };
 
@@ -121,6 +133,7 @@ class Arena {
   Chunk* map_chunk(NodeId node, std::size_t min_bytes);
 
   ArenaConfig cfg_;
+  bool external_ = false;  // segment-backed: fixed capacity, no growth
   std::vector<NodePool> pools_;
 
   std::atomic<std::uint64_t> bytes_reserved_{0};

@@ -112,6 +112,12 @@ enum class Counter : std::uint32_t {
   kDeadlineInherited,   // calls whose binding budget came from the ambient ctx
   kBulkDrainsDeferred,  // drain passes where bulk waited behind interactive
 
+  // -- shm: cross-process transport, bulk copy engine, peer liveness --
+  kShmSegmentsMapped,   // gauge: shm segments/regions this process has mapped
+  kBulkCopyBytes,       // bytes moved by the CopyServer between granted regions
+  kHeartbeatsMissed,    // reap passes that found a peer's heartbeat stale
+  kPeerDeaths,          // peers declared dead and reaped (cells aborted)
+
   kCount
 };
 
@@ -179,6 +185,10 @@ constexpr const char* counter_name(Counter c) {
     case Counter::kCancelRequests: return "cancel_requests";
     case Counter::kDeadlineInherited: return "deadline_inherited";
     case Counter::kBulkDrainsDeferred: return "bulk_drains_deferred";
+    case Counter::kShmSegmentsMapped: return "shm_segments_mapped";
+    case Counter::kBulkCopyBytes: return "bulk_copy_bytes";
+    case Counter::kHeartbeatsMissed: return "heartbeats_missed";
+    case Counter::kPeerDeaths: return "peer_deaths";
     case Counter::kCount: break;
   }
   return "unknown";

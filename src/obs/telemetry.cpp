@@ -74,11 +74,17 @@ Telemetry derive_telemetry(const std::vector<SlotWindow>& windows) {
     t.total_drained_cells += s.drained_cells;
     t.total_occupancy_ewma += s.occupancy_ewma;
     t.slots.push_back(s);
+    t.shm_segments_mapped += w.counters.get(Counter::kShmSegmentsMapped);
+    t.bulk_copy_bytes += w.counters.get(Counter::kBulkCopyBytes);
+    t.heartbeats_missed += w.counters.get(Counter::kHeartbeatsMissed);
+    t.peer_deaths += w.counters.get(Counter::kPeerDeaths);
   }
   t.total_drain_rate_per_sec =
       safe_div(static_cast<double>(t.total_drained_cells), t.window_s);
   t.est_queue_delay_ns =
       safe_div(t.total_occupancy_ewma, t.total_drain_rate_per_sec) * 1e9;
+  t.bulk_copy_mbps =
+      safe_div(static_cast<double>(t.bulk_copy_bytes), t.window_s) / 1e6;
   return t;
 }
 
@@ -93,6 +99,11 @@ std::string telemetry_to_json(const Telemetry& t) {
                  first);
     append_field(out, "occupancy_ewma", t.total_occupancy_ewma, first);
     append_field(out, "est_queue_delay_ns", t.est_queue_delay_ns, first);
+    append_field(out, "shm_segments_mapped", t.shm_segments_mapped, first);
+    append_field(out, "bulk_copy_bytes", t.bulk_copy_bytes, first);
+    append_field(out, "bulk_copy_mbps", t.bulk_copy_mbps, first);
+    append_field(out, "heartbeats_missed", t.heartbeats_missed, first);
+    append_field(out, "peer_deaths", t.peer_deaths, first);
   }
   out += "},\"slots\":[";
   bool first_slot = true;

@@ -62,6 +62,14 @@ struct Telemetry {
   double total_drain_rate_per_sec = 0.0;
   double total_occupancy_ewma = 0.0;
   double est_queue_delay_ns = 0.0;  // Little's law on the fleet totals
+  // Cross-process transport totals (summed over the windows; a process
+  // embedding an shm::Server or shm::Peer books these into the counter
+  // blocks its windows are derived from — see src/shm/).
+  std::uint64_t shm_segments_mapped = 0;
+  std::uint64_t bulk_copy_bytes = 0;
+  double bulk_copy_mbps = 0.0;  // bulk_copy_bytes over the window
+  std::uint64_t heartbeats_missed = 0;
+  std::uint64_t peer_deaths = 0;
 };
 
 /// Derive one slot's series from its window. Pure.

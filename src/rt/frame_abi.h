@@ -15,10 +15,11 @@
 //
 // Calls whose payload exceeds the 8 words do NOT grow the frame: they set
 // kFrameFlagSg and spend two payload words on a pointer to a caller-owned
-// FrameSg descriptor block — scatter/gather segments that the handler
-// resolves through the bulk-data side path (servers/frame_bulk.h), the
-// host analogue of the paper's §4.2 copy-server channel. The frame itself
-// stays 8 words; only the descriptors' bytes move, and only once.
+// BulkDesc descriptor block — scatter/gather segments in the unified
+// bulk-data format (rt/bulk_desc.h) shared with the cross-process
+// CopyServer, the host analogue of the paper's §4.2 copy-server channel.
+// The frame itself stays 8 words; only the descriptors' bytes move, and
+// only once.
 //
 // Packed op word (64-bit):
 //   [63:48] reserved (zero)
@@ -37,6 +38,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "ppc/regs.h"
+#include "rt/bulk_desc.h"
 #include "rt/percpu.h"
 
 namespace hppc::rt {
@@ -107,34 +109,19 @@ inline CallFrame make_frame(FrameServiceId service, Word opcode,
 
 // -- scatter/gather spill (the >8-word side path) ---------------------------
 
-/// Flag bit: w[0..1] carry a pointer to a caller-owned FrameSg block.
+/// Flag bit: w[0..1] carry a pointer to a caller-owned BulkDesc block
+/// (rt/bulk_desc.h — the same descriptor layout the cross-process
+/// CopyServer ships in ring cells; here the segments are process-local,
+/// region == kBulkRegionLocal, and handlers resolve them with
+/// LocalBulkResolver).
 inline constexpr Word kFrameFlagSg = 0x01;
 
-/// One gather segment (request payload, read by the handler).
-struct SgSeg {
-  const void* base = nullptr;
-  std::uint32_t len = 0;
-};
-
-/// One scatter segment (reply payload, written by the handler).
-struct SgMutSeg {
-  void* base = nullptr;
-  std::uint32_t len = 0;
-};
-
-/// The descriptor block a spilled call points its frame at. Caller-owned;
-/// must outlive the call (synchronous frame calls guarantee that by
-/// construction — the caller's frame is alive until the reply lands).
-struct FrameSg {
-  const SgSeg* in = nullptr;
-  std::uint32_t n_in = 0;
-  const SgMutSeg* out = nullptr;
-  std::uint32_t n_out = 0;
-};
-
 /// Attach a descriptor block: burns w[0] and w[1] on the pointer and sets
-/// kFrameFlagSg. w[2..7] stay free for inline arguments.
-inline void frame_attach_sg(CallFrame& f, const FrameSg* sg) {
+/// kFrameFlagSg. w[2..7] stay free for inline arguments. The block and
+/// every segment it names are caller-owned and must outlive the call
+/// (synchronous frame calls guarantee that by construction — the caller's
+/// frame is alive until the reply lands).
+inline void frame_attach_sg(CallFrame& f, const BulkDesc* sg) {
   const auto p = reinterpret_cast<std::uintptr_t>(sg);
   f.w[0] = static_cast<Word>(p);
   f.w[1] = static_cast<Word>(static_cast<std::uint64_t>(p) >> 32);
@@ -147,11 +134,11 @@ inline bool frame_has_sg(const CallFrame& f) {
 
 /// Handler side: resolve the descriptor block (nullptr when the flag is
 /// clear — an 8-word call has no spill).
-inline const FrameSg* frame_sg(const CallFrame& f) {
+inline const BulkDesc* frame_sg(const CallFrame& f) {
   if (!frame_has_sg(f)) return nullptr;
   const std::uint64_t p = static_cast<std::uint64_t>(f.w[0]) |
                           (static_cast<std::uint64_t>(f.w[1]) << 32);
-  return reinterpret_cast<const FrameSg*>(static_cast<std::uintptr_t>(p));
+  return reinterpret_cast<const BulkDesc*>(static_cast<std::uintptr_t>(p));
 }
 
 // -- handler contract ------------------------------------------------------

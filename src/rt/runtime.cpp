@@ -52,9 +52,17 @@ Runtime::Runtime(std::uint32_t slots, bool pin_threads)
   }
   // The cancel-flag pool (value-initialized: every flag starts clear).
   // Heap, not arena: it is runtime-wide, not per-slot, and cold until a
-  // cancel actually lands.
-  cancel_flags_ =
+  // cancel actually lands. adopt_cancel_pool() may later re-point the
+  // working pointers at segment-resident storage.
+  owned_cancel_flags_ =
       std::make_unique<std::atomic<std::uint32_t>[]>(kMaxCancelTokens);
+  cancel_flags_ = owned_cancel_flags_.get();
+}
+
+void Runtime::adopt_cancel_pool(std::atomic<std::uint32_t>* flags,
+                                std::atomic<std::uint32_t>* next_token) {
+  cancel_flags_ = flags;
+  next_cancel_token_ = next_token;
 }
 
 Runtime::~Runtime() { shutdown(); }
@@ -794,7 +802,7 @@ CancelToken Runtime::cancel_token_create() {
   // recycled index is a benign spurious kCallAborted (see request_ctx.h).
   std::uint32_t t;
   do {
-    t = next_cancel_token_.fetch_add(1, std::memory_order_relaxed);
+    t = next_cancel_token_->fetch_add(1, std::memory_order_relaxed);
   } while ((t & kCellTokenLaneMask) == 0);
   cancel_flags_[t & kCellTokenLaneMask].store(0, std::memory_order_relaxed);
   return t;

@@ -482,6 +482,19 @@ class Runtime {
   /// Has cancel() been called for this token? (0 is never cancelled.)
   bool cancel_requested(CancelToken token) const;
 
+  /// Re-point the cancel pool at external storage: `flags` must be a
+  /// zero-initialised array of kMaxCancelTokens atomic words and
+  /// `next_token` a shared allocation cursor (>= 1). The intended caller
+  /// is the shm transport (src/shm/), which places both inside the
+  /// cross-process segment so a peer's cancel(token) raises a flag this
+  /// runtime's drain-side sweep reads directly — cancellation crosses the
+  /// process boundary through the same one-relaxed-load check the
+  /// in-process path uses. Call before any traffic (tokens minted from
+  /// the old pool do not transfer); the previously owned pool is retained
+  /// but unused. Storage must outlive this Runtime.
+  void adopt_cancel_pool(std::atomic<std::uint32_t>* flags,
+                         std::atomic<std::uint32_t>* next_token);
+
   /// Ambient probe: is the request `slot` is currently executing under
   /// cancelled or past its deadline? Handlers reach this through
   /// RtCtx::cancellation_requested(). Owner thread only.
@@ -808,10 +821,15 @@ class Runtime {
       shed_watermark_{};
   // The cancel-flag pool: token t maps to cancel_flags_[t % kMaxCancel-
   // Tokens]. Fixed-size so a token index fits the cell ep lane and lookup
-  // is one relaxed load with no lifetime question. Allocated at
-  // construction (zeroed); next_cancel_token_ never hands out index 0.
-  std::unique_ptr<std::atomic<std::uint32_t>[]> cancel_flags_;
-  std::atomic<std::uint32_t> next_cancel_token_{1};
+  // is one relaxed load with no lifetime question. By default the pool is
+  // process-private (owned_cancel_* below, allocated zeroed at
+  // construction); adopt_cancel_pool() re-points both the flag array and
+  // the allocation cursor at segment-resident storage so cancellation is
+  // visible across processes. next_cancel_token never hands out index 0.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> owned_cancel_flags_;
+  std::atomic<std::uint32_t> owned_next_cancel_token_{1};
+  std::atomic<std::uint32_t>* cancel_flags_ = nullptr;
+  std::atomic<std::uint32_t>* next_cancel_token_ = &owned_next_cancel_token_;
   TelemetryState telemetry_;
   EntryPointId next_ep_ = 8;
 };

@@ -1,0 +1,134 @@
+#include "shm/segment.h"
+
+#include <stdexcept>
+
+#ifdef __linux__
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <cerrno>
+#endif
+
+namespace hppc::shm {
+
+#ifdef __linux__
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& name) {
+  throw std::runtime_error("shm::Segment: " + what + " failed for '" + name +
+                           "' (errno " + std::to_string(errno) + ")");
+}
+
+std::byte* map_fd(int fd, std::size_t bytes) {
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  return p == MAP_FAILED ? nullptr : static_cast<std::byte*>(p);
+}
+
+}  // namespace
+
+Segment Segment::create(const std::string& name, std::size_t bytes) {
+  int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0 && errno == EEXIST) {
+    // A previous run died without unlinking. Its creator is gone (names
+    // are per-boot and callers pick unique ones); reclaim the name.
+    ::shm_unlink(name.c_str());
+    fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  }
+  if (fd < 0) fail("shm_open(create)", name);
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    fail("ftruncate", name);
+  }
+  std::byte* base = map_fd(fd, bytes);
+  ::close(fd);  // the mapping keeps the object alive
+  if (base == nullptr) {
+    ::shm_unlink(name.c_str());
+    fail("mmap", name);
+  }
+  Segment s;
+  s.base_ = base;
+  s.size_ = bytes;
+  s.name_ = name;
+  return s;
+}
+
+Segment Segment::open(const std::string& name) {
+  Segment s = try_open(name);
+  if (!s.mapped()) fail("shm_open", name);
+  return s;
+}
+
+Segment Segment::try_open(const std::string& name) {
+  int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return Segment{};
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return Segment{};
+  }
+  const auto bytes = static_cast<std::size_t>(st.st_size);
+  std::byte* base = map_fd(fd, bytes);
+  ::close(fd);
+  if (base == nullptr) return Segment{};
+  Segment s;
+  s.base_ = base;
+  s.size_ = bytes;
+  s.name_ = name;
+  return s;
+}
+
+Segment::~Segment() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+Segment& Segment::operator=(Segment&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    base_ = other.base_;
+    size_ = other.size_;
+    name_ = std::move(other.name_);
+    other.base_ = nullptr;
+    other.size_ = 0;
+    other.name_.clear();
+  }
+  return *this;
+}
+
+void Segment::unlink() {
+  if (!name_.empty()) ::shm_unlink(name_.c_str());
+}
+
+#else  // !__linux__ — the transport is POSIX-shm only; stubs keep the
+       // library linkable on other hosts (tests gate on __linux__).
+
+Segment Segment::create(const std::string& name, std::size_t) {
+  throw std::runtime_error("shm::Segment unsupported on this platform: " +
+                           name);
+}
+Segment Segment::open(const std::string& name) {
+  throw std::runtime_error("shm::Segment unsupported on this platform: " +
+                           name);
+}
+Segment Segment::try_open(const std::string&) { return Segment{}; }
+Segment::~Segment() = default;
+Segment& Segment::operator=(Segment&& other) noexcept {
+  base_ = other.base_;
+  size_ = other.size_;
+  name_ = std::move(other.name_);
+  other.base_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+void Segment::unlink() {}
+
+#endif  // __linux__
+
+std::string region_name(const std::string& base, std::uint32_t idx,
+                        std::uint32_t gen) {
+  return base + ".r" + std::to_string(idx) + "g" + std::to_string(gen);
+}
+
+}  // namespace hppc::shm

@@ -1,0 +1,78 @@
+// POSIX shared-memory segments with offset-addressed access.
+//
+// A Segment is one shm_open/mmap mapping: the transport's main segment
+// (laid out per shm/layout.h) and every granted bulk-data region are both
+// Segments. Creation is create-exclusive — a stale name from a crashed
+// earlier run is unlinked and retried once — and openers size the mapping
+// from fstat, so the two sides never have to agree on a size out of band.
+//
+// Offsets, not pointers: the same segment maps at different bases in
+// different processes, so every cross-process link in it is a byte offset
+// from the base. `at<T>(off)` / `offset_of(p)` are the only two
+// conversions, both trivial, both process-local.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/assert.h"
+
+namespace hppc::shm {
+
+class Segment {
+ public:
+  Segment() = default;
+
+  /// Create a new segment of exactly `bytes` (O_CREAT|O_EXCL; one retry
+  /// after unlinking a stale leftover of the same name). The mapping is
+  /// zero-filled by the kernel. Throws std::runtime_error on failure.
+  static Segment create(const std::string& name, std::size_t bytes);
+
+  /// Map an existing segment, sized by fstat. Throws on failure.
+  static Segment open(const std::string& name);
+
+  /// Like open(), but returns an unmapped Segment instead of throwing
+  /// when the name does not exist (grant races, reap races).
+  static Segment try_open(const std::string& name);
+
+  ~Segment();
+  Segment(Segment&& other) noexcept { *this = static_cast<Segment&&>(other); }
+  Segment& operator=(Segment&& other) noexcept;
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  bool mapped() const { return base_ != nullptr; }
+  std::byte* base() const { return base_; }
+  std::size_t size() const { return size_; }
+  const std::string& name() const { return name_; }
+
+  /// Remove the name from the filesystem namespace (existing mappings
+  /// live on). Idempotent; the creator calls this at teardown.
+  void unlink();
+
+  template <class T>
+  T* at(std::uint64_t off) const {
+    HPPC_ASSERT(off != 0 && off + sizeof(T) <= size_);
+    return reinterpret_cast<T*>(base_ + off);
+  }
+
+  std::uint64_t offset_of(const void* p) const {
+    const auto* b = static_cast<const std::byte*>(p);
+    HPPC_ASSERT(b >= base_ && b < base_ + size_);
+    return static_cast<std::uint64_t>(b - base_);
+  }
+
+ private:
+  std::byte* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::string name_;
+};
+
+/// The backing-segment name for granted region `idx`, generation `gen`,
+/// of the transport segment `base`: the generation in the name is what
+/// keeps a revoked-and-reused region id from resolving to the old bytes.
+std::string region_name(const std::string& base, std::uint32_t idx,
+                        std::uint32_t gen);
+
+}  // namespace hppc::shm

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <new>
 #include <set>
 
 namespace hppc::mem {
@@ -137,6 +138,45 @@ TEST(Arena, CreateConstructsInPlace) {
     arr[i].a = static_cast<std::uint64_t>(i);
   }
   EXPECT_EQ(arr[15].a, 15u);
+}
+
+TEST(Arena, ExternalModePlacesIntoCallerStorage) {
+  // Segment-backed mode (what src/shm/ uses to lay out a mapped segment):
+  // every allocation must land inside the caller's buffer, aligned, and
+  // the destructor must not touch the storage.
+  alignas(64) static std::byte storage[4096];
+  std::memset(storage, 0, sizeof(storage));
+  {
+    Arena arena(storage, sizeof(storage));
+    EXPECT_EQ(arena.nodes(), 1u);
+    for (const std::size_t align : {8u, 64u, 256u}) {
+      auto* p = static_cast<std::byte*>(arena.allocate(0, align, align));
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+      EXPECT_GE(p, storage);
+      EXPECT_LE(p + align, storage + sizeof(storage));
+      std::memset(p, 0xEE, align);
+    }
+    // Node ids are ignored (one pool): a wild node still lands in bounds.
+    auto* q = static_cast<std::byte*>(arena.allocate(7, 64, 64));
+    EXPECT_GE(q, storage);
+    EXPECT_LT(q, storage + sizeof(storage));
+
+    const ArenaStats s = arena.stats();
+    EXPECT_EQ(s.bytes_reserved, sizeof(storage));
+    EXPECT_EQ(s.chunks, 1u);
+    EXPECT_EQ(s.hugepages, 0u);
+  }
+  // The arena is gone; the storage (and what was written) survives.
+  EXPECT_EQ(storage[0], std::byte{0xEE});
+}
+
+TEST(Arena, ExternalModeRefusesGrowth) {
+  alignas(64) std::byte storage[256];
+  Arena arena(storage, sizeof(storage));
+  (void)arena.allocate(0, 128, 64);
+  // A fixed segment cannot grow: exhaustion throws instead of remapping.
+  EXPECT_THROW((void)arena.allocate(0, 4096, 64), std::bad_alloc);
 }
 
 TEST(Arena, SingleNodeContainerReportsNoMismatches) {

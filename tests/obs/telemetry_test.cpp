@@ -108,6 +108,26 @@ TEST(Telemetry, TraceDropsRideTheSeries) {
   EXPECT_EQ(obs::derive_slot_series(w).trace_drops, 7u);
 }
 
+TEST(Telemetry, ShmCountersSumIntoTotalsAndRate) {
+  // The cross-process transport's counters aggregate across slots, and
+  // bulk bandwidth is derived over the window: 20 MB in 2 s -> 10 MB/s.
+  std::vector<SlotWindow> ws;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    SlotWindow w = make_window(s, 2.0);
+    set_counter(w, Counter::kShmSegmentsMapped, 3);
+    set_counter(w, Counter::kBulkCopyBytes, 10'000'000);
+    set_counter(w, Counter::kHeartbeatsMissed, 2);
+    set_counter(w, Counter::kPeerDeaths, 1);
+    ws.push_back(w);
+  }
+  const obs::Telemetry t = obs::derive_telemetry(ws);
+  EXPECT_EQ(t.shm_segments_mapped, 6u);
+  EXPECT_EQ(t.bulk_copy_bytes, 20'000'000u);
+  EXPECT_EQ(t.heartbeats_missed, 4u);
+  EXPECT_EQ(t.peer_deaths, 2u);
+  EXPECT_DOUBLE_EQ(t.bulk_copy_mbps, 10.0);
+}
+
 TEST(Telemetry, JsonExportCarriesEveryPromisedField) {
   std::vector<SlotWindow> ws;
   SlotWindow w = make_window(0, 1.0);
@@ -122,7 +142,9 @@ TEST(Telemetry, JsonExportCarriesEveryPromisedField) {
         "\"est_queue_delay_ns\":", "\"slots\":", "\"slot\":", "\"calls\":",
         "\"drain_batches\":", "\"mean_drain_batch\":",
         "\"rtt_remote_p50_ns\":", "\"rtt_remote_p99_ns\":",
-        "\"wakeup_p99_ns\":", "\"trace_drops\":"}) {
+        "\"wakeup_p99_ns\":", "\"trace_drops\":", "\"shm_segments_mapped\":",
+        "\"bulk_copy_bytes\":", "\"bulk_copy_mbps\":",
+        "\"heartbeats_missed\":", "\"peer_deaths\":"}) {
     EXPECT_NE(json.find(field), std::string::npos) << field << "\n" << json;
   }
   // Structural sanity: braces and brackets balance.

@@ -15,7 +15,7 @@
 
 #include "rt/runtime.h"
 #include "rt/xcall.h"
-#include "servers/frame_bulk.h"
+#include "rt/bulk_desc.h"
 
 namespace hppc::rt {
 namespace {
@@ -223,17 +223,19 @@ TEST(FrameShim, PropagatesTypedFailure) {
 /// the 9-words-and-up path.
 struct ChecksumService {
   static Status run(void* /*self*/, FrameCtx&, CallFrame& f) {
-    const FrameSg* sg = frame_sg(f);
+    const BulkDesc* sg = frame_sg(f);
     if (sg == nullptr) return Status::kInvalidArgument;
-    std::vector<std::byte> buf(servers::sg_total_in(*sg));
-    const std::size_t n = servers::sg_gather(*sg, buf.data(), buf.size());
+    std::vector<std::byte> buf(bulk_total_in(*sg));
+    const std::size_t n =
+        bulk_gather(*sg, LocalBulkResolver{}, buf.data(), buf.size());
     std::uint32_t sum = 0;
     for (std::size_t i = 0; i < n; ++i) {
       sum += static_cast<std::uint32_t>(buf[i]);
       buf[i] = static_cast<std::byte>(static_cast<unsigned>(buf[i]) ^ 0xFF);
     }
     f.w[2] = sum;
-    f.w[3] = static_cast<Word>(servers::sg_scatter(*sg, buf.data(), n));
+    f.w[3] = static_cast<Word>(
+        bulk_scatter(*sg, LocalBulkResolver{}, buf.data(), n));
     return Status::kOk;
   }
 };
@@ -247,9 +249,9 @@ TEST(FrameSgSpill, NineWordsSpillThroughDescriptors) {
   std::array<Word, 9> payload;
   std::iota(payload.begin(), payload.end(), 1);
   std::array<Word, 9> reply{};
-  const SgSeg in[] = {{payload.data(), sizeof(payload)}};
-  const SgMutSeg out[] = {{reply.data(), sizeof(reply)}};
-  const FrameSg sg{in, 1, out, 1};
+  const BulkSeg in[] = {bulk_local(payload.data(), sizeof(payload))};
+  const BulkSeg out[] = {bulk_local(reply.data(), sizeof(reply))};
+  const BulkDesc sg{in, 1, out, 1};
 
   CallFrame f = make_frame(svc, /*opcode=*/7);
   frame_attach_sg(f, &sg);
@@ -272,35 +274,58 @@ TEST(FrameSgSpill, MultiSegmentGatherAndScatter) {
   // Scatter/gather proper: discontiguous caller buffers on both sides.
   const char a[] = "hello ";
   const char b[] = "frame world";
-  const SgSeg in[] = {{a, 6}, {b, 11}};
+  const BulkSeg in[] = {bulk_local(a, 6), bulk_local(b, 11)};
   char out1[5] = {};
   char out2[12] = {};
-  const SgMutSeg out[] = {{out1, 5}, {out2, 12}};
-  const FrameSg sg{in, 2, out, 2};
-  EXPECT_EQ(servers::sg_total_in(sg), 17u);
-  EXPECT_EQ(servers::sg_total_out(sg), 17u);
+  const BulkSeg out[] = {bulk_local(out1, 5), bulk_local(out2, 12)};
+  const BulkDesc sg{in, 2, out, 2};
+  EXPECT_EQ(bulk_total_in(sg), 17u);
+  EXPECT_EQ(bulk_total_out(sg), 17u);
 
   char gathered[32] = {};
-  EXPECT_EQ(servers::sg_gather(sg, gathered, sizeof(gathered)), 17u);
+  const LocalBulkResolver local{};
+  EXPECT_EQ(bulk_gather(sg, local, gathered, sizeof(gathered)), 17u);
   EXPECT_EQ(std::string_view(gathered, 17), "hello frame world");
-  EXPECT_EQ(servers::sg_scatter(sg, gathered, 17), 17u);
+  EXPECT_EQ(bulk_scatter(sg, local, gathered, 17), 17u);
   EXPECT_EQ(std::string_view(out1, 5), "hello");
   EXPECT_EQ(std::string_view(out2, 12), " frame world");
 }
 
 TEST(FrameSgSpill, StageRejectsOversizedPayloadInsteadOfTruncating) {
   mem::Arena arena;
-  servers::FrameBulkStage stage(arena, /*node=*/0, /*capacity=*/16);
+  BulkStage stage(arena, /*node=*/0, /*capacity=*/16);
   std::array<std::byte, 32> big{};
-  const SgSeg in[] = {{big.data(), big.size()}};
-  const FrameSg sg{in, 1, nullptr, 0};
+  const BulkSeg in[] = {bulk_local(big.data(), big.size())};
+  const BulkDesc sg{in, 1, nullptr, 0};
+  const LocalBulkResolver local{};
   std::size_t len = 0;
-  EXPECT_FALSE(stage.gather(sg, &len));
+  EXPECT_FALSE(stage.gather(sg, local, &len));
 
-  const SgSeg small_in[] = {{big.data(), 8}};
-  const FrameSg small{small_in, 1, nullptr, 0};
-  ASSERT_TRUE(stage.gather(small, &len));
+  const BulkSeg small_in[] = {bulk_local(big.data(), 8)};
+  const BulkDesc small{small_in, 1, nullptr, 0};
+  ASSERT_TRUE(stage.gather(small, local, &len));
   EXPECT_EQ(len, 8u);
+}
+
+TEST(FrameSgSpill, GrantedRegionSegmentsRefuseLocalResolution) {
+  // A granted-region segment names a CopyServer region id, which does not
+  // exist in-process: the frame lane's resolver must refuse it, and the
+  // copy loops must stop at the refusal instead of faulting or truncating
+  // silently past it.
+  char src[8] = "abcdefg";
+  char dst[8] = {};
+  const BulkSeg in[] = {bulk_local(src, 4), bulk_region(3, 0, 4)};
+  const BulkDesc sg{in, 2, nullptr, 0};
+  const LocalBulkResolver local{};
+  EXPECT_EQ(local(in[1], false), nullptr);
+  char gathered[16] = {};
+  EXPECT_EQ(bulk_gather(sg, local, gathered, sizeof(gathered)), 4u);
+  EXPECT_LT(bulk_gather(sg, local, gathered, sizeof(gathered)),
+            bulk_total_in(sg));  // short gather is detectable
+
+  const BulkSeg out[] = {bulk_region(3, 0, 8), bulk_local(dst, 8)};
+  const BulkDesc sg_out{nullptr, 0, out, 2};
+  EXPECT_EQ(bulk_scatter(sg_out, local, src, 8), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -154,8 +154,10 @@ TEST(RequestCtxPropagation, ExpiredRootStopsNestedCalls) {
   std::atomic<Status> nested_remote{Status::kOk};
   std::atomic<Status> nested_counting{Status::kOk};
   std::atomic<bool> probe_fired{false};
+  std::atomic<bool> outer_started{false};
   const EntryPointId outer = rt.bind(
       {.name = "outer"}, 700, [&](RtCtx& ctx, ppc::RegSet& regs) {
+        outer_started.store(true, std::memory_order_release);
         // Burn the inherited budget via the cooperative probe — this is
         // also the probe's functional test.
         const std::uint64_t spin_limit = host_cycles() + 2'000'000'000ull;
@@ -198,8 +200,21 @@ TEST(RequestCtxPropagation, ExpiredRootStopsNestedCalls) {
 
   CallOptions opts;
   opts.deadline_cycles = 3'000'000;  // enough to be drained, not to finish
-  ppc::RegSet regs = make_regs(0);
-  const Status root = rt.call_remote(me, 1, 700, outer, regs, opts);
+  // On a loaded host the budget can expire before the server thread ever
+  // drains the cell; the drain-side screen then (correctly) refuses the
+  // call without running the handler — a different seam than this test
+  // targets, and one that would leave nested_counting unwritten forever.
+  // Retry with a doubled runway until the handler actually starts.
+  Status root = Status::kOk;
+  for (int attempt = 0; !outer_started.load(std::memory_order_acquire);
+       ++attempt) {
+    ASSERT_LT(attempt, 16) << "outer handler never drained before expiry";
+    ppc::RegSet regs = make_regs(0);
+    root = rt.call_remote(me, 1, 700, outer, regs, opts);
+    // Stay far below the handler's 2e9-cycle burn cap so the budget
+    // always expires inside the handler once it runs.
+    if (opts.deadline_cycles < 200'000'000ull) opts.deadline_cycles *= 2;
+  }
   EXPECT_EQ(root, Status::kDeadlineExceeded);
 
   // Wait until the handler (which outlives the caller's abandonment) has
